@@ -1,0 +1,195 @@
+//! ARM condition codes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An ARM condition code, encoded in the top four bits of every instruction.
+///
+/// [`Cond::Al`] ("always") is the unconditional case and is printed as the
+/// empty suffix.
+///
+/// # Examples
+///
+/// ```
+/// use gpa_arm::Cond;
+///
+/// assert_eq!(Cond::Eq.to_string(), "eq");
+/// assert_eq!(Cond::Al.to_string(), "");
+/// assert_eq!(Cond::Lt.invert(), Cond::Ge);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq = 0,
+    /// Not equal (Z clear).
+    Ne = 1,
+    /// Carry set / unsigned higher-or-same.
+    Cs = 2,
+    /// Carry clear / unsigned lower.
+    Cc = 3,
+    /// Minus / negative (N set).
+    Mi = 4,
+    /// Plus / positive or zero (N clear).
+    Pl = 5,
+    /// Overflow set.
+    Vs = 6,
+    /// Overflow clear.
+    Vc = 7,
+    /// Unsigned higher.
+    Hi = 8,
+    /// Unsigned lower or same.
+    Ls = 9,
+    /// Signed greater or equal.
+    Ge = 10,
+    /// Signed less than.
+    Lt = 11,
+    /// Signed greater than.
+    Gt = 12,
+    /// Signed less or equal.
+    Le = 13,
+    /// Always — the unconditional case.
+    #[default]
+    Al = 14,
+}
+
+impl Cond {
+    /// All condition codes in encoding order.
+    pub const ALL: [Cond; 15] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+    ];
+
+    /// The four-bit encoding of this condition.
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes a condition from its four-bit encoding.
+    ///
+    /// Returns `None` for `0b1111` (the ARM "never"/unconditional-extension
+    /// space, which this subset does not use) and values above 15.
+    pub fn from_bits(bits: u32) -> Option<Cond> {
+        Cond::ALL.get(bits as usize).copied()
+    }
+
+    /// Whether this instruction executes unconditionally.
+    pub fn is_always(self) -> bool {
+        self == Cond::Al
+    }
+
+    /// The logically opposite condition (`eq` ↔ `ne`, …).
+    ///
+    /// `al` maps to itself since the subset has no "never" condition.
+    pub fn invert(self) -> Cond {
+        match self {
+            Cond::Al => Cond::Al,
+            c => Cond::from_bits(c.bits() ^ 1).expect("inverted condition in range"),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing a condition-code suffix fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseCondError(pub(crate) String);
+
+impl fmt::Display for ParseCondError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid condition code `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseCondError {}
+
+impl FromStr for Cond {
+    type Err = ParseCondError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "eq" => Ok(Cond::Eq),
+            "ne" => Ok(Cond::Ne),
+            "cs" | "hs" => Ok(Cond::Cs),
+            "cc" | "lo" => Ok(Cond::Cc),
+            "mi" => Ok(Cond::Mi),
+            "pl" => Ok(Cond::Pl),
+            "vs" => Ok(Cond::Vs),
+            "vc" => Ok(Cond::Vc),
+            "hi" => Ok(Cond::Hi),
+            "ls" => Ok(Cond::Ls),
+            "ge" => Ok(Cond::Ge),
+            "lt" => Ok(Cond::Lt),
+            "gt" => Ok(Cond::Gt),
+            "le" => Ok(Cond::Le),
+            "" | "al" => Ok(Cond::Al),
+            _ => Err(ParseCondError(s.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_bits(c.bits()), Some(c));
+        }
+        assert_eq!(Cond::from_bits(15), None);
+    }
+
+    #[test]
+    fn invert_is_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.invert().invert(), c);
+        }
+        assert_eq!(Cond::Eq.invert(), Cond::Ne);
+        assert_eq!(Cond::Hi.invert(), Cond::Ls);
+        assert_eq!(Cond::Al.invert(), Cond::Al);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for c in Cond::ALL {
+            assert_eq!(c.to_string().parse::<Cond>().unwrap(), c);
+        }
+        assert_eq!("hs".parse::<Cond>().unwrap(), Cond::Cs);
+        assert!("xx".parse::<Cond>().is_err());
+    }
+}

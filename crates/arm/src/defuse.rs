@@ -1,0 +1,298 @@
+//! Def/use analysis: the dependence interface of an instruction.
+//!
+//! [`Effects`] summarizes which registers, condition flags and memory an
+//! instruction reads and writes. Data-flow-graph construction, liveness
+//! analysis and the scheduler all depend exclusively on this summary, so the
+//! conservative choices (e.g. `swi` touching memory) are made once, here.
+
+use crate::cond::Cond;
+use crate::insn::{DpOp, Instruction, MemOffset, MemOp, Operand2};
+use crate::reg::{Reg, RegSet};
+
+/// The complete read/write footprint of one instruction.
+///
+/// # Examples
+///
+/// ```
+/// use gpa_arm::{Instruction, Reg};
+///
+/// let insn: Instruction = "ldr r3, [r1], #4".parse()?;
+/// let fx = insn.effects();
+/// assert!(fx.uses.contains(Reg::r(1)));
+/// assert!(fx.defs.contains(Reg::r(3)));
+/// assert!(fx.defs.contains(Reg::r(1))); // post-index writeback
+/// assert!(fx.reads_mem);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Effects {
+    /// Registers read.
+    pub uses: RegSet,
+    /// Registers written.
+    pub defs: RegSet,
+    /// Whether the condition flags are read (conditional execution,
+    /// carry-consuming arithmetic).
+    pub reads_flags: bool,
+    /// Whether the condition flags are written (`s` suffix, compares).
+    pub writes_flags: bool,
+    /// Whether memory is read.
+    pub reads_mem: bool,
+    /// Whether memory is written.
+    pub writes_mem: bool,
+}
+
+impl Effects {
+    fn use_op2(&mut self, op2: Operand2) {
+        match op2 {
+            Operand2::Imm(_) => {}
+            Operand2::Reg(r) | Operand2::RegShift(r, _, _) => self.uses.insert(r),
+        }
+    }
+}
+
+/// Whether two footprints conflict, i.e. the instructions that produced
+/// them must keep their relative order: one writes state the other reads
+/// or writes (registers, flags, or — conservatively — memory; two reads
+/// of memory never conflict).
+pub fn conflicts(a: &Effects, b: &Effects) -> bool {
+    // Register RAW / WAR / WAW.
+    if a.defs.intersects(b.uses) || a.uses.intersects(b.defs) || a.defs.intersects(b.defs) {
+        return true;
+    }
+    // Flag dependencies.
+    if (a.writes_flags && (b.reads_flags || b.writes_flags)) || (a.reads_flags && b.writes_flags) {
+        return true;
+    }
+    // Memory: loads may be reordered with loads, nothing else.
+    if (a.writes_mem && (b.reads_mem || b.writes_mem)) || (a.reads_mem && b.writes_mem) {
+        return true;
+    }
+    false
+}
+
+impl Instruction {
+    /// Computes the read/write footprint of this instruction.
+    pub fn effects(&self) -> Effects {
+        let mut fx = Effects::default();
+        if self.cond() != Cond::Al {
+            fx.reads_flags = true;
+        }
+        match *self {
+            Instruction::DataProc {
+                op,
+                set_flags,
+                rd,
+                rn,
+                op2,
+                ..
+            } => {
+                if !op.is_move() {
+                    fx.uses.insert(rn);
+                }
+                fx.use_op2(op2);
+                if !op.is_compare() {
+                    fx.defs.insert(rd);
+                }
+                if set_flags || op.is_compare() {
+                    fx.writes_flags = true;
+                }
+                if matches!(op, DpOp::Adc | DpOp::Sbc | DpOp::Rsc) {
+                    fx.reads_flags = true;
+                }
+            }
+            Instruction::Mul {
+                set_flags, rd, rm, rs, ..
+            } => {
+                fx.uses.insert(rm);
+                fx.uses.insert(rs);
+                fx.defs.insert(rd);
+                fx.writes_flags |= set_flags;
+            }
+            Instruction::Mla {
+                set_flags,
+                rd,
+                rm,
+                rs,
+                rn,
+                ..
+            } => {
+                fx.uses.insert(rm);
+                fx.uses.insert(rs);
+                fx.uses.insert(rn);
+                fx.defs.insert(rd);
+                fx.writes_flags |= set_flags;
+            }
+            Instruction::Mem {
+                op,
+                rd,
+                rn,
+                offset,
+                mode,
+                ..
+            } => {
+                fx.uses.insert(rn);
+                if let MemOffset::Reg(rm, _) = offset {
+                    fx.uses.insert(rm);
+                }
+                match op {
+                    MemOp::Ldr => {
+                        fx.defs.insert(rd);
+                        fx.reads_mem = true;
+                    }
+                    MemOp::Str => {
+                        fx.uses.insert(rd);
+                        fx.writes_mem = true;
+                    }
+                }
+                if mode.writes_back() {
+                    fx.defs.insert(rn);
+                }
+            }
+            Instruction::Block {
+                op,
+                rn,
+                writeback,
+                regs,
+                ..
+            } => {
+                fx.uses.insert(rn);
+                match op {
+                    MemOp::Ldr => {
+                        fx.defs = fx.defs.union(regs);
+                        fx.reads_mem = true;
+                    }
+                    MemOp::Str => {
+                        fx.uses = fx.uses.union(regs);
+                        fx.writes_mem = true;
+                    }
+                }
+                if writeback {
+                    fx.defs.insert(rn);
+                }
+            }
+            Instruction::Branch { link, .. } => {
+                if link {
+                    fx.defs.insert(Reg::LR);
+                }
+                fx.defs.insert(Reg::PC);
+            }
+            Instruction::Bx { rm, .. } => {
+                fx.uses.insert(rm);
+                fx.defs.insert(Reg::PC);
+            }
+            Instruction::Swi { .. } => {
+                // System-call convention: service args in r0..r2, result in
+                // r0. Conservatively touches memory both ways.
+                fx.uses = fx.uses.union(RegSet::of(&[Reg::r(0), Reg::r(1), Reg::r(2)]));
+                fx.defs.insert(Reg::r(0));
+                fx.reads_mem = true;
+                fx.writes_mem = true;
+            }
+        }
+        fx
+    }
+
+    /// Whether two instructions must keep their relative order: true when
+    /// one writes state the other reads or writes (registers, flags, or —
+    /// conservatively — memory).
+    pub fn depends_on(&self, earlier: &Instruction) -> bool {
+        conflicts(&earlier.effects(), &self.effects())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Instruction as I;
+    use crate::reg::RegSet;
+    use crate::BlockMode;
+
+    #[test]
+    fn data_processing_effects() {
+        let add = I::dp_reg(DpOp::Add, Reg::r(4), Reg::r(2), Reg::r(3));
+        let fx = add.effects();
+        assert_eq!(fx.uses, RegSet::of(&[Reg::r(2), Reg::r(3)]));
+        assert_eq!(fx.defs, RegSet::of(&[Reg::r(4)]));
+        assert!(!fx.reads_flags && !fx.writes_flags);
+
+        let cmp: I = "cmp r1, #0".parse().unwrap();
+        let fx = cmp.effects();
+        assert_eq!(fx.uses, RegSet::of(&[Reg::r(1)]));
+        assert!(fx.defs.is_empty());
+        assert!(fx.writes_flags);
+
+        let adc: I = "adc r0, r0, r1".parse().unwrap();
+        assert!(adc.effects().reads_flags);
+
+        let moveq: I = "moveq r0, #1".parse().unwrap();
+        assert!(moveq.effects().reads_flags);
+    }
+
+    #[test]
+    fn memory_effects() {
+        let post: I = "ldr r3, [r1], #4".parse().unwrap();
+        let fx = post.effects();
+        assert_eq!(fx.uses, RegSet::of(&[Reg::r(1)]));
+        assert_eq!(fx.defs, RegSet::of(&[Reg::r(3), Reg::r(1)]));
+        assert!(fx.reads_mem && !fx.writes_mem);
+
+        let store: I = "str r0, [sp, #8]".parse().unwrap();
+        let fx = store.effects();
+        assert_eq!(fx.uses, RegSet::of(&[Reg::r(0), Reg::SP]));
+        assert!(fx.defs.is_empty());
+        assert!(fx.writes_mem);
+    }
+
+    #[test]
+    fn block_and_branch_effects() {
+        let push = I::Block {
+            cond: Cond::Al,
+            op: MemOp::Str,
+            rn: Reg::SP,
+            writeback: true,
+            mode: BlockMode::Db,
+            regs: RegSet::of(&[Reg::r(4), Reg::LR]),
+        };
+        let fx = push.effects();
+        assert!(fx.uses.contains(Reg::r(4)) && fx.uses.contains(Reg::LR));
+        assert_eq!(fx.defs, RegSet::of(&[Reg::SP]));
+
+        let bl = I::Branch {
+            cond: Cond::Al,
+            link: true,
+            offset: 0,
+        };
+        assert!(bl.effects().defs.contains(Reg::LR));
+        assert!(bl.effects().defs.contains(Reg::PC));
+
+        assert!(I::ret().effects().uses.contains(Reg::LR));
+    }
+
+    #[test]
+    fn dependence_relation() {
+        let ld: I = "ldr r3, [r1], #4".parse().unwrap();
+        let sub: I = "sub r2, r2, r3".parse().unwrap();
+        let add: I = "add r4, r2, #4".parse().unwrap();
+        // RAW: sub reads r3 that ldr defines.
+        assert!(sub.depends_on(&ld));
+        // add does not touch r3/r1.
+        assert!(!add.depends_on(&ld));
+        // WAW between the two writeback loads.
+        assert!(ld.depends_on(&ld));
+        // Independent loads may be reordered.
+        let ld2: I = "ldr r5, [r6]".parse().unwrap();
+        let ld3: I = "ldr r7, [r8]".parse().unwrap();
+        assert!(!ld3.depends_on(&ld2));
+        // Store vs load must stay ordered.
+        let st: I = "str r0, [r6]".parse().unwrap();
+        assert!(st.depends_on(&ld2) || ld2.depends_on(&st));
+        // Flag chain: cmp then beq.
+        let cmp: I = "cmp r1, #0".parse().unwrap();
+        let beq = I::Branch {
+            cond: Cond::Eq,
+            link: false,
+            offset: 0,
+        };
+        assert!(beq.depends_on(&cmp));
+    }
+}

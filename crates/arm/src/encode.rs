@@ -1,0 +1,687 @@
+//! Bit-accurate ARM32 encoding and decoding for the supported subset.
+//!
+//! Every [`Instruction`] encodes to the genuine ARMv4 bit pattern; [`decode`]
+//! inverts it. Round-tripping is exercised by unit and property tests.
+
+use std::fmt;
+
+use crate::cond::Cond;
+use crate::insn::{
+    AddressMode, BlockMode, DpOp, Instruction, MemOffset, MemOp, Operand2, ShiftKind,
+};
+use crate::reg::{Reg, RegSet};
+
+/// Error produced when an [`Instruction`] has no valid ARM encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A data-processing immediate that is not an 8-bit value rotated right
+    /// by an even amount.
+    UnencodableImm(u32),
+    /// A shift amount outside the encodable range for its kind.
+    BadShiftAmount(ShiftKind, u8),
+    /// A memory offset whose magnitude does not fit in 12 bits.
+    OffsetOutOfRange(i32),
+    /// A branch offset that does not fit in a signed 24-bit field.
+    BranchOutOfRange(i32),
+    /// A `swi` comment field wider than 24 bits.
+    SwiOutOfRange(u32),
+    /// An empty register list in `ldm`/`stm`.
+    EmptyRegisterList,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::UnencodableImm(v) => {
+                write!(f, "immediate {v:#x} is not an 8-bit value rotated by an even amount")
+            }
+            EncodeError::BadShiftAmount(k, n) => write!(f, "shift {k} #{n} is not encodable"),
+            EncodeError::OffsetOutOfRange(v) => write!(f, "memory offset {v} exceeds 12 bits"),
+            EncodeError::BranchOutOfRange(v) => write!(f, "branch offset {v} exceeds 24 bits"),
+            EncodeError::SwiOutOfRange(v) => write!(f, "swi number {v:#x} exceeds 24 bits"),
+            EncodeError::EmptyRegisterList => write!(f, "ldm/stm requires a non-empty register list"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error produced when a 32-bit word is not a valid instruction of the
+/// subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending machine word.
+    pub word: u32,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Finds the (rotation, byte) pair encoding `value` as an ARM rotated
+/// immediate, preferring the smallest rotation.
+///
+/// Returns `None` when the value is not expressible.
+///
+/// # Examples
+///
+/// ```
+/// use gpa_arm::encode_rotated_imm;
+///
+/// assert_eq!(encode_rotated_imm(255), Some((0, 255)));
+/// assert_eq!(encode_rotated_imm(0x3f0), Some((14, 0x3f)));
+/// assert_eq!(encode_rotated_imm(0x101), None);
+/// ```
+pub fn encode_rotated_imm(value: u32) -> Option<(u32, u32)> {
+    for rot in 0..16 {
+        let rotated = value.rotate_left(rot * 2);
+        if rotated <= 0xff {
+            return Some((rot, rotated));
+        }
+    }
+    None
+}
+
+/// Whether a value is expressible as a data-processing immediate.
+pub fn is_encodable_imm(value: u32) -> bool {
+    encode_rotated_imm(value).is_some()
+}
+
+fn encode_shifter(op2: Operand2) -> Result<(u32, u32), EncodeError> {
+    // Returns (I bit, shifter_operand bits).
+    match op2 {
+        Operand2::Imm(v) => {
+            let (rot, byte) = encode_rotated_imm(v).ok_or(EncodeError::UnencodableImm(v))?;
+            Ok((1, (rot << 8) | byte))
+        }
+        Operand2::Reg(rm) => Ok((0, rm.number() as u32)),
+        Operand2::RegShift(rm, kind, amount) => {
+            let imm = match (kind, amount) {
+                (ShiftKind::Lsl, 1..=31) => amount as u32,
+                (ShiftKind::Lsr | ShiftKind::Asr, 32) => 0,
+                (ShiftKind::Lsr | ShiftKind::Asr, 1..=31) => amount as u32,
+                (ShiftKind::Ror, 1..=31) => amount as u32,
+                _ => return Err(EncodeError::BadShiftAmount(kind, amount)),
+            };
+            Ok((0, (imm << 7) | (kind.bits() << 5) | rm.number() as u32))
+        }
+    }
+}
+
+fn decode_shifter(i_bit: u32, bits: u32, word: u32) -> Result<Operand2, DecodeError> {
+    if i_bit == 1 {
+        let rot = (bits >> 8) & 0xf;
+        let byte = bits & 0xff;
+        return Ok(Operand2::Imm(byte.rotate_right(rot * 2)));
+    }
+    if bits & 0x10 != 0 {
+        return Err(DecodeError {
+            word,
+            reason: "register-shifted-by-register operands are outside the subset",
+        });
+    }
+    let rm = Reg::r((bits & 0xf) as u8);
+    let kind = ShiftKind::from_bits((bits >> 5) & 0x3).expect("two-bit field");
+    let amount = (bits >> 7) & 0x1f;
+    if amount == 0 {
+        match kind {
+            ShiftKind::Lsl => Ok(Operand2::Reg(rm)),
+            ShiftKind::Lsr => Ok(Operand2::RegShift(rm, ShiftKind::Lsr, 32)),
+            ShiftKind::Asr => Ok(Operand2::RegShift(rm, ShiftKind::Asr, 32)),
+            ShiftKind::Ror => Err(DecodeError {
+                word,
+                reason: "rrx is outside the subset",
+            }),
+        }
+    } else {
+        Ok(Operand2::RegShift(rm, kind, amount as u8))
+    }
+}
+
+impl Instruction {
+    /// Encodes this instruction as its 32-bit ARM machine word.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EncodeError`] when a field value has no encoding (an
+    /// unrepresentable immediate, an out-of-range offset, …).
+    pub fn encode(&self) -> Result<u32, EncodeError> {
+        let cond = self.cond().bits() << 28;
+        match *self {
+            Instruction::DataProc {
+                op,
+                set_flags,
+                rd,
+                rn,
+                op2,
+                ..
+            } => {
+                let (i, shifter) = encode_shifter(op2)?;
+                let s = (set_flags || op.is_compare()) as u32;
+                let rd_bits = if op.is_compare() { 0 } else { rd.number() as u32 };
+                let rn_bits = if op.is_move() { 0 } else { rn.number() as u32 };
+                Ok(cond
+                    | (i << 25)
+                    | (op.bits() << 21)
+                    | (s << 20)
+                    | (rn_bits << 16)
+                    | (rd_bits << 12)
+                    | shifter)
+            }
+            Instruction::Mul {
+                set_flags,
+                rd,
+                rm,
+                rs,
+                ..
+            } => Ok(cond
+                | ((set_flags as u32) << 20)
+                | ((rd.number() as u32) << 16)
+                | ((rs.number() as u32) << 8)
+                | 0x90
+                | rm.number() as u32),
+            Instruction::Mla {
+                set_flags,
+                rd,
+                rm,
+                rs,
+                rn,
+                ..
+            } => Ok(cond
+                | (1 << 21)
+                | ((set_flags as u32) << 20)
+                | ((rd.number() as u32) << 16)
+                | ((rn.number() as u32) << 12)
+                | ((rs.number() as u32) << 8)
+                | 0x90
+                | rm.number() as u32),
+            Instruction::Mem {
+                op,
+                byte,
+                rd,
+                rn,
+                offset,
+                mode,
+                ..
+            } => {
+                let (i, u, off_bits) = match offset {
+                    MemOffset::Imm(v) => {
+                        let mag = v.unsigned_abs();
+                        if mag >= 4096 {
+                            return Err(EncodeError::OffsetOutOfRange(v));
+                        }
+                        (0, (v >= 0) as u32, mag)
+                    }
+                    MemOffset::Reg(rm, sub) => (1, !sub as u32, rm.number() as u32),
+                };
+                let (p, w) = match mode {
+                    AddressMode::Offset => (1, 0),
+                    AddressMode::PreIndexed => (1, 1),
+                    AddressMode::PostIndexed => (0, 0),
+                };
+                let l = matches!(op, MemOp::Ldr) as u32;
+                Ok(cond
+                    | (1 << 26)
+                    | (i << 25)
+                    | (p << 24)
+                    | (u << 23)
+                    | ((byte as u32) << 22)
+                    | (w << 21)
+                    | (l << 20)
+                    | ((rn.number() as u32) << 16)
+                    | ((rd.number() as u32) << 12)
+                    | off_bits)
+            }
+            Instruction::Block {
+                op,
+                rn,
+                writeback,
+                mode,
+                regs,
+                ..
+            } => {
+                if regs.is_empty() {
+                    return Err(EncodeError::EmptyRegisterList);
+                }
+                let (p, u) = mode.pu_bits();
+                let l = matches!(op, MemOp::Ldr) as u32;
+                Ok(cond
+                    | (1 << 27)
+                    | (p << 24)
+                    | (u << 23)
+                    | ((writeback as u32) << 21)
+                    | (l << 20)
+                    | ((rn.number() as u32) << 16)
+                    | regs.0 as u32)
+            }
+            Instruction::Branch { link, offset, .. } => {
+                if !(-(1 << 23)..(1 << 23)).contains(&offset) {
+                    return Err(EncodeError::BranchOutOfRange(offset));
+                }
+                Ok(cond | (0b101 << 25) | ((link as u32) << 24) | (offset as u32 & 0x00ff_ffff))
+            }
+            Instruction::Bx { rm, .. } => Ok(cond | 0x012f_ff10 | rm.number() as u32),
+            Instruction::Swi { imm, .. } => {
+                if imm >= (1 << 24) {
+                    return Err(EncodeError::SwiOutOfRange(imm));
+                }
+                Ok(cond | (0xf << 24) | imm)
+            }
+        }
+    }
+}
+
+/// Decodes a 32-bit ARM machine word into an [`Instruction`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the word is not a valid instruction of the
+/// supported subset (the word may still be interwoven data — the rewriting
+/// pipeline treats undecodable words that are never executed as data).
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    let cond = Cond::from_bits(word >> 28).ok_or(DecodeError {
+        word,
+        reason: "condition field 0b1111 is outside the subset",
+    })?;
+    let op27_25 = (word >> 25) & 0x7;
+    match op27_25 {
+        0b000 | 0b001 => {
+            // bx has a fixed pattern inside the data-processing space.
+            if word & 0x0fff_fff0 == 0x012f_ff10 {
+                return Ok(Instruction::Bx {
+                    cond,
+                    rm: Reg::r((word & 0xf) as u8),
+                });
+            }
+            // Multiply: bits 7..4 == 1001 and 27..22 == 000000.
+            if op27_25 == 0b000 && (word >> 4) & 0xf == 0b1001 && (word >> 22) & 0x3f == 0 {
+                let a = (word >> 21) & 1;
+                let set_flags = (word >> 20) & 1 == 1;
+                let rd = Reg::r(((word >> 16) & 0xf) as u8);
+                let rn = Reg::r(((word >> 12) & 0xf) as u8);
+                let rs = Reg::r(((word >> 8) & 0xf) as u8);
+                let rm = Reg::r((word & 0xf) as u8);
+                return Ok(if a == 1 {
+                    Instruction::Mla {
+                        cond,
+                        set_flags,
+                        rd,
+                        rm,
+                        rs,
+                        rn,
+                    }
+                } else {
+                    Instruction::Mul {
+                        cond,
+                        set_flags,
+                        rd,
+                        rm,
+                        rs,
+                    }
+                });
+            }
+            let op = DpOp::from_bits((word >> 21) & 0xf).expect("four-bit field");
+            let set_flags = (word >> 20) & 1 == 1;
+            if op.is_compare() && !set_flags {
+                return Err(DecodeError {
+                    word,
+                    reason: "compare opcode with S=0 (MSR/MRS space) is outside the subset",
+                });
+            }
+            let rn = Reg::r(((word >> 16) & 0xf) as u8);
+            let rd = Reg::r(((word >> 12) & 0xf) as u8);
+            let op2 = decode_shifter(op27_25 & 1, word & 0xfff, word)?;
+            Ok(Instruction::DataProc {
+                cond,
+                op,
+                set_flags,
+                rd: if op.is_compare() { Reg::r(0) } else { rd },
+                rn: if op.is_move() { Reg::r(0) } else { rn },
+                op2,
+            })
+        }
+        0b010 | 0b011 => {
+            let i = (word >> 25) & 1;
+            let p = (word >> 24) & 1;
+            let u = (word >> 23) & 1;
+            let byte = (word >> 22) & 1 == 1;
+            let w = (word >> 21) & 1;
+            let l = (word >> 20) & 1;
+            let rn = Reg::r(((word >> 16) & 0xf) as u8);
+            let rd = Reg::r(((word >> 12) & 0xf) as u8);
+            let offset = if i == 0 {
+                let mag = (word & 0xfff) as i32;
+                MemOffset::Imm(if u == 1 { mag } else { -mag })
+            } else {
+                if word & 0xff0 != 0 {
+                    return Err(DecodeError {
+                        word,
+                        reason: "scaled register offsets are outside the subset",
+                    });
+                }
+                MemOffset::Reg(Reg::r((word & 0xf) as u8), u == 0)
+            };
+            let mode = match (p, w) {
+                (1, 0) => AddressMode::Offset,
+                (1, 1) => AddressMode::PreIndexed,
+                (0, 0) => AddressMode::PostIndexed,
+                _ => {
+                    return Err(DecodeError {
+                        word,
+                        reason: "LDRT/STRT (P=0, W=1) is outside the subset",
+                    })
+                }
+            };
+            Ok(Instruction::Mem {
+                cond,
+                op: if l == 1 { MemOp::Ldr } else { MemOp::Str },
+                byte,
+                rd,
+                rn,
+                offset,
+                mode,
+            })
+        }
+        0b100 => {
+            if (word >> 22) & 1 == 1 {
+                return Err(DecodeError {
+                    word,
+                    reason: "ldm/stm with S bit is outside the subset",
+                });
+            }
+            let p = (word >> 24) & 1;
+            let u = (word >> 23) & 1;
+            let writeback = (word >> 21) & 1 == 1;
+            let l = (word >> 20) & 1;
+            let rn = Reg::r(((word >> 16) & 0xf) as u8);
+            let regs = RegSet((word & 0xffff) as u16);
+            if regs.is_empty() {
+                return Err(DecodeError {
+                    word,
+                    reason: "ldm/stm with empty register list",
+                });
+            }
+            Ok(Instruction::Block {
+                cond,
+                op: if l == 1 { MemOp::Ldr } else { MemOp::Str },
+                rn,
+                writeback,
+                mode: BlockMode::from_pu_bits(p, u),
+                regs,
+            })
+        }
+        0b101 => {
+            let link = (word >> 24) & 1 == 1;
+            // Sign-extend the 24-bit offset.
+            let offset = ((word & 0x00ff_ffff) << 8) as i32 >> 8;
+            Ok(Instruction::Branch { cond, link, offset })
+        }
+        0b111 => {
+            if (word >> 24) & 0xf != 0xf {
+                return Err(DecodeError {
+                    word,
+                    reason: "coprocessor instructions are outside the subset",
+                });
+            }
+            Ok(Instruction::Swi {
+                cond,
+                imm: word & 0x00ff_ffff,
+            })
+        }
+        _ => Err(DecodeError {
+            word,
+            reason: "instruction class outside the subset",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Instruction as I;
+
+    fn round_trip(insn: I) {
+        let word = insn.encode().unwrap_or_else(|e| panic!("{insn}: {e}"));
+        let back = decode(word).unwrap_or_else(|e| panic!("{insn}: {e}"));
+        assert_eq!(back, insn, "word {word:#010x}");
+    }
+
+    #[test]
+    fn known_encodings() {
+        // Cross-checked against `arm-none-eabi-as` output.
+        assert_eq!(
+            I::dp_imm(DpOp::Add, Reg::r(4), Reg::r(2), 4).encode().unwrap(),
+            0xe282_4004
+        );
+        assert_eq!(
+            I::dp_reg(DpOp::Sub, Reg::r(2), Reg::r(2), Reg::r(3)).encode().unwrap(),
+            0xe042_2003
+        );
+        assert_eq!(I::mov_imm(Reg::r(0), 0).encode().unwrap(), 0xe3a0_0000);
+        assert_eq!(I::ret().encode().unwrap(), 0xe12f_ff1e);
+        assert_eq!(
+            I::ldr_imm(Reg::r(3), Reg::r(1), 0).encode().unwrap(),
+            0xe591_3000
+        );
+        // b . (offset -2 words)
+        assert_eq!(
+            I::Branch {
+                cond: Cond::Al,
+                link: false,
+                offset: -2
+            }
+            .encode()
+            .unwrap(),
+            0xeaff_fffe
+        );
+        // push {r4, lr} == stmdb sp!, {r4, lr}
+        let push = I::Block {
+            cond: Cond::Al,
+            op: MemOp::Str,
+            rn: Reg::SP,
+            writeback: true,
+            mode: BlockMode::Db,
+            regs: RegSet::of(&[Reg::r(4), Reg::LR]),
+        };
+        assert_eq!(push.encode().unwrap(), 0xe92d_4010);
+        // mul r0, r1, r2
+        let mul = I::Mul {
+            cond: Cond::Al,
+            set_flags: false,
+            rd: Reg::r(0),
+            rm: Reg::r(1),
+            rs: Reg::r(2),
+        };
+        assert_eq!(mul.encode().unwrap(), 0xe000_0291);
+    }
+
+    #[test]
+    fn round_trip_data_processing() {
+        for op in DpOp::ALL {
+            let insn = I::DataProc {
+                cond: Cond::Ne,
+                op,
+                set_flags: op.is_compare(),
+                rd: if op.is_compare() { Reg::r(0) } else { Reg::r(3) },
+                rn: if op.is_move() { Reg::r(0) } else { Reg::r(5) },
+                op2: Operand2::Imm(0xff),
+            };
+            round_trip(insn);
+        }
+    }
+
+    #[test]
+    fn round_trip_shifted_operands() {
+        for kind in [ShiftKind::Lsl, ShiftKind::Lsr, ShiftKind::Asr, ShiftKind::Ror] {
+            for amount in [1u8, 2, 17, 31] {
+                round_trip(I::DataProc {
+                    cond: Cond::Al,
+                    op: DpOp::Add,
+                    set_flags: false,
+                    rd: Reg::r(1),
+                    rn: Reg::r(2),
+                    op2: Operand2::RegShift(Reg::r(3), kind, amount),
+                });
+            }
+        }
+        // lsr/asr #32 are special-cased.
+        round_trip(I::DataProc {
+            cond: Cond::Al,
+            op: DpOp::Mov,
+            set_flags: false,
+            rd: Reg::r(1),
+            rn: Reg::r(0),
+            op2: Operand2::RegShift(Reg::r(3), ShiftKind::Lsr, 32),
+        });
+        round_trip(I::DataProc {
+            cond: Cond::Al,
+            op: DpOp::Mov,
+            set_flags: false,
+            rd: Reg::r(1),
+            rn: Reg::r(0),
+            op2: Operand2::RegShift(Reg::r(3), ShiftKind::Asr, 32),
+        });
+    }
+
+    #[test]
+    fn round_trip_memory() {
+        for mode in [
+            AddressMode::Offset,
+            AddressMode::PreIndexed,
+            AddressMode::PostIndexed,
+        ] {
+            for offset in [MemOffset::Imm(0), MemOffset::Imm(4), MemOffset::Imm(-8),
+                           MemOffset::Reg(Reg::r(6), false), MemOffset::Reg(Reg::r(6), true)] {
+                for (op, byte) in [(MemOp::Ldr, false), (MemOp::Str, true)] {
+                    round_trip(I::Mem {
+                        cond: Cond::Al,
+                        op,
+                        byte,
+                        rd: Reg::r(3),
+                        rn: Reg::r(1),
+                        offset,
+                        mode,
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_block_branch_misc() {
+        for mode in [BlockMode::Ia, BlockMode::Ib, BlockMode::Da, BlockMode::Db] {
+            round_trip(I::Block {
+                cond: Cond::Al,
+                op: MemOp::Ldr,
+                rn: Reg::SP,
+                writeback: true,
+                mode,
+                regs: RegSet::of(&[Reg::r(0), Reg::r(4), Reg::PC]),
+            });
+        }
+        for offset in [0, 1, -1, 12345, -12345, (1 << 23) - 1, -(1 << 23)] {
+            round_trip(I::Branch {
+                cond: Cond::Lt,
+                link: true,
+                offset,
+            });
+        }
+        round_trip(I::Bx {
+            cond: Cond::Eq,
+            rm: Reg::r(3),
+        });
+        round_trip(I::Swi {
+            cond: Cond::Al,
+            imm: 0x123456,
+        });
+        round_trip(I::Mla {
+            cond: Cond::Al,
+            set_flags: true,
+            rd: Reg::r(1),
+            rm: Reg::r(2),
+            rs: Reg::r(3),
+            rn: Reg::r(4),
+        });
+    }
+
+    #[test]
+    fn encode_errors() {
+        assert_eq!(
+            I::mov_imm(Reg::r(0), 0x101).encode(),
+            Err(EncodeError::UnencodableImm(0x101))
+        );
+        assert_eq!(
+            I::ldr_imm(Reg::r(0), Reg::r(1), 4096).encode(),
+            Err(EncodeError::OffsetOutOfRange(4096))
+        );
+        assert_eq!(
+            I::Branch {
+                cond: Cond::Al,
+                link: false,
+                offset: 1 << 23
+            }
+            .encode(),
+            Err(EncodeError::BranchOutOfRange(1 << 23))
+        );
+        assert_eq!(
+            I::Block {
+                cond: Cond::Al,
+                op: MemOp::Ldr,
+                rn: Reg::SP,
+                writeback: true,
+                mode: BlockMode::Ia,
+                regs: RegSet::EMPTY,
+            }
+            .encode(),
+            Err(EncodeError::EmptyRegisterList)
+        );
+        assert_eq!(
+            I::DataProc {
+                cond: Cond::Al,
+                op: DpOp::Add,
+                set_flags: false,
+                rd: Reg::r(0),
+                rn: Reg::r(0),
+                op2: Operand2::RegShift(Reg::r(1), ShiftKind::Lsl, 32),
+            }
+            .encode(),
+            Err(EncodeError::BadShiftAmount(ShiftKind::Lsl, 32))
+        );
+    }
+
+    #[test]
+    fn decode_errors() {
+        // Condition 0b1111.
+        assert!(decode(0xf000_0000).is_err());
+        // Register-shifted-by-register.
+        assert!(decode(0xe080_0110).is_err());
+        // Coprocessor space.
+        assert!(decode(0xee00_0000).is_err());
+        // MRS (compare op with S=0).
+        assert!(decode(0xe10f_0000).is_err());
+    }
+
+    #[test]
+    fn rotated_immediates() {
+        assert!(is_encodable_imm(0));
+        assert!(is_encodable_imm(255));
+        assert!(is_encodable_imm(0xff00_0000));
+        assert!(is_encodable_imm(0x0003_fc00));
+        assert!(!is_encodable_imm(0x0000_0101));
+        assert!(!is_encodable_imm(0xffff_ffff));
+        // Every encodable immediate round-trips through the shifter.
+        for rot in 0..16u32 {
+            for byte in [0u32, 1, 0x80, 0xff] {
+                let v = byte.rotate_right(rot * 2);
+                let (r, b) = encode_rotated_imm(v).unwrap();
+                assert_eq!(b.rotate_right(r * 2), v);
+            }
+        }
+    }
+}

@@ -1,0 +1,767 @@
+//! The structured instruction representation.
+
+use std::fmt;
+
+use crate::cond::Cond;
+use crate::reg::{Reg, RegSet};
+
+/// The sixteen ARM data-processing opcodes, in encoding order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum DpOp {
+    /// Bitwise AND.
+    And = 0,
+    /// Bitwise exclusive OR.
+    Eor = 1,
+    /// Subtract.
+    Sub = 2,
+    /// Reverse subtract (`rd = op2 - rn`).
+    Rsb = 3,
+    /// Add.
+    Add = 4,
+    /// Add with carry.
+    Adc = 5,
+    /// Subtract with carry.
+    Sbc = 6,
+    /// Reverse subtract with carry.
+    Rsc = 7,
+    /// Test bits (AND, flags only).
+    Tst = 8,
+    /// Test equivalence (EOR, flags only).
+    Teq = 9,
+    /// Compare (SUB, flags only).
+    Cmp = 10,
+    /// Compare negated (ADD, flags only).
+    Cmn = 11,
+    /// Bitwise OR.
+    Orr = 12,
+    /// Move.
+    Mov = 13,
+    /// Bit clear (`rd = rn & !op2`).
+    Bic = 14,
+    /// Move NOT.
+    Mvn = 15,
+}
+
+impl DpOp {
+    /// All opcodes in encoding order.
+    pub const ALL: [DpOp; 16] = [
+        DpOp::And,
+        DpOp::Eor,
+        DpOp::Sub,
+        DpOp::Rsb,
+        DpOp::Add,
+        DpOp::Adc,
+        DpOp::Sbc,
+        DpOp::Rsc,
+        DpOp::Tst,
+        DpOp::Teq,
+        DpOp::Cmp,
+        DpOp::Cmn,
+        DpOp::Orr,
+        DpOp::Mov,
+        DpOp::Bic,
+        DpOp::Mvn,
+    ];
+
+    /// The four-bit opcode field value.
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes from the four-bit opcode field.
+    pub fn from_bits(bits: u32) -> Option<DpOp> {
+        DpOp::ALL.get(bits as usize).copied()
+    }
+
+    /// Whether the opcode only sets flags and writes no destination register
+    /// (`tst`, `teq`, `cmp`, `cmn`).
+    pub fn is_compare(self) -> bool {
+        matches!(self, DpOp::Tst | DpOp::Teq | DpOp::Cmp | DpOp::Cmn)
+    }
+
+    /// Whether the opcode takes no first source operand (`mov`, `mvn`).
+    pub fn is_move(self) -> bool {
+        matches!(self, DpOp::Mov | DpOp::Mvn)
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            DpOp::And => "and",
+            DpOp::Eor => "eor",
+            DpOp::Sub => "sub",
+            DpOp::Rsb => "rsb",
+            DpOp::Add => "add",
+            DpOp::Adc => "adc",
+            DpOp::Sbc => "sbc",
+            DpOp::Rsc => "rsc",
+            DpOp::Tst => "tst",
+            DpOp::Teq => "teq",
+            DpOp::Cmp => "cmp",
+            DpOp::Cmn => "cmn",
+            DpOp::Orr => "orr",
+            DpOp::Mov => "mov",
+            DpOp::Bic => "bic",
+            DpOp::Mvn => "mvn",
+        }
+    }
+}
+
+impl fmt::Display for DpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A barrel-shifter operation applied to a register operand.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ShiftKind {
+    /// Logical shift left.
+    Lsl,
+    /// Logical shift right.
+    Lsr,
+    /// Arithmetic shift right.
+    Asr,
+    /// Rotate right.
+    Ror,
+}
+
+impl ShiftKind {
+    /// The two-bit shift field value.
+    pub fn bits(self) -> u32 {
+        match self {
+            ShiftKind::Lsl => 0,
+            ShiftKind::Lsr => 1,
+            ShiftKind::Asr => 2,
+            ShiftKind::Ror => 3,
+        }
+    }
+
+    /// Decodes from the two-bit shift field.
+    pub fn from_bits(bits: u32) -> Option<ShiftKind> {
+        match bits {
+            0 => Some(ShiftKind::Lsl),
+            1 => Some(ShiftKind::Lsr),
+            2 => Some(ShiftKind::Asr),
+            3 => Some(ShiftKind::Ror),
+            _ => None,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftKind::Lsl => "lsl",
+            ShiftKind::Lsr => "lsr",
+            ShiftKind::Asr => "asr",
+            ShiftKind::Ror => "ror",
+        }
+    }
+}
+
+impl fmt::Display for ShiftKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The flexible second operand of a data-processing instruction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Operand2 {
+    /// An immediate. Must be expressible as an 8-bit value rotated right by
+    /// an even amount (checked at encode time).
+    Imm(u32),
+    /// A plain register.
+    Reg(Reg),
+    /// A register shifted by an immediate amount (`1..=31` for `lsl`,
+    /// `1..=32` for the others; `lsr/asr #32` is encoded as shift field 0).
+    RegShift(Reg, ShiftKind, u8),
+}
+
+impl fmt::Display for Operand2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand2::Imm(v) => write!(f, "#{}", *v as i32),
+            Operand2::Reg(r) => write!(f, "{r}"),
+            Operand2::RegShift(r, k, n) => write!(f, "{r}, {k} #{n}"),
+        }
+    }
+}
+
+/// Load or store direction of a single data transfer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MemOp {
+    /// `ldr` / `ldrb`.
+    Ldr,
+    /// `str` / `strb`.
+    Str,
+}
+
+/// The offset part of a single-data-transfer address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MemOffset {
+    /// A signed immediate offset; magnitude must fit in 12 bits.
+    Imm(i32),
+    /// A register offset; `true` means subtract.
+    Reg(Reg, bool),
+}
+
+impl MemOffset {
+    /// Whether the offset is the immediate zero.
+    pub fn is_zero(self) -> bool {
+        matches!(self, MemOffset::Imm(0))
+    }
+}
+
+/// How the base register and offset combine in a single data transfer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AddressMode {
+    /// `[rn, off]` — offset addressing, base unchanged.
+    Offset,
+    /// `[rn, off]!` — pre-indexed: address is `rn + off`, then written back.
+    PreIndexed,
+    /// `[rn], off` — post-indexed: address is `rn`, then `rn += off`.
+    PostIndexed,
+}
+
+impl AddressMode {
+    /// Whether the base register is written back.
+    pub fn writes_back(self) -> bool {
+        !matches!(self, AddressMode::Offset)
+    }
+}
+
+/// Direction/ordering mode of a load/store-multiple instruction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BlockMode {
+    /// Increment after (`ia`) — `pop` is `ldmia sp!`.
+    Ia,
+    /// Increment before (`ib`).
+    Ib,
+    /// Decrement after (`da`).
+    Da,
+    /// Decrement before (`db`) — `push` is `stmdb sp!`.
+    Db,
+}
+
+impl BlockMode {
+    /// The (P, U) bit pair of the encoding.
+    pub fn pu_bits(self) -> (u32, u32) {
+        match self {
+            BlockMode::Ia => (0, 1),
+            BlockMode::Ib => (1, 1),
+            BlockMode::Da => (0, 0),
+            BlockMode::Db => (1, 0),
+        }
+    }
+
+    /// Decodes from the (P, U) bit pair.
+    pub fn from_pu_bits(p: u32, u: u32) -> BlockMode {
+        match (p, u) {
+            (0, 1) => BlockMode::Ia,
+            (1, 1) => BlockMode::Ib,
+            (0, 0) => BlockMode::Da,
+            _ => BlockMode::Db,
+        }
+    }
+
+    /// The assembly suffix.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            BlockMode::Ia => "ia",
+            BlockMode::Ib => "ib",
+            BlockMode::Da => "da",
+            BlockMode::Db => "db",
+        }
+    }
+}
+
+/// A single instruction of the supported ARM subset.
+///
+/// Branch targets are stored as the raw signed *word* offset of the encoding
+/// (relative to the address of the branch plus 8); the control-flow layer
+/// converts them to and from labels.
+///
+/// # Examples
+///
+/// ```
+/// use gpa_arm::{Instruction, DpOp, Operand2, Reg, Cond};
+///
+/// let insn = Instruction::DataProc {
+///     cond: Cond::Al,
+///     op: DpOp::Add,
+///     set_flags: false,
+///     rd: Reg::r(4),
+///     rn: Reg::r(2),
+///     op2: Operand2::Imm(4),
+/// };
+/// assert_eq!(insn.to_string(), "add r4, r2, #4");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Instruction {
+    /// A data-processing instruction (`add`, `sub`, `mov`, `cmp`, …).
+    DataProc {
+        /// Condition code.
+        cond: Cond,
+        /// Opcode.
+        op: DpOp,
+        /// Whether the instruction updates the condition flags (`s` suffix).
+        /// Always `true` for the compare opcodes.
+        set_flags: bool,
+        /// Destination register (ignored for compares; by convention `r0`).
+        rd: Reg,
+        /// First operand register (ignored for moves; by convention `r0`).
+        rn: Reg,
+        /// Flexible second operand.
+        op2: Operand2,
+    },
+    /// 32-bit multiply `mul rd, rm, rs`.
+    Mul {
+        /// Condition code.
+        cond: Cond,
+        /// Whether the instruction updates the condition flags.
+        set_flags: bool,
+        /// Destination register.
+        rd: Reg,
+        /// First factor.
+        rm: Reg,
+        /// Second factor.
+        rs: Reg,
+    },
+    /// Multiply-accumulate `mla rd, rm, rs, rn` (`rd = rm * rs + rn`).
+    Mla {
+        /// Condition code.
+        cond: Cond,
+        /// Whether the instruction updates the condition flags.
+        set_flags: bool,
+        /// Destination register.
+        rd: Reg,
+        /// First factor.
+        rm: Reg,
+        /// Second factor.
+        rs: Reg,
+        /// Addend.
+        rn: Reg,
+    },
+    /// A single data transfer (`ldr`, `str`, `ldrb`, `strb`).
+    Mem {
+        /// Condition code.
+        cond: Cond,
+        /// Load or store.
+        op: MemOp,
+        /// Byte (`true`) or word (`false`) transfer.
+        byte: bool,
+        /// Transferred register.
+        rd: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Offset.
+        offset: MemOffset,
+        /// Offset/pre/post indexing.
+        mode: AddressMode,
+    },
+    /// Load/store multiple (`ldm*`, `stm*`); covers `push`/`pop`.
+    Block {
+        /// Condition code.
+        cond: Cond,
+        /// Load (`ldm`) or store (`stm`).
+        op: MemOp,
+        /// Base register.
+        rn: Reg,
+        /// Whether the base is written back (`!`).
+        writeback: bool,
+        /// Increment/decrement before/after.
+        mode: BlockMode,
+        /// The transferred register list.
+        regs: RegSet,
+    },
+    /// A branch (`b`) or branch-with-link (`bl`).
+    Branch {
+        /// Condition code.
+        cond: Cond,
+        /// Whether the link register is set (`bl`).
+        link: bool,
+        /// Signed word offset relative to this instruction's address + 8.
+        offset: i32,
+    },
+    /// Branch-and-exchange `bx rm`; `bx lr` is the subset's return idiom.
+    Bx {
+        /// Condition code.
+        cond: Cond,
+        /// Target address register.
+        rm: Reg,
+    },
+    /// Software interrupt — the emulator's system-call gate.
+    Swi {
+        /// Condition code.
+        cond: Cond,
+        /// 24-bit comment field selecting the service.
+        imm: u32,
+    },
+}
+
+impl Instruction {
+    /// The condition code of any instruction.
+    pub fn cond(&self) -> Cond {
+        match *self {
+            Instruction::DataProc { cond, .. }
+            | Instruction::Mul { cond, .. }
+            | Instruction::Mla { cond, .. }
+            | Instruction::Mem { cond, .. }
+            | Instruction::Block { cond, .. }
+            | Instruction::Branch { cond, .. }
+            | Instruction::Bx { cond, .. }
+            | Instruction::Swi { cond, .. } => cond,
+        }
+    }
+
+    /// Whether this instruction can transfer control: branches, `bx`, and
+    /// anything that writes the program counter.
+    pub fn is_control_flow(&self) -> bool {
+        match self {
+            Instruction::Branch { .. } | Instruction::Bx { .. } | Instruction::Swi { .. } => true,
+            _ => self.effects().defs.contains(Reg::PC),
+        }
+    }
+
+    /// Whether this is an *unconditional* control transfer after which
+    /// execution never falls through (`b`, `bx`, or a pc-writing pop).
+    pub fn ends_block(&self) -> bool {
+        match self {
+            Instruction::Branch { cond, link, .. } => cond.is_always() && !link,
+            Instruction::Bx { cond, .. } => cond.is_always(),
+            _ => self.cond().is_always() && self.effects().defs.contains(Reg::PC),
+        }
+    }
+
+    /// Convenience constructor: `mov rd, #imm`.
+    pub fn mov_imm(rd: Reg, imm: u32) -> Instruction {
+        Instruction::DataProc {
+            cond: Cond::Al,
+            op: DpOp::Mov,
+            set_flags: false,
+            rd,
+            rn: Reg::r(0),
+            op2: Operand2::Imm(imm),
+        }
+    }
+
+    /// Convenience constructor: `mov rd, rm`.
+    pub fn mov_reg(rd: Reg, rm: Reg) -> Instruction {
+        Instruction::DataProc {
+            cond: Cond::Al,
+            op: DpOp::Mov,
+            set_flags: false,
+            rd,
+            rn: Reg::r(0),
+            op2: Operand2::Reg(rm),
+        }
+    }
+
+    /// Convenience constructor: a three-register data-processing instruction.
+    pub fn dp_reg(op: DpOp, rd: Reg, rn: Reg, rm: Reg) -> Instruction {
+        Instruction::DataProc {
+            cond: Cond::Al,
+            op,
+            set_flags: false,
+            rd,
+            rn,
+            op2: Operand2::Reg(rm),
+        }
+    }
+
+    /// Convenience constructor: a register-immediate data-processing
+    /// instruction.
+    pub fn dp_imm(op: DpOp, rd: Reg, rn: Reg, imm: u32) -> Instruction {
+        Instruction::DataProc {
+            cond: Cond::Al,
+            op,
+            set_flags: false,
+            rd,
+            rn,
+            op2: Operand2::Imm(imm),
+        }
+    }
+
+    /// Convenience constructor: `ldr rd, [rn, #off]`.
+    pub fn ldr_imm(rd: Reg, rn: Reg, off: i32) -> Instruction {
+        Instruction::Mem {
+            cond: Cond::Al,
+            op: MemOp::Ldr,
+            byte: false,
+            rd,
+            rn,
+            offset: MemOffset::Imm(off),
+            mode: AddressMode::Offset,
+        }
+    }
+
+    /// Convenience constructor: `str rd, [rn, #off]`.
+    pub fn str_imm(rd: Reg, rn: Reg, off: i32) -> Instruction {
+        Instruction::Mem {
+            cond: Cond::Al,
+            op: MemOp::Str,
+            byte: false,
+            rd,
+            rn,
+            offset: MemOffset::Imm(off),
+            mode: AddressMode::Offset,
+        }
+    }
+
+    /// Convenience constructor: the return idiom `bx lr`.
+    pub fn ret() -> Instruction {
+        Instruction::Bx {
+            cond: Cond::Al,
+            rm: Reg::LR,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::DataProc {
+                cond,
+                op,
+                set_flags,
+                rd,
+                rn,
+                op2,
+            } => {
+                let s = if set_flags && !op.is_compare() { "s" } else { "" };
+                if op.is_compare() {
+                    write!(f, "{op}{cond} {rn}, {op2}")
+                } else if op.is_move() {
+                    write!(f, "{op}{cond}{s} {rd}, {op2}")
+                } else {
+                    write!(f, "{op}{cond}{s} {rd}, {rn}, {op2}")
+                }
+            }
+            Instruction::Mul {
+                cond,
+                set_flags,
+                rd,
+                rm,
+                rs,
+            } => {
+                let s = if set_flags { "s" } else { "" };
+                write!(f, "mul{cond}{s} {rd}, {rm}, {rs}")
+            }
+            Instruction::Mla {
+                cond,
+                set_flags,
+                rd,
+                rm,
+                rs,
+                rn,
+            } => {
+                let s = if set_flags { "s" } else { "" };
+                write!(f, "mla{cond}{s} {rd}, {rm}, {rs}, {rn}")
+            }
+            Instruction::Mem {
+                cond,
+                op,
+                byte,
+                rd,
+                rn,
+                offset,
+                mode,
+            } => {
+                let name = match op {
+                    MemOp::Ldr => "ldr",
+                    MemOp::Str => "str",
+                };
+                let b = if byte { "b" } else { "" };
+                write!(f, "{name}{cond}{b} {rd}, ")?;
+                let off = |f: &mut fmt::Formatter<'_>| match offset {
+                    MemOffset::Imm(v) => write!(f, ", #{v}"),
+                    MemOffset::Reg(r, false) => write!(f, ", {r}"),
+                    MemOffset::Reg(r, true) => write!(f, ", -{r}"),
+                };
+                match mode {
+                    AddressMode::Offset => {
+                        if offset.is_zero() {
+                            write!(f, "[{rn}]")
+                        } else {
+                            write!(f, "[{rn}")?;
+                            off(f)?;
+                            write!(f, "]")
+                        }
+                    }
+                    AddressMode::PreIndexed => {
+                        if offset.is_zero() {
+                            write!(f, "[{rn}]!")
+                        } else {
+                            write!(f, "[{rn}")?;
+                            off(f)?;
+                            write!(f, "]!")
+                        }
+                    }
+                    AddressMode::PostIndexed => {
+                        write!(f, "[{rn}]")?;
+                        off(f)
+                    }
+                }
+            }
+            Instruction::Block {
+                cond,
+                op,
+                rn,
+                writeback,
+                mode,
+                regs,
+            } => {
+                let name = match op {
+                    MemOp::Ldr => "ldm",
+                    MemOp::Str => "stm",
+                };
+                let wb = if writeback { "!" } else { "" };
+                write!(f, "{name}{cond}{} {rn}{wb}, {regs}", mode.suffix())
+            }
+            Instruction::Branch { cond, link, offset } => {
+                let l = if link { "l" } else { "" };
+                write!(f, "b{l}{cond} {:+}", offset * 4 + 8)
+            }
+            Instruction::Bx { cond, rm } => write!(f, "bx{cond} {rm}"),
+            Instruction::Swi { cond, imm } => write!(f, "swi{cond} #{imm}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_data_processing() {
+        assert_eq!(
+            Instruction::dp_imm(DpOp::Add, Reg::r(4), Reg::r(2), 4).to_string(),
+            "add r4, r2, #4"
+        );
+        assert_eq!(
+            Instruction::dp_reg(DpOp::Sub, Reg::r(2), Reg::r(2), Reg::r(3)).to_string(),
+            "sub r2, r2, r3"
+        );
+        assert_eq!(Instruction::mov_imm(Reg::r(0), 1).to_string(), "mov r0, #1");
+        let cmp = Instruction::DataProc {
+            cond: Cond::Al,
+            op: DpOp::Cmp,
+            set_flags: true,
+            rd: Reg::r(0),
+            rn: Reg::r(1),
+            op2: Operand2::Imm(0),
+        };
+        assert_eq!(cmp.to_string(), "cmp r1, #0");
+        let adds = Instruction::DataProc {
+            cond: Cond::Eq,
+            op: DpOp::Add,
+            set_flags: true,
+            rd: Reg::r(1),
+            rn: Reg::r(1),
+            op2: Operand2::RegShift(Reg::r(2), ShiftKind::Lsl, 2),
+        };
+        assert_eq!(adds.to_string(), "addeqs r1, r1, r2, lsl #2");
+    }
+
+    #[test]
+    fn display_memory() {
+        assert_eq!(
+            Instruction::ldr_imm(Reg::r(3), Reg::r(1), 0).to_string(),
+            "ldr r3, [r1]"
+        );
+        assert_eq!(
+            Instruction::ldr_imm(Reg::r(3), Reg::r(1), 8).to_string(),
+            "ldr r3, [r1, #8]"
+        );
+        let post = Instruction::Mem {
+            cond: Cond::Al,
+            op: MemOp::Ldr,
+            byte: false,
+            rd: Reg::r(3),
+            rn: Reg::r(1),
+            offset: MemOffset::Imm(4),
+            mode: AddressMode::PostIndexed,
+        };
+        assert_eq!(post.to_string(), "ldr r3, [r1], #4");
+        let pre = Instruction::Mem {
+            cond: Cond::Al,
+            op: MemOp::Ldr,
+            byte: false,
+            rd: Reg::r(3),
+            rn: Reg::r(1),
+            offset: MemOffset::Imm(0),
+            mode: AddressMode::PreIndexed,
+        };
+        assert_eq!(pre.to_string(), "ldr r3, [r1]!");
+        let regoff = Instruction::Mem {
+            cond: Cond::Al,
+            op: MemOp::Str,
+            byte: true,
+            rd: Reg::r(0),
+            rn: Reg::r(5),
+            offset: MemOffset::Reg(Reg::r(6), true),
+            mode: AddressMode::Offset,
+        };
+        assert_eq!(regoff.to_string(), "strb r0, [r5, -r6]");
+    }
+
+    #[test]
+    fn display_block_and_branch() {
+        let push = Instruction::Block {
+            cond: Cond::Al,
+            op: MemOp::Str,
+            rn: Reg::SP,
+            writeback: true,
+            mode: BlockMode::Db,
+            regs: RegSet::of(&[Reg::r(4), Reg::LR]),
+        };
+        assert_eq!(push.to_string(), "stmdb sp!, {r4, lr}");
+        assert_eq!(Instruction::ret().to_string(), "bx lr");
+        let b = Instruction::Branch {
+            cond: Cond::Ne,
+            link: false,
+            offset: -3,
+        };
+        assert_eq!(b.to_string(), "bne -4");
+        let swi = Instruction::Swi {
+            cond: Cond::Al,
+            imm: 7,
+        };
+        assert_eq!(swi.to_string(), "swi #7");
+    }
+
+    #[test]
+    fn ends_block() {
+        assert!(Instruction::ret().ends_block());
+        assert!(Instruction::Branch {
+            cond: Cond::Al,
+            link: false,
+            offset: 0
+        }
+        .ends_block());
+        assert!(!Instruction::Branch {
+            cond: Cond::Eq,
+            link: false,
+            offset: 0
+        }
+        .ends_block());
+        assert!(!Instruction::Branch {
+            cond: Cond::Al,
+            link: true,
+            offset: 0
+        }
+        .ends_block());
+        // pop {pc} ends a block.
+        let pop_pc = Instruction::Block {
+            cond: Cond::Al,
+            op: MemOp::Ldr,
+            rn: Reg::SP,
+            writeback: true,
+            mode: BlockMode::Ia,
+            regs: RegSet::of(&[Reg::r(4), Reg::PC]),
+        };
+        assert!(pop_pc.ends_block());
+    }
+}

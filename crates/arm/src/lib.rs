@@ -1,0 +1,48 @@
+//! ARM-subset instruction-set model used throughout the graph-based
+//! procedural-abstraction (PA) toolchain.
+//!
+//! This crate models the part of the ARM32 (ARMv4) instruction set that the
+//! rest of the workspace needs: data-processing instructions, single data
+//! transfers with pre/post-indexed writeback, load/store multiple, branches,
+//! multiplies and software interrupts. Encodings are the *real* ARM32 bit
+//! patterns, so [`encode`](Instruction::encode) / [`decode`] round-trip
+//! through genuine machine words.
+//!
+//! The crate provides four views of an instruction:
+//!
+//! * the structured [`Instruction`] value itself,
+//! * its 32-bit encoding ([`Instruction::encode`], [`decode`]),
+//! * its textual assembly form ([`std::fmt::Display`] and the
+//!   [`parse`] module), and
+//! * its dependence interface ([`Effects`]) — which registers / memory /
+//!   flags it reads and writes — which is what data-flow-graph construction,
+//!   liveness analysis and the emulator consume.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpa_arm::{Instruction, decode};
+//!
+//! let insn: Instruction = "add r4, r2, #4".parse()?;
+//! let word = insn.encode()?;
+//! assert_eq!(decode(word)?, insn);
+//! assert_eq!(insn.to_string(), "add r4, r2, #4");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cond;
+pub mod defuse;
+pub mod encode;
+pub mod insn;
+pub mod parse;
+pub mod reg;
+
+pub use cond::Cond;
+pub use defuse::Effects;
+pub use encode::{decode, encode_rotated_imm, DecodeError, EncodeError};
+pub use insn::{
+    AddressMode, BlockMode, DpOp, Instruction, MemOffset, MemOp, Operand2, ShiftKind,
+};
+pub use reg::Reg;

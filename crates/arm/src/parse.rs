@@ -1,0 +1,592 @@
+//! A small assembler: parsing of textual assembly into [`Instruction`]s.
+//!
+//! The accepted syntax is exactly what [`Instruction`]'s `Display`
+//! implementation prints (plus the usual aliases `push`/`pop`, `hs`/`lo`),
+//! so `to_string` and `parse` round-trip. Used by tests, examples and the
+//! hand-assembled fixtures.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::cond::Cond;
+use crate::insn::{
+    AddressMode, BlockMode, DpOp, Instruction, MemOffset, MemOp, Operand2, ShiftKind,
+};
+use crate::reg::{Reg, RegSet};
+
+/// Error returned when a line of assembly cannot be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseInstructionError {
+    line: String,
+    reason: String,
+}
+
+impl ParseInstructionError {
+    fn new(line: &str, reason: impl Into<String>) -> Self {
+        ParseInstructionError {
+            line: line.to_owned(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseInstructionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse `{}`: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseInstructionError {}
+
+/// Splits an operand list on top-level commas, respecting `[...]`, `{...}`.
+fn split_operands(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '[' | '{' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | '}' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(cur.trim().to_owned());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_owned());
+    }
+    parts
+}
+
+fn parse_imm(s: &str, line: &str) -> Result<i64, ParseInstructionError> {
+    let body = s
+        .strip_prefix('#')
+        .ok_or_else(|| ParseInstructionError::new(line, format!("expected immediate, got `{s}`")))?;
+    let (neg, digits) = match body.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, body),
+    };
+    let value = if let Some(hex) = digits.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        digits.parse::<i64>()
+    }
+    .map_err(|_| ParseInstructionError::new(line, format!("bad immediate `{s}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_reg(s: &str, line: &str) -> Result<Reg, ParseInstructionError> {
+    s.parse::<Reg>()
+        .map_err(|e| ParseInstructionError::new(line, e.to_string()))
+}
+
+/// Parses suffix text as `[cond][s-flag]`, e.g. `""`, `"s"`, `"eq"`, `"eqs"`.
+fn parse_cond_s(suffix: &str) -> Option<(Cond, bool)> {
+    if suffix.is_empty() {
+        return Some((Cond::Al, false));
+    }
+    if suffix == "s" {
+        return Some((Cond::Al, true));
+    }
+    if let Ok(cond) = suffix.parse::<Cond>() {
+        return Some((cond, false));
+    }
+    suffix
+        .strip_suffix('s')
+        .and_then(|c| c.parse::<Cond>().ok())
+        .map(|cond| (cond, true))
+}
+
+fn parse_op2(parts: &[String], line: &str) -> Result<Operand2, ParseInstructionError> {
+    match parts {
+        [one] => {
+            if one.starts_with('#') {
+                let v = parse_imm(one, line)?;
+                Ok(Operand2::Imm(v as u32))
+            } else {
+                Ok(Operand2::Reg(parse_reg(one, line)?))
+            }
+        }
+        [reg, shift] => {
+            let rm = parse_reg(reg, line)?;
+            let (kind_str, amount_str) = shift
+                .split_once(' ')
+                .ok_or_else(|| ParseInstructionError::new(line, "malformed shift"))?;
+            let kind = match kind_str.trim() {
+                "lsl" => ShiftKind::Lsl,
+                "lsr" => ShiftKind::Lsr,
+                "asr" => ShiftKind::Asr,
+                "ror" => ShiftKind::Ror,
+                other => {
+                    return Err(ParseInstructionError::new(
+                        line,
+                        format!("unknown shift `{other}`"),
+                    ))
+                }
+            };
+            let amount = parse_imm(amount_str.trim(), line)?;
+            Ok(Operand2::RegShift(rm, kind, amount as u8))
+        }
+        _ => Err(ParseInstructionError::new(line, "malformed operand2")),
+    }
+}
+
+/// Parses an addressing operand: `[rn]`, `[rn, #imm]`, `[rn, rm]`,
+/// `[rn, -rm]`, with optional `!`, or the post-indexed split form handled by
+/// the caller.
+fn parse_address(
+    addr: &str,
+    post: Option<&str>,
+    line: &str,
+) -> Result<(Reg, MemOffset, AddressMode), ParseInstructionError> {
+    let (inner, writeback) = match addr.strip_suffix('!') {
+        Some(rest) => (rest, true),
+        None => (addr, false),
+    };
+    let inner = inner
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| ParseInstructionError::new(line, "expected [..] address"))?;
+    let parts = split_operands(inner);
+    let parse_off = |s: &str| -> Result<MemOffset, ParseInstructionError> {
+        if s.starts_with('#') {
+            Ok(MemOffset::Imm(parse_imm(s, line)? as i32))
+        } else if let Some(neg) = s.strip_prefix('-') {
+            Ok(MemOffset::Reg(parse_reg(neg, line)?, true))
+        } else {
+            Ok(MemOffset::Reg(parse_reg(s, line)?, false))
+        }
+    };
+    match (parts.as_slice(), post) {
+        ([rn], None) => {
+            let rn = parse_reg(rn, line)?;
+            let mode = if writeback {
+                AddressMode::PreIndexed
+            } else {
+                AddressMode::Offset
+            };
+            Ok((rn, MemOffset::Imm(0), mode))
+        }
+        ([rn], Some(off)) => {
+            if writeback {
+                return Err(ParseInstructionError::new(line, "post-index with `!`"));
+            }
+            Ok((parse_reg(rn, line)?, parse_off(off)?, AddressMode::PostIndexed))
+        }
+        ([rn, off], None) => {
+            let mode = if writeback {
+                AddressMode::PreIndexed
+            } else {
+                AddressMode::Offset
+            };
+            Ok((parse_reg(rn, line)?, parse_off(off)?, mode))
+        }
+        _ => Err(ParseInstructionError::new(line, "malformed address")),
+    }
+}
+
+fn parse_reglist(s: &str, line: &str) -> Result<RegSet, ParseInstructionError> {
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|x| x.strip_suffix('}'))
+        .ok_or_else(|| ParseInstructionError::new(line, "expected {..} register list"))?;
+    let mut set = RegSet::EMPTY;
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = item.split_once('-') {
+            let lo = parse_reg(lo.trim(), line)?;
+            let hi = parse_reg(hi.trim(), line)?;
+            if lo > hi {
+                return Err(ParseInstructionError::new(line, "descending register range"));
+            }
+            for n in lo.number()..=hi.number() {
+                set.insert(Reg::r(n));
+            }
+        } else {
+            set.insert(parse_reg(item, line)?);
+        }
+    }
+    Ok(set)
+}
+
+impl FromStr for Instruction {
+    type Err = ParseInstructionError;
+
+    fn from_str(line: &str) -> Result<Self, Self::Err> {
+        let trimmed = line.trim();
+        let (mnemonic, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (trimmed, ""),
+        };
+        let ops = split_operands(rest);
+        let err = |reason: &str| ParseInstructionError::new(line, reason);
+
+        // Fixed-name instructions first.
+        if let Some(suffix) = mnemonic.strip_prefix("bx") {
+            let cond = suffix.parse::<Cond>().map_err(|e| err(&e.to_string()))?;
+            let [rm] = ops.as_slice() else {
+                return Err(err("bx takes one register"));
+            };
+            return Ok(Instruction::Bx {
+                cond,
+                rm: parse_reg(rm, line)?,
+            });
+        }
+        if let Some(suffix) = mnemonic.strip_prefix("swi") {
+            let cond = suffix.parse::<Cond>().map_err(|e| err(&e.to_string()))?;
+            let [imm] = ops.as_slice() else {
+                return Err(err("swi takes one immediate"));
+            };
+            return Ok(Instruction::Swi {
+                cond,
+                imm: parse_imm(imm, line)? as u32,
+            });
+        }
+        // push/pop aliases.
+        if let Some(suffix) = mnemonic.strip_prefix("push") {
+            let cond = suffix.parse::<Cond>().map_err(|e| err(&e.to_string()))?;
+            let [list] = ops.as_slice() else {
+                return Err(err("push takes a register list"));
+            };
+            return Ok(Instruction::Block {
+                cond,
+                op: MemOp::Str,
+                rn: Reg::SP,
+                writeback: true,
+                mode: BlockMode::Db,
+                regs: parse_reglist(list, line)?,
+            });
+        }
+        if let Some(suffix) = mnemonic.strip_prefix("pop") {
+            let cond = suffix.parse::<Cond>().map_err(|e| err(&e.to_string()))?;
+            let [list] = ops.as_slice() else {
+                return Err(err("pop takes a register list"));
+            };
+            return Ok(Instruction::Block {
+                cond,
+                op: MemOp::Ldr,
+                rn: Reg::SP,
+                writeback: true,
+                mode: BlockMode::Ia,
+                regs: parse_reglist(list, line)?,
+            });
+        }
+        // ldm/stm with cond then mode suffix, e.g. `ldmia`, `stmeqdb`.
+        if mnemonic.starts_with("ldm") || mnemonic.starts_with("stm") {
+            let op = if mnemonic.starts_with("ldm") {
+                MemOp::Ldr
+            } else {
+                MemOp::Str
+            };
+            let suffix = &mnemonic[3..];
+            let (cond_str, mode_str) = if suffix.len() == 4 {
+                (&suffix[..2], &suffix[2..])
+            } else {
+                ("", suffix)
+            };
+            let cond = cond_str.parse::<Cond>().map_err(|e| err(&e.to_string()))?;
+            let mode = match mode_str {
+                "ia" => BlockMode::Ia,
+                "ib" => BlockMode::Ib,
+                "da" => BlockMode::Da,
+                "db" => BlockMode::Db,
+                _ => return Err(err("unknown ldm/stm mode")),
+            };
+            let [base, list] = ops.as_slice() else {
+                return Err(err("ldm/stm takes base and register list"));
+            };
+            let (base, writeback) = match base.strip_suffix('!') {
+                Some(b) => (b, true),
+                None => (base.as_str(), false),
+            };
+            return Ok(Instruction::Block {
+                cond,
+                op,
+                rn: parse_reg(base, line)?,
+                writeback,
+                mode,
+                regs: parse_reglist(list, line)?,
+            });
+        }
+        // ldr/str with cond then optional byte suffix.
+        if mnemonic.starts_with("ldr") || mnemonic.starts_with("str") {
+            let op = if mnemonic.starts_with("ldr") {
+                MemOp::Ldr
+            } else {
+                MemOp::Str
+            };
+            let suffix = &mnemonic[3..];
+            let (cond_b, byte) = match suffix.strip_suffix('b') {
+                Some(c) => (c, true),
+                None => (suffix, false),
+            };
+            let cond = cond_b.parse::<Cond>().map_err(|e| err(&e.to_string()))?;
+            let (rd, addr, post) = match ops.as_slice() {
+                [rd, addr] => (rd, addr, None),
+                [rd, addr, post] => (rd, addr, Some(post.as_str())),
+                _ => return Err(err("ldr/str takes a register and an address")),
+            };
+            let (rn, offset, mode) = parse_address(addr, post, line)?;
+            return Ok(Instruction::Mem {
+                cond,
+                op,
+                byte,
+                rd: parse_reg(rd, line)?,
+                rn,
+                offset,
+                mode,
+            });
+        }
+        // mul / mla.
+        if let Some(suffix) = mnemonic.strip_prefix("mul") {
+            let (cond, set_flags) = parse_cond_s(suffix).ok_or_else(|| err("bad mul suffix"))?;
+            let [rd, rm, rs] = ops.as_slice() else {
+                return Err(err("mul takes three registers"));
+            };
+            return Ok(Instruction::Mul {
+                cond,
+                set_flags,
+                rd: parse_reg(rd, line)?,
+                rm: parse_reg(rm, line)?,
+                rs: parse_reg(rs, line)?,
+            });
+        }
+        if let Some(suffix) = mnemonic.strip_prefix("mla") {
+            let (cond, set_flags) = parse_cond_s(suffix).ok_or_else(|| err("bad mla suffix"))?;
+            let [rd, rm, rs, rn] = ops.as_slice() else {
+                return Err(err("mla takes four registers"));
+            };
+            return Ok(Instruction::Mla {
+                cond,
+                set_flags,
+                rd: parse_reg(rd, line)?,
+                rm: parse_reg(rm, line)?,
+                rs: parse_reg(rs, line)?,
+                rn: parse_reg(rn, line)?,
+            });
+        }
+        // Branches: `bl<cond>` before `b<cond>`. `bic` is claimed by the
+        // data-processing loop below, and never reaches here because "ic" is
+        // not a condition.
+        if let Some(suffix) = mnemonic.strip_prefix("bl") {
+            if let Ok(cond) = suffix.parse::<Cond>() {
+                let [target] = ops.as_slice() else {
+                    return Err(err("branch takes one offset"));
+                };
+                let disp: i64 = target
+                    .parse()
+                    .map_err(|_| err("branch target must be a byte displacement"))?;
+                return Ok(Instruction::Branch {
+                    cond,
+                    link: true,
+                    offset: ((disp - 8) / 4) as i32,
+                });
+            }
+        }
+        if let Some(suffix) = mnemonic.strip_prefix('b') {
+            if let Ok(cond) = suffix.parse::<Cond>() {
+                let [target] = ops.as_slice() else {
+                    return Err(err("branch takes one offset"));
+                };
+                let disp: i64 = target
+                    .parse()
+                    .map_err(|_| err("branch target must be a byte displacement"))?;
+                return Ok(Instruction::Branch {
+                    cond,
+                    link: false,
+                    offset: ((disp - 8) / 4) as i32,
+                });
+            }
+        }
+        // Data-processing instructions.
+        for op in DpOp::ALL {
+            let Some(suffix) = mnemonic.strip_prefix(op.mnemonic()) else {
+                continue;
+            };
+            let Some((cond, mut set_flags)) = parse_cond_s(suffix) else {
+                continue;
+            };
+            if op.is_compare() {
+                if set_flags {
+                    return Err(err("compare instructions take no `s` suffix"));
+                }
+                set_flags = true;
+                let [rn, rest @ ..] = ops.as_slice() else {
+                    return Err(err("compare takes two operands"));
+                };
+                return Ok(Instruction::DataProc {
+                    cond,
+                    op,
+                    set_flags,
+                    rd: Reg::r(0),
+                    rn: parse_reg(rn, line)?,
+                    op2: parse_op2(rest, line)?,
+                });
+            }
+            if op.is_move() {
+                let [rd, rest @ ..] = ops.as_slice() else {
+                    return Err(err("move takes two operands"));
+                };
+                return Ok(Instruction::DataProc {
+                    cond,
+                    op,
+                    set_flags,
+                    rd: parse_reg(rd, line)?,
+                    rn: Reg::r(0),
+                    op2: parse_op2(rest, line)?,
+                });
+            }
+            let [rd, rn, rest @ ..] = ops.as_slice() else {
+                return Err(err("expected three operands"));
+            };
+            return Ok(Instruction::DataProc {
+                cond,
+                op,
+                set_flags,
+                rd: parse_reg(rd, line)?,
+                rn: parse_reg(rn, line)?,
+                op2: parse_op2(rest, line)?,
+            });
+        }
+        Err(err("unknown mnemonic"))
+    }
+}
+
+/// Parses a multi-line assembly listing; blank lines and `@` / `;` comments
+/// are skipped.
+///
+/// # Errors
+///
+/// Returns the first line that fails to parse.
+///
+/// # Examples
+///
+/// ```
+/// let block = gpa_arm::parse::parse_listing(
+///     "ldr r3, [r1], #4\n sub r2, r2, r3 @ comment\n\n add r4, r2, #4",
+/// )?;
+/// assert_eq!(block.len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_listing(text: &str) -> Result<Vec<Instruction>, ParseInstructionError> {
+    let mut out = Vec::new();
+    for raw in text.lines() {
+        let line = match raw.find(['@', ';']) {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(line.parse()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    /// Every display form parses back to the same instruction.
+    fn round_trip(text: &str) {
+        let insn: Instruction = text.parse().unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(insn.to_string(), text);
+        let again: Instruction = insn.to_string().parse().unwrap();
+        assert_eq!(again, insn);
+    }
+
+    #[test]
+    fn parses_paper_example() {
+        // The running example from Fig. 1 of the paper.
+        let block = parse_listing(
+            "ldr r3, [r1]!\n\
+             sub r2, r2, r3\n\
+             add r4, r2, #4\n\
+             ldr r3, [r1]!\n\
+             sub r2, r2, r3\n\
+             ldr r3, [r1]!\n\
+             add r4, r2, #4",
+        )
+        .unwrap();
+        assert_eq!(block.len(), 7);
+        assert_eq!(block[1], block[4]);
+        assert_eq!(block[2], block[6]);
+    }
+
+    #[test]
+    fn display_parse_round_trips() {
+        for text in [
+            "add r4, r2, #4",
+            "subs r2, r2, r3",
+            "addeqs r1, r1, r2, lsl #2",
+            "mov r0, #1",
+            "mvnne r3, r4",
+            "cmp r1, #0",
+            "tst r2, #255",
+            "ldr r3, [r1]",
+            "ldr r3, [r1, #8]",
+            "ldr r3, [r1], #4",
+            "ldr r3, [r1]!",
+            "strb r0, [r5, -r6]",
+            "ldrb r2, [r3, r4]",
+            "str r0, [sp, #-4]!",
+            "stmdb sp!, {r4, r5, lr}",
+            "ldmia sp!, {r4, r5, pc}",
+            "bx lr",
+            "swi #3",
+            "mul r0, r1, r2",
+            "mla r0, r1, r2, r3",
+            "b +16",
+            "blne -32",
+        ] {
+            round_trip(text);
+        }
+    }
+
+    #[test]
+    fn parse_encode_matches_hand_decoding() {
+        let insn: Instruction = "add r4, r2, #4".parse().unwrap();
+        let word = insn.encode().unwrap();
+        assert_eq!(decode(word).unwrap(), insn);
+    }
+
+    #[test]
+    fn reglist_ranges() {
+        let insn: Instruction = "push {r0-r3, r7, lr}".parse().unwrap();
+        let Instruction::Block { regs, .. } = insn else {
+            panic!("not a block transfer");
+        };
+        assert_eq!(regs.len(), 6);
+        assert!(regs.contains(Reg::r(2)));
+        assert!(regs.contains(Reg::LR));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("frobnicate r0".parse::<Instruction>().is_err());
+        assert!("add r0".parse::<Instruction>().is_err());
+        assert!("cmps r0, #1".parse::<Instruction>().is_err());
+        assert!("ldr r0, (r1)".parse::<Instruction>().is_err());
+        assert!("push {r3-r1}".parse::<Instruction>().is_err());
+        assert!("bx".parse::<Instruction>().is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks() {
+        let listing = parse_listing("@ nothing\n\n mov r0, #0 ; trailing\n").unwrap();
+        assert_eq!(listing, vec![Instruction::mov_imm(Reg::r(0), 0)]);
+    }
+}

@@ -1,0 +1,298 @@
+//! General-purpose register names.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the sixteen ARM general-purpose registers.
+///
+/// `r13`, `r14` and `r15` double as the stack pointer, link register and
+/// program counter; the conventional aliases are available as the associated
+/// constants [`Reg::SP`], [`Reg::LR`] and [`Reg::PC`].
+///
+/// # Examples
+///
+/// ```
+/// use gpa_arm::Reg;
+///
+/// let r = Reg::r(3);
+/// assert_eq!(r.to_string(), "r3");
+/// assert_eq!("lr".parse::<Reg>()?, Reg::LR);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The stack pointer, `r13`.
+    pub const SP: Reg = Reg(13);
+    /// The link register, `r14`.
+    pub const LR: Reg = Reg(14);
+    /// The program counter, `r15`.
+    pub const PC: Reg = Reg(15);
+
+    /// Creates a register from its number.
+    ///
+    /// Returns `None` if `n > 15`.
+    pub const fn new(n: u8) -> Option<Reg> {
+        if n <= 15 {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    pub const fn r(n: u8) -> Reg {
+        match Reg::new(n) {
+            Some(r) => r,
+            None => panic!("register number out of range"),
+        }
+    }
+
+    /// The register number, `0..=15`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this register is the program counter.
+    pub fn is_pc(self) -> bool {
+        self == Reg::PC
+    }
+
+    /// Iterates over all sixteen registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            13 => write!(f, "sp"),
+            14 => write!(f, "lr"),
+            15 => write!(f, "pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRegError(pub(crate) String);
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sp" => return Ok(Reg::SP),
+            "lr" => return Ok(Reg::LR),
+            "pc" => return Ok(Reg::PC),
+            "ip" => return Ok(Reg(12)),
+            "fp" => return Ok(Reg(11)),
+            _ => {}
+        }
+        s.strip_prefix('r')
+            .and_then(|n| n.parse::<u8>().ok())
+            .and_then(Reg::new)
+            .ok_or_else(|| ParseRegError(s.to_owned()))
+    }
+}
+
+/// A set of registers, stored as a 16-bit mask (bit *i* = `r<i>`).
+///
+/// This is the representation used by `ldm`/`stm` register lists, def/use
+/// sets and liveness analysis.
+///
+/// # Examples
+///
+/// ```
+/// use gpa_arm::reg::RegSet;
+/// use gpa_arm::Reg;
+///
+/// let mut set = RegSet::EMPTY;
+/// set.insert(Reg::r(0));
+/// set.insert(Reg::LR);
+/// assert!(set.contains(Reg::r(0)));
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.to_string(), "{r0, lr}");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct RegSet(pub u16);
+
+impl RegSet {
+    /// The empty register set.
+    pub const EMPTY: RegSet = RegSet(0);
+
+    /// Creates a set containing the given registers.
+    pub fn of(regs: &[Reg]) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for &r in regs {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Adds a register to the set.
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.number();
+    }
+
+    /// Removes a register from the set.
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !(1 << r.number());
+    }
+
+    /// Whether the set contains `r`.
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1 << r.number()) != 0
+    }
+
+    /// Number of registers in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & other.0)
+    }
+
+    /// Registers in `self` but not in `other`.
+    pub fn difference(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// Whether the two sets share any register.
+    pub fn intersects(self, other: RegSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterates over the members in ascending register number.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        (0..16).filter(move |i| self.0 & (1 << i) != 0).map(Reg)
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> Self {
+        let mut s = RegSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl Extend<Reg> for RegSet {
+    fn extend<T: IntoIterator<Item = Reg>>(&mut self, iter: T) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+impl fmt::Display for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_display() {
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg::PC.to_string(), "pc");
+        assert_eq!(Reg::r(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for r in Reg::all() {
+            assert_eq!(r.to_string().parse::<Reg>().unwrap(), r);
+        }
+        // Numeric names for the aliased registers also parse.
+        assert_eq!("r13".parse::<Reg>().unwrap(), Reg::SP);
+        assert_eq!("r15".parse::<Reg>().unwrap(), Reg::PC);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("r16".parse::<Reg>().is_err());
+        assert!("x3".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+        assert!("r".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn new_bounds() {
+        assert!(Reg::new(15).is_some());
+        assert!(Reg::new(16).is_none());
+    }
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Reg::r(0));
+        s.insert(Reg::r(4));
+        s.insert(Reg::LR);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(Reg::r(4)));
+        s.remove(Reg::r(4));
+        assert!(!s.contains(Reg::r(4)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Reg::r(0), Reg::LR]);
+    }
+
+    #[test]
+    fn regset_algebra() {
+        let a = RegSet::of(&[Reg::r(0), Reg::r(1)]);
+        let b = RegSet::of(&[Reg::r(1), Reg::r(2)]);
+        assert_eq!(a.union(b), RegSet::of(&[Reg::r(0), Reg::r(1), Reg::r(2)]));
+        assert_eq!(a.intersection(b), RegSet::of(&[Reg::r(1)]));
+        assert_eq!(a.difference(b), RegSet::of(&[Reg::r(0)]));
+        assert!(a.intersects(b));
+        assert!(!a.intersects(RegSet::of(&[Reg::r(9)])));
+    }
+
+    #[test]
+    fn regset_display() {
+        assert_eq!(RegSet::EMPTY.to_string(), "{}");
+        assert_eq!(RegSet::of(&[Reg::r(1), Reg::SP]).to_string(), "{r1, sp}");
+    }
+}

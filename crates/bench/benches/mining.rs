@@ -1,0 +1,107 @@
+//! Mining-time benchmarks: DgSpan vs Edgar over real benchmark DFGs —
+//! the reproduction of the paper's §4.2 timing discussion (DgSpan ~50 s,
+//! Edgar ~90 s per program on 2007 hardware; Edgar costs more because of
+//! embedding lists and MIS computation), plus a fragment-size-cap sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpa_bench::compile;
+use gpa_dfg::{build_all, LabelMode};
+use gpa_mining::graph::InputGraph;
+use gpa_mining::miner::{mine, Config, Support};
+
+fn graphs_for(name: &str) -> Vec<InputGraph> {
+    let image = compile(name, true);
+    let program = gpa_cfg::decode_image(&image).expect("benchmark lifts");
+    let dfgs = build_all(&program, LabelMode::Exact);
+    InputGraph::from_dfgs(&dfgs).0
+}
+
+fn bench_support_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mining_support");
+    group.sample_size(10);
+    for name in ["crc", "search", "sha"] {
+        let graphs = graphs_for(name);
+        group.bench_with_input(BenchmarkId::new("dgspan", name), &graphs, |b, graphs| {
+            b.iter(|| {
+                mine(
+                    graphs,
+                    &Config {
+                        min_support: 2,
+                        support: Support::Graphs,
+                        max_nodes: 10,
+                        max_patterns: 30_000,
+                        ..Config::default()
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("edgar", name), &graphs, |b, graphs| {
+            b.iter(|| {
+                mine(
+                    graphs,
+                    &Config {
+                        min_support: 2,
+                        support: Support::Embeddings,
+                        max_nodes: 10,
+                        max_patterns: 30_000,
+                        ..Config::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fragment_cap(c: &mut Criterion) {
+    let graphs = graphs_for("crc");
+    let mut group = c.benchmark_group("mining_max_nodes");
+    group.sample_size(10);
+    for cap in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                mine(
+                    &graphs,
+                    &Config {
+                        min_support: 2,
+                        support: Support::Embeddings,
+                        max_nodes: cap,
+                        max_patterns: 30_000,
+                        ..Config::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    // The paper's companion work [33] reports shared-memory speedups for
+    // exactly this workload; seed-level partitioning scales until subtree
+    // sizes skew.
+    let graphs = graphs_for("sha");
+    let config = Config {
+        min_support: 2,
+        support: Support::Embeddings,
+        max_nodes: 8,
+        max_patterns: 30_000,
+        ..Config::default()
+    };
+    let mut group = c.benchmark_group("mining_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| gpa_mining::miner::mine_parallel(&graphs, &config, threads))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_support_modes, bench_fragment_cap, bench_parallel);
+criterion_main!(benches);

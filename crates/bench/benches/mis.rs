@@ -1,0 +1,50 @@
+//! MIS-solver benchmarks: the exact branch-and-bound (Kumlander-style
+//! bound) against the greedy heuristic on random collision graphs — the
+//! ablation for the "exact vs greedy overlap resolution" design choice
+//! called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gpa_mining::mis::{collision_graph, greedy_disjoint_count, max_independent_set};
+
+/// Random embedding node-sets over a block of `universe` instructions.
+fn random_sets(n: usize, universe: u32, set_len: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut s: Vec<u32> = (0..set_len).map(|_| rng.gen_range(0..universe)).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect()
+}
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis");
+    for &(n, universe) in &[(12usize, 30u32), (24, 40), (48, 60)] {
+        let sets = random_sets(n, universe, 4, 42);
+        let adj = collision_graph(&sets);
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("{n}sets_{universe}u")),
+            &adj,
+            |b, adj| b.iter(|| max_independent_set(adj)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("{n}sets_{universe}u")),
+            &sets,
+            |b, sets| b.iter(|| greedy_disjoint_count(sets)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_collision_graph(c: &mut Criterion) {
+    let sets = random_sets(64, 80, 5, 7);
+    c.bench_function("collision_graph_64", |b| b.iter(|| collision_graph(&sets)));
+}
+
+criterion_group!(benches, bench_mis, bench_collision_graph);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Suffix-array baseline benchmarks: construction and repeat enumeration
+//! over the real benchmark instruction streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpa_bench::compile;
+use gpa_mining::graph::LabelInterner;
+use gpa_sfx::{repeated_factors, suffix_array};
+
+fn sequences_for(name: &str) -> Vec<Vec<u32>> {
+    let image = compile(name, true);
+    let program = gpa_cfg::decode_image(&image).expect("benchmark lifts");
+    let mut interner = LabelInterner::new();
+    program
+        .regions()
+        .iter()
+        .map(|r| {
+            r.items
+                .iter()
+                .map(|i| interner.intern(&i.mining_label()))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_suffix_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_array");
+    for name in ["crc", "rijndael"] {
+        let text: Vec<u32> = sequences_for(name).concat();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{name}_{}", text.len())),
+            &text,
+            |b, text| b.iter(|| suffix_array(text)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_repeat_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repeated_factors");
+    for name in ["crc", "rijndael"] {
+        let seqs = sequences_for(name);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &seqs, |b, seqs| {
+            b.iter(|| repeated_factors(seqs, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suffix_array, bench_repeat_enumeration);
+criterion_main!(benches);

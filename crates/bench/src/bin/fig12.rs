@@ -1,0 +1,39 @@
+//! Regenerates **Fig. 12**: how often each extraction mechanism
+//! (procedure call vs cross-jump/tail-merge) is used by SFX, DgSpan and
+//! Edgar across the suite.
+
+use gpa_bench::{evaluate, BENCHMARKS};
+
+fn main() {
+    println!("Fig. 12: Extraction mechanisms used");
+    println!(
+        "{:<10} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
+        "", "SFX", "", "DgSpan", "", "Edgar", ""
+    );
+    println!(
+        "{:<10} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
+        "Program", "proc", "xjump", "proc", "xjump", "proc", "xjump"
+    );
+    let mut totals = [0usize; 6];
+    for name in BENCHMARKS {
+        let row = evaluate(name, true);
+        let counts: Vec<(usize, usize)> = row
+            .outcomes
+            .iter()
+            .map(|o| (o.report.procedure_count(), o.report.cross_jump_count()))
+            .collect();
+        println!(
+            "{:<10} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
+            name, counts[0].0, counts[0].1, counts[1].0, counts[1].1, counts[2].0, counts[2].1
+        );
+        for (i, (p, x)) in counts.iter().enumerate() {
+            totals[2 * i] += p;
+            totals[2 * i + 1] += x;
+        }
+    }
+    println!(
+        "{:<10} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
+        "total", totals[0], totals[1], totals[2], totals[3], totals[4], totals[5]
+    );
+    println!("\n(Paper: cross jumps are rare — a fragment must end in a return or branch.)");
+}

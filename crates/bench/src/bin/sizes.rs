@@ -1,0 +1,25 @@
+//! Prints compiled-image statistics for the benchmark suite: code words,
+//! lifted instruction count (code minus literal pools), data bytes and
+//! symbols. Useful for eyeballing the corpus against the paper's Table 1
+//! instruction counts.
+
+use gpa_bench::{compile, BENCHMARKS};
+
+fn main() {
+    println!(
+        "{:<10} {:>10} {:>13} {:>11} {:>9}",
+        "Program", "code words", "#instructions", "data bytes", "symbols"
+    );
+    for name in BENCHMARKS {
+        let image = compile(name, true);
+        let program = gpa_cfg::decode_image(&image).expect("benchmark images lift");
+        println!(
+            "{:<10} {:>10} {:>13} {:>11} {:>9}",
+            name,
+            image.code_len(),
+            program.instruction_count(),
+            image.data_bytes().len(),
+            image.symbols().len()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Table 1**: saved instructions per benchmark for the
+//! suffix-trie baseline (SFX), DgSpan and Edgar, plus the totals row and
+//! per-method optimization times (the paper's §4.2 timing discussion).
+//!
+//! ```text
+//! cargo run --release -p gpa-bench --bin table1 [--no-sched]
+//! ```
+//!
+//! `--no-sched` compiles the kernels without the instruction-scheduling
+//! pass — the ablation showing *why* graph-based PA wins: without
+//! reordering, SFX closes most of the gap.
+
+use gpa_bench::{evaluate, secs, BENCHMARKS};
+
+fn main() {
+    let schedule = !std::env::args().any(|a| a == "--no-sched");
+    println!(
+        "Table 1: Saved instructions in the benchmark suite{}",
+        if schedule { "" } else { " (scheduler disabled)" }
+    );
+    println!(
+        "{:<10} {:>13} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "Program", "#Instructions", "SFX", "DgSpan", "Edgar", "t(SFX)", "t(DgS)", "t(Edg)"
+    );
+    let mut totals = (0usize, 0i64, 0i64, 0i64);
+    for name in BENCHMARKS {
+        let row = evaluate(name, schedule);
+        let [sfx, dgspan, edgar] = &row.outcomes;
+        println!(
+            "{:<10} {:>13} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+            row.name,
+            row.instructions,
+            sfx.report.saved_words(),
+            dgspan.report.saved_words(),
+            edgar.report.saved_words(),
+            secs(sfx.elapsed),
+            secs(dgspan.elapsed),
+            secs(edgar.elapsed),
+        );
+        totals.0 += row.instructions;
+        totals.1 += sfx.report.saved_words();
+        totals.2 += dgspan.report.saved_words();
+        totals.3 += edgar.report.saved_words();
+    }
+    println!(
+        "{:<10} {:>13} | {:>8} {:>8} {:>8}",
+        "total", totals.0, totals.1, totals.2, totals.3
+    );
+    if totals.1 > 0 {
+        println!(
+            "\nEdgar/SFX improvement factor: {:.2}x (paper: 2.6x)",
+            totals.3 as f64 / totals.1 as f64
+        );
+        println!(
+            "DgSpan/SFX improvement factor: {:.2}x (paper: 1.6x)",
+            totals.2 as f64 / totals.1 as f64
+        );
+    }
+    println!("\n(All optimized binaries re-ran in the emulator with identical output.)");
+}

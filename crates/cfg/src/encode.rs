@@ -1,0 +1,292 @@
+//! Re-encoding a rewritten [`Program`] into an executable image.
+//!
+//! The inverse of [`crate::decode_image`]: functions are laid out in
+//! order, each followed by a freshly built literal pool; labels, calls and
+//! literal references are resolved to concrete addresses. Because the data
+//! section never moves, `Literal::Word` values remain valid; function
+//! addresses (`Literal::Code`) are re-resolved against the new layout.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use gpa_arm::insn::{AddressMode, MemOffset, MemOp};
+use gpa_arm::{Cond, Instruction, Reg};
+use gpa_image::{Image, Symbol};
+
+use crate::program::{FunctionCode, Item, LabelId, Literal, Program};
+
+/// Error produced while re-encoding a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodeProgramError(String);
+
+impl fmt::Display for EncodeProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot encode program: {}", self.0)
+    }
+}
+
+impl std::error::Error for EncodeProgramError {}
+
+fn err(message: impl Into<String>) -> EncodeProgramError {
+    EncodeProgramError(message.into())
+}
+
+struct FnLayout {
+    base: u32,
+    labels: HashMap<LabelId, u32>,
+    pool: Vec<(Literal, u32)>,
+    size_bytes: u32,
+}
+
+fn layout_function(f: &FunctionCode, base: u32) -> FnLayout {
+    let mut labels = HashMap::new();
+    let mut pool_keys: Vec<Literal> = Vec::new();
+    let mut offset = 0u32;
+    for item in &f.items {
+        match item {
+            Item::Label(id) => {
+                labels.insert(*id, base + offset);
+            }
+            Item::LitLoad { lit, .. } => {
+                if !pool_keys.contains(lit) {
+                    pool_keys.push(lit.clone());
+                }
+                offset += 4;
+            }
+            other => offset += 4 * other.encoded_words() as u32,
+        }
+    }
+    let pool_base = base + offset;
+    let pool: Vec<(Literal, u32)> = pool_keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, pool_base + 4 * i as u32))
+        .collect();
+    let size_bytes = offset + 4 * pool.len() as u32;
+    FnLayout {
+        base,
+        labels,
+        pool,
+        size_bytes,
+    }
+}
+
+/// Re-encodes a program into an executable [`Image`].
+///
+/// # Errors
+///
+/// Returns an [`EncodeProgramError`] on unresolved labels or call targets,
+/// literal pools out of `ldr` range, or instructions whose fields have no
+/// encoding.
+pub fn encode_program(program: &Program) -> Result<Image, EncodeProgramError> {
+    // Pass 1: function layout.
+    let mut layouts: Vec<FnLayout> = Vec::with_capacity(program.functions.len());
+    let mut fn_addr: HashMap<&str, u32> = HashMap::new();
+    let mut cursor = program.code_base;
+    for f in &program.functions {
+        let layout = layout_function(f, cursor);
+        cursor = layout.base + layout.size_bytes;
+        if fn_addr.insert(f.name.as_str(), layout.base).is_some() {
+            return Err(err(format!("duplicate function `{}`", f.name)));
+        }
+        layouts.push(layout);
+    }
+
+    // Pass 2: encode.
+    let mut image = Image::new(program.code_base, program.data_base);
+    for (f, layout) in program.functions.iter().zip(&layouts) {
+        let mut addr = layout.base;
+        let emit = |image: &mut Image, insn: Instruction, addr: &mut u32| {
+            let word = insn
+                .encode()
+                .map_err(|e| err(format!("in `{}`: {insn}: {e}", f.name)))?;
+            image.push_code_word(word);
+            *addr += 4;
+            Ok::<(), EncodeProgramError>(())
+        };
+        let branch_to = |target: u32, addr: u32| ((target as i64 - (addr as i64 + 8)) / 4) as i32;
+        for item in &f.items {
+            match item {
+                Item::Label(_) => {}
+                Item::Insn(insn) => emit(&mut image, *insn, &mut addr)?,
+                Item::Call { cond, target } | Item::TailCall { cond, target } => {
+                    let dest = *fn_addr
+                        .get(target.as_str())
+                        .ok_or_else(|| err(format!("call to undefined `{target}`")))?;
+                    let link = matches!(item, Item::Call { .. });
+                    emit(
+                        &mut image,
+                        Instruction::Branch {
+                            cond: *cond,
+                            link,
+                            offset: branch_to(dest, addr),
+                        },
+                        &mut addr,
+                    )?;
+                }
+                Item::Branch { cond, target } => {
+                    let dest = *layout
+                        .labels
+                        .get(target)
+                        .ok_or_else(|| err(format!("undefined label {target} in `{}`", f.name)))?;
+                    emit(
+                        &mut image,
+                        Instruction::Branch {
+                            cond: *cond,
+                            link: false,
+                            offset: branch_to(dest, addr),
+                        },
+                        &mut addr,
+                    )?;
+                }
+                Item::IndirectCall { target } => {
+                    emit(&mut image, Instruction::mov_reg(Reg::LR, Reg::PC), &mut addr)?;
+                    emit(
+                        &mut image,
+                        Instruction::Bx {
+                            cond: Cond::Al,
+                            rm: *target,
+                        },
+                        &mut addr,
+                    )?;
+                }
+                Item::LitLoad { rd, lit } => {
+                    let pool_addr = layout
+                        .pool
+                        .iter()
+                        .find(|(k, _)| k == lit)
+                        .map(|&(_, a)| a)
+                        .expect("layout pass recorded every literal");
+                    let disp = pool_addr as i64 - (addr as i64 + 8);
+                    if disp.abs() >= 4096 {
+                        return Err(err(format!(
+                            "literal pool out of range in `{}` ({disp} bytes)",
+                            f.name
+                        )));
+                    }
+                    emit(
+                        &mut image,
+                        Instruction::Mem {
+                            cond: Cond::Al,
+                            op: MemOp::Ldr,
+                            byte: false,
+                            rd: *rd,
+                            rn: Reg::PC,
+                            offset: MemOffset::Imm(disp as i32),
+                            mode: AddressMode::Offset,
+                        },
+                        &mut addr,
+                    )?;
+                }
+            }
+        }
+        for (lit, _) in &layout.pool {
+            let word = match lit {
+                Literal::Word(w) => *w,
+                Literal::Code(name) => *fn_addr
+                    .get(name.as_str())
+                    .ok_or_else(|| err(format!("literal references undefined `{name}`")))?,
+            };
+            image.push_code_word(word);
+        }
+    }
+
+    // Data, symbols, entry.
+    for f in program.functions.iter().zip(&layouts) {
+        let (f, layout) = f;
+        let mut sym = Symbol::function(f.name.clone(), layout.base, layout.size_bytes);
+        if f.address_taken {
+            sym = sym.with_address_taken();
+        }
+        image.add_symbol(sym);
+    }
+    for sym in &program.data_symbols {
+        image.add_symbol(sym.clone());
+    }
+    image.push_data(&program.data);
+    let entry = *fn_addr
+        .get(program.entry.as_str())
+        .ok_or_else(|| err(format!("entry function `{}` missing", program.entry)))?;
+    image.set_entry(entry);
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode_image;
+    use gpa_emu::Machine;
+    use gpa_minicc::{compile, compile_benchmark, Options};
+
+    /// Compile → run; decode → re-encode → run; outputs must match.
+    fn round_trip(src: &str) {
+        let image = compile(src, &Options::default()).unwrap();
+        let before = Machine::new(&image).run(50_000_000).unwrap();
+        let program = decode_image(&image).unwrap();
+        let rebuilt = encode_program(&program).unwrap();
+        let after = Machine::new(&rebuilt).run(50_000_000).unwrap();
+        assert_eq!(before.exit_code, after.exit_code);
+        assert_eq!(before.output, after.output);
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        round_trip("int main() { return 11; }");
+    }
+
+    #[test]
+    fn round_trip_control_flow_and_data() {
+        round_trip(
+            "int table[6] = {3, 1, 4, 1, 5, 9};\n\
+             char *msg = \"pi\";\n\
+             int main() {\n\
+               int s = 0;\n\
+               for (int i = 0; i < 6; i++) s = s * 10 + table[i];\n\
+               putstr(msg); putint(s);\n\
+               return 0; }",
+        );
+    }
+
+    #[test]
+    fn round_trip_function_pointers() {
+        round_trip(
+            "int twice(int x) { return x + x; }\n\
+             int apply(int f, int x) { return f(x); }\n\
+             int main() { putint(apply(twice, 21)); return 0; }",
+        );
+    }
+
+    #[test]
+    fn round_trip_division_and_recursion() {
+        round_trip(
+            "int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }\n\
+             int main() { putint(fact(7) / 10 % 1000); return 0; }",
+        );
+    }
+
+    #[test]
+    fn round_trip_benchmark_crc() {
+        let image = compile_benchmark("crc", &Options::default()).unwrap();
+        let before = Machine::new(&image).run(400_000_000).unwrap();
+        let rebuilt = encode_program(&decode_image(&image).unwrap()).unwrap();
+        let after = Machine::new(&rebuilt).run(400_000_000).unwrap();
+        assert_eq!(before.output, after.output);
+    }
+
+    #[test]
+    fn re_encoded_image_lifts_again() {
+        // decode ∘ encode is idempotent on the item streams.
+        let image = compile(
+            "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i * i; return s; }",
+            &Options::default(),
+        )
+        .unwrap();
+        let p1 = decode_image(&image).unwrap();
+        let rebuilt = encode_program(&p1).unwrap();
+        let p2 = decode_image(&rebuilt).unwrap();
+        assert_eq!(p1.instruction_count(), p2.instruction_count());
+        for (a, b) in p1.functions.iter().zip(&p2.functions) {
+            assert_eq!(a.items, b.items, "function {}", a.name);
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! The rewritable program representation.
+
+use std::fmt;
+
+use gpa_arm::reg::RegSet;
+use gpa_arm::{Cond, Effects, Instruction, Reg};
+
+/// Name prefix of procedures created by fragment extraction.
+///
+/// Extracted fragments are *not* ABI-conforming: they read and write
+/// whatever registers and stack slots the original code did. Calls to
+/// them are therefore modelled as full dependence barriers (see
+/// [`Item::effects`]) so no later pass reorders code across them — and,
+/// as a consequence, they are never swept into another fragment.
+pub const FRAGMENT_PREFIX: &str = "__gpa_frag";
+
+/// A function-local label identifier. Labels are dense indices within one
+/// [`FunctionCode`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LabelId(pub u32);
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".L{}", self.0)
+    }
+}
+
+/// What a literal-pool entry resolves to.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Literal {
+    /// A raw 32-bit word: a constant or an address into the (immovable)
+    /// data section.
+    Word(u32),
+    /// The address of a function (an address-taken function pointer);
+    /// re-resolved after code moves.
+    Code(String),
+}
+
+/// One item of the position-independent instruction stream.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Item {
+    /// A label definition.
+    Label(LabelId),
+    /// A concrete instruction with no position-dependent fields. Includes
+    /// returns (`bx lr`, `pop {…, pc}`) and `swi`.
+    Insn(Instruction),
+    /// A direct call `bl function`.
+    Call {
+        /// Condition code.
+        cond: Cond,
+        /// Callee name.
+        target: String,
+    },
+    /// The fused `mov lr, pc; bx rm` indirect-call idiom (kept as one unit
+    /// because the `mov lr, pc` is position-dependent relative to the
+    /// `bx`).
+    IndirectCall {
+        /// Register holding the callee address.
+        target: Reg,
+    },
+    /// A (possibly conditional) branch to a local label.
+    Branch {
+        /// Condition code.
+        cond: Cond,
+        /// Target label.
+        target: LabelId,
+    },
+    /// A branch (without link) to another function's entry — produced by
+    /// cross-jump/tail-merge extraction.
+    TailCall {
+        /// Condition code.
+        cond: Cond,
+        /// Target function name.
+        target: String,
+    },
+    /// A pc-relative literal-pool load, abstracted away from its pool
+    /// address.
+    LitLoad {
+        /// Destination register.
+        rd: Reg,
+        /// What the pool slot holds.
+        lit: Literal,
+    },
+}
+
+impl Item {
+    /// Whether the item transfers control (ends a straight-line region):
+    /// branches and instructions writing `pc`. Calls do *not* end regions.
+    pub fn is_region_terminator(&self) -> bool {
+        match self {
+            Item::Branch { .. } | Item::TailCall { .. } => true,
+            Item::Insn(i) => i.effects().defs.contains(Reg::PC),
+            Item::Label(_) | Item::Call { .. } | Item::IndirectCall { .. } | Item::LitLoad { .. } => {
+                false
+            }
+        }
+    }
+
+    /// Whether this item is a return-like terminator (`bx lr`,
+    /// `pop {…, pc}`) — the cross-jump candidates of the paper.
+    pub fn is_return(&self) -> bool {
+        match self {
+            Item::Insn(i) => i.effects().defs.contains(Reg::PC),
+            _ => false,
+        }
+    }
+
+    /// Number of machine words the item occupies when encoded.
+    pub fn encoded_words(&self) -> usize {
+        match self {
+            Item::Label(_) => 0,
+            Item::IndirectCall { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// The dependence footprint used for data-flow-graph construction and
+    /// scheduling. Calls clobber the caller-saved state conservatively.
+    pub fn effects(&self) -> Effects {
+        match self {
+            Item::Label(_) => Effects::default(),
+            Item::Insn(i) => i.effects(),
+            Item::Call { cond, target } => {
+                if target.starts_with(FRAGMENT_PREFIX) {
+                    // Extracted fragments touch arbitrary caller state;
+                    // calling them is a full barrier.
+                    return Effects {
+                        uses: RegSet(0xffff),
+                        defs: RegSet(0xffff),
+                        reads_flags: true,
+                        writes_flags: true,
+                        reads_mem: true,
+                        writes_mem: true,
+                    };
+                }
+                let mut fx = call_effects();
+                fx.reads_flags |= !cond.is_always();
+                fx
+            }
+            Item::IndirectCall { target } => {
+                let mut fx = call_effects();
+                fx.uses.insert(*target);
+                fx
+            }
+            Item::Branch { cond, .. } | Item::TailCall { cond, .. } => Effects {
+                uses: RegSet::EMPTY,
+                defs: RegSet::of(&[Reg::PC]),
+                reads_flags: !cond.is_always(),
+                writes_flags: false,
+                reads_mem: false,
+                writes_mem: false,
+            },
+            Item::LitLoad { rd, .. } => Effects {
+                uses: RegSet::EMPTY,
+                defs: RegSet::of(&[*rd]),
+                reads_flags: false,
+                writes_flags: false,
+                // Pool data is immutable; a literal load does not alias
+                // program memory.
+                reads_mem: false,
+                writes_mem: false,
+            },
+        }
+    }
+
+    /// A stable textual label for this item, used as the node label in
+    /// data-flow graphs (two items with equal labels are mining-equal).
+    pub fn mining_label(&self) -> String {
+        match self {
+            Item::Label(l) => format!("label {l}"),
+            Item::Insn(i) => i.to_string(),
+            Item::Call { cond, target } => format!("bl{cond} {target}"),
+            Item::IndirectCall { target } => format!("call* {target}"),
+            Item::Branch { cond, target } => format!("b{cond} {target}"),
+            Item::TailCall { cond, target } => format!("b{cond} {target}"),
+            Item::LitLoad { rd, lit } => match lit {
+                Literal::Word(w) => format!("ldr {rd}, ={w:#x}"),
+                Literal::Code(f) => format!("ldr {rd}, =&{f}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Item::Label(l) => write!(f, "{l}:"),
+            other => write!(f, "    {}", other.mining_label()),
+        }
+    }
+}
+
+/// The caller-visible footprint of any call: arguments read, results and
+/// scratch clobbered, memory and flags conservatively touched.
+fn call_effects() -> Effects {
+    Effects {
+        uses: RegSet::of(&[Reg::r(0), Reg::r(1), Reg::r(2), Reg::r(3), Reg::SP]),
+        defs: RegSet::of(&[Reg::r(0), Reg::r(1), Reg::r(2), Reg::r(3), Reg::r(12), Reg::LR]),
+        reads_flags: false,
+        writes_flags: true,
+        reads_mem: true,
+        writes_mem: true,
+    }
+}
+
+/// A function in rewritable form.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FunctionCode {
+    /// Function name.
+    pub name: String,
+    /// Whether the function's address escapes (affects nothing inside the
+    /// rewriting passes today, but is carried through to the output symbol
+    /// table).
+    pub address_taken: bool,
+    /// The position-independent instruction stream.
+    pub items: Vec<Item>,
+    /// Number of labels (label ids are `0..label_count`).
+    pub label_count: u32,
+}
+
+impl FunctionCode {
+    /// Total machine words the function body will occupy (without pools).
+    pub fn encoded_words(&self) -> usize {
+        self.items.iter().map(Item::encoded_words).sum()
+    }
+
+    /// The maximal straight-line regions of this function: runs of
+    /// non-label items that end at (and include) a region terminator.
+    /// These are the basic-block bodies whose DFGs are mined.
+    pub fn regions(&self) -> Vec<Region<'_>> {
+        let mut regions = Vec::new();
+        let mut start = None::<usize>;
+        for (i, item) in self.items.iter().enumerate() {
+            match item {
+                Item::Label(_) => {
+                    if let Some(s) = start.take() {
+                        regions.push(Region {
+                            function: &self.name,
+                            start: s,
+                            items: &self.items[s..i],
+                        });
+                    }
+                }
+                _ => {
+                    if start.is_none() {
+                        start = Some(i);
+                    }
+                    if item.is_region_terminator() {
+                        let s = start.take().expect("start set above");
+                        regions.push(Region {
+                            function: &self.name,
+                            start: s,
+                            items: &self.items[s..=i],
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(s) = start {
+            regions.push(Region {
+                function: &self.name,
+                start: s,
+                items: &self.items[s..],
+            });
+        }
+        regions
+    }
+
+    /// Allocates a fresh label id.
+    pub fn fresh_label(&mut self) -> LabelId {
+        let id = LabelId(self.label_count);
+        self.label_count += 1;
+        id
+    }
+}
+
+/// A straight-line region (basic-block body) inside a function.
+#[derive(Clone, Copy, Debug)]
+pub struct Region<'a> {
+    /// Owning function name.
+    pub function: &'a str,
+    /// Index of the first item within the function's item list.
+    pub start: usize,
+    /// The items of the region (no labels inside).
+    pub items: &'a [Item],
+}
+
+impl Region<'_> {
+    /// Number of items in the region.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl FunctionCode {
+    /// Renders the function as annotated assembly (labels unindented,
+    /// items indented) — the disassembly listing of the lifted binary.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}:", self.name);
+        for item in &self.items {
+            let _ = writeln!(out, "{item}");
+        }
+        out
+    }
+}
+
+/// A whole program in rewritable form, plus everything needed to re-encode
+/// it (data section, object symbols, bases).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    /// Functions in layout order.
+    pub functions: Vec<FunctionCode>,
+    /// The immutable data section.
+    pub data: Vec<u8>,
+    /// Data-object symbols carried through to the output.
+    pub data_symbols: Vec<gpa_image::Symbol>,
+    /// Code section base address.
+    pub code_base: u32,
+    /// Data section base address.
+    pub data_base: u32,
+    /// Name of the entry function.
+    pub entry: String,
+}
+
+impl Program {
+    /// Total instruction count across all functions (machine words,
+    /// excluding literal pools) — the "# instructions" of Table 1.
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(FunctionCode::encoded_words).sum()
+    }
+
+    /// All straight-line regions of the program.
+    pub fn regions(&self) -> Vec<Region<'_>> {
+        self.functions.iter().flat_map(|f| f.regions()).collect()
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionCode> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Renders the whole program as an annotated assembly listing.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for f in &self.functions {
+            out.push_str(&f.listing());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insn(text: &str) -> Item {
+        Item::Insn(text.parse().unwrap())
+    }
+
+    #[test]
+    fn regions_split_at_labels_and_branches() {
+        let f = FunctionCode {
+            name: "f".into(),
+            address_taken: false,
+            items: vec![
+                Item::Label(LabelId(0)),
+                insn("mov r0, #1"),
+                Item::Branch {
+                    cond: Cond::Eq,
+                    target: LabelId(1),
+                },
+                insn("mov r1, #2"),
+                Item::Label(LabelId(1)),
+                insn("mov r2, #3"),
+                insn("bx lr"),
+            ],
+            label_count: 2,
+        };
+        let regions = f.regions();
+        assert_eq!(regions.len(), 3);
+        assert_eq!(regions[0].len(), 2); // mov + branch
+        assert_eq!(regions[1].len(), 1); // mov r1
+        assert_eq!(regions[2].len(), 2); // mov r2 + bx lr (return included)
+        assert!(regions[2].items[1].is_return());
+    }
+
+    #[test]
+    fn calls_do_not_terminate_regions() {
+        let f = FunctionCode {
+            name: "f".into(),
+            address_taken: false,
+            items: vec![
+                insn("mov r0, #1"),
+                Item::Call {
+                    cond: Cond::Al,
+                    target: "g".into(),
+                },
+                insn("mov r1, #2"),
+            ],
+            label_count: 0,
+        };
+        assert_eq!(f.regions().len(), 1);
+        assert_eq!(f.regions()[0].len(), 3);
+    }
+
+    #[test]
+    fn call_effects_are_conservative() {
+        let call = Item::Call {
+            cond: Cond::Al,
+            target: "g".into(),
+        };
+        let fx = call.effects();
+        assert!(fx.defs.contains(Reg::LR));
+        assert!(fx.defs.contains(Reg::r(0)));
+        assert!(fx.writes_mem && fx.reads_mem);
+        assert!(fx.writes_flags);
+    }
+
+    #[test]
+    fn mining_labels_distinguish_targets() {
+        let a = Item::Call {
+            cond: Cond::Al,
+            target: "f".into(),
+        };
+        let b = Item::Call {
+            cond: Cond::Al,
+            target: "g".into(),
+        };
+        assert_ne!(a.mining_label(), b.mining_label());
+        let w = Item::LitLoad {
+            rd: Reg::r(1),
+            lit: Literal::Word(0x2_0000),
+        };
+        let c = Item::LitLoad {
+            rd: Reg::r(1),
+            lit: Literal::Code("f".into()),
+        };
+        assert_ne!(w.mining_label(), c.mining_label());
+    }
+
+    #[test]
+    fn encoded_words_counts_fused_pair() {
+        let f = FunctionCode {
+            name: "f".into(),
+            address_taken: false,
+            items: vec![
+                Item::Label(LabelId(0)),
+                Item::IndirectCall { target: Reg::r(4) },
+                insn("bx lr"),
+            ],
+            label_count: 1,
+        };
+        assert_eq!(f.encoded_words(), 3);
+    }
+}

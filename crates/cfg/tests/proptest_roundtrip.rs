@@ -1,0 +1,130 @@
+//! Property tests: randomly built programs survive encode → decode with
+//! their item streams intact (the rewriting pipeline's fundamental
+//! invariant), and the listings stay parseable.
+
+use proptest::prelude::*;
+
+use gpa_arm::insn::{DpOp, Instruction};
+use gpa_arm::{Cond, Reg};
+use gpa_cfg::{decode_image, encode_program, FunctionCode, Item, LabelId, Literal, Program};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..11).prop_map(Reg::r)
+}
+
+/// Straight-line items that are always encodable and position-independent.
+fn arb_body_item() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        (arb_reg(), 0u32..256).prop_map(|(rd, imm)| Item::Insn(Instruction::mov_imm(rd, imm))),
+        (arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(rd, rn, rm)| Item::Insn(Instruction::dp_reg(DpOp::Add, rd, rn, rm))),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rn)| Item::Insn(Instruction::ldr_imm(rd, rn, 4))),
+        (arb_reg(), any::<u32>()).prop_map(|(rd, value)| Item::LitLoad {
+            rd,
+            lit: Literal::Word(value),
+        }),
+        (arb_reg(),).prop_map(|(target,)| Item::IndirectCall { target }),
+    ]
+}
+
+/// A function: optional label + body + branch-to-label-or-return shape
+/// that is structurally valid for the encoder.
+fn arb_function(index: usize) -> impl Strategy<Value = FunctionCode> {
+    (
+        proptest::collection::vec(arb_body_item(), 1..12),
+        any::<bool>(),
+    )
+        .prop_map(move |(mut body, with_loop)| {
+            let mut items = Vec::new();
+            let mut label_count = 0;
+            if with_loop {
+                items.push(Item::Label(LabelId(0)));
+                label_count = 1;
+            }
+            items.append(&mut body);
+            if with_loop {
+                items.push(Item::Branch {
+                    cond: Cond::Eq,
+                    target: LabelId(0),
+                });
+            }
+            items.push(Item::Insn(Instruction::ret()));
+            FunctionCode {
+                name: format!("f{index}"),
+                address_taken: false,
+                items,
+                label_count,
+            }
+        })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(any::<bool>(), 1..5)
+        .prop_flat_map(|shape| {
+            let functions: Vec<_> = shape
+                .iter()
+                .enumerate()
+                .map(|(i, _)| arb_function(i))
+                .collect();
+            functions
+        })
+        .prop_map(|mut functions| {
+            // Add call edges: every function calls the next one.
+            let names: Vec<String> = functions.iter().map(|f| f.name.clone()).collect();
+            for (i, f) in functions.iter_mut().enumerate() {
+                if i + 1 < names.len() {
+                    f.items.insert(
+                        0,
+                        Item::Call {
+                            cond: Cond::Al,
+                            target: names[i + 1].clone(),
+                        },
+                    );
+                }
+            }
+            let entry = functions[0].name.clone();
+            Program {
+                functions,
+                data: vec![1, 2, 3, 4],
+                data_symbols: Vec::new(),
+                code_base: 0x8000,
+                data_base: 0x2_0000,
+                entry,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_preserves_items(program in arb_program()) {
+        let image = encode_program(&program).expect("generated programs encode");
+        let back = decode_image(&image).expect("own encodings lift");
+        prop_assert_eq!(back.functions.len(), program.functions.len());
+        for (a, b) in program.functions.iter().zip(&back.functions) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.items, &b.items, "function {}", a.name);
+        }
+        prop_assert_eq!(&back.entry, &program.entry);
+        prop_assert_eq!(&back.data, &program.data);
+    }
+
+    #[test]
+    fn instruction_count_matches_layout(program in arb_program()) {
+        let image = encode_program(&program).expect("generated programs encode");
+        let back = decode_image(&image).expect("own encodings lift");
+        prop_assert_eq!(back.instruction_count(), program.instruction_count());
+        // Code section = instructions + literal pools.
+        prop_assert!(image.code_len() >= program.instruction_count());
+    }
+
+    #[test]
+    fn listings_are_stable(program in arb_program()) {
+        let listing = program.listing();
+        for f in &program.functions {
+            let header = format!("{}:", f.name);
+            prop_assert!(listing.contains(&header), "missing {header}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! `gpa` — the command-line driver for the procedural-abstraction
+//! toolchain.
+//!
+//! ```text
+//! gpa compile <source.mc> -o <out.img> [--no-sched]   MiniC → linked image
+//! gpa bench <name> -o <out.img> [--no-sched]          build a bundled benchmark
+//! gpa run <image> [--input <file>]                    execute in the emulator
+//! gpa dis <image>                                     lifted assembly listing
+//! gpa stats <image>                                   DFG degree statistics
+//! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar]
+//! ```
+
+use std::process::ExitCode;
+
+use gpa::{Method, Optimizer};
+use gpa_emu::Machine;
+use gpa_image::Image;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("gpa: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::FAILURE);
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "compile" => compile(rest),
+        "bench" => bench(rest),
+        "run" => run_image(rest),
+        "dis" => disassemble(rest),
+        "stats" => stats(rest),
+        "optimize" => optimize(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}` (try `gpa help`)")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  \
+         gpa compile <source.mc> -o <out.img> [--no-sched]\n  \
+         gpa bench <name> -o <out.img> [--no-sched]\n  \
+         gpa run <image> [--input <file>]\n  \
+         gpa dis <image>\n  \
+         gpa stats <image>\n  \
+         gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar]"
+    );
+}
+
+/// Extracts `-o <path>` from an argument list, returning (path, rest).
+fn take_output(args: &[String]) -> Result<(String, Vec<String>), String> {
+    let mut rest = Vec::new();
+    let mut output = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "-o" {
+            output = Some(
+                iter.next()
+                    .ok_or_else(|| "-o requires a path".to_owned())?
+                    .clone(),
+            );
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((output.ok_or_else(|| "missing -o <out.img>".to_owned())?, rest))
+}
+
+fn load_image(path: &str) -> Result<Image, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    Image::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn save_image(image: &Image, path: &str) -> Result<(), String> {
+    std::fs::write(path, image.to_bytes()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn compile(args: &[String]) -> Result<ExitCode, String> {
+    let (output, rest) = take_output(args)?;
+    let schedule = !rest.iter().any(|a| a == "--no-sched");
+    let source_path = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| "missing source file".to_owned())?;
+    let source = std::fs::read_to_string(source_path).map_err(|e| format!("{source_path}: {e}"))?;
+    let image = gpa_minicc::compile(&source, &gpa_minicc::Options { schedule })
+        .map_err(|e| e.to_string())?;
+    save_image(&image, &output)?;
+    println!(
+        "compiled {source_path}: {} code words, {} data bytes -> {output}",
+        image.code_len(),
+        image.data_bytes().len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn bench(args: &[String]) -> Result<ExitCode, String> {
+    let (output, rest) = take_output(args)?;
+    let schedule = !rest.iter().any(|a| a == "--no-sched");
+    let name = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| {
+            format!(
+                "missing benchmark name (one of: {})",
+                gpa_minicc::programs::BENCHMARKS.join(", ")
+            )
+        })?;
+    let image = gpa_minicc::compile_benchmark(name, &gpa_minicc::Options { schedule })
+        .map_err(|e| e.to_string())?;
+    save_image(&image, &output)?;
+    println!("built benchmark {name} -> {output}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_image(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or_else(|| "missing image path".to_owned())?;
+    let image = load_image(path)?;
+    let mut machine = Machine::new(&image);
+    if let Some(pos) = args.iter().position(|a| a == "--input") {
+        let input_path = args
+            .get(pos + 1)
+            .ok_or_else(|| "--input requires a path".to_owned())?;
+        let input = std::fs::read(input_path).map_err(|e| format!("{input_path}: {e}"))?;
+        machine.set_input(input);
+    }
+    let outcome = machine
+        .run(2_000_000_000)
+        .map_err(|e| format!("emulation failed: {e}"))?;
+    print!("{}", outcome.output_string());
+    eprintln!("[exit {} after {} instructions]", outcome.exit_code, outcome.steps);
+    Ok(ExitCode::from(outcome.exit_code as u8))
+}
+
+fn disassemble(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or_else(|| "missing image path".to_owned())?;
+    let image = load_image(path)?;
+    let program = gpa_cfg::decode_image(&image).map_err(|e| e.to_string())?;
+    print!("{}", program.listing());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn stats(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or_else(|| "missing image path".to_owned())?;
+    let image = load_image(path)?;
+    let program = gpa_cfg::decode_image(&image).map_err(|e| e.to_string())?;
+    let dfgs = gpa_dfg::build_all(&program, gpa_dfg::LabelMode::Exact);
+    let stats = gpa_dfg::stats::degree_stats(&dfgs);
+    println!("functions:        {}", program.functions.len());
+    println!("instructions:     {}", program.instruction_count());
+    println!("regions:          {}", program.regions().len());
+    println!(
+        "literal pools:    {} words",
+        image.code_len() - program.instruction_count()
+    );
+    println!("degree > 1 nodes: {} ({:.1}%)", stats.high_degree,
+        100.0 * stats.high_degree as f64 / stats.total().max(1) as f64);
+    println!("in-degree hist:   {:?}", stats.in_hist);
+    println!("out-degree hist:  {:?}", stats.out_hist);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn optimize(args: &[String]) -> Result<ExitCode, String> {
+    let (output, rest) = take_output(args)?;
+    let mut method = Method::Edgar;
+    let mut input = None;
+    let mut iter = rest.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--method" => {
+                let m = iter
+                    .next()
+                    .ok_or_else(|| "--method requires a value".to_owned())?;
+                method = match m.as_str() {
+                    "sfx" => Method::Sfx,
+                    "dgspan" => Method::DgSpan,
+                    "edgar" => Method::Edgar,
+                    other => return Err(format!("unknown method `{other}`")),
+                };
+            }
+            other if !other.starts_with("--") => input = Some(other.to_owned()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let input = input.ok_or_else(|| "missing image path".to_owned())?;
+    let image = load_image(&input)?;
+    let mut optimizer = Optimizer::from_image(&image).map_err(|e| e.to_string())?;
+    let report = optimizer.run(method);
+    let optimized = optimizer.encode().map_err(|e| e.to_string())?;
+    save_image(&optimized, &output)?;
+    println!(
+        "{method}: {} -> {} instructions ({} saved, {} rounds: {} procedures, {} cross-jumps)",
+        report.initial_words,
+        report.final_words,
+        report.saved_words(),
+        report.rounds.len(),
+        report.procedure_count(),
+        report.cross_jump_count()
+    );
+    println!("wrote {output}");
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,98 @@
+//! End-to-end smoke tests for the `gpa` command-line driver.
+
+use std::process::Command;
+
+fn gpa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gpa"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gpa_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn compile_run_optimize_roundtrip() {
+    let src = tmp("prog.mc");
+    let img = tmp("prog.img");
+    let opt = tmp("prog_opt.img");
+    std::fs::write(
+        &src,
+        "int f(int x) { return x * 3 + 1; }\n\
+         int main() { putint(f(5) + f(9)); _putc(10); return 0; }",
+    )
+    .unwrap();
+
+    let out = gpa()
+        .args(["compile", src.to_str().unwrap(), "-o", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let run1 = gpa().args(["run", img.to_str().unwrap()]).output().unwrap();
+    assert!(run1.status.success());
+    assert_eq!(String::from_utf8_lossy(&run1.stdout), "44\n");
+
+    let out = gpa()
+        .args([
+            "optimize",
+            img.to_str().unwrap(),
+            "-o",
+            opt.to_str().unwrap(),
+            "--method",
+            "edgar",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let run2 = gpa().args(["run", opt.to_str().unwrap()]).output().unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&run1.stdout),
+        String::from_utf8_lossy(&run2.stdout)
+    );
+
+    for p in [src, img, opt] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn dis_and_stats() {
+    let img = tmp("bench.img");
+    let out = gpa()
+        .args(["bench", "crc", "-o", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let dis = gpa().args(["dis", img.to_str().unwrap()]).output().unwrap();
+    assert!(dis.status.success());
+    let text = String::from_utf8_lossy(&dis.stdout);
+    assert!(text.contains("_start:"));
+    assert!(text.contains("crc_update:"));
+    assert!(text.contains("bl main"));
+
+    let stats = gpa().args(["stats", img.to_str().unwrap()]).output().unwrap();
+    assert!(stats.status.success());
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("instructions:"));
+
+    let _ = std::fs::remove_file(img);
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = gpa().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn bad_method_rejected() {
+    let out = gpa()
+        .args(["optimize", "x.img", "-o", "y.img", "--method", "magic"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,88 @@
+//! The cost/benefit model shared by all detection methods.
+//!
+//! Sizes are in machine words (= ARM instructions; the fused indirect
+//! call counts as two). A fragment of `body_words` words occurring at `k`
+//! sites can be extracted as:
+//!
+//! * a **procedure**: each site becomes one `bl`, the new procedure is
+//!   the body plus a return — plus a `push {lr}` / `pop {pc}` pair when
+//!   the body itself contains calls (which clobber `lr`);
+//! * a **cross-jump / tail-merge** (body ends in a return): each site
+//!   becomes one `b` to a single shared copy of the body, which needs no
+//!   extra return.
+
+use crate::candidate::ExtractionKind;
+
+/// Net instruction-count reduction of extracting a fragment.
+///
+/// Returns a negative number when the extraction would grow the program.
+///
+/// # Examples
+///
+/// ```
+/// use gpa::cost::saved_words;
+/// use gpa::ExtractionKind;
+///
+/// // 3-word fragment at 2 sites, plain procedure:
+/// // 2*3 - 2 (bl) - 4 (proc of 3 + bx lr) = 0.
+/// assert_eq!(saved_words(3, 2, ExtractionKind::Procedure { lr_save: false }), 0);
+/// // Same fragment at 4 sites: 12 - 4 - 4 = 4.
+/// assert_eq!(saved_words(3, 4, ExtractionKind::Procedure { lr_save: false }), 4);
+/// // Cross-jump, 3 words × 2 sites: 6 - 2 - 3 = 1.
+/// assert_eq!(saved_words(3, 2, ExtractionKind::CrossJump), 1);
+/// ```
+pub fn saved_words(body_words: usize, occurrences: usize, kind: ExtractionKind) -> i64 {
+    let m = body_words as i64;
+    let k = occurrences as i64;
+    match kind {
+        ExtractionKind::Procedure { lr_save } => {
+            // Plain: body + `bx lr`. With lr save: `push {lr}` + body +
+            // `pop {pc}` — the pop doubles as the return, so the wrap
+            // costs one extra word, not two.
+            let proc_size = m + 1 + i64::from(lr_save);
+            k * m - k - proc_size
+        }
+        ExtractionKind::CrossJump => k * m - k - m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn procedure_grows_with_occurrences() {
+        let kind = ExtractionKind::Procedure { lr_save: false };
+        assert!(saved_words(2, 2, kind) < 0);
+        assert_eq!(saved_words(2, 3, kind), 0);
+        assert_eq!(saved_words(2, 4, kind), 1);
+        assert_eq!(saved_words(5, 2, kind), 10 - 2 - 6);
+        // Benefit is monotone in body size for fixed k ≥ 2.
+        for k in 2..6 {
+            for m in 2..20 {
+                assert!(saved_words(m + 1, k, kind) >= saved_words(m, k, kind));
+            }
+        }
+    }
+
+    #[test]
+    fn lr_save_costs_one_word() {
+        // push {lr} is extra; pop {pc} replaces the bx lr return.
+        let plain = ExtractionKind::Procedure { lr_save: false };
+        let saved = ExtractionKind::Procedure { lr_save: true };
+        assert_eq!(saved_words(4, 3, plain) - saved_words(4, 3, saved), 1);
+    }
+
+    #[test]
+    fn cross_jump_beats_procedure() {
+        // Cross-jump saves the return instruction.
+        for m in 2..10 {
+            for k in 2..6 {
+                assert!(
+                    saved_words(m, k, ExtractionKind::CrossJump)
+                        > saved_words(m, k, ExtractionKind::Procedure { lr_save: false })
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Applying an extraction to the program (§2.1 step 8).
+//!
+//! Procedure extraction contracts each occurrence's nodes into a single
+//! call and re-schedules the region topologically; cross-jump extraction
+//! moves the shared tail into a new "function" every occurrence branches
+//! to. Both directions of the dependence relation are re-derived from the
+//! items themselves, so a cycle (which the detection filters should have
+//! prevented) is caught and reported rather than miscompiled.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use gpa_arm::Cond;
+use gpa_cfg::{FunctionCode, Item, Program};
+
+use crate::candidate::{Candidate, ExtractionKind, Occurrence};
+
+/// Error produced when an extraction cannot be applied soundly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtractError(String);
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot extract fragment: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// A scheduling unit of a contracted region: one external item or one
+/// whole occurrence.
+enum Unit {
+    External(usize),          // item index, relative to region
+    Fragment(Vec<usize>),     // member item indices, relative to region
+}
+
+impl Unit {
+    fn members(&self) -> &[usize] {
+        match self {
+            Unit::External(i) => std::slice::from_ref(i),
+            Unit::Fragment(v) => v,
+        }
+    }
+
+    fn min_pos(&self) -> usize {
+        *self.members().first().expect("units are non-empty")
+    }
+}
+
+/// Computes the rewritten item list of a region after contracting the
+/// given occurrences (item indices relative to the region) into calls to
+/// `frag_name`. Returns `None` when the contraction would create a cyclic
+/// dependence (the occurrences are incompatible).
+///
+/// Also usable as a dry-run compatibility check during detection.
+pub fn contract_region(
+    region_items: &[Item],
+    occurrence_sets: &[Vec<usize>],
+    frag_name: &str,
+) -> Option<Vec<Item>> {
+    let in_fragment: HashSet<usize> = occurrence_sets.iter().flatten().copied().collect();
+    debug_assert_eq!(
+        in_fragment.len(),
+        occurrence_sets.iter().map(Vec::len).sum::<usize>(),
+        "occurrences must be disjoint"
+    );
+    let mut units: Vec<Unit> = Vec::new();
+    for (i, _) in region_items.iter().enumerate() {
+        if !in_fragment.contains(&i) {
+            units.push(Unit::External(i));
+        }
+    }
+    for set in occurrence_sets {
+        units.push(Unit::Fragment(set.clone()));
+    }
+    // Dependence edges between units, from pairwise item conflicts ordered
+    // by original position.
+    let n = units.len();
+    let effects: Vec<_> = region_items.iter().map(Item::effects).collect();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for a in 0..n {
+        for b in (a + 1)..n {
+            // Direction of the dependence between the two units, from the
+            // original positions of their conflicting member pairs.
+            let mut forward = false;
+            let mut backward = false;
+            for &u in units[a].members() {
+                for &v in units[b].members() {
+                    if gpa_arm::defuse::conflicts(&effects[u], &effects[v]) {
+                        if u < v {
+                            forward = true;
+                        } else {
+                            backward = true;
+                        }
+                    }
+                }
+            }
+            // Conflicts in both directions between two units make the
+            // contraction cyclic (only possible when at least one unit is
+            // a multi-item fragment).
+            if forward && backward {
+                return None;
+            }
+            if forward {
+                succs[a].push(b);
+            } else if backward {
+                succs[b].push(a);
+            }
+        }
+    }
+    let mut pred_count = vec![0usize; n];
+    for s in &succs {
+        for &b in s {
+            pred_count[b] += 1;
+        }
+    }
+    // Kahn, preferring the unit whose first item came first originally —
+    // keeps the output close to the source order.
+    let mut ready: Vec<usize> = (0..n).filter(|&u| pred_count[u] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let pos = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &u)| units[u].min_pos())
+            .map(|(p, _)| p)
+            .expect("ready is non-empty");
+        let u = ready.swap_remove(pos);
+        order.push(u);
+        for &s in &succs[u] {
+            pred_count[s] -= 1;
+            if pred_count[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if order.len() != n {
+        return None; // Cycle through contracted units.
+    }
+    let mut out = Vec::with_capacity(region_items.len());
+    for u in order {
+        match &units[u] {
+            Unit::External(i) => out.push(region_items[*i].clone()),
+            Unit::Fragment(_) => out.push(Item::Call {
+                cond: Cond::Al,
+                target: frag_name.to_owned(),
+            }),
+        }
+    }
+    Some(out)
+}
+
+/// Builds the new function for a candidate.
+fn fragment_function(candidate: &Candidate, name: &str) -> FunctionCode {
+    let mut items = Vec::with_capacity(candidate.body.len() + 3);
+    match candidate.kind {
+        ExtractionKind::Procedure { lr_save: false } => {
+            items.extend(candidate.body.iter().cloned());
+            items.push(Item::Insn(gpa_arm::Instruction::ret()));
+        }
+        ExtractionKind::Procedure { lr_save: true } => {
+            items.push(Item::Insn("push {lr}".parse().expect("valid asm")));
+            items.extend(candidate.body.iter().cloned());
+            items.push(Item::Insn("pop {pc}".parse().expect("valid asm")));
+        }
+        ExtractionKind::CrossJump => {
+            items.extend(candidate.body.iter().cloned());
+        }
+    }
+    FunctionCode {
+        name: name.to_owned(),
+        address_taken: false,
+        items,
+        label_count: 0,
+    }
+}
+
+/// Applies `candidate` to the program, adding a new function named
+/// `frag_name` and rewriting every occurrence site.
+///
+/// # Errors
+///
+/// Returns an [`ExtractError`] if the contraction of any region turns out
+/// cyclic — detection is expected to have filtered such occurrence
+/// combinations, so this indicates a bug upstream.
+pub fn apply(
+    program: &mut Program,
+    candidate: &Candidate,
+    frag_name: &str,
+) -> Result<(), ExtractError> {
+    // Group occurrences by (function, region), splicing bottom-up so item
+    // indices stay valid.
+    let mut grouped: std::collections::BTreeMap<(usize, usize), (usize, Vec<&Occurrence>)> =
+        Default::default();
+    for occ in &candidate.occurrences {
+        let entry = grouped
+            .entry((occ.function, occ.region_start))
+            .or_insert((occ.region_len, Vec::new()));
+        entry.1.push(occ);
+    }
+    for (&(func, region_start), (region_len, occs)) in grouped.iter().rev() {
+        let f = &mut program.functions[func];
+        let region_end = region_start + *region_len;
+        if region_end > f.items.len() {
+            return Err(ExtractError(format!(
+                "occurrence region out of bounds in `{}`",
+                f.name
+            )));
+        }
+        let region_items: Vec<Item> = f.items[region_start..region_end].to_vec();
+        let new_items = match candidate.kind {
+            ExtractionKind::Procedure { .. } => {
+                let sets: Vec<Vec<usize>> = occs
+                    .iter()
+                    .map(|o| {
+                        o.item_indices
+                            .iter()
+                            .map(|&i| i - region_start)
+                            .collect()
+                    })
+                    .collect();
+                contract_region(&region_items, &sets, frag_name).ok_or_else(|| {
+                    ExtractError(format!(
+                        "cyclic contraction in `{}` at {region_start}",
+                        f.name
+                    ))
+                })?
+            }
+            ExtractionKind::CrossJump => {
+                // One occurrence per region (a region has one return).
+                let occ = occs.first().expect("grouped entries are non-empty");
+                if occs.len() != 1 {
+                    return Err(ExtractError(
+                        "multiple cross-jump occurrences in one region".into(),
+                    ));
+                }
+                let members: HashSet<usize> = occ
+                    .item_indices
+                    .iter()
+                    .map(|&i| i - region_start)
+                    .collect();
+                let mut rest: Vec<Item> = region_items
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !members.contains(i))
+                    .map(|(_, item)| item.clone())
+                    .collect();
+                rest.push(Item::TailCall {
+                    cond: Cond::Al,
+                    target: frag_name.to_owned(),
+                });
+                rest
+            }
+        };
+        f.items.splice(region_start..region_end, new_items);
+    }
+    program
+        .functions
+        .push(fragment_function(candidate, frag_name));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insn(text: &str) -> Item {
+        Item::Insn(text.parse().unwrap())
+    }
+
+    #[test]
+    fn contract_simple_region() {
+        // [ldr, sub, add-independent] with fragment {0, 1}.
+        let items = vec![
+            insn("ldr r3, [r1], #4"),
+            insn("sub r2, r2, r3"),
+            insn("add r7, r7, #1"),
+        ];
+        let out = contract_region(&items, &[vec![0, 1]], "frag").unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[0], Item::Call { target, .. } if target == "frag"));
+        assert_eq!(out[1], items[2]);
+    }
+
+    #[test]
+    fn contract_interleaved_fragments() {
+        // Two independent chains interleaved; both become calls.
+        let items = vec![
+            insn("ldr r3, [r1], #4"),
+            insn("ldr r5, [r6], #4"),
+            insn("sub r2, r2, r3"),
+            insn("sub r4, r4, r5"),
+        ];
+        let out = contract_region(&items, &[vec![0, 2], vec![1, 3]], "frag").unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out
+            .iter()
+            .all(|i| matches!(i, Item::Call { target, .. } if target == "frag")));
+    }
+
+    #[test]
+    fn contract_rejects_cycles() {
+        // fragment = {0, 2}; item 1 depends on 0 and 2 depends on 1 —
+        // contracting {0, 2} is the non-convex case of Fig. 9.
+        let items = vec![
+            insn("ldr r3, [r1], #4"),  // 0: defs r3, r1
+            insn("sub r2, r2, r3"),    // 1: uses r3, defs r2
+            insn("add r4, r2, #4"),    // 2: uses r2
+        ];
+        assert_eq!(contract_region(&items, &[vec![0, 2]], "frag"), None);
+    }
+
+    #[test]
+    fn contract_preserves_external_order() {
+        let items = vec![
+            insn("mov r0, #1"),
+            insn("ldr r3, [r1], #4"),
+            insn("sub r2, r2, r3"),
+            insn("mov r7, #2"),
+        ];
+        let out = contract_region(&items, &[vec![1, 2]], "frag").unwrap();
+        assert_eq!(out[0], items[0]);
+        assert!(matches!(&out[1], Item::Call { .. }));
+        assert_eq!(out[2], items[3]);
+    }
+
+    #[test]
+    fn fragment_function_shapes() {
+        let body = vec![insn("ldr r3, [r1], #4"), insn("sub r2, r2, r3")];
+        let plain = Candidate {
+            body: body.clone(),
+            occurrences: vec![],
+            kind: ExtractionKind::Procedure { lr_save: false },
+            saved: 1,
+        };
+        let f = fragment_function(&plain, "frag0");
+        assert_eq!(f.items.len(), 3);
+        assert!(matches!(f.items.last(), Some(Item::Insn(i)) if i.to_string() == "bx lr"));
+
+        let saved = Candidate {
+            body: body.clone(),
+            occurrences: vec![],
+            kind: ExtractionKind::Procedure { lr_save: true },
+            saved: 1,
+        };
+        let f = fragment_function(&saved, "frag1");
+        assert_eq!(f.items.len(), 4);
+        // `push {lr}` prints in its canonical stm form.
+        assert!(matches!(&f.items[0], Item::Insn(i) if i.to_string() == "stmdb sp!, {lr}"));
+        assert!(matches!(f.items.last(), Some(Item::Insn(i)) if i.to_string() == "ldmia sp!, {pc}"));
+
+        let cj = Candidate {
+            body: vec![insn("add sp, sp, #8"), insn("pop {r4, pc}")],
+            occurrences: vec![],
+            kind: ExtractionKind::CrossJump,
+            saved: 1,
+        };
+        let f = fragment_function(&cj, "frag2");
+        assert_eq!(f.items.len(), 2);
+    }
+}

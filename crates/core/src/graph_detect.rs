@@ -1,0 +1,526 @@
+//! Graph-based fragment detection: DgSpan and Edgar candidates.
+
+use std::collections::BTreeMap;
+
+use gpa_cfg::{Item, Program};
+use gpa_dfg::{build_dfg_from_items, Dfg, LabelMode};
+use gpa_mining::graph::InputGraph;
+use gpa_mining::miner::{mine_streaming, non_overlapping_count, Config, Frequent, GrowDecision, Support};
+
+use crate::candidate::{classify_body, Candidate, ExtractionKind, Occurrence};
+use crate::cost::saved_words;
+use crate::extract::contract_region;
+use crate::trace::trace_equivalent;
+
+/// Detection configuration for the graph-based methods.
+#[derive(Clone, Debug)]
+pub struct GraphConfig {
+    /// Support counting: `Graphs` = DgSpan, `Embeddings` = Edgar.
+    pub support: Support,
+    /// Node-label scheme (exact for extraction; canonical only estimates).
+    pub label_mode: LabelMode,
+    /// Fragment size cap in nodes.
+    pub max_nodes: usize,
+    /// Pattern-visit budget per mining round (bounds the exponential
+    /// lattice of large repetitive blocks; see
+    /// [`gpa_mining::miner::Config::max_patterns`]).
+    pub max_patterns: usize,
+}
+
+impl Default for GraphConfig {
+    fn default() -> GraphConfig {
+        GraphConfig {
+            support: Support::Embeddings,
+            label_mode: LabelMode::Exact,
+            max_nodes: 16,
+            max_patterns: 60_000,
+        }
+    }
+}
+
+/// A region with its provenance, aligned with the DFG/graph indices.
+pub(crate) struct RegionInfo {
+    pub function: usize,
+    pub start: usize,
+    pub len: usize,
+    pub items: Vec<Item>,
+}
+
+pub(crate) fn region_infos(program: &Program) -> Vec<RegionInfo> {
+    let mut infos = Vec::new();
+    for (fi, f) in program.functions.iter().enumerate() {
+        for r in f.regions() {
+            infos.push(RegionInfo {
+                function: fi,
+                start: r.start,
+                len: r.items.len(),
+                items: r.items.to_vec(),
+            });
+        }
+    }
+    infos
+}
+
+/// Computes, per function, whether `lr` is free to clobber (a `bl` may be
+/// inserted anywhere). `lr` is *live* in a function when the function can
+/// still read the entry value of `lr`: it contains a `bx lr`, or it
+/// tail-branches into a function that does (cross-jump fragments carry the
+/// `bx lr` of the leaf epilogues they merged, so liveness must propagate
+/// backwards over `TailCall` edges to a fixpoint).
+pub(crate) fn lr_free_functions(program: &Program) -> Vec<bool> {
+    let index: std::collections::HashMap<&str, usize> = program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i))
+        .collect();
+    let mut live: Vec<bool> = program
+        .functions
+        .iter()
+        .map(|f| {
+            f.items.iter().any(|i| {
+                matches!(
+                    i,
+                    Item::Insn(gpa_arm::Instruction::Bx { rm, .. }) if *rm == gpa_arm::Reg::LR
+                )
+            })
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for (fi, f) in program.functions.iter().enumerate() {
+            if live[fi] {
+                continue;
+            }
+            let tail_live = f.items.iter().any(|i| {
+                matches!(i, Item::TailCall { target, .. }
+                    if index.get(target.as_str()).map(|&t| live[t]).unwrap_or(true))
+            });
+            if tail_live {
+                live[fi] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    live.into_iter().map(|l| !l).collect()
+}
+
+/// Builds the best extractable candidate from one frequent fragment, or
+/// `None`.
+/// Forward-reachability closure of a DFG as one bitset row per node.
+pub(crate) struct Reach {
+    words: usize,
+    rows: Vec<u64>,
+}
+
+impl Reach {
+    pub(crate) fn new(dfg: &Dfg) -> Reach {
+        let n = dfg.node_count();
+        let words = n.div_ceil(64).max(1);
+        let mut rows = vec![0u64; n * words];
+        // Edges only go forward in node order; sweep backwards.
+        for u in (0..n).rev() {
+            for e in dfg.succs(u) {
+                let v = e.to;
+                rows[u * words + v / 64] |= 1 << (v % 64);
+                let (a, b) = rows.split_at_mut(u.max(v) * words);
+                let (src, dst) = if u < v {
+                    (&b[..words], &mut a[u * words..u * words + words])
+                } else {
+                    unreachable!("DFG edges point forward")
+                };
+                for w in 0..words {
+                    dst[w] |= src[w];
+                }
+            }
+        }
+        Reach { words, rows }
+    }
+
+    fn row(&self, u: usize) -> &[u64] {
+        &self.rows[u * self.words..(u + 1) * self.words]
+    }
+}
+
+/// Cap on embeddings validated per pattern: beyond this many occurrences
+/// the benefit is enormous anyway, and validation cost must stay bounded.
+const MAX_VALIDATED_EMBEDDINGS: usize = 512;
+
+#[allow(clippy::too_many_arguments)]
+fn candidate_from_frequent(
+    freq: &Frequent,
+    infos: &[RegionInfo],
+    dfgs: &[Dfg],
+    reaches: &[Reach],
+    lr_free: &[bool],
+    support: Support,
+) -> Option<Candidate> {
+    if freq.embeddings.len() < 2 {
+        return None;
+    }
+    // Body: the first embedding's nodes in program order.
+    let first = &freq.embeddings[0];
+    let first_info = &infos[first.graph as usize];
+    let first_nodes = first.sorted_nodes();
+    let body: Vec<Item> = first_nodes
+        .iter()
+        .map(|&n| first_info.items[n as usize].clone())
+        .collect();
+    let kind = classify_body(&body)?;
+
+    // Validate each embedding site (bounded; see the constant above).
+    let mut valid: Vec<&gpa_mining::embed::Embedding> = Vec::new();
+    for emb in freq.embeddings.iter().take(MAX_VALIDATED_EMBEDDINGS) {
+        let info = &infos[emb.graph as usize];
+        let dfg = &dfgs[emb.graph as usize];
+        let reach = &reaches[emb.graph as usize];
+        let nodes = emb.sorted_nodes();
+        let seq: Vec<Item> = nodes
+            .iter()
+            .map(|&n| info.items[n as usize].clone())
+            .collect();
+        if !trace_equivalent(&body, &seq) {
+            continue;
+        }
+        let in_set = |n: usize| nodes.binary_search(&(n as u32)).is_ok();
+        let ok = match kind {
+            ExtractionKind::Procedure { .. } => {
+                if !lr_free[info.function] {
+                    false
+                } else {
+                    // Convexity (Fig. 9): no path from the fragment out and
+                    // back in through an external node — checked on the
+                    // precomputed reachability closure: the fragment is
+                    // convex iff no externally-reachable node w (reached
+                    // FROM the fragment) itself reaches INTO the fragment.
+                    let words = dfg.node_count().div_ceil(64).max(1);
+                    let mut frag_mask = vec![0u64; words];
+                    for &u in &nodes {
+                        frag_mask[u as usize / 64] |= 1 << (u % 64);
+                    }
+                    let mut from_frag = vec![0u64; words];
+                    for &u in &nodes {
+                        for (w, &r) in reach.row(u as usize).iter().enumerate() {
+                            from_frag[w] |= r;
+                        }
+                    }
+                    let mut convex = true;
+                    'outer: for wi in 0..words {
+                        let mut outside = from_frag[wi] & !frag_mask[wi];
+                        while outside != 0 {
+                            let bit = outside.trailing_zeros() as usize;
+                            outside &= outside - 1;
+                            let w = wi * 64 + bit;
+                            let row = reach.row(w);
+                            if (0..words).any(|x| row[x] & frag_mask[x] != 0) {
+                                convex = false;
+                                break 'outer;
+                            }
+                        }
+                    }
+                    convex
+                }
+            }
+            ExtractionKind::CrossJump => {
+                // Exit-closed: no direct edge from a fragment node to an
+                // external node (the fragment must be schedulable last).
+                !dfg.edges()
+                    .iter()
+                    .any(|e| in_set(e.from) && !in_set(e.to))
+            }
+        };
+        if ok {
+            valid.push(emb);
+        }
+    }
+    if valid.len() < 2 {
+        return None;
+    }
+
+    // Occurrence selection: a maximum set of non-overlapping embeddings.
+    // DgSpan and Edgar differ only in *frequency counting* during the
+    // mining search (§4.2: fragments occurring several times in one block
+    // look infrequent to DgSpan); once a fragment is selected, the
+    // extraction machinery takes every non-overlapping occurrence for
+    // both methods.
+    let _ = support;
+    let selected: Vec<&gpa_mining::embed::Embedding> = {
+        let owned: Vec<gpa_mining::embed::Embedding> =
+            valid.iter().map(|e| (*e).clone()).collect();
+        let (_, chosen) = non_overlapping_count(&owned);
+        chosen.into_iter().map(|i| valid[i]).collect()
+    };
+
+    // Per-region compatibility: simultaneous contractions must stay
+    // acyclic. Greedily keep occurrences in order, dropping incompatible
+    // ones.
+    let mut kept: Vec<&gpa_mining::embed::Embedding> = Vec::new();
+    if matches!(kind, ExtractionKind::Procedure { .. }) {
+        let mut by_region: BTreeMap<u32, Vec<Vec<usize>>> = BTreeMap::new();
+        for e in selected {
+            let info = &infos[e.graph as usize];
+            let set: Vec<usize> = e.sorted_nodes().iter().map(|&n| n as usize).collect();
+            let sets = by_region.entry(e.graph).or_default();
+            sets.push(set);
+            if contract_region(&info.items, sets, "__probe").is_none() {
+                sets.pop();
+            } else {
+                kept.push(e);
+            }
+        }
+    } else {
+        kept = selected;
+    }
+    if kept.len() < 2 {
+        return None;
+    }
+
+    let body_words: usize = body.iter().map(Item::encoded_words).sum();
+    let saved = saved_words(body_words, kept.len(), kind);
+    if saved <= 0 {
+        return None;
+    }
+    let occurrences = kept
+        .iter()
+        .map(|e| {
+            let info = &infos[e.graph as usize];
+            Occurrence {
+                function: info.function,
+                region_start: info.start,
+                region_len: info.len,
+                item_indices: e
+                    .sorted_nodes()
+                    .iter()
+                    .map(|&n| info.start + n as usize)
+                    .collect(),
+            }
+        })
+        .collect();
+    Some(Candidate {
+        body,
+        occurrences,
+        kind,
+        saved,
+    })
+}
+
+/// Finds the best extractable candidate in the program under graph-based
+/// detection, or `None` when no extraction shrinks the program.
+pub fn best_candidate(program: &Program, config: &GraphConfig) -> Option<Candidate> {
+    let infos = region_infos(program);
+    let dfgs: Vec<Dfg> = infos
+        .iter()
+        .map(|info| {
+            build_dfg_from_items(
+                &program.functions[info.function].name,
+                info.start,
+                &info.items,
+                config.label_mode,
+            )
+        })
+        .collect();
+    let lr_free = lr_free_functions(program);
+    let reaches: Vec<Reach> = dfgs.iter().map(Reach::new).collect();
+    let (graphs, _interner) = InputGraph::from_dfgs(&dfgs);
+    // §3.5 PA-specific lattice pruning: an embedding can only ever be
+    // extracted if its region admits *some* mechanism — procedures need a
+    // clobberable lr; cross-jumps need the region's return to be part of
+    // a connected (≥ 2 node) fragment. Regions offering neither (leaf
+    // function bodies whose `bx lr` is edge-isolated) contribute nothing,
+    // and branches of the lattice supported only by them are pruned.
+    let region_live: Vec<bool> = infos
+        .iter()
+        .zip(&dfgs)
+        .map(|(info, dfg)| {
+            if lr_free[info.function] {
+                return true;
+            }
+            let n = dfg.node_count();
+            n > 0
+                && info.items[n - 1].is_return()
+                && (dfg.in_degree(n - 1) > 0 || dfg.out_degree(n - 1) > 0)
+        })
+        .collect();
+    // The cross-jump benefit k·m − k − m is the most generous extraction
+    // kind and is increasing in both k (occurrences) and m (body words),
+    // so evaluating it at upper bounds of k and m bounds every candidate
+    // derivable from a pattern (and, for the subtree bound, from any of
+    // its descendants).
+    let benefit_bound = |k: i64, m: i64| k * m - k - m;
+    // Upper bound on disjoint occurrences of ANY pattern with ≥ `m` nodes
+    // embedded in the given graphs: disjoint embeddings of size m tile a
+    // graph, so at most ⌊|V|/m⌋ fit per graph.
+    let tiling_bound = |f: &Frequent, m: usize| -> i64 {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total = 0i64;
+        for e in &f.embeddings {
+            if seen.insert(e.graph) {
+                total += (graphs[e.graph as usize].node_count() / m) as i64;
+            }
+        }
+        total.min(f.embeddings.len() as i64)
+    };
+    let max_body_words = 2 * config.max_nodes as i64; // fused calls = 2 words
+    let mut best: Option<Candidate> = None;
+    mine_streaming(
+        &graphs,
+        &Config {
+            min_support: 2,
+            support: config.support,
+            max_nodes: config.max_nodes,
+            max_patterns: config.max_patterns,
+            ..Config::default()
+        },
+        &mut |f| {
+            let m = f.pattern.node_count();
+            let best_saved = best.as_ref().map(|b| b.saved).unwrap_or(0);
+            // Unextractable-region pruning (see region_live above).
+            let k_live = f
+                .embeddings
+                .iter()
+                .filter(|e| region_live[e.graph as usize])
+                .count();
+            if k_live < 2 {
+                return GrowDecision::SkipChildren;
+            }
+            let k_ub = tiling_bound(f, m);
+            // No descendant (m′ ≥ m, occurrences ≤ k_ub since disjoint
+            // counts are antimonotone) can beat the current best: prune.
+            if benefit_bound(k_ub, max_body_words) <= best_saved {
+                return GrowDecision::SkipChildren;
+            }
+            // This very pattern cannot beat the best: skip the expensive
+            // validation but keep growing.
+            if benefit_bound(k_ub, 2 * m as i64) > best_saved {
+                if let Some(c) =
+                    candidate_from_frequent(f, &infos, &dfgs, &reaches, &lr_free, config.support)
+                {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            c.saved > b.saved
+                                || (c.saved == b.saved && c.body_words() < b.body_words())
+                                || (c.saved == b.saved
+                                    && c.body_words() == b.body_words()
+                                    && (&c.occurrences[0].function, &c.occurrences[0].item_indices)
+                                        < (&b.occurrences[0].function,
+                                           &b.occurrences[0].item_indices))
+                        }
+                    };
+                    if better {
+                        best = Some(c);
+                    }
+                }
+            }
+            GrowDecision::Continue
+        },
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_cfg::{FunctionCode, LabelId};
+
+    fn insn(text: &str) -> Item {
+        Item::Insn(text.parse().unwrap())
+    }
+
+    /// A program with one function holding the paper's running example
+    /// plus a return, and a second copy in another function.
+    fn running_example_program() -> Program {
+        let block: Vec<Item> = [
+            "ldr r3, [r1]!",
+            "sub r2, r2, r3",
+            "add r4, r2, #4",
+            "ldr r3, [r1]!",
+            "sub r2, r2, r3",
+            "ldr r3, [r1]!",
+            "add r4, r2, #4",
+        ]
+        .iter()
+        .map(|s| insn(s))
+        .collect();
+        let mut items_a = vec![Item::Insn("push {r4, lr}".parse().unwrap())];
+        items_a.extend(block.iter().cloned());
+        items_a.push(Item::Insn("pop {r4, pc}".parse().unwrap()));
+        let f_a = FunctionCode {
+            name: "a".into(),
+            address_taken: false,
+            items: items_a,
+            label_count: 0,
+        };
+        let mut items_b = vec![Item::Insn("push {r4, lr}".parse().unwrap())];
+        items_b.extend(block.iter().cloned());
+        items_b.push(Item::Insn("pop {r4, pc}".parse().unwrap()));
+        let f_b = FunctionCode {
+            name: "b".into(),
+            address_taken: false,
+            items: items_b,
+            label_count: 0,
+        };
+        let _ = LabelId(0);
+        Program {
+            functions: vec![f_a, f_b],
+            data: Vec::new(),
+            data_symbols: Vec::new(),
+            code_base: 0x8000,
+            data_base: 0x2_0000,
+            entry: "a".into(),
+        }
+    }
+
+    #[test]
+    fn edgar_finds_profitable_fragment() {
+        let program = running_example_program();
+        let cand = best_candidate(
+            &program,
+            &GraphConfig {
+                support: Support::Embeddings,
+                ..GraphConfig::default()
+            },
+        )
+        .expect("four occurrences of a three-node fragment are profitable");
+        assert!(cand.saved > 0);
+        assert!(cand.occurrences.len() >= 2);
+        // Occurrences never overlap.
+        for w in cand.occurrences.windows(2) {
+            if w[0].function == w[1].function {
+                let a: std::collections::HashSet<_> = w[0].item_indices.iter().collect();
+                assert!(w[1].item_indices.iter().all(|i| !a.contains(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn edgar_beats_dgspan_on_intra_block_repeats() {
+        let program = running_example_program();
+        let edgar = best_candidate(
+            &program,
+            &GraphConfig {
+                support: Support::Embeddings,
+                ..GraphConfig::default()
+            },
+        )
+        .map(|c| c.saved)
+        .unwrap_or(0);
+        let dgspan = best_candidate(
+            &program,
+            &GraphConfig {
+                support: Support::Graphs,
+                ..GraphConfig::default()
+            },
+        )
+        .map(|c| c.saved)
+        .unwrap_or(0);
+        assert!(
+            edgar >= dgspan,
+            "edgar {edgar} must be at least dgspan {dgspan}"
+        );
+    }
+}
+

@@ -1,0 +1,295 @@
+//! The optimization driver: mine → pick best → extract → repeat.
+
+use std::fmt;
+
+use gpa_cfg::{decode_image, encode_program, Program};
+use gpa_image::Image;
+use gpa_mining::miner::Support;
+
+use crate::candidate::Candidate;
+use crate::extract;
+use crate::graph_detect::{self, GraphConfig};
+use crate::report::{Report, Round};
+use crate::sfx_detect;
+
+/// The three detection methods compared in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Method {
+    /// Suffix-trie / fingerprint baseline over the linear stream.
+    Sfx,
+    /// Directed gSpan counting containing graphs.
+    DgSpan,
+    /// Embedding-based counting with MIS overlap resolution.
+    Edgar,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Method::Sfx => write!(f, "SFX"),
+            Method::DgSpan => write!(f, "DgSpan"),
+            Method::Edgar => write!(f, "Edgar"),
+        }
+    }
+}
+
+/// Errors surfaced by the optimizer.
+#[derive(Debug)]
+pub enum OptimizerError {
+    /// The input image could not be lifted.
+    Decode(gpa_cfg::DecodeImageError),
+    /// The optimized program could not be re-encoded.
+    Encode(gpa_cfg::EncodeProgramError),
+    /// An extraction failed mid-run (indicates a detection bug).
+    Extract(extract::ExtractError),
+}
+
+impl fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizerError::Decode(e) => write!(f, "{e}"),
+            OptimizerError::Encode(e) => write!(f, "{e}"),
+            OptimizerError::Extract(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {}
+
+/// Tuning knobs for an optimization run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Stop after this many extraction rounds (safety valve; the paper
+    /// iterates to a fixpoint).
+    pub max_rounds: usize,
+    /// Fragment size cap for the graph miners.
+    pub max_fragment_nodes: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            max_rounds: 10_000,
+            max_fragment_nodes: 16,
+        }
+    }
+}
+
+/// The procedural-abstraction optimizer: owns a rewritable [`Program`]
+/// and shrinks it round by round.
+#[derive(Clone, Debug)]
+pub struct Optimizer {
+    program: Program,
+    fragment_counter: usize,
+}
+
+impl Optimizer {
+    /// Lifts an image into an optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`gpa_cfg::decode_image`] failures.
+    pub fn from_image(image: &Image) -> Result<Optimizer, OptimizerError> {
+        Ok(Optimizer::from_program(
+            decode_image(image).map_err(OptimizerError::Decode)?,
+        ))
+    }
+
+    /// Wraps an already-lifted program.
+    pub fn from_program(program: Program) -> Optimizer {
+        Optimizer {
+            program,
+            fragment_counter: 0,
+        }
+    }
+
+    /// The current (possibly optimized) program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Re-encodes the current program into an executable image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`gpa_cfg::encode_program`] failures.
+    pub fn encode(&self) -> Result<Image, OptimizerError> {
+        encode_program(&self.program).map_err(OptimizerError::Encode)
+    }
+
+    /// Finds the best candidate under `method` without applying it.
+    pub fn detect(&self, method: Method, config: &RunConfig) -> Option<Candidate> {
+        match method {
+            Method::Sfx => sfx_detect::best_candidate(&self.program),
+            Method::DgSpan => graph_detect::best_candidate(
+                &self.program,
+                &GraphConfig {
+                    support: Support::Graphs,
+                    max_nodes: config.max_fragment_nodes,
+                    ..GraphConfig::default()
+                },
+            ),
+            Method::Edgar => graph_detect::best_candidate(
+                &self.program,
+                &GraphConfig {
+                    support: Support::Embeddings,
+                    max_nodes: config.max_fragment_nodes,
+                    ..GraphConfig::default()
+                },
+            ),
+        }
+    }
+
+    /// Runs the extraction loop to a fixpoint with default tuning.
+    pub fn run(&mut self, method: Method) -> Report {
+        self.run_with(method, &RunConfig::default())
+    }
+
+    /// Runs the extraction loop to a fixpoint.
+    ///
+    /// Each round re-mines the program, extracts the single best
+    /// candidate, and repeats until nothing profitable remains (§2.1
+    /// step 8: "phase (6) is repeated as long as code fragments are found
+    /// that reduce the overall number of instructions").
+    ///
+    /// # Panics
+    ///
+    /// Panics if applying a detected candidate fails — detection and
+    /// extraction share their validity logic, so this indicates a bug.
+    pub fn run_with(&mut self, method: Method, config: &RunConfig) -> Report {
+        let initial_words = self.program.instruction_count();
+        let mut rounds = Vec::new();
+        for _ in 0..config.max_rounds {
+            let Some(candidate) = self.detect(method, config) else {
+                break;
+            };
+            let name = format!("{}{}", gpa_cfg::FRAGMENT_PREFIX, self.fragment_counter);
+            self.fragment_counter += 1;
+            let before = self.program.instruction_count();
+            extract::apply(&mut self.program, &candidate, &name)
+                .expect("detected candidates are extractable");
+            let after = self.program.instruction_count();
+            debug_assert_eq!(
+                before as i64 - after as i64,
+                candidate.saved,
+                "cost model must match actual savings"
+            );
+            rounds.push(Round {
+                kind: candidate.kind,
+                body_words: candidate.body_words(),
+                occurrences: candidate.occurrences.len(),
+                saved: candidate.saved,
+                fragment_name: name,
+            });
+        }
+        Report {
+            initial_words,
+            final_words: self.program.instruction_count(),
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_emu::Machine;
+    use gpa_minicc::{compile, Options};
+
+    fn optimize_and_check(src: &str, method: Method) -> (Report, u64) {
+        let image = compile(src, &Options::default()).unwrap();
+        let before = Machine::new(&image).run(100_000_000).unwrap();
+        let mut opt = Optimizer::from_image(&image).unwrap();
+        let report = opt.run(method);
+        let optimized = opt.encode().unwrap();
+        let after = Machine::new(&optimized).run(100_000_000).unwrap();
+        assert_eq!(before.exit_code, after.exit_code, "{method}: exit code");
+        assert_eq!(before.output, after.output, "{method}: output");
+        assert_eq!(
+            report.saved_words(),
+            image.code_len() as i64 - optimized.code_len() as i64
+                + pool_delta(&image, &optimized)
+        );
+        (report, after.steps)
+    }
+
+    /// Savings are counted in instructions, not pool words; compensate
+    /// for pool-size changes when comparing whole code sections.
+    fn pool_delta(before: &gpa_image::Image, after: &gpa_image::Image) -> i64 {
+        let pools = |img: &gpa_image::Image| -> i64 {
+            let program = gpa_cfg::decode_image(img).unwrap();
+            img.code_len() as i64 - program.instruction_count() as i64
+        };
+        pools(after) - pools(before)
+    }
+
+    const DUPLICATED: &str = "
+        int a(int *p, int x) { int v = p[0] * 31 + x; p[1] = v * v + 7; return v; }
+        int b(int *p, int x) { int v = p[0] * 31 + x; p[1] = v * v + 7; return v + 1; }
+        int c(int *p, int x) { int v = p[0] * 31 + x; p[1] = v * v + 7; return v + 2; }
+        int d(int *p, int x) { int v = p[0] * 31 + x; p[1] = v * v + 7; return v + 3; }
+        int buf[4];
+        int main() {
+            buf[0] = 5;
+            int s = a(buf, 1) + b(buf, 2) + c(buf, 3) + d(buf, 4);
+            putint(s + buf[1]);
+            return 0;
+        }";
+
+    #[test]
+    fn edgar_shrinks_duplicated_code_and_preserves_semantics() {
+        let (report, _) = optimize_and_check(DUPLICATED, Method::Edgar);
+        assert!(report.saved_words() > 0, "rounds: {:?}", report.rounds);
+    }
+
+    #[test]
+    fn sfx_shrinks_duplicated_code_and_preserves_semantics() {
+        let (report, _) = optimize_and_check(DUPLICATED, Method::Sfx);
+        assert!(report.saved_words() > 0);
+    }
+
+    #[test]
+    fn dgspan_shrinks_duplicated_code_and_preserves_semantics() {
+        let (report, _) = optimize_and_check(DUPLICATED, Method::DgSpan);
+        assert!(report.saved_words() > 0);
+    }
+
+    #[test]
+    fn method_ordering_on_duplicated_code() {
+        let image = compile(DUPLICATED, &Options::default()).unwrap();
+        let saved = |method: Method| {
+            let mut opt = Optimizer::from_image(&image).unwrap();
+            opt.run(method).saved_words()
+        };
+        let sfx = saved(Method::Sfx);
+        let dgspan = saved(Method::DgSpan);
+        let edgar = saved(Method::Edgar);
+        // Edgar subsumes DgSpan's counting, so it never does worse. SFX
+        // is incomparable on arbitrary *small* inputs (it may outline
+        // contiguous sequences that are disconnected in the DFG, which a
+        // connected-subgraph miner cannot see); the paper's Edgar ≫ SFX
+        // claim is about whole benchmarks and is asserted by the
+        // integration suite over the MiBench kernels.
+        assert!(edgar >= dgspan, "edgar {edgar} >= dgspan {dgspan}");
+        assert!(sfx > 0 && edgar > 0);
+    }
+
+    #[test]
+    fn fixpoint_leaves_nothing_profitable() {
+        let image = compile(DUPLICATED, &Options::default()).unwrap();
+        let mut opt = Optimizer::from_image(&image).unwrap();
+        opt.run(Method::Edgar);
+        assert!(opt.detect(Method::Edgar, &RunConfig::default()).is_none());
+    }
+
+    #[test]
+    fn no_duplication_means_no_rounds() {
+        let src = "int main() { return 9; }";
+        let image = compile(src, &Options::default()).unwrap();
+        let mut opt = Optimizer::from_image(&image).unwrap();
+        let report = opt.run(Method::Edgar);
+        // Tiny programs may still contain accidental repeats in the
+        // runtime; just require termination and non-negative savings.
+        assert!(report.saved_words() >= 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Optimization reports: the data behind Table 1 and Fig. 12.
+
+use crate::candidate::ExtractionKind;
+
+/// One extraction round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Round {
+    /// How the fragment was extracted.
+    pub kind: ExtractionKind,
+    /// Fragment body size in words.
+    pub body_words: usize,
+    /// Number of sites rewritten.
+    pub occurrences: usize,
+    /// Net words saved this round.
+    pub saved: i64,
+    /// Name of the new fragment function.
+    pub fragment_name: String,
+}
+
+/// The result of running the optimizer to a fixpoint.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Instruction words before optimization.
+    pub initial_words: usize,
+    /// Instruction words after optimization.
+    pub final_words: usize,
+    /// The extraction rounds, in order.
+    pub rounds: Vec<Round>,
+}
+
+impl Report {
+    /// Total words saved (Table 1's "# of saved instructions").
+    pub fn saved_words(&self) -> i64 {
+        self.initial_words as i64 - self.final_words as i64
+    }
+
+    /// Number of procedure-call extractions (Fig. 12).
+    pub fn procedure_count(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| matches!(r.kind, ExtractionKind::Procedure { .. }))
+            .count()
+    }
+
+    /// Number of cross-jump extractions (Fig. 12).
+    pub fn cross_jump_count(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.kind == ExtractionKind::CrossJump)
+            .count()
+    }
+
+    /// Relative improvement over a baseline's savings, in percent
+    /// (Fig. 11's y-axis).
+    pub fn relative_increase_vs(&self, baseline: &Report) -> f64 {
+        let base = baseline.saved_words() as f64;
+        if base == 0.0 {
+            return if self.saved_words() > 0 { f64::INFINITY } else { 0.0 };
+        }
+        (self.saved_words() as f64 / base - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(kind: ExtractionKind, saved: i64) -> Round {
+        Round {
+            kind,
+            body_words: 3,
+            occurrences: 2,
+            saved,
+            fragment_name: "f".into(),
+        }
+    }
+
+    #[test]
+    fn counts_and_savings() {
+        let report = Report {
+            initial_words: 100,
+            final_words: 90,
+            rounds: vec![
+                round(ExtractionKind::Procedure { lr_save: false }, 6),
+                round(ExtractionKind::CrossJump, 3),
+                round(ExtractionKind::Procedure { lr_save: true }, 1),
+            ],
+        };
+        assert_eq!(report.saved_words(), 10);
+        assert_eq!(report.procedure_count(), 2);
+        assert_eq!(report.cross_jump_count(), 1);
+    }
+
+    #[test]
+    fn relative_increase() {
+        let a = Report {
+            initial_words: 100,
+            final_words: 52,
+            rounds: vec![],
+        };
+        let b = Report {
+            initial_words: 100,
+            final_words: 80,
+            rounds: vec![],
+        };
+        // a saved 48, b saved 20 → +140%.
+        assert!((a.relative_increase_vs(&b) - 140.0).abs() < 1e-9);
+    }
+}

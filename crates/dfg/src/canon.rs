@@ -1,0 +1,196 @@
+//! Canonical ("fuzzy") instruction labels — the paper's Fig. 13 extension.
+//!
+//! In canonical representation two instructions are equal if they share
+//! the mnemonic and the number and *types* of operands: every register
+//! becomes `R` and every immediate becomes `I`. Mining with canonical
+//! labels finds more fragments; the extractor then has to reconcile the
+//! concrete registers (parameterized abstraction), which the cost model
+//! accounts for.
+
+use gpa_arm::insn::{AddressMode, Instruction, MemOffset, MemOp, Operand2};
+use gpa_cfg::Item;
+#[cfg(test)]
+use gpa_cfg::Literal;
+
+/// The canonical label of an item: mnemonic plus operand shape.
+///
+/// # Examples
+///
+/// ```
+/// use gpa_cfg::Item;
+/// use gpa_dfg::canon::canonical_label;
+///
+/// let a = Item::Insn("add r1, r2, r3".parse()?);
+/// let b = Item::Insn("add r7, r8, r9".parse()?);
+/// assert_eq!(canonical_label(&a), canonical_label(&b));
+/// assert_eq!(canonical_label(&a), "add R, R, R");
+///
+/// let c = Item::Insn("add r1, r2, #4".parse()?);
+/// assert_eq!(canonical_label(&c), "add R, R, I");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn canonical_label(item: &Item) -> String {
+    match item {
+        Item::Insn(insn) => canonical_insn(insn),
+        Item::Call { cond, .. } => format!("bl{cond} F"),
+        Item::IndirectCall { .. } => "call* R".to_owned(),
+        Item::Branch { cond, .. } | Item::TailCall { cond, .. } => format!("b{cond} L"),
+        Item::LitLoad { .. } => "ldr R, =I".to_owned(),
+        Item::Label(_) => "label".to_owned(),
+    }
+}
+
+fn op2_shape(op2: &Operand2) -> &'static str {
+    match op2 {
+        Operand2::Imm(_) => "I",
+        Operand2::Reg(_) => "R",
+        Operand2::RegShift(_, kind, _) => match kind {
+            gpa_arm::ShiftKind::Lsl => "R, lsl I",
+            gpa_arm::ShiftKind::Lsr => "R, lsr I",
+            gpa_arm::ShiftKind::Asr => "R, asr I",
+            gpa_arm::ShiftKind::Ror => "R, ror I",
+        },
+    }
+}
+
+fn canonical_insn(insn: &Instruction) -> String {
+    match insn {
+        Instruction::DataProc {
+            cond,
+            op,
+            set_flags,
+            op2,
+            ..
+        } => {
+            let s = if *set_flags && !op.is_compare() { "s" } else { "" };
+            if op.is_compare() {
+                format!("{op}{cond} R, {}", op2_shape(op2))
+            } else if op.is_move() {
+                format!("{op}{cond}{s} R, {}", op2_shape(op2))
+            } else {
+                format!("{op}{cond}{s} R, R, {}", op2_shape(op2))
+            }
+        }
+        Instruction::Mul { cond, set_flags, .. } => {
+            format!("mul{cond}{} R, R, R", if *set_flags { "s" } else { "" })
+        }
+        Instruction::Mla { cond, set_flags, .. } => {
+            format!("mla{cond}{} R, R, R, R", if *set_flags { "s" } else { "" })
+        }
+        Instruction::Mem {
+            cond,
+            op,
+            byte,
+            offset,
+            mode,
+            ..
+        } => {
+            let name = match op {
+                MemOp::Ldr => "ldr",
+                MemOp::Str => "str",
+            };
+            let b = if *byte { "b" } else { "" };
+            let off = match offset {
+                MemOffset::Imm(_) => "I",
+                MemOffset::Reg(_, _) => "R",
+            };
+            let mode = match mode {
+                AddressMode::Offset => "[R, off]",
+                AddressMode::PreIndexed => "[R, off]!",
+                AddressMode::PostIndexed => "[R], off",
+            };
+            format!("{name}{cond}{b} R, {} {off}", mode)
+        }
+        Instruction::Block {
+            cond,
+            op,
+            writeback,
+            mode,
+            regs,
+            ..
+        } => {
+            let name = match op {
+                MemOp::Ldr => "ldm",
+                MemOp::Str => "stm",
+            };
+            // Register lists keep their *count* (the frame shape), not the
+            // concrete registers.
+            format!(
+                "{name}{cond}{} R{}, {{{}}}",
+                mode.suffix(),
+                if *writeback { "!" } else { "" },
+                regs.len()
+            )
+        }
+        Instruction::Branch { cond, link, .. } => {
+            format!("b{}{cond} L", if *link { "l" } else { "" })
+        }
+        Instruction::Bx { cond, .. } => format!("bx{cond} R"),
+        Instruction::Swi { cond, imm } => format!("swi{cond} #{imm}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon(text: &str) -> String {
+        canonical_label(&Item::Insn(text.parse().unwrap()))
+    }
+
+    #[test]
+    fn fig13_examples() {
+        // The paper's Fig. 13: ldr/sub/add canonical forms.
+        assert_eq!(canon("ldr r3, [r1]!"), "ldr R, [R, off]! I");
+        assert_eq!(canon("sub r2, r2, r3"), "sub R, R, R");
+        assert_eq!(canon("add r4, r2, #4"), "add R, R, I");
+    }
+
+    #[test]
+    fn distinguishes_shapes() {
+        assert_ne!(canon("add r1, r2, r3"), canon("add r1, r2, #3"));
+        assert_ne!(canon("ldr r1, [r2]"), canon("ldrb r1, [r2]"));
+        assert_ne!(canon("ldr r1, [r2], #4"), canon("ldr r1, [r2, #4]"));
+        assert_ne!(canon("mul r1, r2, r3"), canon("mla r1, r2, r3, r4"));
+        assert_ne!(canon("cmp r1, #0"), canon("cmp r1, r2"));
+    }
+
+    #[test]
+    fn merges_register_choices() {
+        assert_eq!(canon("str r0, [sp, #8]"), canon("str r7, [r2, #100]"));
+        assert_eq!(canon("moveq r0, #1"), canon("moveq r9, #255"));
+        assert_ne!(canon("moveq r0, #1"), canon("movne r0, #1"));
+    }
+
+    #[test]
+    fn swi_number_is_semantic() {
+        // The service number selects behaviour, so it stays.
+        assert_ne!(canon("swi #0"), canon("swi #1"));
+    }
+
+    #[test]
+    fn calls_merge_by_shape() {
+        let a = Item::Call {
+            cond: gpa_arm::Cond::Al,
+            target: "f".into(),
+        };
+        let b = Item::Call {
+            cond: gpa_arm::Cond::Al,
+            target: "g".into(),
+        };
+        assert_eq!(canonical_label(&a), canonical_label(&b));
+    }
+
+    #[test]
+    fn litloads_merge() {
+        let a = Item::LitLoad {
+            rd: gpa_arm::Reg::r(1),
+            lit: Literal::Word(100),
+        };
+        let b = Item::LitLoad {
+            rd: gpa_arm::Reg::r(2),
+            lit: Literal::Code("f".into()),
+        };
+        assert_eq!(canonical_label(&a), canonical_label(&b));
+    }
+}

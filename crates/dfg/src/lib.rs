@@ -1,0 +1,439 @@
+//! Data-flow-graph construction (phase 6 of the paper).
+//!
+//! For every straight-line region (basic-block body) produced by
+//! [`gpa_cfg`], [`build_dfg`] constructs the directed acyclic dependence
+//! graph: nodes are instructions, and an edge *a → b* says *b* must
+//! execute after *a* (register RAW/WAR/WAW, condition-flag, or memory
+//! dependence). Edges are transitively reduced, so the graph shows direct
+//! dependencies like Fig. 2 of the paper while generating the same partial
+//! order.
+//!
+//! Node labels come in two flavours:
+//!
+//! * **exact** — the full instruction text (`sub r2, r2, r3`); the paper's
+//!   main configuration, where fragment instructions must be identical;
+//! * **canonical** — registers and immediates abstracted (`sub R, R, R`),
+//!   the paper's "fuzzy instruction matching" future-work extension
+//!   (Fig. 13), available through [`LabelMode::Canonical`].
+//!
+//! The [`stats`] module computes the degree distributions reported in
+//! Tables 2 and 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpa_arm::parse::parse_listing;
+//! use gpa_cfg::Item;
+//! use gpa_dfg::{build_dfg_from_items, LabelMode};
+//!
+//! // The running example of Fig. 1/2.
+//! let items: Vec<Item> = parse_listing(
+//!     "ldr r3, [r1]!\nsub r2, r2, r3\nadd r4, r2, #4\n\
+//!      ldr r3, [r1]!\nsub r2, r2, r3\nldr r3, [r1]!\nadd r4, r2, #4",
+//! )?
+//! .into_iter()
+//! .map(Item::Insn)
+//! .collect();
+//! let dfg = build_dfg_from_items("example", 0, &items, LabelMode::Exact);
+//! assert_eq!(dfg.node_count(), 7);
+//! // The first sub depends directly on the first load.
+//! assert!(dfg.succs(0).any(|e| e.to == 1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod canon;
+pub mod stats;
+
+use gpa_arm::defuse::conflicts;
+use gpa_cfg::{Item, Region};
+
+/// Which node-label scheme to use for mining equality.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LabelMode {
+    /// Full instruction text; fragments must match exactly.
+    #[default]
+    Exact,
+    /// Mnemonic + operand shapes; the paper's fuzzy-matching extension.
+    Canonical,
+}
+
+/// The kind bits of a dependence edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct DepMask(pub u8);
+
+impl DepMask {
+    /// Read-after-write on a register.
+    pub const DATA: DepMask = DepMask(1);
+    /// Write-after-read on a register.
+    pub const ANTI: DepMask = DepMask(2);
+    /// Write-after-write on a register.
+    pub const OUTPUT: DepMask = DepMask(4);
+    /// Condition-flag dependence.
+    pub const FLAG: DepMask = DepMask(8);
+    /// Memory dependence.
+    pub const MEM: DepMask = DepMask(16);
+
+    /// Union of two masks.
+    pub fn union(self, other: DepMask) -> DepMask {
+        DepMask(self.0 | other.0)
+    }
+
+    /// Whether any bit of `other` is present.
+    pub fn contains(self, other: DepMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether the mask is empty (no dependence).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Computes the dependence kinds between an earlier and a later item.
+pub fn dep_between(earlier: &Item, later: &Item) -> DepMask {
+    let a = earlier.effects();
+    let b = later.effects();
+    let mut mask = DepMask::default();
+    if a.defs.intersects(b.uses) {
+        mask = mask.union(DepMask::DATA);
+    }
+    if a.uses.intersects(b.defs) {
+        mask = mask.union(DepMask::ANTI);
+    }
+    if a.defs.intersects(b.defs) {
+        mask = mask.union(DepMask::OUTPUT);
+    }
+    if (a.writes_flags && (b.reads_flags || b.writes_flags)) || (a.reads_flags && b.writes_flags) {
+        mask = mask.union(DepMask::FLAG);
+    }
+    if (a.writes_mem && (b.reads_mem || b.writes_mem)) || (a.reads_mem && b.writes_mem) {
+        mask = mask.union(DepMask::MEM);
+    }
+    debug_assert_eq!(mask.is_empty(), !conflicts(&a, &b));
+    mask
+}
+
+/// A directed dependence edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Dependence kinds.
+    pub kinds: DepMask,
+}
+
+/// The data-flow graph of one straight-line region.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Dfg {
+    /// Owning function name.
+    pub function: String,
+    /// Item index of the region's first instruction within the function.
+    pub region_start: usize,
+    labels: Vec<String>,
+    items: Vec<Item>,
+    /// Transitively reduced edges, sorted by (from, to).
+    edges: Vec<Edge>,
+    preds: Vec<Vec<usize>>, // indices into `edges`
+    succs: Vec<Vec<usize>>,
+}
+
+impl Dfg {
+    /// Number of nodes (instructions).
+    pub fn node_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of (reduced) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The mining label of node `i`.
+    pub fn label(&self, i: usize) -> &str {
+        &self.labels[i]
+    }
+
+    /// The underlying item of node `i`.
+    pub fn item(&self, i: usize) -> &Item {
+        &self.items[i]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of node `i`.
+    pub fn succs(&self, i: usize) -> impl Iterator<Item = Edge> + '_ {
+        self.succs[i].iter().map(move |&e| self.edges[e])
+    }
+
+    /// Incoming edges of node `i`.
+    pub fn preds(&self, i: usize) -> impl Iterator<Item = Edge> + '_ {
+        self.preds[i].iter().map(move |&e| self.edges[e])
+    }
+
+    /// In-degree of node `i`.
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.preds[i].len()
+    }
+
+    /// Out-degree of node `i`.
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.succs[i].len()
+    }
+
+    /// Whether `later` is reachable from `earlier` through edges (i.e. the
+    /// partial order forces `earlier` before `later`).
+    pub fn reaches(&self, earlier: usize, later: usize) -> bool {
+        if earlier == later {
+            return true;
+        }
+        // DFS over successors; node indices are in program order so all
+        // edges go forward, bounding the search.
+        let mut stack = vec![earlier];
+        let mut seen = vec![false; self.node_count()];
+        while let Some(n) = stack.pop() {
+            if n == later {
+                return true;
+            }
+            if n > later || seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            for e in &self.succs[n] {
+                stack.push(self.edges[*e].to);
+            }
+        }
+        false
+    }
+
+    /// Renders the graph in Graphviz dot format (used by examples to show
+    /// the paper's Fig. 2).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph dfg {\n  rankdir=TB;\n");
+        for (i, l) in self.labels.iter().enumerate() {
+            let _ = writeln!(out, "  n{i} [label=\"{l}\"];");
+        }
+        for e in &self.edges {
+            let _ = writeln!(out, "  n{} -> n{};", e.from, e.to);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Builds the DFG of a region (see [`build_dfg_from_items`]).
+pub fn build_dfg(region: &Region<'_>, mode: LabelMode) -> Dfg {
+    build_dfg_from_items(region.function, region.start, region.items, mode)
+}
+
+/// Builds the transitively reduced dependence DAG of a straight-line item
+/// sequence.
+///
+/// # Panics
+///
+/// Panics if `items` contains a label (labels never occur inside regions).
+pub fn build_dfg_from_items(
+    function: &str,
+    region_start: usize,
+    items: &[Item],
+    mode: LabelMode,
+) -> Dfg {
+    assert!(
+        items.iter().all(|i| !matches!(i, Item::Label(_))),
+        "regions never contain labels"
+    );
+    let n = items.len();
+    let labels = items
+        .iter()
+        .map(|i| match mode {
+            LabelMode::Exact => i.mining_label(),
+            LabelMode::Canonical => canon::canonical_label(i),
+        })
+        .collect();
+    // Direct conflicts.
+    let mut direct: Vec<(usize, usize, DepMask)> = Vec::new();
+    for j in 1..n {
+        for i in 0..j {
+            let mask = dep_between(&items[i], &items[j]);
+            if !mask.is_empty() {
+                direct.push((i, j, mask));
+            }
+        }
+    }
+    // Reachability closure over direct edges (bitset per node).
+    let words = n.div_ceil(64);
+    let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(i, j, _) in &direct {
+        adj[i].push(j);
+    }
+    for i in (0..n).rev() {
+        // Successors are all > i, whose reach sets are final.
+        let mut row = vec![0u64; words];
+        for &j in &adj[i] {
+            row[j / 64] |= 1 << (j % 64);
+            for w in 0..words {
+                row[w] |= reach[j][w];
+            }
+        }
+        reach[i] = row;
+    }
+    // Keep edge (i, j) unless some intermediate k (i < k < j) has i→k and
+    // k→j in the closure.
+    let mut edges: Vec<Edge> = Vec::with_capacity(direct.len());
+    for &(i, j, kinds) in &direct {
+        let redundant = adj[i]
+            .iter()
+            .any(|&k| k != j && reach[k][j / 64] & (1 << (j % 64)) != 0);
+        if !redundant {
+            edges.push(Edge { from: i, to: j, kinds });
+        }
+    }
+    edges.sort_by_key(|e| (e.from, e.to));
+    let mut preds = vec![Vec::new(); n];
+    let mut succs = vec![Vec::new(); n];
+    for (idx, e) in edges.iter().enumerate() {
+        succs[e.from].push(idx);
+        preds[e.to].push(idx);
+    }
+    Dfg {
+        function: function.to_owned(),
+        region_start,
+        labels,
+        items: items.to_vec(),
+        edges,
+        preds,
+        succs,
+    }
+}
+
+/// Builds DFGs for every region of a program.
+pub fn build_all(program: &gpa_cfg::Program, mode: LabelMode) -> Vec<Dfg> {
+    program
+        .regions()
+        .iter()
+        .map(|r| build_dfg(r, mode))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_arm::parse::parse_listing;
+
+    fn dfg_of(asm: &str) -> Dfg {
+        let items: Vec<Item> = parse_listing(asm)
+            .unwrap()
+            .into_iter()
+            .map(Item::Insn)
+            .collect();
+        build_dfg_from_items("t", 0, &items, LabelMode::Exact)
+    }
+
+    #[test]
+    fn running_example_structure() {
+        // Fig. 1/2 of the paper.
+        let dfg = dfg_of(
+            "ldr r3, [r1]!\n\
+             sub r2, r2, r3\n\
+             add r4, r2, #4\n\
+             ldr r3, [r1]!\n\
+             sub r2, r2, r3\n\
+             ldr r3, [r1]!\n\
+             add r4, r2, #4",
+        );
+        assert_eq!(dfg.node_count(), 7);
+        // ldr0 → sub1 (RAW on r3).
+        let e01 = dfg.edges().iter().find(|e| e.from == 0 && e.to == 1).unwrap();
+        assert!(e01.kinds.contains(DepMask::DATA));
+        // sub1 → add2 (RAW on r2).
+        assert!(dfg.edges().iter().any(|e| e.from == 1 && e.to == 2));
+        // The writeback chains the loads: 0 before 3 before 5 in the
+        // partial order (the direct 0 → 3 edge is reduced away because
+        // the path through sub1's anti-dependence already orders them).
+        assert!(dfg.reaches(0, 3));
+        assert!(dfg.reaches(3, 5));
+        // Transitive reduction: no direct 0 → 5 edge.
+        assert!(!dfg.edges().iter().any(|e| e.from == 0 && e.to == 5));
+        // But 5 is still reachable from 0.
+        assert!(dfg.reaches(0, 5));
+        assert!(!dfg.reaches(2, 1));
+    }
+
+    #[test]
+    fn independent_instructions_have_no_edges() {
+        let dfg = dfg_of("mov r0, #1\nmov r1, #2\nmov r2, #3");
+        assert_eq!(dfg.edge_count(), 0);
+    }
+
+    #[test]
+    fn dep_kinds() {
+        let items: Vec<Item> = parse_listing("ldr r3, [r1]\nstr r3, [r2]\nldr r3, [r4]")
+            .unwrap()
+            .into_iter()
+            .map(Item::Insn)
+            .collect();
+        // load → store: DATA (r3); store → load: MEM.
+        let m01 = dep_between(&items[0], &items[1]);
+        assert!(m01.contains(DepMask::DATA));
+        let m12 = dep_between(&items[1], &items[2]);
+        assert!(m12.contains(DepMask::MEM));
+        // load → load on the same rd: OUTPUT.
+        let m02 = dep_between(&items[0], &items[2]);
+        assert!(m02.contains(DepMask::OUTPUT));
+    }
+
+    #[test]
+    fn flag_dependence() {
+        let dfg = dfg_of("cmp r1, #0\nmoveq r0, #1\ncmp r2, #0");
+        assert!(dfg
+            .edges()
+            .iter()
+            .any(|e| e.from == 0 && e.to == 1 && e.kinds.contains(DepMask::FLAG)));
+        assert!(dfg
+            .edges()
+            .iter()
+            .any(|e| e.from == 1 && e.to == 2 && e.kinds.contains(DepMask::FLAG)));
+    }
+
+    #[test]
+    fn canonical_mode_merges_register_variants() {
+        let items: Vec<Item> = parse_listing("add r1, r2, r3\nadd r4, r5, r6")
+            .unwrap()
+            .into_iter()
+            .map(Item::Insn)
+            .collect();
+        let exact = build_dfg_from_items("t", 0, &items, LabelMode::Exact);
+        assert_ne!(exact.label(0), exact.label(1));
+        let canonical = build_dfg_from_items("t", 0, &items, LabelMode::Canonical);
+        assert_eq!(canonical.label(0), canonical.label(1));
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let dot = dfg_of("ldr r3, [r1]\nadd r2, r2, r3").to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 -> n1"));
+    }
+
+    #[test]
+    fn compiled_program_dfgs() {
+        let image = gpa_minicc::compile(
+            "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i * i; return s; }",
+            &gpa_minicc::Options::default(),
+        )
+        .unwrap();
+        let program = gpa_cfg::decode_image(&image).unwrap();
+        let dfgs = build_all(&program, LabelMode::Exact);
+        assert!(!dfgs.is_empty());
+        let nodes: usize = dfgs.iter().map(Dfg::node_count).sum();
+        assert_eq!(nodes, program.instruction_count());
+    }
+}

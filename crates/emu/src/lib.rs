@@ -1,0 +1,42 @@
+//! An interpreter for the ARM subset, executing [`gpa_image::Image`]s.
+//!
+//! The emulator exists to *prove semantic preservation*: every benchmark in
+//! the evaluation is executed before and after procedural abstraction and
+//! must produce identical output, exit code and final register state. It is
+//! also the substrate for property tests that feed randomly generated
+//! programs through the optimizer.
+//!
+//! # System calls
+//!
+//! `swi #n` with the service number in the instruction's comment field:
+//!
+//! | n | service | arguments | result |
+//! |---|---------|-----------|--------|
+//! | 0 | exit    | `r0` = status | — (halts) |
+//! | 1 | putc    | `r0` = byte   | — |
+//! | 2 | getc    | —             | `r0` = byte or -1 |
+//! | 4 | sbrk    | `r0` = bytes  | `r0` = old break |
+//!
+//! # Examples
+//!
+//! ```
+//! use gpa_emu::Machine;
+//! use gpa_image::Image;
+//!
+//! // mov r0, #42; swi #0  — exit with status 42.
+//! let mut image = Image::new(0x8000, 0x2_0000);
+//! image.push_code_word("mov r0, #42".parse::<gpa_arm::Instruction>()?.encode()?);
+//! image.push_code_word("swi #0".parse::<gpa_arm::Instruction>()?.encode()?);
+//!
+//! let outcome = Machine::new(&image).run(1_000)?;
+//! assert_eq!(outcome.exit_code, 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod machine;
+mod memory;
+
+pub use machine::{EmuError, Machine, Outcome};
+pub use memory::Memory;

@@ -1,0 +1,110 @@
+//! Sparse page-based memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse 32-bit byte-addressable memory backed by 4 KiB pages.
+///
+/// Unmapped reads return zero; writes allocate pages on demand, so programs
+/// can use the stack and heap without explicit mapping.
+///
+/// # Examples
+///
+/// ```
+/// use gpa_emu::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_word(0x1000, 0xdead_beef);
+/// assert_eq!(mem.read_word(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_byte(0x1000), 0xef); // little-endian
+/// assert_eq!(mem.read_word(0x9999_0000), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads one byte; unmapped addresses read as zero.
+    pub fn read_byte(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page if needed.
+    pub fn write_byte(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian 32-bit word (no alignment requirement).
+    pub fn read_word(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.read_byte(addr),
+            self.read_byte(addr.wrapping_add(1)),
+            self.read_byte(addr.wrapping_add(2)),
+            self.read_byte(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian 32-bit word.
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Number of mapped pages (for tests and diagnostics).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_and_round_trip() {
+        let mut mem = Memory::new();
+        assert_eq!(mem.read_word(0), 0);
+        mem.write_word(0xfffc, 0x0102_0304);
+        assert_eq!(mem.read_word(0xfffc), 0x0102_0304);
+        assert_eq!(mem.read_byte(0xfffc), 0x04);
+        assert_eq!(mem.read_byte(0xffff), 0x01);
+    }
+
+    #[test]
+    fn word_crossing_page_boundary() {
+        let mut mem = Memory::new();
+        mem.write_word(0x0fff, 0xaabb_ccdd);
+        assert_eq!(mem.read_word(0x0fff), 0xaabb_ccdd);
+        assert_eq!(mem.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_writes() {
+        let mut mem = Memory::new();
+        mem.write_bytes(0x2000, b"hello");
+        assert_eq!(mem.read_byte(0x2004), b'o');
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests: image serialization round-trips and address queries.
+
+use gpa_image::{Image, Symbol};
+use proptest::prelude::*;
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    (
+        (0u32..0x1000).prop_map(|b| b * 4),
+        0u32..0x10_0000,
+        proptest::collection::vec(any::<u32>(), 0..200),
+        proptest::collection::vec(any::<u8>(), 0..300),
+        proptest::collection::vec(("[a-z_][a-z0-9_]{0,12}", any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>()), 0..10),
+    )
+        .prop_map(|(code_base, data_base, code, data, symbols)| {
+            let mut image = Image::new(code_base, data_base);
+            for w in code {
+                image.push_code_word(w);
+            }
+            image.push_data(&data);
+            for (name, addr, size, is_func, taken) in symbols {
+                let mut sym = if is_func {
+                    Symbol::function(name, addr, size)
+                } else {
+                    Symbol::object(name, addr, size)
+                };
+                if taken {
+                    sym = sym.with_address_taken();
+                }
+                image.add_symbol(sym);
+            }
+            image.set_entry(code_base);
+            image
+        })
+}
+
+proptest! {
+    #[test]
+    fn serialization_round_trips(image in arb_image()) {
+        let bytes = image.to_bytes();
+        let back = Image::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, image);
+    }
+
+    #[test]
+    fn truncation_never_panics(image in arb_image(), cut in 0usize..64) {
+        let mut bytes = image.to_bytes();
+        let n = bytes.len().saturating_sub(cut);
+        bytes.truncate(n);
+        let _ = Image::from_bytes(&bytes); // Ok or Err, never panic.
+    }
+
+    #[test]
+    fn code_word_lookup_is_consistent(image in arb_image()) {
+        for (i, &w) in image.code_words().iter().enumerate() {
+            let addr = image.code_base() + 4 * i as u32;
+            prop_assert!(image.contains_code(addr));
+            prop_assert_eq!(image.code_word_at(addr), Some(w));
+        }
+        prop_assert_eq!(image.code_word_at(image.code_end()), None);
+        if image.code_base() > 0 {
+            prop_assert_eq!(image.code_word_at(image.code_base() - 4), None);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The pre-link assembly representation produced by the code generator.
+//!
+//! Items are either concrete [`Instruction`]s or pseudo-instructions that
+//! the linker lowers: label definitions, label-targeted branches, literal
+//! loads of symbol addresses and of wide constants, and the indirect-call
+//! idiom. Keeping symbolic items until link time is what lets the linker
+//! lay out literal pools after each function (Fig. 10 of the paper).
+
+use gpa_arm::reg::RegSet;
+use gpa_arm::{Cond, Effects, Instruction, Reg};
+
+/// One item of a function's assembly stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmItem {
+    /// A label definition. Function entry labels are the function name;
+    /// local labels start with `.L`.
+    Label(String),
+    /// A concrete machine instruction.
+    Insn(Instruction),
+    /// A branch (or call) to a label, lowered to `b`/`bl` at link time.
+    BranchTo {
+        /// Condition code.
+        cond: Cond,
+        /// Whether this is a `bl`.
+        link: bool,
+        /// Target label.
+        label: String,
+    },
+    /// Loads the address of a symbol via a pc-relative literal-pool load.
+    LoadAddr {
+        /// Destination register.
+        rd: Reg,
+        /// Symbol whose address to load (function, global, or string).
+        symbol: String,
+    },
+    /// Loads a 32-bit constant: lowered to `mov`/`mvn` when encodable,
+    /// otherwise a literal-pool load.
+    LoadConst {
+        /// Destination register.
+        rd: Reg,
+        /// The constant.
+        value: u32,
+    },
+    /// The indirect-call idiom `mov lr, pc; bx target`.
+    IndirectCall {
+        /// Register holding the target address.
+        target: Reg,
+    },
+}
+
+impl AsmItem {
+    /// Whether this item ends a straight-line scheduling region (labels,
+    /// branches, calls).
+    pub fn is_schedule_barrier(&self) -> bool {
+        match self {
+            AsmItem::Label(_) | AsmItem::BranchTo { .. } | AsmItem::IndirectCall { .. } => true,
+            AsmItem::Insn(i) => i.is_control_flow(),
+            AsmItem::LoadAddr { .. } | AsmItem::LoadConst { .. } => false,
+        }
+    }
+
+    /// The dependence footprint, defined for non-barrier items.
+    pub fn effects(&self) -> Effects {
+        match self {
+            AsmItem::Insn(i) => i.effects(),
+            AsmItem::LoadAddr { rd, .. } | AsmItem::LoadConst { rd, .. } => Effects {
+                uses: RegSet::EMPTY,
+                defs: RegSet::of(&[*rd]),
+                reads_flags: false,
+                writes_flags: false,
+                // A literal load reads the code section, never data the
+                // program can store to, so it does not alias program memory.
+                reads_mem: false,
+                writes_mem: false,
+            },
+            AsmItem::Label(_) | AsmItem::BranchTo { .. } | AsmItem::IndirectCall { .. } => {
+                Effects::default()
+            }
+        }
+    }
+
+    /// Number of machine words this item occupies in the final binary
+    /// (labels are zero; an indirect call is two instructions).
+    pub fn encoded_words(&self) -> usize {
+        match self {
+            AsmItem::Label(_) => 0,
+            AsmItem::IndirectCall { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// A function's assembly plus the bookkeeping the linker needs.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AsmFunction {
+    /// Function name (doubles as its entry label).
+    pub name: String,
+    /// The instruction stream.
+    pub items: Vec<AsmItem>,
+    /// String literals referenced by this function: `(label, bytes)`
+    /// including the terminating NUL.
+    pub strings: Vec<(String, Vec<u8>)>,
+    /// Whether the function's address is taken somewhere (called
+    /// indirectly); propagated into the image's symbol table.
+    pub address_taken: bool,
+    /// Names of functions this one calls directly (for reachability-based
+    /// selective linking, dietlibc-style).
+    pub calls: Vec<String>,
+    /// Symbols whose address this function loads (globals, strings,
+    /// functions used as values).
+    pub symbol_refs: Vec<String>,
+}
+
+impl AsmFunction {
+    /// Creates an empty function body.
+    pub fn new(name: impl Into<String>) -> AsmFunction {
+        AsmFunction {
+            name: name.into(),
+            ..AsmFunction::default()
+        }
+    }
+
+    /// Total number of machine words the body will occupy (excluding
+    /// literal pools).
+    pub fn encoded_words(&self) -> usize {
+        self.items.iter().map(AsmItem::encoded_words).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_arm::Instruction as I;
+
+    #[test]
+    fn barriers() {
+        assert!(AsmItem::Label(".L0".into()).is_schedule_barrier());
+        assert!(AsmItem::BranchTo {
+            cond: Cond::Al,
+            link: true,
+            label: "f".into()
+        }
+        .is_schedule_barrier());
+        assert!(AsmItem::Insn(I::ret()).is_schedule_barrier());
+        assert!(!AsmItem::Insn(I::mov_imm(Reg::r(0), 1)).is_schedule_barrier());
+        assert!(!AsmItem::LoadConst {
+            rd: Reg::r(0),
+            value: 0xdeadbeef
+        }
+        .is_schedule_barrier());
+    }
+
+    #[test]
+    fn pseudo_effects() {
+        let la = AsmItem::LoadAddr {
+            rd: Reg::r(3),
+            symbol: "table".into(),
+        };
+        let fx = la.effects();
+        assert!(fx.defs.contains(Reg::r(3)));
+        assert!(fx.uses.is_empty());
+        assert!(!fx.reads_mem);
+    }
+
+    #[test]
+    fn word_counts() {
+        let mut f = AsmFunction::new("f");
+        f.items.push(AsmItem::Label("f".into()));
+        f.items.push(AsmItem::Insn(I::mov_imm(Reg::r(0), 1)));
+        f.items.push(AsmItem::IndirectCall { target: Reg::r(4) });
+        f.items.push(AsmItem::Insn(I::ret()));
+        assert_eq!(f.encoded_words(), 4);
+    }
+}

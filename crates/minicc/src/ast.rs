@@ -1,0 +1,343 @@
+//! MiniC abstract syntax tree and types.
+
+use std::fmt;
+
+/// A MiniC type.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum Type {
+    /// Placeholder before semantic analysis, and `void` return type.
+    #[default]
+    Void,
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit unsigned character.
+    Char,
+    /// Pointer to another type.
+    Ptr(Box<Type>),
+    /// One-dimensional array with a compile-time length.
+    Array(Box<Type>, usize),
+    /// A function designator (used as a value it decays to a code address).
+    Func,
+}
+
+impl Type {
+    /// Size in bytes of a value of this type.
+    pub fn size(&self) -> usize {
+        match self {
+            Type::Void => 0,
+            Type::Int => 4,
+            Type::Char => 1,
+            Type::Ptr(_) | Type::Func => 4,
+            Type::Array(elem, n) => elem.size() * n,
+        }
+    }
+
+    /// The pointed-to / element type for pointers and arrays.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) | Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the type is `int` or `char` (usable in arithmetic).
+    pub fn is_scalar_int(&self) -> bool {
+        matches!(self, Type::Int | Type::Char)
+    }
+
+    /// Whether the type is a pointer or decays to one.
+    pub fn is_pointer_like(&self) -> bool {
+        matches!(self, Type::Ptr(_) | Type::Array(_, _) | Type::Func)
+    }
+
+    /// The type after array-to-pointer / function-to-pointer decay.
+    pub fn decayed(&self) -> Type {
+        match self {
+            Type::Array(elem, _) => Type::Ptr(elem.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int => write!(f, "int"),
+            Type::Char => write!(f, "char"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "{t}[{n}]"),
+            Type::Func => write!(f, "function"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// Addition (`+`), with pointer scaling when one side is a pointer.
+    Add,
+    /// Subtraction (`-`), including pointer difference.
+    Sub,
+    /// Multiplication (`*`).
+    Mul,
+    /// Division (`/`), lowered to a runtime call.
+    Div,
+    /// Remainder (`%`), lowered to a runtime call.
+    Mod,
+    /// Bitwise AND (`&`).
+    BitAnd,
+    /// Bitwise OR (`|`).
+    BitOr,
+    /// Bitwise XOR (`^`).
+    BitXor,
+    /// Left shift (`<<`).
+    Shl,
+    /// Arithmetic right shift (`>>`).
+    Shr,
+    /// Less than (`<`).
+    Lt,
+    /// Less or equal (`<=`).
+    Le,
+    /// Greater than (`>`).
+    Gt,
+    /// Greater or equal (`>=`).
+    Ge,
+    /// Equality (`==`).
+    Eq,
+    /// Inequality (`!=`).
+    Ne,
+    /// Short-circuit `&&`.
+    LAnd,
+    /// Short-circuit `||`.
+    LOr,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean 0/1.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`), yields 0/1.
+    Not,
+    /// Bitwise complement (`~`).
+    BitNot,
+}
+
+/// An expression with its source line and (post-sema) type.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Expr {
+    /// The expression node.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// Filled in by semantic analysis; `Type::Void` before.
+    pub ty: Type,
+}
+
+impl Expr {
+    /// Creates an expression with a yet-unknown type.
+    pub fn new(kind: ExprKind, line: u32) -> Expr {
+        Expr {
+            kind,
+            line,
+            ty: Type::Void,
+        }
+    }
+}
+
+/// Expression node kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExprKind {
+    /// Integer (or character) literal.
+    Int(i64),
+    /// String literal; decays to `char*`.
+    Str(String),
+    /// Variable or function reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Simple assignment `lhs = rhs` (compound assignments are desugared by
+    /// the parser).
+    Assign(Box<Expr>, Box<Expr>),
+    /// Pre-increment/-decrement (`delta` is +1 or -1); value is the new one.
+    IncDec {
+        /// The lvalue operand.
+        target: Box<Expr>,
+        /// +1 or -1.
+        delta: i32,
+        /// `true` for postfix (value is the old one).
+        postfix: bool,
+    },
+    /// Function call; callee is a name or a pointer-valued expression.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Array indexing `base[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Pointer dereference `*e`.
+    Deref(Box<Expr>),
+    /// Address-of `&e`.
+    AddrOf(Box<Expr>),
+    /// Ternary conditional `c ? a : b`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// A local declaration, possibly initialized.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for effect.
+    Expr(Expr),
+    /// `if` with optional `else`.
+    If {
+        /// The condition.
+        cond: Expr,
+        /// The then-branch.
+        then: Box<Stmt>,
+        /// The optional else-branch.
+        els: Option<Box<Stmt>>,
+    },
+    /// `while` loop.
+    While {
+        /// The loop condition.
+        cond: Expr,
+        /// The loop body.
+        body: Box<Stmt>,
+    },
+    /// `do … while` loop.
+    DoWhile {
+        /// The loop body (runs at least once).
+        body: Box<Stmt>,
+        /// The post-iteration condition.
+        cond: Expr,
+    },
+    /// `for` loop; all three headers optional.
+    For {
+        /// The initializer statement.
+        init: Option<Box<Stmt>>,
+        /// The continuation condition.
+        cond: Option<Expr>,
+        /// The per-iteration step expression.
+        step: Option<Expr>,
+        /// The loop body.
+        body: Box<Stmt>,
+    },
+    /// `return`, optionally with a value.
+    Return(Option<Expr>, u32),
+    /// `break`.
+    Break(u32),
+    /// `continue`.
+    Continue(u32),
+}
+
+/// A global variable initializer.
+#[derive(Clone, PartialEq, Debug)]
+pub enum GlobalInit {
+    /// A scalar constant.
+    Scalar(i64),
+    /// A brace-enclosed list of constants (for arrays; zero-padded).
+    List(Vec<i64>),
+    /// A string literal (for `char[]` / `char*`).
+    Str(String),
+}
+
+/// A global variable definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional initializer (zero otherwise).
+    pub init: Option<GlobalInit>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters in order.
+    pub params: Vec<(String, Type)>,
+    /// The body block.
+    pub body: Stmt,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A parsed translation unit.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Unit {
+    /// Global variables in definition order.
+    pub globals: Vec<Global>,
+    /// Functions in definition order.
+    pub functions: Vec<Function>,
+}
+
+impl Unit {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(Type::Int.size(), 4);
+        assert_eq!(Type::Char.size(), 1);
+        assert_eq!(Type::Ptr(Box::new(Type::Char)).size(), 4);
+        assert_eq!(Type::Array(Box::new(Type::Int), 10).size(), 40);
+        assert_eq!(Type::Void.size(), 0);
+    }
+
+    #[test]
+    fn decay() {
+        let arr = Type::Array(Box::new(Type::Int), 3);
+        assert_eq!(arr.decayed(), Type::Ptr(Box::new(Type::Int)));
+        assert_eq!(Type::Int.decayed(), Type::Int);
+        assert!(arr.is_pointer_like());
+        assert!(!Type::Int.is_pointer_like());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::Ptr(Box::new(Type::Char)).to_string(), "char*");
+        assert_eq!(Type::Array(Box::new(Type::Int), 4).to_string(), "int[4]");
+    }
+}

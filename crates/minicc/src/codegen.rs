@@ -1,0 +1,1153 @@
+//! ARM code generation from the typed AST.
+//!
+//! The generator is deliberately template-based, like the simple `-Os`
+//! compilers the paper targets: parameters are spilled to the stack frame on
+//! entry, expressions are evaluated into a stack of temporary registers
+//! (`r4..r10`, callee-saved so they survive calls), and every construct
+//! expands to a fixed instruction shape. This produces exactly the kind of
+//! repeated code procedural abstraction feeds on.
+//!
+//! ABI:
+//!
+//! * arguments in `r0..r3` (at most four), result in `r0`;
+//! * `r4..r10` callee-saved, `r12` scratch, `sp` fixed during a body;
+//! * division, modulo and variable-amount shifts are runtime calls
+//!   (`__divsi3`, `__modsi3`, `__udivsi3`, `__umodsi3`, `__ashl`, `__ashr`),
+//!   since the ARM subset has neither a divide instruction nor
+//!   register-specified shifts.
+
+use std::collections::HashMap;
+
+use gpa_arm::encode::is_encodable_imm;
+use gpa_arm::insn::{AddressMode, DpOp, MemOffset, MemOp, Operand2, ShiftKind};
+use gpa_arm::reg::RegSet;
+use gpa_arm::{Cond, Instruction, Reg};
+
+use crate::asm::{AsmFunction, AsmItem};
+use crate::ast::*;
+use crate::CompileError;
+
+/// Temporary-register pool: expression evaluation stack.
+const TEMP_REGS: [Reg; 7] = [
+    Reg::r(4),
+    Reg::r(5),
+    Reg::r(6),
+    Reg::r(7),
+    Reg::r(8),
+    Reg::r(9),
+    Reg::r(10),
+];
+
+/// Built-in intrinsics lowered to `swi` (name, arg count, service number).
+pub const INTRINSICS: [(&str, usize, u32); 4] = [
+    ("_exit", 1, 0),
+    ("_putc", 1, 1),
+    ("_getc", 0, 2),
+    ("_sbrk", 1, 4),
+];
+
+fn err(line: u32, message: impl Into<String>) -> CompileError {
+    CompileError::new("codegen", format!("line {line}: {}", message.into()))
+}
+
+/// A stack slot for a local or spilled parameter.
+#[derive(Clone, Debug)]
+struct Slot {
+    offset: i32,
+    ty: Type,
+}
+
+struct FnGen<'a> {
+    unit: &'a Unit,
+    func: &'a Function,
+    out: AsmFunction,
+    scopes: Vec<HashMap<String, Slot>>,
+    frame_used: i32,
+    free_temps: Vec<Reg>,
+    used_temps: RegSet,
+    label_counter: usize,
+    string_counter: &'a mut usize,
+    loop_stack: Vec<(String, String)>, // (break target, continue target)
+    is_leaf: bool,
+}
+
+impl<'a> FnGen<'a> {
+    fn emit(&mut self, insn: Instruction) {
+        self.out.items.push(AsmItem::Insn(insn));
+    }
+
+    fn label(&mut self, name: String) {
+        self.out.items.push(AsmItem::Label(name));
+    }
+
+    fn fresh_label(&mut self, tag: &str) -> String {
+        let n = self.label_counter;
+        self.label_counter += 1;
+        format!(".L{}_{tag}{n}", self.func.name)
+    }
+
+    fn ret_label(&self) -> String {
+        format!(".L{}_ret", self.func.name)
+    }
+
+    fn branch(&mut self, cond: Cond, label: &str) {
+        self.out.items.push(AsmItem::BranchTo {
+            cond,
+            link: false,
+            label: label.to_owned(),
+        });
+    }
+
+    fn call(&mut self, name: &str) {
+        self.is_leaf = false;
+        self.out.calls.push(name.to_owned());
+        self.out.items.push(AsmItem::BranchTo {
+            cond: Cond::Al,
+            link: true,
+            label: name.to_owned(),
+        });
+    }
+
+    fn load_addr(&mut self, rd: Reg, symbol: &str) {
+        self.out.symbol_refs.push(symbol.to_owned());
+        self.out.items.push(AsmItem::LoadAddr {
+            rd,
+            symbol: symbol.to_owned(),
+        });
+    }
+
+    fn load_const(&mut self, rd: Reg, value: u32) {
+        self.out.items.push(AsmItem::LoadConst { rd, value });
+    }
+
+    fn alloc_temp(&mut self, line: u32) -> Result<Reg, CompileError> {
+        let r = self
+            .free_temps
+            .pop()
+            .ok_or_else(|| err(line, "expression too deep (temporary registers exhausted)"))?;
+        self.used_temps.insert(r);
+        Ok(r)
+    }
+
+    fn free_temp(&mut self, r: Reg) {
+        debug_assert!(TEMP_REGS.contains(&r));
+        self.free_temps.push(r);
+    }
+
+    fn alloc_slot(&mut self, ty: &Type) -> i32 {
+        let size = ((ty.size().max(1) + 3) & !3) as i32;
+        let offset = self.frame_used;
+        self.frame_used += size;
+        offset
+    }
+
+    fn declare_local(&mut self, name: &str, ty: Type) -> Slot {
+        let slot = Slot {
+            offset: self.alloc_slot(&ty),
+            ty,
+        };
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_owned(), slot.clone());
+        slot
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<Slot> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .cloned()
+    }
+
+    /// Emits `dest = src ± value`, splitting an unencodable immediate into
+    /// encodable rotated-byte chunks.
+    fn add_sub_imm(&mut self, op: DpOp, dest: Reg, src: Reg, value: u32) {
+        debug_assert!(matches!(op, DpOp::Add | DpOp::Sub));
+        if value == 0 {
+            if dest != src {
+                self.emit(Instruction::mov_reg(dest, src));
+            }
+            return;
+        }
+        let mut remaining = value;
+        let mut cur_src = src;
+        while remaining != 0 {
+            let chunk = if is_encodable_imm(remaining) {
+                remaining
+            } else {
+                // Peel off the highest 8 bits, aligned to an even rotation.
+                let top = 31 - remaining.leading_zeros();
+                let shift = (top.saturating_sub(7)) & !1;
+                remaining & (0xff << shift)
+            };
+            self.emit(Instruction::dp_imm(op, dest, cur_src, chunk));
+            cur_src = dest;
+            remaining &= !chunk;
+        }
+    }
+
+    /// Loads/stores a scalar of type `ty` at `[base, #offset]`.
+    fn mem_access(&mut self, op: MemOp, rd: Reg, base: Reg, offset: i32, ty: &Type) {
+        self.emit(Instruction::Mem {
+            cond: Cond::Al,
+            op,
+            byte: ty.size() == 1,
+            rd,
+            rn: base,
+            offset: MemOffset::Imm(offset),
+            mode: AddressMode::Offset,
+        });
+    }
+
+    /// The scale shift for pointer arithmetic on `elem`, if power of two.
+    fn scale_shift(elem: &Type) -> Option<u8> {
+        match elem.size() {
+            1 => Some(0),
+            4 => Some(2),
+            _ => None,
+        }
+    }
+
+    /// Emits `dest = base + idx * size(elem)` (both operands registers).
+    fn scaled_add(&mut self, dest: Reg, base: Reg, idx: Reg, elem: &Type, line: u32) -> Result<(), CompileError> {
+        match Self::scale_shift(elem) {
+            Some(0) => self.emit(Instruction::dp_reg(DpOp::Add, dest, base, idx)),
+            Some(shift) => self.emit(Instruction::DataProc {
+                cond: Cond::Al,
+                op: DpOp::Add,
+                set_flags: false,
+                rd: dest,
+                rn: base,
+                op2: Operand2::RegShift(idx, ShiftKind::Lsl, shift),
+            }),
+            None => return Err(err(line, "unsupported element size for pointer arithmetic")),
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Expressions
+    // ---------------------------------------------------------------
+
+    /// Evaluates `e` into `dest`, which must be a temporary register (never
+    /// `r0..r3` — subexpressions may contain calls).
+    fn expr_to(&mut self, e: &Expr, dest: Reg) -> Result<(), CompileError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Int(v) => self.load_const(dest, *v as u32),
+            ExprKind::Str(s) => {
+                let label = format!(".Lstr{}", *self.string_counter);
+                *self.string_counter += 1;
+                let mut bytes = s.as_bytes().to_vec();
+                bytes.push(0);
+                self.out.strings.push((label.clone(), bytes));
+                self.load_addr(dest, &label);
+            }
+            ExprKind::Var(name) => self.var_value(name, dest, &e.ty, line)?,
+            ExprKind::Unary(op, inner) => {
+                self.expr_to(inner, dest)?;
+                match op {
+                    UnOp::Neg => self.emit(Instruction::dp_imm(DpOp::Rsb, dest, dest, 0)),
+                    UnOp::BitNot => self.emit(Instruction::DataProc {
+                        cond: Cond::Al,
+                        op: DpOp::Mvn,
+                        set_flags: false,
+                        rd: dest,
+                        rn: Reg::r(0),
+                        op2: Operand2::Reg(dest),
+                    }),
+                    UnOp::Not => {
+                        self.emit(Instruction::DataProc {
+                            cond: Cond::Al,
+                            op: DpOp::Cmp,
+                            set_flags: true,
+                            rd: Reg::r(0),
+                            rn: dest,
+                            op2: Operand2::Imm(0),
+                        });
+                        self.emit(Instruction::mov_imm(dest, 0));
+                        self.emit(Instruction::DataProc {
+                            cond: Cond::Eq,
+                            op: DpOp::Mov,
+                            set_flags: false,
+                            rd: dest,
+                            rn: Reg::r(0),
+                            op2: Operand2::Imm(1),
+                        });
+                    }
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => self.binary_to(*op, lhs, rhs, dest, line)?,
+            ExprKind::Assign(lhs, rhs) => {
+                self.expr_to(rhs, dest)?;
+                self.store_to_lvalue(lhs, dest, line)?;
+            }
+            ExprKind::IncDec {
+                target,
+                delta,
+                postfix,
+            } => {
+                let elem_scale = match &target.ty {
+                    Type::Ptr(p) => p.size() as i32,
+                    _ => 1,
+                };
+                let signed = *delta * elem_scale;
+                let (op, amount) = if signed >= 0 {
+                    (DpOp::Add, signed as u32)
+                } else {
+                    (DpOp::Sub, signed.unsigned_abs())
+                };
+                let t = self.alloc_temp(line)?;
+                self.load_from_lvalue(target, dest, line)?;
+                if *postfix {
+                    self.add_sub_imm(op, t, dest, amount);
+                    self.store_to_lvalue(target, t, line)?;
+                } else {
+                    self.add_sub_imm(op, dest, dest, amount);
+                    self.store_to_lvalue(target, dest, line)?;
+                }
+                self.free_temp(t);
+            }
+            ExprKind::Call(callee, args) => self.call_to(callee, args, dest, line)?,
+            ExprKind::Index(base, idx) => {
+                let elem = &e.ty;
+                self.expr_to(base, dest)?;
+                let t = self.alloc_temp(line)?;
+                self.expr_to(idx, t)?;
+                if elem.size() == 1 {
+                    // Byte loads support a register offset directly.
+                    self.emit(Instruction::Mem {
+                        cond: Cond::Al,
+                        op: MemOp::Ldr,
+                        byte: true,
+                        rd: dest,
+                        rn: dest,
+                        offset: MemOffset::Reg(t, false),
+                        mode: AddressMode::Offset,
+                    });
+                } else {
+                    self.scaled_add(dest, dest, t, elem, line)?;
+                    self.mem_access(MemOp::Ldr, dest, dest, 0, elem);
+                }
+                self.free_temp(t);
+            }
+            ExprKind::Deref(inner) => {
+                self.expr_to(inner, dest)?;
+                self.mem_access(MemOp::Ldr, dest, dest, 0, &e.ty);
+            }
+            ExprKind::AddrOf(inner) => self.lvalue_addr(inner, dest, line)?,
+            ExprKind::Cond(c, a, b) => {
+                let els = self.fresh_label("celse");
+                let end = self.fresh_label("cend");
+                self.branch_cond(c, &els, false)?;
+                self.expr_to(a, dest)?;
+                self.branch(Cond::Al, &end);
+                self.label(els);
+                self.expr_to(b, dest)?;
+                self.label(end);
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the value of a named variable.
+    fn var_value(&mut self, name: &str, dest: Reg, ty: &Type, line: u32) -> Result<(), CompileError> {
+        if let Some(slot) = self.lookup_local(name) {
+            match &slot.ty {
+                Type::Array(_, _) => self.add_sub_imm(DpOp::Add, dest, Reg::SP, slot.offset as u32),
+                t => self.mem_access(MemOp::Ldr, dest, Reg::SP, slot.offset, t),
+            }
+            return Ok(());
+        }
+        if self.unit.global(name).is_some() {
+            match ty {
+                Type::Array(_, _) => self.load_addr(dest, name),
+                t => {
+                    self.load_addr(dest, name);
+                    self.mem_access(MemOp::Ldr, dest, dest, 0, t);
+                }
+            }
+            return Ok(());
+        }
+        if self.unit.function(name).is_some() || INTRINSICS.iter().any(|(n, _, _)| *n == name) {
+            // Function used as a value: its address.
+            self.load_addr(dest, name);
+            return Ok(());
+        }
+        Err(err(line, format!("`{name}` not found at codegen time")))
+    }
+
+    /// Computes the address of an lvalue into `dest`.
+    fn lvalue_addr(&mut self, e: &Expr, dest: Reg, line: u32) -> Result<(), CompileError> {
+        match &e.kind {
+            ExprKind::Var(name) => {
+                if let Some(slot) = self.lookup_local(name) {
+                    self.add_sub_imm(DpOp::Add, dest, Reg::SP, slot.offset as u32);
+                } else if self.unit.global(name).is_some()
+                    || self.unit.function(name).is_some()
+                {
+                    self.load_addr(dest, name);
+                } else {
+                    return Err(err(line, format!("`{name}` not found at codegen time")));
+                }
+            }
+            ExprKind::Deref(inner) => self.expr_to(inner, dest)?,
+            ExprKind::Index(base, idx) => {
+                self.expr_to(base, dest)?;
+                let t = self.alloc_temp(line)?;
+                self.expr_to(idx, t)?;
+                let elem = &e.ty;
+                self.scaled_add(dest, dest, t, elem, line)?;
+                self.free_temp(t);
+            }
+            _ => return Err(err(line, "expression is not an lvalue")),
+        }
+        Ok(())
+    }
+
+    /// Stores `src` into the lvalue `lhs` (leaving `src` intact as the
+    /// expression value).
+    fn store_to_lvalue(&mut self, lhs: &Expr, src: Reg, line: u32) -> Result<(), CompileError> {
+        match &lhs.kind {
+            ExprKind::Var(name) => {
+                if let Some(slot) = self.lookup_local(name) {
+                    self.mem_access(MemOp::Str, src, Reg::SP, slot.offset, &slot.ty);
+                    return Ok(());
+                }
+                if self.unit.global(name).is_some() {
+                    let t = self.alloc_temp(line)?;
+                    self.load_addr(t, name);
+                    self.mem_access(MemOp::Str, src, t, 0, &lhs.ty);
+                    self.free_temp(t);
+                    return Ok(());
+                }
+                Err(err(line, format!("`{name}` not found at codegen time")))
+            }
+            _ => {
+                let t = self.alloc_temp(line)?;
+                self.lvalue_addr(lhs, t, line)?;
+                self.mem_access(MemOp::Str, src, t, 0, &lhs.ty);
+                self.free_temp(t);
+                Ok(())
+            }
+        }
+    }
+
+    /// Loads the current value of the lvalue `e` into `dest`.
+    fn load_from_lvalue(&mut self, e: &Expr, dest: Reg, line: u32) -> Result<(), CompileError> {
+        match &e.kind {
+            ExprKind::Var(name) => self.var_value(name, dest, &e.ty, line),
+            _ => {
+                self.lvalue_addr(e, dest, line)?;
+                self.mem_access(MemOp::Ldr, dest, dest, 0, &e.ty);
+                Ok(())
+            }
+        }
+    }
+
+    fn binary_to(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        dest: Reg,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        // Short-circuit operators via control flow.
+        if matches!(op, BinOp::LAnd | BinOp::LOr) {
+            let fail = self.fresh_label("sc");
+            let end = self.fresh_label("scend");
+            let whole = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs.clone()), Box::new(rhs.clone())),
+                line,
+                ty: Type::Int,
+            };
+            self.branch_cond(&whole, &fail, false)?;
+            self.emit(Instruction::mov_imm(dest, 1));
+            self.branch(Cond::Al, &end);
+            self.label(fail);
+            self.emit(Instruction::mov_imm(dest, 0));
+            self.label(end);
+            return Ok(());
+        }
+        // Comparisons as values.
+        if op.is_comparison() {
+            let cond = comparison_cond(op);
+            self.compare(lhs, rhs, dest, line)?;
+            self.emit(Instruction::mov_imm(dest, 0));
+            self.emit(Instruction::DataProc {
+                cond,
+                op: DpOp::Mov,
+                set_flags: false,
+                rd: dest,
+                rn: Reg::r(0),
+                op2: Operand2::Imm(1),
+            });
+            return Ok(());
+        }
+        // Pointer arithmetic.
+        let lt = lhs.ty.decayed();
+        let rt = rhs.ty.decayed();
+        if op == BinOp::Add && lt.is_pointer_like() != rt.is_pointer_like() {
+            let (ptr, int) = if lt.is_pointer_like() { (lhs, rhs) } else { (rhs, lhs) };
+            let elem = if lt.is_pointer_like() { lt.pointee() } else { rt.pointee() }
+                .expect("pointer operand has pointee")
+                .clone();
+            self.expr_to(ptr, dest)?;
+            let t = self.alloc_temp(line)?;
+            self.expr_to(int, t)?;
+            self.scaled_add(dest, dest, t, &elem, line)?;
+            self.free_temp(t);
+            return Ok(());
+        }
+        if op == BinOp::Sub && lt.is_pointer_like() {
+            let elem = lt.pointee().expect("pointer has pointee").clone();
+            self.expr_to(lhs, dest)?;
+            let t = self.alloc_temp(line)?;
+            self.expr_to(rhs, t)?;
+            if rt.is_pointer_like() {
+                // ptr - ptr: byte difference scaled down.
+                self.emit(Instruction::dp_reg(DpOp::Sub, dest, dest, t));
+                if let Some(shift) = Self::scale_shift(&elem) {
+                    if shift > 0 {
+                        self.emit(Instruction::DataProc {
+                            cond: Cond::Al,
+                            op: DpOp::Mov,
+                            set_flags: false,
+                            rd: dest,
+                            rn: Reg::r(0),
+                            op2: Operand2::RegShift(dest, ShiftKind::Asr, shift),
+                        });
+                    }
+                }
+            } else {
+                // ptr - int: negate then scaled add.
+                self.emit(Instruction::dp_imm(DpOp::Rsb, t, t, 0));
+                self.scaled_add(dest, dest, t, &elem, line)?;
+            }
+            self.free_temp(t);
+            return Ok(());
+        }
+        // Division family: runtime calls.
+        if matches!(op, BinOp::Div | BinOp::Mod) {
+            let callee = if op == BinOp::Div { "__divsi3" } else { "__modsi3" };
+            return self.runtime_binop(callee, lhs, rhs, dest, line);
+        }
+        // Shifts: immediate amounts use the barrel shifter, variable
+        // amounts call the runtime.
+        if matches!(op, BinOp::Shl | BinOp::Shr) {
+            if let ExprKind::Int(n) = rhs.kind {
+                if (0..32).contains(&n) {
+                    self.expr_to(lhs, dest)?;
+                    if n > 0 {
+                        let kind = if op == BinOp::Shl { ShiftKind::Lsl } else { ShiftKind::Asr };
+                        self.emit(Instruction::DataProc {
+                            cond: Cond::Al,
+                            op: DpOp::Mov,
+                            set_flags: false,
+                            rd: dest,
+                            rn: Reg::r(0),
+                            op2: Operand2::RegShift(dest, kind, n as u8),
+                        });
+                    }
+                    return Ok(());
+                }
+            }
+            let callee = if op == BinOp::Shl { "__ashl" } else { "__ashr" };
+            return self.runtime_binop(callee, lhs, rhs, dest, line);
+        }
+        // Multiplication.
+        if op == BinOp::Mul {
+            self.expr_to(lhs, dest)?;
+            let t = self.alloc_temp(line)?;
+            self.expr_to(rhs, t)?;
+            // ARM forbids rd == rm; (rd=dest, rm=t, rs=dest) satisfies it.
+            self.emit(Instruction::Mul {
+                cond: Cond::Al,
+                set_flags: false,
+                rd: dest,
+                rm: t,
+                rs: dest,
+            });
+            self.free_temp(t);
+            return Ok(());
+        }
+        // Plain two-operand ALU ops, folding encodable immediates.
+        let dp = match op {
+            BinOp::Add => DpOp::Add,
+            BinOp::Sub => DpOp::Sub,
+            BinOp::BitAnd => DpOp::And,
+            BinOp::BitOr => DpOp::Orr,
+            BinOp::BitXor => DpOp::Eor,
+            _ => unreachable!("all other operators handled above"),
+        };
+        self.expr_to(lhs, dest)?;
+        if let ExprKind::Int(v) = rhs.kind {
+            if is_encodable_imm(v as u32) {
+                self.emit(Instruction::dp_imm(dp, dest, dest, v as u32));
+                return Ok(());
+            }
+        }
+        let t = self.alloc_temp(line)?;
+        self.expr_to(rhs, t)?;
+        self.emit(Instruction::dp_reg(dp, dest, dest, t));
+        self.free_temp(t);
+        Ok(())
+    }
+
+    /// Calls a two-argument runtime helper.
+    fn runtime_binop(
+        &mut self,
+        callee: &str,
+        lhs: &Expr,
+        rhs: &Expr,
+        dest: Reg,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        self.expr_to(lhs, dest)?;
+        let t = self.alloc_temp(line)?;
+        self.expr_to(rhs, t)?;
+        self.emit(Instruction::mov_reg(Reg::r(0), dest));
+        self.emit(Instruction::mov_reg(Reg::r(1), t));
+        self.free_temp(t);
+        self.call(callee);
+        self.emit(Instruction::mov_reg(dest, Reg::r(0)));
+        Ok(())
+    }
+
+    /// Emits `cmp lhs, rhs` with an immediate fold.
+    fn compare(&mut self, lhs: &Expr, rhs: &Expr, scratch: Reg, line: u32) -> Result<(), CompileError> {
+        self.expr_to(lhs, scratch)?;
+        if let ExprKind::Int(v) = rhs.kind {
+            if is_encodable_imm(v as u32) {
+                self.emit(Instruction::DataProc {
+                    cond: Cond::Al,
+                    op: DpOp::Cmp,
+                    set_flags: true,
+                    rd: Reg::r(0),
+                    rn: scratch,
+                    op2: Operand2::Imm(v as u32),
+                });
+                return Ok(());
+            }
+        }
+        let t = self.alloc_temp(line)?;
+        self.expr_to(rhs, t)?;
+        self.emit(Instruction::DataProc {
+            cond: Cond::Al,
+            op: DpOp::Cmp,
+            set_flags: true,
+            rd: Reg::r(0),
+            rn: scratch,
+            op2: Operand2::Reg(t),
+        });
+        self.free_temp(t);
+        Ok(())
+    }
+
+    /// Emits a branch to `label` taken iff `e` is true (`jump_if` = true)
+    /// or false (`jump_if` = false).
+    fn branch_cond(&mut self, e: &Expr, label: &str, jump_if: bool) -> Result<(), CompileError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Int(v) => {
+                if (*v != 0) == jump_if {
+                    self.branch(Cond::Al, label);
+                }
+            }
+            ExprKind::Unary(UnOp::Not, inner) => self.branch_cond(inner, label, !jump_if)?,
+            ExprKind::Binary(op, lhs, rhs) if op.is_comparison() => {
+                let cond = comparison_cond(*op);
+                let cond = if jump_if { cond } else { cond.invert() };
+                let t = self.alloc_temp(line)?;
+                self.compare(lhs, rhs, t, line)?;
+                self.free_temp(t);
+                self.branch(cond, label);
+            }
+            ExprKind::Binary(BinOp::LAnd, lhs, rhs) => {
+                if jump_if {
+                    let skip = self.fresh_label("and");
+                    self.branch_cond(lhs, &skip, false)?;
+                    self.branch_cond(rhs, label, true)?;
+                    self.label(skip);
+                } else {
+                    self.branch_cond(lhs, label, false)?;
+                    self.branch_cond(rhs, label, false)?;
+                }
+            }
+            ExprKind::Binary(BinOp::LOr, lhs, rhs) => {
+                if jump_if {
+                    self.branch_cond(lhs, label, true)?;
+                    self.branch_cond(rhs, label, true)?;
+                } else {
+                    let skip = self.fresh_label("or");
+                    self.branch_cond(lhs, &skip, true)?;
+                    self.branch_cond(rhs, label, false)?;
+                    self.label(skip);
+                }
+            }
+            _ => {
+                let t = self.alloc_temp(line)?;
+                self.expr_to(e, t)?;
+                self.emit(Instruction::DataProc {
+                    cond: Cond::Al,
+                    op: DpOp::Cmp,
+                    set_flags: true,
+                    rd: Reg::r(0),
+                    rn: t,
+                    op2: Operand2::Imm(0),
+                });
+                self.free_temp(t);
+                self.branch(if jump_if { Cond::Ne } else { Cond::Eq }, label);
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates a call expression into `dest`.
+    fn call_to(
+        &mut self,
+        callee: &Expr,
+        args: &[Expr],
+        dest: Reg,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        // Evaluate arguments into temporaries first (they are callee-saved,
+        // so nested calls cannot clobber them), then move into r0..r3.
+        let mut temps = Vec::new();
+        for a in args {
+            let t = self.alloc_temp(line)?;
+            self.expr_to(a, t)?;
+            temps.push(t);
+        }
+        // Intrinsics lower to swi.
+        if let ExprKind::Var(name) = &callee.kind {
+            if let Some((_, _, svc)) = INTRINSICS
+                .iter()
+                .find(|(n, argc, _)| n == name && *argc == args.len())
+                .filter(|_| self.unit.function(name).is_none())
+            {
+                for (i, t) in temps.iter().enumerate() {
+                    self.emit(Instruction::mov_reg(Reg::r(i as u8), *t));
+                }
+                self.emit(Instruction::Swi {
+                    cond: Cond::Al,
+                    imm: *svc,
+                });
+                self.emit(Instruction::mov_reg(dest, Reg::r(0)));
+                for t in temps {
+                    self.free_temp(t);
+                }
+                return Ok(());
+            }
+            if self.unit.function(name).is_some() || is_runtime_function(name) {
+                for (i, t) in temps.iter().enumerate() {
+                    self.emit(Instruction::mov_reg(Reg::r(i as u8), *t));
+                }
+                for t in temps {
+                    self.free_temp(t);
+                }
+                self.call(name);
+                self.emit(Instruction::mov_reg(dest, Reg::r(0)));
+                return Ok(());
+            }
+        }
+        // Indirect call through a register.
+        let target = self.alloc_temp(line)?;
+        self.expr_to(callee, target)?;
+        for (i, t) in temps.iter().enumerate() {
+            self.emit(Instruction::mov_reg(Reg::r(i as u8), *t));
+        }
+        for t in temps {
+            self.free_temp(t);
+        }
+        self.is_leaf = false;
+        self.out.items.push(AsmItem::IndirectCall { target });
+        self.free_temp(target);
+        self.emit(Instruction::mov_reg(dest, Reg::r(0)));
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Statements
+    // ---------------------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                for st in stmts {
+                    self.stmt(st)?;
+                }
+                self.scopes.pop();
+            }
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            } => {
+                let slot = self.declare_local(name, ty.clone());
+                if let Some(e) = init {
+                    let t = self.alloc_temp(*line)?;
+                    self.expr_to(e, t)?;
+                    self.mem_access(MemOp::Str, t, Reg::SP, slot.offset, &slot.ty);
+                    self.free_temp(t);
+                }
+            }
+            Stmt::Expr(e) => {
+                let t = self.alloc_temp(e.line)?;
+                self.expr_to(e, t)?;
+                self.free_temp(t);
+            }
+            Stmt::If { cond, then, els } => {
+                let else_label = self.fresh_label("else");
+                let end_label = self.fresh_label("endif");
+                self.branch_cond(cond, &else_label, false)?;
+                self.stmt(then)?;
+                if let Some(e) = els {
+                    self.branch(Cond::Al, &end_label);
+                    self.label(else_label);
+                    self.stmt(e)?;
+                    self.label(end_label);
+                } else {
+                    self.label(else_label);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let head = self.fresh_label("while");
+                let end = self.fresh_label("wend");
+                self.label(head.clone());
+                self.branch_cond(cond, &end, false)?;
+                self.loop_stack.push((end.clone(), head.clone()));
+                self.stmt(body)?;
+                self.loop_stack.pop();
+                self.branch(Cond::Al, &head);
+                self.label(end);
+            }
+            Stmt::DoWhile { body, cond } => {
+                let head = self.fresh_label("do");
+                let check = self.fresh_label("docheck");
+                let end = self.fresh_label("doend");
+                self.label(head.clone());
+                self.loop_stack.push((end.clone(), check.clone()));
+                self.stmt(body)?;
+                self.loop_stack.pop();
+                self.label(check);
+                self.branch_cond(cond, &head, true)?;
+                self.label(end);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let head = self.fresh_label("for");
+                let cont = self.fresh_label("fstep");
+                let end = self.fresh_label("fend");
+                self.label(head.clone());
+                if let Some(c) = cond {
+                    self.branch_cond(c, &end, false)?;
+                }
+                self.loop_stack.push((end.clone(), cont.clone()));
+                self.stmt(body)?;
+                self.loop_stack.pop();
+                self.label(cont);
+                if let Some(st) = step {
+                    let t = self.alloc_temp(st.line)?;
+                    self.expr_to(st, t)?;
+                    self.free_temp(t);
+                }
+                self.branch(Cond::Al, &head);
+                self.label(end);
+                self.scopes.pop();
+            }
+            Stmt::Return(value, line) => {
+                if let Some(e) = value {
+                    let t = self.alloc_temp(*line)?;
+                    self.expr_to(e, t)?;
+                    self.emit(Instruction::mov_reg(Reg::r(0), t));
+                    self.free_temp(t);
+                }
+                let ret = self.ret_label();
+                self.branch(Cond::Al, &ret);
+            }
+            Stmt::Break(line) => {
+                let target = self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| err(*line, "break outside loop"))?
+                    .0
+                    .clone();
+                self.branch(Cond::Al, &target);
+            }
+            Stmt::Continue(line) => {
+                let target = self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| err(*line, "continue outside loop"))?
+                    .1
+                    .clone();
+                self.branch(Cond::Al, &target);
+            }
+        }
+        Ok(())
+    }
+
+    /// Wraps the generated body with prologue/epilogue and returns the
+    /// finished function.
+    fn finish(mut self) -> Result<AsmFunction, CompileError> {
+        let body = std::mem::take(&mut self.out.items);
+        let frame = self.frame_used as u32;
+        let saved = self.used_temps;
+        let needs_lr = !self.is_leaf;
+        let mut items = Vec::with_capacity(body.len() + 8);
+        items.push(AsmItem::Label(self.func.name.clone()));
+        let mut pushed = saved;
+        if needs_lr {
+            pushed.insert(Reg::LR);
+        }
+        if !pushed.is_empty() {
+            items.push(AsmItem::Insn(Instruction::Block {
+                cond: Cond::Al,
+                op: MemOp::Str,
+                rn: Reg::SP,
+                writeback: true,
+                mode: gpa_arm::BlockMode::Db,
+                regs: pushed,
+            }));
+        }
+        // Allocate the frame and spill parameters.
+        self.out.items = items;
+        if frame > 0 {
+            self.add_sub_imm(DpOp::Sub, Reg::SP, Reg::SP, frame);
+        }
+        for (i, (name, _ty)) in self.func.params.iter().enumerate() {
+            let slot = self
+                .lookup_local(name)
+                .expect("parameter slot was allocated");
+            // Parameters are stored as full words; char loads read the LSB
+            // (little-endian).
+            self.emit(Instruction::str_imm(Reg::r(i as u8), Reg::SP, slot.offset));
+        }
+        let mut items = std::mem::take(&mut self.out.items);
+        items.extend(body);
+        items.push(AsmItem::Label(self.ret_label()));
+        self.out.items = items;
+        if frame > 0 {
+            self.add_sub_imm(DpOp::Add, Reg::SP, Reg::SP, frame);
+        }
+        if !pushed.is_empty() {
+            let mut popped = saved;
+            if needs_lr {
+                popped.insert(Reg::PC); // pop {…, pc} returns directly.
+            }
+            self.emit(Instruction::Block {
+                cond: Cond::Al,
+                op: MemOp::Ldr,
+                rn: Reg::SP,
+                writeback: true,
+                mode: gpa_arm::BlockMode::Ia,
+                regs: popped,
+            });
+            if !needs_lr {
+                self.emit(Instruction::ret());
+            }
+        } else {
+            self.emit(Instruction::ret());
+        }
+        Ok(self.out)
+    }
+}
+
+/// The condition code under which a comparison is true.
+fn comparison_cond(op: BinOp) -> Cond {
+    match op {
+        BinOp::Eq => Cond::Eq,
+        BinOp::Ne => Cond::Ne,
+        BinOp::Lt => Cond::Lt,
+        BinOp::Le => Cond::Le,
+        BinOp::Gt => Cond::Gt,
+        BinOp::Ge => Cond::Ge,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Runtime helpers that exist as assembly (not MiniC) and therefore are not
+/// in the unit's function list.
+fn is_runtime_function(name: &str) -> bool {
+    matches!(name, "__ashl" | "__ashr")
+}
+
+/// Generates assembly for every function in the unit.
+///
+/// # Errors
+///
+/// Returns a codegen-stage [`CompileError`] for constructs the template
+/// generator cannot express (over-deep expressions, exotic element sizes).
+pub fn generate(unit: &Unit) -> Result<Vec<AsmFunction>, CompileError> {
+    let mut functions = Vec::with_capacity(unit.functions.len());
+    let mut string_counter = 0usize;
+    for f in &unit.functions {
+        let mut gen = FnGen {
+            unit,
+            func: f,
+            out: AsmFunction::new(f.name.clone()),
+            scopes: vec![HashMap::new()],
+            frame_used: 0,
+            free_temps: TEMP_REGS.iter().rev().copied().collect(),
+            used_temps: RegSet::EMPTY,
+            label_counter: 0,
+            string_counter: &mut string_counter,
+            loop_stack: Vec::new(),
+            is_leaf: true,
+        };
+        // Parameter slots first, in order.
+        for (name, ty) in &f.params {
+            // char parameters occupy a full word slot.
+            let slot_ty = if ty.size() < 4 { Type::Int } else { ty.clone() };
+            let slot = Slot {
+                offset: gen.alloc_slot(&slot_ty),
+                ty: ty.clone(),
+            };
+            gen.scopes[0].insert(name.clone(), slot);
+        }
+        gen.stmt(&f.body)?;
+        functions.push(gen.finish()?);
+    }
+    Ok(functions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::sema::analyze;
+
+    fn gen(src: &str) -> Vec<AsmFunction> {
+        generate(&analyze(parse(&lex(src).unwrap()).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn trivial_function_shape() {
+        let fns = gen("int f() { return 7; }");
+        assert_eq!(fns.len(), 1);
+        let f = &fns[0];
+        assert_eq!(f.items[0], AsmItem::Label("f".into()));
+        // Leaf function: returns with bx lr.
+        assert!(matches!(
+            f.items.last(),
+            Some(AsmItem::Insn(Instruction::Bx { .. }))
+        ));
+    }
+
+    #[test]
+    fn call_marks_non_leaf() {
+        let fns = gen("int g() { return 1; } int f() { return g(); }");
+        let f = fns.iter().find(|f| f.name == "f").unwrap();
+        assert!(f.calls.contains(&"g".to_string()));
+        // Non-leaf functions push and pop lr/pc.
+        assert!(f
+            .items
+            .iter()
+            .any(|i| matches!(i, AsmItem::Insn(Instruction::Block { .. }))));
+    }
+
+    #[test]
+    fn globals_use_literal_loads() {
+        let fns = gen("int counter; int f() { counter = counter + 1; return counter; }");
+        let f = &fns[0];
+        assert!(f
+            .items
+            .iter()
+            .any(|i| matches!(i, AsmItem::LoadAddr { symbol, .. } if symbol == "counter")));
+        assert!(f.symbol_refs.contains(&"counter".to_string()));
+    }
+
+    #[test]
+    fn strings_are_collected() {
+        let fns = gen("int f(char *s) { return 0; } int main() { f(\"hi\"); return 0; }");
+        let main = fns.iter().find(|f| f.name == "main").unwrap();
+        assert_eq!(main.strings.len(), 1);
+        assert_eq!(main.strings[0].1, b"hi\0");
+    }
+
+    #[test]
+    fn division_calls_runtime() {
+        let fns = gen("int f(int a, int b) { return a / b + a % b; }");
+        let f = &fns[0];
+        assert!(f.calls.contains(&"__divsi3".to_string()));
+        assert!(f.calls.contains(&"__modsi3".to_string()));
+    }
+
+    #[test]
+    fn constant_shift_uses_barrel_shifter() {
+        let fns = gen("int f(int a) { return a << 2; }");
+        let f = &fns[0];
+        assert!(f.calls.is_empty());
+        assert!(f.items.iter().any(|i| matches!(
+            i,
+            AsmItem::Insn(Instruction::DataProc {
+                op2: Operand2::RegShift(_, ShiftKind::Lsl, 2),
+                ..
+            })
+        )));
+    }
+
+    #[test]
+    fn variable_shift_calls_runtime() {
+        let fns = gen("int f(int a, int n) { return a << n; }");
+        assert!(fns[0].calls.contains(&"__ashl".to_string()));
+    }
+
+    #[test]
+    fn intrinsics_lower_to_swi() {
+        let fns = gen("int main() { _putc(65); return 0; }");
+        let main = &fns[0];
+        assert!(main
+            .items
+            .iter()
+            .any(|i| matches!(i, AsmItem::Insn(Instruction::Swi { imm: 1, .. }))));
+        assert!(main.calls.is_empty());
+    }
+
+    #[test]
+    fn indirect_call_uses_idiom() {
+        let fns = gen(
+            "int twice(int x) { return x + x; }\n\
+             int apply(int f, int x) { return f(x); }",
+        );
+        let apply = fns.iter().find(|f| f.name == "apply").unwrap();
+        assert!(apply
+            .items
+            .iter()
+            .any(|i| matches!(i, AsmItem::IndirectCall { .. })));
+    }
+
+    #[test]
+    fn function_as_value_loads_address() {
+        let fns = gen(
+            "int twice(int x) { return x + x; }\n\
+             int main() { int f = twice; return f; }",
+        );
+        let main = fns.iter().find(|f| f.name == "main").unwrap();
+        assert!(main.symbol_refs.contains(&"twice".to_string()));
+    }
+
+    #[test]
+    fn errors_on_overdeep_expression() {
+        // 9 nested calls all needing live temporaries.
+        let src = "int f(int x) { return x; }\n\
+                   int main() { return f(1+f(1+f(1+f(1+f(1+f(1+f(1+f(1+f(1))))))))); }";
+        let unit = analyze(parse(&lex(src).unwrap()).unwrap()).unwrap();
+        assert!(generate(&unit).is_err());
+    }
+}

@@ -1,0 +1,593 @@
+//! The static linker: lays out reachable functions, resolves labels,
+//! emits literal pools, and produces the final [`Image`].
+//!
+//! Like dietlibc's build, linking is *selective*: only functions reachable
+//! from `_start` (through direct calls or address-taken references) are
+//! placed in the image. Every function is followed by its literal pool —
+//! the interwoven data of Fig. 10 in the paper — accessed by pc-relative
+//! loads.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use gpa_arm::encode::is_encodable_imm;
+use gpa_arm::insn::{AddressMode, DpOp, MemOffset, MemOp, Operand2};
+use gpa_arm::{Cond, Instruction, Reg};
+use gpa_image::{Image, Symbol};
+
+use crate::asm::{AsmFunction, AsmItem};
+use crate::ast::{GlobalInit, Type, Unit};
+use crate::CompileError;
+
+/// Code section base address.
+pub const CODE_BASE: u32 = 0x8000;
+/// Data section base address.
+pub const DATA_BASE: u32 = 0x2_0000;
+
+fn err(message: impl Into<String>) -> CompileError {
+    CompileError::new("link", message)
+}
+
+/// A literal-pool entry key.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum PoolKey {
+    Symbol(String),
+    Const(u32),
+}
+
+/// Per-function layout computed in the first pass.
+struct FnLayout {
+    base: u32,
+    body_words: usize,
+    /// Pool entries in first-reference order with their addresses.
+    pool: Vec<(PoolKey, u32)>,
+}
+
+impl FnLayout {
+    fn pool_addr(&self, key: &PoolKey) -> Option<u32> {
+        self.pool.iter().find(|(k, _)| k == key).map(|&(_, a)| a)
+    }
+
+    fn size_bytes(&self) -> u32 {
+        (self.body_words + self.pool.len()) as u32 * 4
+    }
+}
+
+/// Links the generated functions (plus the assembly runtime) into an
+/// executable image.
+///
+/// # Errors
+///
+/// Returns a link-stage [`CompileError`] on undefined symbols, duplicate
+/// labels, missing `main`, or out-of-range branches / literal loads.
+pub fn link(unit: &Unit, mut functions: Vec<AsmFunction>) -> Result<Image, CompileError> {
+    functions.extend(crate::runtime::asm_functions());
+    let by_name: HashMap<String, usize> = functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i))
+        .collect();
+    if !by_name.contains_key("main") {
+        return Err(err("no `main` function defined"));
+    }
+
+    // --- Reachability from _start (selective linking) ---
+    let mut reachable: HashSet<String> = HashSet::new();
+    let mut queue = VecDeque::from(["_start".to_owned()]);
+    let mut address_taken: HashSet<String> = HashSet::new();
+    while let Some(name) = queue.pop_front() {
+        if !reachable.insert(name.clone()) {
+            continue;
+        }
+        let Some(&idx) = by_name.get(&name) else {
+            continue; // Calls to intrinsics resolved elsewhere.
+        };
+        for callee in &functions[idx].calls {
+            if by_name.contains_key(callee) && !reachable.contains(callee) {
+                queue.push_back(callee.clone());
+            }
+        }
+        for sym in &functions[idx].symbol_refs {
+            if by_name.contains_key(sym) {
+                address_taken.insert(sym.clone());
+                if !reachable.contains(sym) {
+                    queue.push_back(sym.clone());
+                }
+            }
+        }
+    }
+    for f in &functions {
+        if f.calls.iter().any(|c| !by_name.contains_key(c)) && reachable.contains(&f.name) {
+            let missing: Vec<_> = f
+                .calls
+                .iter()
+                .filter(|c| !by_name.contains_key(c.as_str()))
+                .collect();
+            return Err(err(format!(
+                "function `{}` calls undefined function(s): {missing:?}",
+                f.name
+            )));
+        }
+    }
+
+    // Keep _start first, then definition order.
+    let mut kept: Vec<&AsmFunction> = Vec::new();
+    if let Some(&i) = by_name.get("_start") {
+        kept.push(&functions[i]);
+    }
+    for f in &functions {
+        if f.name != "_start" && reachable.contains(&f.name) {
+            kept.push(f);
+        }
+    }
+
+    // --- Pass 1: function layout and label addresses ---
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut layouts: Vec<FnLayout> = Vec::with_capacity(kept.len());
+    let mut cursor = CODE_BASE;
+    for f in kept.iter() {
+        let base = cursor;
+        let mut offset_words = 0usize;
+        let mut pool_keys: Vec<PoolKey> = Vec::new();
+        let mut seen: HashSet<PoolKey> = HashSet::new();
+        for item in &f.items {
+            match item {
+                AsmItem::Label(name) => {
+                    let addr = base + 4 * offset_words as u32;
+                    if labels.insert(name.clone(), addr).is_some() {
+                        return Err(err(format!("duplicate label `{name}`")));
+                    }
+                }
+                AsmItem::LoadAddr { symbol, .. } => {
+                    let key = PoolKey::Symbol(symbol.clone());
+                    if seen.insert(key.clone()) {
+                        pool_keys.push(key);
+                    }
+                    offset_words += 1;
+                }
+                AsmItem::LoadConst { value, .. } => {
+                    if !is_encodable_imm(*value) && !is_encodable_imm(!*value) {
+                        let key = PoolKey::Const(*value);
+                        if seen.insert(key.clone()) {
+                            pool_keys.push(key);
+                        }
+                    }
+                    offset_words += 1;
+                }
+                other => offset_words += other.encoded_words(),
+            }
+        }
+        let pool_base = base + 4 * offset_words as u32;
+        let pool: Vec<(PoolKey, u32)> = pool_keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, pool_base + 4 * i as u32))
+            .collect();
+        cursor = pool_base + 4 * pool.len() as u32;
+        layouts.push(FnLayout {
+            base,
+            body_words: offset_words,
+            pool,
+        });
+    }
+
+    // --- Data section layout ---
+    let mut data: Vec<u8> = Vec::new();
+    let mut data_symbols: Vec<Symbol> = Vec::new();
+    // (data offset of pointer cell, string label) fixups for `char *g = "…"`.
+    let mut pointer_fixups: Vec<(usize, String)> = Vec::new();
+    let mut global_addrs: BTreeMap<String, u32> = BTreeMap::new();
+    let mut cstr_counter = 0usize;
+
+    let used_globals: HashSet<&str> = kept
+        .iter()
+        .flat_map(|f| f.symbol_refs.iter())
+        .map(String::as_str)
+        .collect();
+    for g in &unit.globals {
+        if !used_globals.contains(g.name.as_str()) {
+            continue;
+        }
+        while !data.len().is_multiple_of(4) {
+            data.push(0);
+        }
+        let addr = DATA_BASE + data.len() as u32;
+        global_addrs.insert(g.name.clone(), addr);
+        let start = data.len();
+        match (&g.ty, &g.init) {
+            (Type::Array(elem, n), init) => {
+                let elem_size = elem.size().max(1);
+                let total = elem_size * n;
+                match init {
+                    Some(GlobalInit::List(items)) => {
+                        for v in items.iter().take(*n) {
+                            match elem_size {
+                                1 => data.push(*v as u8),
+                                _ => data.extend_from_slice(&(*v as i32).to_le_bytes()),
+                            }
+                        }
+                    }
+                    Some(GlobalInit::Str(s)) => {
+                        data.extend_from_slice(s.as_bytes());
+                        data.push(0);
+                    }
+                    Some(GlobalInit::Scalar(_)) => {
+                        return Err(err(format!(
+                            "array global `{}` needs a list or string initializer",
+                            g.name
+                        )))
+                    }
+                    None => {}
+                }
+                while data.len() < start + total {
+                    data.push(0);
+                }
+            }
+            (Type::Ptr(_), Some(GlobalInit::Str(s))) => {
+                let label = format!(".Lcstr{cstr_counter}");
+                cstr_counter += 1;
+                pointer_fixups.push((data.len(), label.clone()));
+                data.extend_from_slice(&0u32.to_le_bytes());
+                // The string body is appended after all globals; remember it
+                // through the symbol map by reserving the label now.
+                data_symbols.push(Symbol::object(label.clone(), 0, s.len() as u32 + 1));
+                global_addrs.insert(label, u32::MAX); // patched below
+            }
+            (ty, init) => {
+                let value = match init {
+                    Some(GlobalInit::Scalar(v)) => *v,
+                    None => 0,
+                    _ => {
+                        return Err(err(format!(
+                            "scalar global `{}` needs a scalar initializer",
+                            g.name
+                        )))
+                    }
+                };
+                match ty.size() {
+                    1 => data.push(value as u8),
+                    _ => data.extend_from_slice(&(value as i32).to_le_bytes()),
+                }
+            }
+        }
+        let size = (data.len() - start) as u32;
+        data_symbols.push(Symbol::object(g.name.clone(), addr, size));
+    }
+    // Append string bodies for pointer-initialized globals.
+    {
+        let mut fixup_strings: Vec<(String, String)> = Vec::new(); // (label, text)
+        let mut idx = 0usize;
+        for g in &unit.globals {
+            if !used_globals.contains(g.name.as_str()) {
+                continue;
+            }
+            if let (Type::Ptr(_), Some(GlobalInit::Str(s))) = (&g.ty, &g.init) {
+                fixup_strings.push((format!(".Lcstr{idx}"), s.clone()));
+                idx += 1;
+            }
+        }
+        for (label, text) in fixup_strings {
+            while !data.len().is_multiple_of(4) {
+                data.push(0);
+            }
+            let addr = DATA_BASE + data.len() as u32;
+            global_addrs.insert(label.clone(), addr);
+            if let Some(sym) = data_symbols.iter_mut().find(|s| s.name == label) {
+                sym.addr = addr;
+            }
+            data.extend_from_slice(text.as_bytes());
+            data.push(0);
+        }
+        for (offset, label) in pointer_fixups {
+            let addr = global_addrs[&label];
+            data[offset..offset + 4].copy_from_slice(&addr.to_le_bytes());
+        }
+    }
+    // String literals referenced from code.
+    for f in kept.iter() {
+        for (label, bytes) in &f.strings {
+            while !data.len().is_multiple_of(4) {
+                data.push(0);
+            }
+            let addr = DATA_BASE + data.len() as u32;
+            if global_addrs.insert(label.clone(), addr).is_some() {
+                return Err(err(format!("duplicate string label `{label}`")));
+            }
+            data_symbols.push(Symbol::object(label.clone(), addr, bytes.len() as u32));
+            data.extend_from_slice(bytes);
+        }
+    }
+
+    // Unified symbol resolution: code labels win, then data.
+    let resolve = |name: &str| -> Option<u32> {
+        labels.get(name).copied().or_else(|| global_addrs.get(name).copied())
+    };
+
+    // --- Pass 2: encoding ---
+    let mut image = Image::new(CODE_BASE, DATA_BASE);
+    for (f, layout) in kept.iter().zip(&layouts) {
+        let mut addr = layout.base;
+        let push = |image: &mut Image, insn: Instruction, addr: &mut u32| -> Result<(), CompileError> {
+            let word = insn
+                .encode()
+                .map_err(|e| err(format!("in `{}`: {insn}: {e}", f.name)))?;
+            let at = image.push_code_word(word);
+            debug_assert_eq!(at, *addr);
+            *addr += 4;
+            Ok(())
+        };
+        for item in &f.items {
+            match item {
+                AsmItem::Label(_) => {}
+                AsmItem::Insn(insn) => push(&mut image, *insn, &mut addr)?,
+                AsmItem::BranchTo { cond, link, label } => {
+                    let target = resolve(label)
+                        .ok_or_else(|| err(format!("undefined label `{label}`")))?;
+                    let offset = (target as i64 - (addr as i64 + 8)) / 4;
+                    let insn = Instruction::Branch {
+                        cond: *cond,
+                        link: *link,
+                        offset: offset as i32,
+                    };
+                    push(&mut image, insn, &mut addr)?;
+                }
+                AsmItem::LoadAddr { rd, symbol } => {
+                    let key = PoolKey::Symbol(symbol.clone());
+                    let pool_addr = layout
+                        .pool_addr(&key)
+                        .expect("pass 1 recorded a pool slot for every LoadAddr");
+                    push(&mut image, pc_relative_load(*rd, addr, pool_addr)?, &mut addr)?;
+                }
+                AsmItem::LoadConst { rd, value } => {
+                    let insn = if is_encodable_imm(*value) {
+                        Instruction::mov_imm(*rd, *value)
+                    } else if is_encodable_imm(!*value) {
+                        Instruction::DataProc {
+                            cond: Cond::Al,
+                            op: DpOp::Mvn,
+                            set_flags: false,
+                            rd: *rd,
+                            rn: Reg::r(0),
+                            op2: Operand2::Imm(!*value),
+                        }
+                    } else {
+                        let key = PoolKey::Const(*value);
+                        let pool_addr = layout
+                            .pool_addr(&key)
+                            .expect("pass 1 recorded a pool slot for wide constants");
+                        pc_relative_load(*rd, addr, pool_addr)?
+                    };
+                    push(&mut image, insn, &mut addr)?;
+                }
+                AsmItem::IndirectCall { target } => {
+                    // mov lr, pc reads pc = (address of mov) + 8, which is
+                    // the instruction after the bx — the return address.
+                    push(
+                        &mut image,
+                        Instruction::mov_reg(Reg::LR, Reg::PC),
+                        &mut addr,
+                    )?;
+                    push(
+                        &mut image,
+                        Instruction::Bx {
+                            cond: Cond::Al,
+                            rm: *target,
+                        },
+                        &mut addr,
+                    )?;
+                }
+            }
+        }
+        // Literal pool.
+        let _ = addr;
+        for (key, pool_addr) in &layout.pool {
+            let word = match key {
+                PoolKey::Const(v) => *v,
+                PoolKey::Symbol(name) => resolve(name)
+                    .ok_or_else(|| err(format!("undefined symbol `{name}` in literal pool")))?,
+            };
+            let at = image.push_code_word(word);
+            debug_assert_eq!(at, *pool_addr);
+        }
+    }
+
+    // --- Symbols and entry ---
+    for (f, layout) in kept.iter().zip(&layouts) {
+        let mut sym = Symbol::function(f.name.clone(), layout.base, layout.size_bytes());
+        if address_taken.contains(&f.name) || f.address_taken {
+            sym = sym.with_address_taken();
+        }
+        image.add_symbol(sym);
+    }
+    for sym in data_symbols {
+        image.add_symbol(sym);
+    }
+    for b in data {
+        image.push_data(&[b]);
+    }
+    let entry = labels
+        .get("_start")
+        .copied()
+        .ok_or_else(|| err("`_start` was not linked"))?;
+    image.set_entry(entry);
+    Ok(image)
+}
+
+/// Builds `ldr rd, [pc, #disp]` reaching `pool_addr` from the instruction
+/// at `insn_addr`.
+fn pc_relative_load(rd: Reg, insn_addr: u32, pool_addr: u32) -> Result<Instruction, CompileError> {
+    let disp = pool_addr as i64 - (insn_addr as i64 + 8);
+    if disp.abs() >= 4096 {
+        return Err(err(format!(
+            "literal pool out of range ({disp} bytes; function too large)"
+        )));
+    }
+    Ok(Instruction::Mem {
+        cond: Cond::Al,
+        op: MemOp::Ldr,
+        byte: false,
+        rd,
+        rn: Reg::PC,
+        offset: MemOffset::Imm(disp as i32),
+        mode: AddressMode::Offset,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::{compile, compile_freestanding, Options};
+    use gpa_emu::Machine;
+    use gpa_image::SymbolKind;
+
+    fn run(src: &str) -> gpa_emu::Outcome {
+        let image = compile(src, &Options::default()).unwrap();
+        Machine::new(&image).run(10_000_000).unwrap()
+    }
+
+    #[test]
+    fn links_and_runs_trivial_program() {
+        let out = run("int main() { return 5; }");
+        assert_eq!(out.exit_code, 5);
+    }
+
+    #[test]
+    fn selective_linking_drops_unused_functions() {
+        let image = compile(
+            "int unused_helper(int x) { return x * 3; }\n\
+             int main() { return 1; }",
+            &Options::default(),
+        )
+        .unwrap();
+        assert!(image.symbol("unused_helper").is_none());
+        assert!(image.symbol("main").is_some());
+        assert!(image.symbol("_start").is_some());
+        // puts etc. are also dropped when unreferenced.
+        assert!(image.symbol("puts").is_none());
+    }
+
+    #[test]
+    fn literal_pools_are_interwoven() {
+        let image = compile(
+            "int counter = 7; int main() { return counter; }",
+            &Options::default(),
+        )
+        .unwrap();
+        let main = image.symbol("main").unwrap().clone();
+        // The pool word holding &counter lies inside main's extent.
+        let counter_addr = image.symbol("counter").unwrap().addr;
+        let found = (main.addr..main.addr + main.size)
+            .step_by(4)
+            .any(|a| image.code_word_at(a) == Some(counter_addr));
+        assert!(found, "main's literal pool holds the address of `counter`");
+    }
+
+    #[test]
+    fn globals_and_strings() {
+        let out = run(
+            "char *greeting = \"hello\";\n\
+             int main() { puts(greeting); putint(strlen(greeting)); return 0; }",
+        );
+        assert_eq!(out.output_string(), "hello\n5");
+    }
+
+    #[test]
+    fn division_runtime_works() {
+        let out = run(
+            "int main() {\n\
+               putint(1234 / 10); _putc(' ');\n\
+               putint(1234 % 10); _putc(' ');\n\
+               putint(-7 / 2); _putc(' ');\n\
+               putint(-7 % 2);\n\
+               return 0; }",
+        );
+        assert_eq!(out.output_string(), "123 4 -3 -1");
+    }
+
+    #[test]
+    fn variable_shifts_work() {
+        let out = run(
+            "int main() {\n\
+               int n = 3;\n\
+               putint(5 << n); _putc(' ');\n\
+               putint(-64 >> n); _putc(' ');\n\
+               putint(1 << 0);\n\
+               return 0; }",
+        );
+        assert_eq!(out.output_string(), "40 -8 1");
+    }
+
+    #[test]
+    fn function_pointers_round_trip() {
+        let out = run(
+            "int twice(int x) { return x + x; }\n\
+             int thrice(int x) { return x * 3; }\n\
+             int apply(int f, int x) { return f(x); }\n\
+             int main() { return apply(twice, 10) + apply(thrice, 1); }",
+        );
+        assert_eq!(out.exit_code, 23);
+        let image = compile(
+            "int twice(int x) { return x + x; }\n\
+             int apply(int f, int x) { return f(x); }\n\
+             int main() { return apply(twice, 10); }",
+            &Options::default(),
+        )
+        .unwrap();
+        let twice = image.symbol("twice").unwrap();
+        assert!(twice.address_taken);
+        assert_eq!(twice.kind, SymbolKind::Function);
+    }
+
+    #[test]
+    fn global_arrays() {
+        let out = run(
+            "int table[5] = {10, 20, 30, 40, 50};\n\
+             char name[8] = \"abc\";\n\
+             int main() {\n\
+               int s = 0;\n\
+               for (int i = 0; i < 5; i++) s += table[i];\n\
+               putint(s); _putc(' '); putint(name[2]);\n\
+               return 0; }",
+        );
+        assert_eq!(out.output_string(), "150 99");
+    }
+
+    #[test]
+    fn local_arrays_and_recursion() {
+        let out = run(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n\
+             int main() {\n\
+               int buf[4];\n\
+               for (int i = 0; i < 4; i++) buf[i] = fib(i + 8);\n\
+               return buf[3] - buf[2] - buf[1] + buf[0];\n\
+             }",
+        );
+        // fib(11)-fib(10)-fib(9)+fib(8) = 89-55-34+21 = 21
+        assert_eq!(out.exit_code, 21);
+    }
+
+    #[test]
+    fn malloc_and_memset() {
+        let out = run(
+            "int main() {\n\
+               char *p = malloc(16);\n\
+               memset(p, 7, 16);\n\
+               int s = 0;\n\
+               for (int i = 0; i < 16; i++) s += p[i];\n\
+               return s; }",
+        );
+        assert_eq!(out.exit_code, 112);
+    }
+
+    #[test]
+    fn freestanding_requires_main() {
+        assert!(compile_freestanding("int f() { return 0; }", &Options::default()).is_err());
+    }
+
+    #[test]
+    fn unscheduled_code_also_runs() {
+        let opts = Options { schedule: false };
+        let image = compile("int main() { int a = 2; int b = 3; return a * b + 1; }", &opts).unwrap();
+        let out = Machine::new(&image).run(100_000).unwrap();
+        assert_eq!(out.exit_code, 7);
+    }
+}

@@ -1,0 +1,691 @@
+//! Recursive-descent parser for MiniC.
+//!
+//! Compound assignments (`a += b`) are desugared to plain assignments with
+//! the left-hand side duplicated; since MiniC lvalues have no side effects
+//! other than through calls (which cannot appear in an lvalue), the
+//! duplication is semantics-preserving.
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+use crate::CompileError;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+fn err(line: u32, message: impl Into<String>) -> CompileError {
+    CompileError::new("parse", format!("line {line}: {}", message.into()))
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let t = &self.tokens[self.pos].kind;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Punct(q) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(err(self.line(), format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(s) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s.clone()),
+            other => Err(err(line, format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Parses a base type keyword if present (`int`, `char`, `void`).
+    fn try_base_type(&mut self) -> Option<Type> {
+        let ty = match self.peek() {
+            TokenKind::Ident(s) if s == "int" => Type::Int,
+            TokenKind::Ident(s) if s == "char" => Type::Char,
+            TokenKind::Ident(s) if s == "void" => Type::Void,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(ty)
+    }
+
+    /// Wraps a base type in pointer stars.
+    fn pointer_suffix(&mut self, mut ty: Type) -> Type {
+        while self.eat_punct("*") {
+            ty = Type::Ptr(Box::new(ty));
+        }
+        ty
+    }
+
+    fn const_int(&mut self) -> Result<i64, CompileError> {
+        let line = self.line();
+        let neg = self.eat_punct("-");
+        match self.bump() {
+            TokenKind::Int(v) => Ok(if neg { -*v } else { *v }),
+            other => Err(err(line, format!("expected constant, found {other:?}"))),
+        }
+    }
+
+    fn global_init(&mut self) -> Result<GlobalInit, CompileError> {
+        if self.eat_punct("{") {
+            let mut items = Vec::new();
+            if !self.eat_punct("}") {
+                loop {
+                    items.push(self.const_int()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                    // Allow a trailing comma before `}`.
+                    if matches!(self.peek(), TokenKind::Punct("}")) {
+                        break;
+                    }
+                }
+                self.expect_punct("}")?;
+            }
+            return Ok(GlobalInit::List(items));
+        }
+        if let TokenKind::Str(s) = self.peek() {
+            let s = s.clone();
+            self.pos += 1;
+            return Ok(GlobalInit::Str(s));
+        }
+        Ok(GlobalInit::Scalar(self.const_int()?))
+    }
+
+    fn unit(&mut self) -> Result<Unit, CompileError> {
+        let mut unit = Unit::default();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            let line = self.line();
+            let base = self
+                .try_base_type()
+                .ok_or_else(|| err(line, "expected a declaration"))?;
+            let ty = self.pointer_suffix(base);
+            let name = self.expect_ident()?;
+            if self.eat_punct("(") {
+                // Function definition or forward declaration.
+                let params = self.params()?;
+                if self.eat_punct(";") {
+                    continue; // Forward declaration: bodies are global anyway.
+                }
+                let body = self.block()?;
+                unit.functions.push(Function {
+                    name,
+                    ret: ty,
+                    params,
+                    body,
+                    line,
+                });
+            } else {
+                // Global variable(s).
+                let mut name = name;
+                let mut ty = ty;
+                loop {
+                    if self.eat_punct("[") {
+                        let n = self.const_int()?;
+                        self.expect_punct("]")?;
+                        ty = Type::Array(Box::new(ty), n as usize);
+                    }
+                    let init = if self.eat_punct("=") {
+                        Some(self.global_init()?)
+                    } else {
+                        None
+                    };
+                    unit.globals.push(Global {
+                        name,
+                        ty: ty.clone(),
+                        init,
+                        line,
+                    });
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                    // Further declarators share the base type, not the
+                    // array suffix.
+                    ty = match &ty {
+                        Type::Array(elem, _) => (**elem).clone(),
+                        other => other.clone(),
+                    };
+                    ty = self.pointer_suffix(ty);
+                    name = self.expect_ident()?;
+                }
+                self.expect_punct(";")?;
+            }
+        }
+        Ok(unit)
+    }
+
+    fn params(&mut self) -> Result<Vec<(String, Type)>, CompileError> {
+        let mut params = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(params);
+        }
+        if matches!(self.peek(), TokenKind::Ident(s) if s == "void")
+            && matches!(self.peek2(), TokenKind::Punct(")"))
+        {
+            self.pos += 1;
+            self.expect_punct(")")?;
+            return Ok(params);
+        }
+        loop {
+            let line = self.line();
+            let base = self
+                .try_base_type()
+                .ok_or_else(|| err(line, "expected parameter type"))?;
+            let ty = self.pointer_suffix(base);
+            let name = self.expect_ident()?;
+            // Array parameters decay to pointers.
+            let ty = if self.eat_punct("[") {
+                if !matches!(self.peek(), TokenKind::Punct("]")) {
+                    let _ = self.const_int()?;
+                }
+                self.expect_punct("]")?;
+                Type::Ptr(Box::new(ty))
+            } else {
+                ty
+            };
+            params.push((name, ty));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(params)
+    }
+
+    fn block(&mut self) -> Result<Stmt, CompileError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(err(self.line(), "unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Stmt::Block(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if matches!(self.peek(), TokenKind::Punct("{")) {
+            return self.block();
+        }
+        if self.eat_keyword("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.stmt()?);
+            let els = if self.eat_keyword("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = Box::new(self.stmt()?);
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_keyword("do") {
+            let body = Box::new(self.stmt()?);
+            if !self.eat_keyword("while") {
+                return Err(err(self.line(), "expected `while` after `do` body"));
+            }
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::DoWhile { body, cond });
+        }
+        if self.eat_keyword("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let s = if self.is_decl_start() {
+                    self.decl_stmt()?
+                } else {
+                    Stmt::Expr(self.expr()?)
+                };
+                self.expect_punct(";")?;
+                Some(Box::new(s))
+            };
+            let cond = if matches!(self.peek(), TokenKind::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            let step = if matches!(self.peek(), TokenKind::Punct(")")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(")")?;
+            let body = Box::new(self.stmt()?);
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
+        }
+        if self.eat_keyword("return") {
+            let value = if matches!(self.peek(), TokenKind::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(value, line));
+        }
+        if self.eat_keyword("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break(line));
+        }
+        if self.eat_keyword("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue(line));
+        }
+        if self.is_decl_start() {
+            let s = self.decl_stmt()?;
+            self.expect_punct(";")?;
+            return Ok(s);
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn is_decl_start(&self) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == "int" || s == "char" || s == "void")
+    }
+
+    /// One or more local declarators, without the trailing `;`.
+    fn decl_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        let base = self
+            .try_base_type()
+            .ok_or_else(|| err(line, "expected type"))?;
+        let mut decls = Vec::new();
+        loop {
+            let ty = self.pointer_suffix(base.clone());
+            let name = self.expect_ident()?;
+            let ty = if self.eat_punct("[") {
+                let n = self.const_int()?;
+                self.expect_punct("]")?;
+                Type::Array(Box::new(ty), n as usize)
+            } else {
+                ty
+            };
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            decls.push(Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            });
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(if decls.len() == 1 {
+            decls.pop().expect("one declarator")
+        } else {
+            Stmt::Block(decls)
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.conditional()?;
+        let line = self.line();
+        let compound = |op: BinOp| Some(op);
+        let binop = match self.peek() {
+            TokenKind::Punct("=") => None,
+            TokenKind::Punct("+=") => compound(BinOp::Add),
+            TokenKind::Punct("-=") => compound(BinOp::Sub),
+            TokenKind::Punct("*=") => compound(BinOp::Mul),
+            TokenKind::Punct("/=") => compound(BinOp::Div),
+            TokenKind::Punct("%=") => compound(BinOp::Mod),
+            TokenKind::Punct("&=") => compound(BinOp::BitAnd),
+            TokenKind::Punct("|=") => compound(BinOp::BitOr),
+            TokenKind::Punct("^=") => compound(BinOp::BitXor),
+            TokenKind::Punct("<<=") => compound(BinOp::Shl),
+            TokenKind::Punct(">>=") => compound(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.assignment()?;
+        let value = match binop {
+            None => rhs,
+            Some(op) => Expr::new(
+                ExprKind::Binary(op, Box::new(lhs.clone()), Box::new(rhs)),
+                line,
+            ),
+        };
+        Ok(Expr::new(
+            ExprKind::Assign(Box::new(lhs), Box::new(value)),
+            line,
+        ))
+    }
+
+    fn conditional(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.binary(0)?;
+        if self.eat_punct("?") {
+            let line = self.line();
+            let then = self.expr()?;
+            self.expect_punct(":")?;
+            let els = self.conditional()?;
+            return Ok(Expr::new(
+                ExprKind::Cond(Box::new(cond), Box::new(then), Box::new(els)),
+                line,
+            ));
+        }
+        Ok(cond)
+    }
+
+    /// Precedence-climbing for binary operators; `level` indexes
+    /// [`BIN_LEVELS`].
+    fn binary(&mut self, level: usize) -> Result<Expr, CompileError> {
+        const BIN_LEVELS: &[&[(&str, BinOp)]] = &[
+            &[("||", BinOp::LOr)],
+            &[("&&", BinOp::LAnd)],
+            &[("|", BinOp::BitOr)],
+            &[("^", BinOp::BitXor)],
+            &[("&", BinOp::BitAnd)],
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
+            &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Mod)],
+        ];
+        if level == BIN_LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        loop {
+            let line = self.line();
+            let mut matched = None;
+            for (p, op) in BIN_LEVELS[level] {
+                if matches!(self.peek(), TokenKind::Punct(q) if q == p) {
+                    matched = Some(*op);
+                    self.pos += 1;
+                    break;
+                }
+            }
+            let Some(op) = matched else { return Ok(lhs) };
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), line);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        if self.eat_punct("-") {
+            let e = self.unary()?;
+            return Ok(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(e)), line));
+        }
+        if self.eat_punct("!") {
+            let e = self.unary()?;
+            return Ok(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(e)), line));
+        }
+        if self.eat_punct("~") {
+            let e = self.unary()?;
+            return Ok(Expr::new(ExprKind::Unary(UnOp::BitNot, Box::new(e)), line));
+        }
+        if self.eat_punct("*") {
+            let e = self.unary()?;
+            return Ok(Expr::new(ExprKind::Deref(Box::new(e)), line));
+        }
+        if self.eat_punct("&") {
+            let e = self.unary()?;
+            return Ok(Expr::new(ExprKind::AddrOf(Box::new(e)), line));
+        }
+        if self.eat_punct("++") {
+            let e = self.unary()?;
+            return Ok(Expr::new(
+                ExprKind::IncDec {
+                    target: Box::new(e),
+                    delta: 1,
+                    postfix: false,
+                },
+                line,
+            ));
+        }
+        if self.eat_punct("--") {
+            let e = self.unary()?;
+            return Ok(Expr::new(
+                ExprKind::IncDec {
+                    target: Box::new(e),
+                    delta: -1,
+                    postfix: false,
+                },
+                line,
+            ));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), line);
+            } else if self.eat_punct("(") {
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                e = Expr::new(ExprKind::Call(Box::new(e), args), line);
+            } else if self.eat_punct("++") {
+                e = Expr::new(
+                    ExprKind::IncDec {
+                        target: Box::new(e),
+                        delta: 1,
+                        postfix: true,
+                    },
+                    line,
+                );
+            } else if self.eat_punct("--") {
+                e = Expr::new(
+                    ExprKind::IncDec {
+                        target: Box::new(e),
+                        delta: -1,
+                        postfix: true,
+                    },
+                    line,
+                );
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::new(ExprKind::Int(*v), line)),
+            TokenKind::Str(s) => Ok(Expr::new(ExprKind::Str(s.clone()), line)),
+            TokenKind::Ident(name) => Ok(Expr::new(ExprKind::Var(name.clone()), line)),
+            other => Err(err(line, format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a token stream into a translation unit.
+///
+/// # Errors
+///
+/// Returns a parse-stage [`CompileError`] with the offending line.
+pub fn parse(tokens: &[Token]) -> Result<Unit, CompileError> {
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.unit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_function_and_globals() {
+        let unit = parse_src(
+            "int table[4] = {1, 2, 3, 4};\n\
+             char *msg = \"hi\";\n\
+             int add(int a, int b) { return a + b; }",
+        );
+        assert_eq!(unit.globals.len(), 2);
+        assert_eq!(unit.functions.len(), 1);
+        assert_eq!(unit.functions[0].params.len(), 2);
+        assert_eq!(
+            unit.globals[0].init,
+            Some(GlobalInit::List(vec![1, 2, 3, 4]))
+        );
+    }
+
+    #[test]
+    fn precedence() {
+        let unit = parse_src("int f() { return 1 + 2 * 3; }");
+        let Stmt::Block(body) = &unit.functions[0].body else {
+            panic!()
+        };
+        let Stmt::Return(Some(e), _) = &body[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else {
+            panic!("got {e:?}")
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let unit = parse_src("int f(int x) { x += 2; return x; }");
+        let Stmt::Block(body) = &unit.functions[0].body else {
+            panic!()
+        };
+        let Stmt::Expr(e) = &body[0] else { panic!() };
+        let ExprKind::Assign(_, value) = &e.kind else {
+            panic!()
+        };
+        assert!(matches!(value.kind, ExprKind::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn control_flow_statements() {
+        let unit = parse_src(
+            "int f(int n) {\n\
+               int s = 0;\n\
+               for (int i = 0; i < n; i++) { if (i % 2) continue; s += i; }\n\
+               while (n > 0) { n--; if (n == 3) break; }\n\
+               do { s++; } while (s < 10);\n\
+               return s ? s : -1;\n\
+             }",
+        );
+        assert_eq!(unit.functions.len(), 1);
+    }
+
+    #[test]
+    fn pointers_and_arrays() {
+        let unit = parse_src(
+            "int g(int *p, char buf[]) { *p = buf[0]; return p[1]; }\n\
+             int arr[8];\n\
+             int use() { return arr[2] + *(arr + 3); }",
+        );
+        assert_eq!(unit.functions[0].params[1].1, Type::Ptr(Box::new(Type::Char)));
+    }
+
+    #[test]
+    fn function_pointers_parse() {
+        parse_src(
+            "int apply(int f, int x) { return f(x); }\n\
+             int twice(int x) { return x * 2; }\n\
+             int main() { return apply(twice, 4); }",
+        );
+    }
+
+    #[test]
+    fn multiple_declarators() {
+        let unit = parse_src("int f() { int a = 1, b = 2; return a + b; } int x, y;");
+        assert_eq!(unit.globals.len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&lex("int f( {").unwrap()).is_err());
+        assert!(parse(&lex("int f() { return }").unwrap()).is_err());
+        assert!(parse(&lex("banana").unwrap()).is_err());
+        assert!(parse(&lex("int f() { if x }").unwrap()).is_err());
+        assert!(parse(&lex("int f() {").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,1450 @@
+//! The bundled benchmark programs: MiniC re-implementations of the eight
+//! MiBench kernels used in the paper's evaluation (Table 1).
+//!
+//! Each program is deterministic — inputs are embedded or produced by the
+//! runtime's seeded LCG — and prints checksums, so the emulator can verify
+//! semantic preservation after procedural abstraction bit-for-bit.
+//!
+//! The kernels mirror their MiBench namesakes in structure: `bitcnts` runs
+//! a suite of bit-counting routines, `crc` is table-driven CRC-32,
+//! `dijkstra` runs single-source shortest paths over an adjacency matrix,
+//! `patricia` exercises a binary (PATRICIA-style) bit trie, `qsort` sorts
+//! through a function-pointer comparator, `rijndael` is AES-128 with
+//! hand-unrolled MixColumns (the reorder-heavy code the paper highlights),
+//! `search` is Boyer–Moore–Horspool, and `sha` is SHA-1.
+
+/// Names of the bundled benchmarks, in the paper's Table 1 order.
+pub const BENCHMARKS: [&str; 8] = [
+    "bitcnts", "crc", "dijkstra", "patricia", "qsort", "rijndael", "search", "sha",
+];
+
+/// Returns the MiniC source of a bundled benchmark, or `None` for unknown
+/// names.
+///
+/// # Examples
+///
+/// ```
+/// assert!(gpa_minicc::programs::source("crc").is_some());
+/// assert!(gpa_minicc::programs::source("nope").is_none());
+/// ```
+pub fn source(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "bitcnts" => BITCNTS,
+        "crc" => CRC,
+        "dijkstra" => DIJKSTRA,
+        "patricia" => PATRICIA,
+        "qsort" => QSORT,
+        "rijndael" => RIJNDAEL,
+        "search" => SEARCH,
+        "sha" => SHA,
+        _ => return None,
+    })
+}
+
+const BITCNTS: &str = r#"
+// bitcnts: a suite of bit-counting strategies over LCG data (MiBench-style).
+
+int bits_table[256];
+int nibble_table[16];
+
+int init_tables() {
+    int i;
+    for (i = 0; i < 256; i++) {
+        int v = i;
+        int c = 0;
+        while (v) {
+            c = c + (v & 1);
+            v = (v >> 1) & 0x7fffffff;
+        }
+        bits_table[i] = c;
+    }
+    for (i = 0; i < 16; i++) {
+        nibble_table[i] = bits_table[i];
+    }
+    return 0;
+}
+
+// Strategy 1: shift-and-test, one bit per iteration.
+int bitcount_shift(int x) {
+    int n = 0;
+    int i;
+    for (i = 0; i < 32; i++) {
+        n = n + (x & 1);
+        x = (x >> 1) & 0x7fffffff;
+    }
+    return n;
+}
+
+// Strategy 2: Kernighan's sparse count.
+int bitcount_sparse(int x) {
+    int n = 0;
+    while (x) {
+        x = x & (x - 1);
+        n++;
+    }
+    return n;
+}
+
+// Strategy 3: table lookup, byte at a time.
+int bitcount_table(int x) {
+    int n = bits_table[x & 0xff];
+    n = n + bits_table[(x >> 8) & 0xff];
+    n = n + bits_table[(x >> 16) & 0xff];
+    n = n + bits_table[(x >> 24) & 0xff];
+    return n;
+}
+
+// Strategy 4: nibble-at-a-time table walk.
+int bitcount_nibble(int x) {
+    int n = 0;
+    while (x) {
+        n = n + nibble_table[x & 15];
+        x = (x >> 4) & 0x0fffffff;
+    }
+    return n;
+}
+
+// Strategy 5: parallel reduction (SWAR).
+int bitcount_swar(int x) {
+    x = (x & 0x55555555) + ((x >> 1) & 0x55555555);
+    x = (x & 0x33333333) + ((x >> 2) & 0x33333333);
+    x = (x & 0x0f0f0f0f) + ((x >> 4) & 0x0f0f0f0f);
+    x = (x & 0x00ff00ff) + ((x >> 8) & 0x00ff00ff);
+    x = (x & 0x0000ffff) + ((x >> 16) & 0x0000ffff);
+    return x;
+}
+
+// Strategy 6: recursive halving.
+int bitcount_recursive(int x) {
+    if (x == 0) { return 0; }
+    return (x & 1) + bitcount_recursive((x >> 1) & 0x7fffffff);
+}
+
+// Strategy 7: dual nibbles per step.
+int bitcount_dual(int x) {
+    int n = 0;
+    while (x) {
+        n = n + nibble_table[x & 15] + nibble_table[(x >> 4) & 15];
+        x = (x >> 8) & 0x00ffffff;
+    }
+    return n;
+}
+
+int run_one(int which, int x) {
+    if (which == 0) { return bitcount_shift(x); }
+    if (which == 1) { return bitcount_sparse(x); }
+    if (which == 2) { return bitcount_table(x); }
+    if (which == 3) { return bitcount_nibble(x); }
+    if (which == 4) { return bitcount_swar(x); }
+    if (which == 5) { return bitcount_recursive(x); }
+    return bitcount_dual(x);
+}
+
+// Bit reversal, used for a second checksum phase.
+int bit_reverse(int x) {
+    int r = 0;
+    int i;
+    for (i = 0; i < 32; i++) {
+        r = (r << 1) | (x & 1);
+        x = (x >> 1) & 0x7fffffff;
+    }
+    return r;
+}
+
+char label_buf[16];
+
+int main() {
+    init_tables();
+    srand(42);
+    int totals[7];
+    int w;
+    for (w = 0; w < 7; w++) { totals[w] = 0; }
+    int i;
+    for (i = 0; i < 250; i++) {
+        int x = rand() * 65536 + rand();
+        for (w = 0; w < 7; w++) {
+            totals[w] = totals[w] + run_one(w, x);
+        }
+    }
+    for (w = 0; w < 7; w++) {
+        putstr("count[");
+        itoa(w, label_buf);
+        putstr(label_buf);
+        putstr("] = ");
+        putint(totals[w]);
+        _putc('\n');
+    }
+    for (w = 1; w < 7; w++) {
+        if (totals[w] != totals[0]) {
+            puts("MISMATCH");
+            return 1;
+        }
+    }
+    // Phase 2: reversal involution checksum.
+    srand(7);
+    int rev_ok = 1;
+    int acc = 0;
+    for (i = 0; i < 100; i++) {
+        int x = rand() * 65536 + rand();
+        int r = bit_reverse(x);
+        if (bit_reverse(r) != x) { rev_ok = 0; }
+        if (bitcount_table(r) != bitcount_table(x)) { rev_ok = 0; }
+        acc = (acc + bitcount_swar(r)) & 0xffff;
+    }
+    if (!rev_ok) {
+        puts("REVERSAL MISMATCH");
+        return 2;
+    }
+    putstr("rev acc = ");
+    putint(acc);
+    _putc('\n');
+    puts("ok");
+    return 0;
+}
+"#;
+
+const CRC: &str = r#"
+// crc: table-driven CRC-32, bitwise CRC-16-CCITT and Adler-32 over a
+// generated buffer and embedded strings.
+
+int crc_table[256];
+
+int crc_init() {
+    int n;
+    for (n = 0; n < 256; n++) {
+        int c = n;
+        int k;
+        for (k = 0; k < 8; k++) {
+            if (c & 1) {
+                c = ((c >> 1) & 0x7fffffff) ^ 0xedb88320;
+            } else {
+                c = (c >> 1) & 0x7fffffff;
+            }
+        }
+        crc_table[n] = c;
+    }
+    return 0;
+}
+
+int crc_update(int crc, int byte) {
+    return crc_table[(crc ^ byte) & 0xff] ^ ((crc >> 8) & 0x00ffffff);
+}
+
+int crc_buffer(char *buf, int len) {
+    int crc = ~0;
+    int i;
+    for (i = 0; i < len; i++) {
+        crc = crc_update(crc, buf[i]);
+    }
+    return ~crc;
+}
+
+int crc_string(char *s) {
+    int crc = ~0;
+    int i = 0;
+    while (s[i]) {
+        crc = crc_update(crc, s[i]);
+        i++;
+    }
+    return ~crc;
+}
+
+// Bitwise CRC-16-CCITT (poly 0x1021), no table.
+int crc16_update(int crc, int byte) {
+    crc = crc ^ (byte << 8);
+    int k;
+    for (k = 0; k < 8; k++) {
+        if (crc & 0x8000) {
+            crc = ((crc << 1) ^ 0x1021) & 0xffff;
+        } else {
+            crc = (crc << 1) & 0xffff;
+        }
+    }
+    return crc;
+}
+
+int crc16_buffer(char *buf, int len) {
+    int crc = 0xffff;
+    int i;
+    for (i = 0; i < len; i++) {
+        crc = crc16_update(crc, buf[i]);
+    }
+    return crc;
+}
+
+// Adler-32.
+int adler32(char *buf, int len) {
+    int a = 1;
+    int b = 0;
+    int i;
+    for (i = 0; i < len; i++) {
+        a = (a + buf[i]) % 65521;
+        b = (b + a) % 65521;
+    }
+    return (b << 16) | a;
+}
+
+char buffer[2048];
+char numbuf[16];
+
+int fill_buffer() {
+    srand(7);
+    int i;
+    for (i = 0; i < 2048; i++) {
+        buffer[i] = rand() & 0xff;
+    }
+    return 0;
+}
+
+int main() {
+    crc_init();
+    fill_buffer();
+    putstr("crc(buf) = ");
+    puthex(crc_buffer(buffer, 2048));
+    _putc('\n');
+    putstr("crc(abc) = ");
+    puthex(crc_string("abc"));
+    _putc('\n');
+    putstr("crc(quick) = ");
+    puthex(crc_string("The quick brown fox jumps over the lazy dog"));
+    _putc('\n');
+    // Rolling restart: checksum of checksums.
+    int acc = 0;
+    int chunk;
+    for (chunk = 0; chunk < 8; chunk++) {
+        acc = acc ^ crc_buffer(buffer + chunk * 256, 256);
+    }
+    putstr("acc = ");
+    puthex(acc);
+    _putc('\n');
+    // CRC-16 and Adler-32 phases.
+    putstr("crc16 = ");
+    puthex(crc16_buffer(buffer, 1024));
+    _putc('\n');
+    putstr("adler = ");
+    puthex(adler32(buffer, 2048));
+    _putc('\n');
+    // Checksum the decimal rendering of earlier results (pulls in itoa).
+    itoa(acc & 0x7fffffff, numbuf);
+    putstr("crc(itoa(acc)) = ");
+    puthex(crc_string(numbuf));
+    _putc('\n');
+    return 0;
+}
+"#;
+
+const DIJKSTRA: &str = r#"
+// dijkstra: single-source shortest paths with path reconstruction, on two
+// random graph densities.
+
+int adj[400];      // 20 x 20 adjacency matrix
+int dist[20];
+int prev[20];
+int visited[20];
+
+int build_graph(int seed, int density) {
+    srand(seed);
+    int i;
+    int j;
+    for (i = 0; i < 20; i++) {
+        for (j = 0; j < 20; j++) {
+            if (i == j) {
+                adj[i * 20 + j] = 0;
+            } else {
+                int w = rand() % 100;
+                if (w < density) {
+                    adj[i * 20 + j] = w % 50 + 1;
+                } else {
+                    adj[i * 20 + j] = 0x7fffff; // no edge
+                }
+            }
+        }
+    }
+    return 0;
+}
+
+int dijkstra(int src) {
+    int i;
+    for (i = 0; i < 20; i++) {
+        dist[i] = 0x7fffff;
+        prev[i] = -1;
+        visited[i] = 0;
+    }
+    dist[src] = 0;
+    int round;
+    for (round = 0; round < 20; round++) {
+        int best = -1;
+        int best_d = 0x7fffff + 1;
+        for (i = 0; i < 20; i++) {
+            if (!visited[i] && dist[i] < best_d) {
+                best = i;
+                best_d = dist[i];
+            }
+        }
+        if (best < 0) { break; }
+        visited[best] = 1;
+        for (i = 0; i < 20; i++) {
+            int w = adj[best * 20 + i];
+            if (w < 0x7fffff && dist[best] + w < dist[i]) {
+                dist[i] = dist[best] + w;
+                prev[i] = best;
+            }
+        }
+    }
+    int sum = 0;
+    for (i = 0; i < 20; i++) {
+        if (dist[i] < 0x7fffff) {
+            sum = sum + dist[i];
+        }
+    }
+    return sum;
+}
+
+// Walks prev[] backwards, returns hop count and prints the path.
+int print_path(int dst) {
+    int stack[20];
+    int depth = 0;
+    int cur = dst;
+    while (cur >= 0 && depth < 20) {
+        stack[depth] = cur;
+        depth++;
+        cur = prev[cur];
+    }
+    int i;
+    for (i = depth - 1; i >= 0; i--) {
+        putint(stack[i]);
+        if (i > 0) { putstr("->"); }
+    }
+    _putc('\n');
+    return depth;
+}
+
+int run_suite(int seed, int density) {
+    build_graph(seed, density);
+    int total = 0;
+    int src;
+    for (src = 0; src < 20; src++) {
+        total = total + dijkstra(src);
+    }
+    putstr("total = ");
+    putint(total);
+    _putc('\n');
+    // Path details from node 0.
+    dijkstra(0);
+    int hops = 0;
+    int d;
+    for (d = 15; d < 20; d++) {
+        if (dist[d] < 0x7fffff) {
+            putstr("path to ");
+            putint(d);
+            putstr(" (cost ");
+            putint(dist[d]);
+            putstr("): ");
+            hops = hops + print_path(d);
+        }
+    }
+    putstr("hops = ");
+    putint(hops);
+    _putc('\n');
+    return total;
+}
+
+int main() {
+    int dense = run_suite(99, 90);
+    int sparse = run_suite(123, 35);
+    putstr("dense/sparse = ");
+    putint(dense);
+    _putc(' ');
+    putint(sparse);
+    _putc('\n');
+    return 0;
+}
+"#;
+
+const PATRICIA: &str = r#"
+// patricia: a binary bit-trie keyed on 32-bit "addresses" (PATRICIA-style
+// routing-table workload), with longest-prefix-match queries and a
+// per-depth occupancy histogram.
+
+int node_key[1024];
+int node_left[1024];
+int node_right[1024];
+int node_used;
+int depth_hist[33];
+
+int bit_of(int key, int b) {
+    return (key >> (31 - b)) & 1;
+}
+
+int new_node(int key) {
+    int n = node_used;
+    node_used = node_used + 1;
+    node_key[n] = key;
+    node_left[n] = -1;
+    node_right[n] = -1;
+    return n;
+}
+
+// Inserts key, returns 1 when newly inserted, 0 when already present.
+int trie_insert(int key) {
+    if (node_used == 0) {
+        new_node(key);
+        return 1;
+    }
+    int cur = 0;
+    int depth = 0;
+    while (depth < 32) {
+        if (node_key[cur] == key) { return 0; }
+        if (bit_of(key, depth)) {
+            if (node_right[cur] < 0) {
+                node_right[cur] = new_node(key);
+                return 1;
+            }
+            cur = node_right[cur];
+        } else {
+            if (node_left[cur] < 0) {
+                node_left[cur] = new_node(key);
+                return 1;
+            }
+            cur = node_left[cur];
+        }
+        depth = depth + 1;
+    }
+    return 0;
+}
+
+int trie_lookup(int key) {
+    if (node_used == 0) { return 0; }
+    int cur = 0;
+    int depth = 0;
+    while (cur >= 0 && depth <= 32) {
+        if (node_key[cur] == key) { return 1; }
+        if (bit_of(key, depth)) {
+            cur = node_right[cur];
+        } else {
+            cur = node_left[cur];
+        }
+        depth = depth + 1;
+    }
+    return 0;
+}
+
+// Longest shared prefix (in bits) between the probe and any key on its
+// search path — the routing-table "longest prefix match".
+int match_bits(int a, int b) {
+    int n = 0;
+    while (n < 32 && bit_of(a, n) == bit_of(b, n)) {
+        n++;
+    }
+    return n;
+}
+
+int trie_lpm(int key) {
+    if (node_used == 0) { return 0; }
+    int best = 0;
+    int cur = 0;
+    int depth = 0;
+    while (cur >= 0 && depth <= 32) {
+        int m = match_bits(key, node_key[cur]);
+        if (m > best) { best = m; }
+        if (bit_of(key, depth)) {
+            cur = node_right[cur];
+        } else {
+            cur = node_left[cur];
+        }
+        depth = depth + 1;
+    }
+    return best;
+}
+
+int trie_depth(int cur) {
+    if (cur < 0) { return 0; }
+    int l = trie_depth(node_left[cur]);
+    int r = trie_depth(node_right[cur]);
+    if (l > r) { return l + 1; }
+    return r + 1;
+}
+
+int fill_hist(int cur, int depth) {
+    if (cur < 0) { return 0; }
+    depth_hist[depth]++;
+    fill_hist(node_left[cur], depth + 1);
+    fill_hist(node_right[cur], depth + 1);
+    return 0;
+}
+
+int main() {
+    node_used = 0;
+    srand(1234);
+    int inserted = 0;
+    int dup = 0;
+    int i;
+    int keys[256];
+    for (i = 0; i < 256; i++) {
+        keys[i] = (rand() * 65536 + rand()) & 0x3fffffff;
+        if (trie_insert(keys[i])) {
+            inserted++;
+        } else {
+            dup++;
+        }
+    }
+    // Re-insert half: all duplicates.
+    for (i = 0; i < 128; i++) {
+        if (trie_insert(keys[i])) {
+            inserted++;
+        } else {
+            dup++;
+        }
+    }
+    int hits = 0;
+    int misses = 0;
+    for (i = 0; i < 256; i++) {
+        if (trie_lookup(keys[i])) { hits++; } else { misses++; }
+        if (trie_lookup(keys[i] ^ 0x1555)) { hits++; } else { misses++; }
+    }
+    putstr("inserted = "); putint(inserted); _putc('\n');
+    putstr("dup = "); putint(dup); _putc('\n');
+    putstr("hits = "); putint(hits); _putc('\n');
+    putstr("misses = "); putint(misses); _putc('\n');
+    putstr("depth = "); putint(trie_depth(0)); _putc('\n');
+    putstr("nodes = "); putint(node_used); _putc('\n');
+    // Longest-prefix-match phase.
+    srand(777);
+    int lpm_sum = 0;
+    for (i = 0; i < 128; i++) {
+        int probe = (rand() * 65536 + rand()) & 0x3fffffff;
+        lpm_sum = lpm_sum + trie_lpm(probe);
+    }
+    putstr("lpm = "); putint(lpm_sum); _putc('\n');
+    // Depth histogram phase.
+    for (i = 0; i < 33; i++) { depth_hist[i] = 0; }
+    fill_hist(0, 0);
+    int occupied = 0;
+    int weighted = 0;
+    for (i = 0; i < 33; i++) {
+        if (depth_hist[i] > 0) {
+            occupied++;
+            weighted = weighted + i * depth_hist[i];
+        }
+    }
+    putstr("levels = "); putint(occupied); _putc('\n');
+    putstr("weighted = "); putint(weighted); _putc('\n');
+    return 0;
+}
+"#;
+
+const QSORT: &str = r#"
+// qsort: recursive quicksort driven through a function-pointer comparator,
+// cross-checked against insertion sort and bottom-up merge sort, plus
+// string sorting (MiBench qsort sorts both).
+
+int values[300];
+int copy_a[300];
+int copy_b[300];
+int merge_tmp[300];
+
+int cmp_int_asc(int a, int b) {
+    return a - b;
+}
+
+int cmp_int_desc(int a, int b) {
+    return b - a;
+}
+
+int cmp_abs(int a, int b) {
+    return abs(a) - abs(b);
+}
+
+int cmp_mod7(int a, int b) {
+    int ra = ((a % 7) + 7) % 7;
+    int rb = ((b % 7) + 7) % 7;
+    if (ra != rb) { return ra - rb; }
+    return a - b;
+}
+
+// Generic quicksort over an int array using comparator `cmp`.
+int sort_range(int *arr, int lo, int hi, int cmp) {
+    if (lo >= hi) { return 0; }
+    int pivot = arr[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (cmp(arr[i], pivot) < 0) { i++; }
+        while (cmp(arr[j], pivot) > 0) { j--; }
+        if (i <= j) {
+            int t = arr[i];
+            arr[i] = arr[j];
+            arr[j] = t;
+            i++;
+            j--;
+        }
+    }
+    sort_range(arr, lo, j, cmp);
+    sort_range(arr, i, hi, cmp);
+    return 0;
+}
+
+// Insertion sort, same comparator interface.
+int insertion_sort(int *arr, int n, int cmp) {
+    int i;
+    for (i = 1; i < n; i++) {
+        int v = arr[i];
+        int j = i - 1;
+        while (j >= 0 && cmp(arr[j], v) > 0) {
+            arr[j + 1] = arr[j];
+            j--;
+        }
+        arr[j + 1] = v;
+    }
+    return 0;
+}
+
+// Bottom-up merge sort.
+int merge_sort(int *arr, int n, int cmp) {
+    int width = 1;
+    while (width < n) {
+        int lo = 0;
+        while (lo < n) {
+            int mid = lo + width;
+            int hi = lo + 2 * width;
+            if (mid > n) { mid = n; }
+            if (hi > n) { hi = n; }
+            int a = lo;
+            int b = mid;
+            int o = lo;
+            while (a < mid && b < hi) {
+                if (cmp(arr[a], arr[b]) <= 0) {
+                    merge_tmp[o] = arr[a];
+                    a++;
+                } else {
+                    merge_tmp[o] = arr[b];
+                    b++;
+                }
+                o++;
+            }
+            while (a < mid) { merge_tmp[o] = arr[a]; a++; o++; }
+            while (b < hi) { merge_tmp[o] = arr[b]; b++; o++; }
+            for (o = lo; o < hi; o++) { arr[o] = merge_tmp[o]; }
+            lo = lo + 2 * width;
+        }
+        width = width * 2;
+    }
+    return 0;
+}
+
+int fill(int *arr, int seed) {
+    srand(seed);
+    int i;
+    for (i = 0; i < 300; i++) {
+        arr[i] = rand() - 16384;
+    }
+    return 0;
+}
+
+int checksum_sorted(int *arr, int cmp) {
+    // Verify order and compute a positional checksum.
+    int ok = 1;
+    int acc = 0;
+    int i;
+    for (i = 0; i < 300; i++) {
+        acc = acc + arr[i] * (i % 7 + 1);
+        if (i > 0 && cmp(arr[i - 1], arr[i]) > 0) { ok = 0; }
+    }
+    if (!ok) { return -1; }
+    return acc;
+}
+
+// All three algorithms must agree element-wise.
+int agree(int cmp, int seed) {
+    fill(values, seed);
+    fill(copy_a, seed);
+    fill(copy_b, seed);
+    sort_range(values, 0, 299, cmp);
+    insertion_sort(copy_a, 300, cmp);
+    merge_sort(copy_b, 300, cmp);
+    int i;
+    for (i = 0; i < 300; i++) {
+        if (values[i] != copy_a[i] || values[i] != copy_b[i]) {
+            return 0;
+        }
+    }
+    return 1;
+}
+
+// String sorting via pointer permutation.
+char *words[12];
+
+int sort_words(int n) {
+    int i;
+    for (i = 1; i < n; i++) {
+        int k = i;
+        while (k > 0 && strcmp(words[k - 1], words[k]) > 0) {
+            char *t = words[k - 1];
+            words[k - 1] = words[k];
+            words[k] = t;
+            k--;
+        }
+    }
+    return n;
+}
+
+int main() {
+    fill(values, 5);
+    sort_range(values, 0, 299, cmp_int_asc);
+    putstr("asc = "); putint(checksum_sorted(values, cmp_int_asc)); _putc('\n');
+    fill(values, 5);
+    sort_range(values, 0, 299, cmp_int_desc);
+    putstr("desc = "); putint(checksum_sorted(values, cmp_int_desc)); _putc('\n');
+    fill(values, 5);
+    sort_range(values, 0, 299, cmp_abs);
+    putstr("abs = "); putint(checksum_sorted(values, cmp_abs)); _putc('\n');
+    fill(values, 5);
+    sort_range(values, 0, 299, cmp_mod7);
+    putstr("mod7 = "); putint(checksum_sorted(values, cmp_mod7)); _putc('\n');
+
+    if (!agree(cmp_int_asc, 11) || !agree(cmp_abs, 12) || !agree(cmp_mod7, 13)) {
+        puts("ALGORITHMS DISAGREE");
+        return 1;
+    }
+    puts("algorithms agree");
+
+    words[0] = "pear"; words[1] = "apple"; words[2] = "orange";
+    words[3] = "kiwi"; words[4] = "banana"; words[5] = "cherry";
+    words[6] = "mango"; words[7] = "plum"; words[8] = "fig";
+    words[9] = "date"; words[10] = "lime"; words[11] = "grape";
+    sort_words(12);
+    int i;
+    for (i = 0; i < 12; i++) {
+        putstr(words[i]);
+        _putc(' ');
+    }
+    _putc('\n');
+    return 0;
+}
+"#;
+
+const RIJNDAEL: &str = r#"
+// rijndael: AES-128 encryption AND decryption in ECB mode with
+// hand-unrolled (Inv)MixColumns — MiBench rijndael runs both directions.
+// This is the kernel the paper highlights: each unrolled column produces
+// the same computation, rescheduled differently by the compiler.
+
+char sbox[256];
+char inv_sbox[256];
+char rkeys[176];
+char state[16];
+
+// Multiply in GF(2^8).
+int gmul(int a, int b) {
+    int p = 0;
+    int i;
+    for (i = 0; i < 8; i++) {
+        if (b & 1) { p = p ^ a; }
+        int hi = a & 0x80;
+        a = (a << 1) & 0xff;
+        if (hi) { a = a ^ 0x1b; }
+        b = (b >> 1) & 0x7f;
+    }
+    return p & 0xff;
+}
+
+int rotl8(int x, int n) {
+    return ((x << n) | ((x >> (8 - n)) & ((1 << n) - 1))) & 0xff;
+}
+
+int build_sbox() {
+    // Generate multiplicative inverses by brute force, then apply the
+    // affine transform; fill the inverse box alongside.
+    int x;
+    sbox[0] = 0x63;
+    inv_sbox[0x63] = 0;
+    for (x = 1; x < 256; x++) {
+        int inv = 1;
+        int y;
+        for (y = 1; y < 256; y++) {
+            if (gmul(x, y) == 1) { inv = y; break; }
+        }
+        int s = inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63;
+        sbox[x] = s & 0xff;
+        inv_sbox[s & 0xff] = x;
+    }
+    return 0;
+}
+
+int xtime(int x) {
+    x = x << 1;
+    if (x & 0x100) { x = x ^ 0x11b; }
+    return x & 0xff;
+}
+
+int key_expansion(char *key) {
+    int i;
+    for (i = 0; i < 16; i++) { rkeys[i] = key[i]; }
+    int rcon = 1;
+    for (i = 16; i < 176; i = i + 4) {
+        int t0 = rkeys[i - 4];
+        int t1 = rkeys[i - 3];
+        int t2 = rkeys[i - 2];
+        int t3 = rkeys[i - 1];
+        if (i % 16 == 0) {
+            int tmp = t0;
+            t0 = sbox[t1] ^ rcon;
+            t1 = sbox[t2];
+            t2 = sbox[t3];
+            t3 = sbox[tmp];
+            rcon = xtime(rcon);
+        }
+        rkeys[i]     = (rkeys[i - 16] ^ t0) & 0xff;
+        rkeys[i + 1] = (rkeys[i - 15] ^ t1) & 0xff;
+        rkeys[i + 2] = (rkeys[i - 14] ^ t2) & 0xff;
+        rkeys[i + 3] = (rkeys[i - 13] ^ t3) & 0xff;
+    }
+    return 0;
+}
+
+int add_round_key(int round) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        state[i] = (state[i] ^ rkeys[round * 16 + i]) & 0xff;
+    }
+    return 0;
+}
+
+int sub_bytes() {
+    int i;
+    for (i = 0; i < 16; i++) {
+        state[i] = sbox[state[i]];
+    }
+    return 0;
+}
+
+int inv_sub_bytes() {
+    int i;
+    for (i = 0; i < 16; i++) {
+        state[i] = inv_sbox[state[i]];
+    }
+    return 0;
+}
+
+int shift_rows() {
+    int t;
+    // Row 1: rotate left by 1.
+    t = state[1]; state[1] = state[5]; state[5] = state[9]; state[9] = state[13]; state[13] = t;
+    // Row 2: rotate left by 2.
+    t = state[2]; state[2] = state[10]; state[10] = t;
+    t = state[6]; state[6] = state[14]; state[14] = t;
+    // Row 3: rotate left by 3.
+    t = state[15]; state[15] = state[11]; state[11] = state[7]; state[7] = state[3]; state[3] = t;
+    return 0;
+}
+
+int inv_shift_rows() {
+    int t;
+    // Row 1: rotate right by 1.
+    t = state[13]; state[13] = state[9]; state[9] = state[5]; state[5] = state[1]; state[1] = t;
+    // Row 2: rotate right by 2.
+    t = state[2]; state[2] = state[10]; state[10] = t;
+    t = state[6]; state[6] = state[14]; state[14] = t;
+    // Row 3: rotate right by 3.
+    t = state[3]; state[3] = state[7]; state[7] = state[11]; state[11] = state[15]; state[15] = t;
+    return 0;
+}
+
+int mix_columns() {
+    // All four columns unrolled: identical computations over different
+    // state slots — the reordering-rich pattern from the paper.
+    int a0; int a1; int a2; int a3; int x;
+
+    a0 = state[0]; a1 = state[1]; a2 = state[2]; a3 = state[3];
+    x = a0 ^ a1 ^ a2 ^ a3;
+    state[0] = (a0 ^ x ^ xtime(a0 ^ a1)) & 0xff;
+    state[1] = (a1 ^ x ^ xtime(a1 ^ a2)) & 0xff;
+    state[2] = (a2 ^ x ^ xtime(a2 ^ a3)) & 0xff;
+    state[3] = (a3 ^ x ^ xtime(a3 ^ a0)) & 0xff;
+
+    a0 = state[4]; a1 = state[5]; a2 = state[6]; a3 = state[7];
+    x = a0 ^ a1 ^ a2 ^ a3;
+    state[4] = (a0 ^ x ^ xtime(a0 ^ a1)) & 0xff;
+    state[5] = (a1 ^ x ^ xtime(a1 ^ a2)) & 0xff;
+    state[6] = (a2 ^ x ^ xtime(a2 ^ a3)) & 0xff;
+    state[7] = (a3 ^ x ^ xtime(a3 ^ a0)) & 0xff;
+
+    a0 = state[8]; a1 = state[9]; a2 = state[10]; a3 = state[11];
+    x = a0 ^ a1 ^ a2 ^ a3;
+    state[8]  = (a0 ^ x ^ xtime(a0 ^ a1)) & 0xff;
+    state[9]  = (a1 ^ x ^ xtime(a1 ^ a2)) & 0xff;
+    state[10] = (a2 ^ x ^ xtime(a2 ^ a3)) & 0xff;
+    state[11] = (a3 ^ x ^ xtime(a3 ^ a0)) & 0xff;
+
+    a0 = state[12]; a1 = state[13]; a2 = state[14]; a3 = state[15];
+    x = a0 ^ a1 ^ a2 ^ a3;
+    state[12] = (a0 ^ x ^ xtime(a0 ^ a1)) & 0xff;
+    state[13] = (a1 ^ x ^ xtime(a1 ^ a2)) & 0xff;
+    state[14] = (a2 ^ x ^ xtime(a2 ^ a3)) & 0xff;
+    state[15] = (a3 ^ x ^ xtime(a3 ^ a0)) & 0xff;
+    return 0;
+}
+
+int inv_mix_one(int base) {
+    int a0 = state[base];
+    int a1 = state[base + 1];
+    int a2 = state[base + 2];
+    int a3 = state[base + 3];
+    state[base]     = (gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9)) & 0xff;
+    state[base + 1] = (gmul(a0, 9)  ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13)) & 0xff;
+    state[base + 2] = (gmul(a0, 13) ^ gmul(a1, 9)  ^ gmul(a2, 14) ^ gmul(a3, 11)) & 0xff;
+    state[base + 3] = (gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9)  ^ gmul(a3, 14)) & 0xff;
+    return 0;
+}
+
+int inv_mix_columns() {
+    // Four unrolled calls — the decryption twin of mix_columns.
+    inv_mix_one(0);
+    inv_mix_one(4);
+    inv_mix_one(8);
+    inv_mix_one(12);
+    return 0;
+}
+
+int encrypt_block(char *block) {
+    int i;
+    for (i = 0; i < 16; i++) { state[i] = block[i]; }
+    add_round_key(0);
+    int round;
+    for (round = 1; round < 10; round++) {
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+    for (i = 0; i < 16; i++) { block[i] = state[i]; }
+    return 0;
+}
+
+int decrypt_block(char *block) {
+    int i;
+    for (i = 0; i < 16; i++) { state[i] = block[i]; }
+    add_round_key(10);
+    int round;
+    for (round = 9; round > 0; round--) {
+        inv_shift_rows();
+        inv_sub_bytes();
+        add_round_key(round);
+        inv_mix_columns();
+    }
+    inv_shift_rows();
+    inv_sub_bytes();
+    add_round_key(0);
+    for (i = 0; i < 16; i++) { block[i] = state[i]; }
+    return 0;
+}
+
+char key[16];
+char data[256];
+char reference[256];
+
+int main() {
+    build_sbox();
+    srand(2718);
+    int i;
+    for (i = 0; i < 16; i++) { key[i] = rand() & 0xff; }
+    for (i = 0; i < 256; i++) {
+        data[i] = rand() & 0xff;
+        reference[i] = data[i];
+    }
+    key_expansion(key);
+    int b;
+    for (b = 0; b < 16; b++) {
+        encrypt_block(data + b * 16);
+    }
+    // Print a digest of the ciphertext.
+    int acc0 = 0; int acc1 = 0; int acc2 = 0; int acc3 = 0;
+    for (i = 0; i < 256; i = i + 4) {
+        acc0 = (acc0 + data[i]) & 0xffffff;
+        acc1 = (acc1 ^ (data[i + 1] << (i % 16))) & 0xffffff;
+        acc2 = (acc2 + data[i + 2] * 31) & 0xffffff;
+        acc3 = (acc3 ^ data[i + 3] ^ i) & 0xffffff;
+    }
+    putstr("aes enc: ");
+    puthex(acc0); _putc(' ');
+    puthex(acc1); _putc(' ');
+    puthex(acc2); _putc(' ');
+    puthex(acc3); _putc('\n');
+    // Decrypt and verify the round trip.
+    for (b = 0; b < 16; b++) {
+        decrypt_block(data + b * 16);
+    }
+    if (memcmp(data, reference, 256) != 0) {
+        puts("ROUNDTRIP FAILED");
+        return 1;
+    }
+    puts("aes roundtrip ok");
+    return 0;
+}
+"#;
+
+const SEARCH: &str = r#"
+// search: Boyer-Moore-Horspool and Knuth-Morris-Pratt substring search
+// over embedded prose, cross-checked against the naive scan (MiBench
+// stringsearch runs a family of algorithms).
+
+char *haystacks[4];
+char *needles[8];
+int skip[256];
+int failure[32];
+
+int bmh_search(char *text, char *pat) {
+    int n = strlen(text);
+    int m = strlen(pat);
+    if (m == 0 || m > n) { return 0; }
+    int i;
+    for (i = 0; i < 256; i++) { skip[i] = m; }
+    for (i = 0; i < m - 1; i++) { skip[pat[i]] = m - 1 - i; }
+    int count = 0;
+    int pos = 0;
+    while (pos <= n - m) {
+        int j = m - 1;
+        while (j >= 0 && text[pos + j] == pat[j]) { j--; }
+        if (j < 0) {
+            count++;
+            pos = pos + 1;
+        } else {
+            pos = pos + skip[text[pos + m - 1]];
+        }
+    }
+    return count;
+}
+
+int kmp_search(char *text, char *pat) {
+    int n = strlen(text);
+    int m = strlen(pat);
+    if (m == 0 || m > n || m > 31) { return 0; }
+    // Failure function.
+    failure[0] = 0;
+    int k = 0;
+    int q;
+    for (q = 1; q < m; q++) {
+        while (k > 0 && pat[k] != pat[q]) {
+            k = failure[k - 1];
+        }
+        if (pat[k] == pat[q]) { k++; }
+        failure[q] = k;
+    }
+    // Scan.
+    int count = 0;
+    k = 0;
+    for (q = 0; q < n; q++) {
+        while (k > 0 && pat[k] != text[q]) {
+            k = failure[k - 1];
+        }
+        if (pat[k] == text[q]) { k++; }
+        if (k == m) {
+            count++;
+            k = failure[k - 1];
+        }
+    }
+    return count;
+}
+
+int naive_search(char *text, char *pat) {
+    int n = strlen(text);
+    int m = strlen(pat);
+    if (m == 0 || m > n) { return 0; }
+    int count = 0;
+    int pos;
+    for (pos = 0; pos + m <= n; pos++) {
+        int j = 0;
+        while (j < m && text[pos + j] == pat[j]) { j++; }
+        if (j == m) { count++; }
+    }
+    return count;
+}
+
+int main() {
+    haystacks[0] = "the quick brown fox jumps over the lazy dog while the cat naps in the sun and the dog barks at the moon";
+    haystacks[1] = "abra abracadabra abracadabra cadabra abra abracadabra dab dab dabra";
+    haystacks[2] = "mississippi mississippi is a river in mississippi with many s and i letters sis sip sippi";
+    haystacks[3] = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+    needles[0] = "the";
+    needles[1] = "dog";
+    needles[2] = "abracadabra";
+    needles[3] = "dab";
+    needles[4] = "issi";
+    needles[5] = "sip";
+    needles[6] = "aaa";
+    needles[7] = "zebra";
+    int total = 0;
+    int h;
+    for (h = 0; h < 4; h++) {
+        int p;
+        for (p = 0; p < 8; p++) {
+            int fast = bmh_search(haystacks[h], needles[p]);
+            int kmp = kmp_search(haystacks[h], needles[p]);
+            int slow = naive_search(haystacks[h], needles[p]);
+            if (fast != slow || kmp != slow) {
+                puts("MISMATCH");
+                return 1;
+            }
+            total = total + fast;
+            putint(fast);
+            _putc(' ');
+        }
+        _putc('\n');
+    }
+    putstr("total = ");
+    putint(total);
+    _putc('\n');
+    // Case-folded phase: fold and re-count one pattern per haystack.
+    char folded[128];
+    int f;
+    int fold_total = 0;
+    for (h = 0; h < 4; h++) {
+        int n = strlen(haystacks[h]);
+        if (n > 127) { n = 127; }
+        for (f = 0; f < n; f++) {
+            char c = haystacks[h][f];
+            if (c >= 'A' && c <= 'Z') { c = c + 32; }
+            folded[f] = c;
+        }
+        folded[n] = 0;
+        fold_total = fold_total + kmp_search(folded, "the") + bmh_search(folded, "ab");
+    }
+    putstr("folded = ");
+    putint(fold_total);
+    _putc('\n');
+    return 0;
+}
+"#;
+
+const SHA: &str = r#"
+// sha: SHA-1 with proper message padding over several generated
+// messages (MiBench sha hashes whole files).
+
+int w[80];
+int h0; int h1; int h2; int h3; int h4;
+
+int rotl(int x, int n) {
+    return (x << n) | ((x >> (32 - n)) & ((1 << n) - 1));
+}
+
+int sha_init() {
+    h0 = 0x67452301;
+    h1 = 0xefcdab89;
+    h2 = 0x98badcfe;
+    h3 = 0x10325476;
+    h4 = 0xc3d2e1f0;
+    return 0;
+}
+
+// Processes one 64-byte block.
+int sha_block(char *block) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        w[i] = (block[i * 4] << 24) | (block[i * 4 + 1] << 16)
+             | (block[i * 4 + 2] << 8) | block[i * 4 + 3];
+    }
+    for (i = 16; i < 80; i++) {
+        w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    int a = h0; int b = h1; int c = h2; int d = h3; int e = h4;
+    for (i = 0; i < 20; i++) {
+        int f = (b & c) | (~b & d);
+        int t = rotl(a, 5) + f + e + 0x5a827999 + w[i];
+        e = d; d = c; c = rotl(b, 30); b = a; a = t;
+    }
+    for (i = 20; i < 40; i++) {
+        int f = b ^ c ^ d;
+        int t = rotl(a, 5) + f + e + 0x6ed9eba1 + w[i];
+        e = d; d = c; c = rotl(b, 30); b = a; a = t;
+    }
+    for (i = 40; i < 60; i++) {
+        int f = (b & c) | (b & d) | (c & d);
+        int t = rotl(a, 5) + f + e + 0x8f1bbcdc + w[i];
+        e = d; d = c; c = rotl(b, 30); b = a; a = t;
+    }
+    for (i = 60; i < 80; i++) {
+        int f = b ^ c ^ d;
+        int t = rotl(a, 5) + f + e + 0xca62c1d6 + w[i];
+        e = d; d = c; c = rotl(b, 30); b = a; a = t;
+    }
+    h0 = h0 + a;
+    h1 = h1 + b;
+    h2 = h2 + c;
+    h3 = h3 + d;
+    h4 = h4 + e;
+    return 0;
+}
+
+char padded[1152];
+
+// Full SHA-1 of a message: copies, pads with 0x80 + zeros + 64-bit
+// length, and runs the compression function over every block.
+int sha_message(char *msg, int len) {
+    sha_init();
+    int total = len + 9;
+    int blocks = (total + 63) / 64;
+    int padded_len = blocks * 64;
+    int i;
+    for (i = 0; i < padded_len; i++) { padded[i] = 0; }
+    for (i = 0; i < len; i++) { padded[i] = msg[i]; }
+    padded[len] = 0x80;
+    int bitlen = len * 8;
+    padded[padded_len - 1] = bitlen & 0xff;
+    padded[padded_len - 2] = (bitlen >> 8) & 0xff;
+    padded[padded_len - 3] = (bitlen >> 16) & 0xff;
+    padded[padded_len - 4] = (bitlen >> 24) & 0xff;
+    int b;
+    for (b = 0; b < blocks; b++) {
+        sha_block(padded + b * 64);
+    }
+    return 0;
+}
+
+int print_digest(char *tag) {
+    putstr(tag);
+    puthex(h0); _putc(' ');
+    puthex(h1); _putc(' ');
+    puthex(h2); _putc(' ');
+    puthex(h3); _putc(' ');
+    puthex(h4); _putc('\n');
+    return 0;
+}
+
+char msg[1024];
+
+int main() {
+    // Known vector: SHA-1("abc") = a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d.
+    sha_message("abc", 3);
+    print_digest("sha1(abc): ");
+    // Empty message: da39a3ee 5e6b4b0d 3255bfef 95601890 afd80709.
+    sha_message("", 0);
+    print_digest("sha1(): ");
+    // Generated messages of several lengths.
+    srand(31415);
+    int i;
+    for (i = 0; i < 1024; i++) {
+        msg[i] = rand() & 0xff;
+    }
+    int lengths[4];
+    lengths[0] = 55;
+    lengths[1] = 56;
+    lengths[2] = 64;
+    lengths[3] = 1000;
+    int l;
+    for (l = 0; l < 4; l++) {
+        sha_message(msg, lengths[l]);
+        putstr("sha1(msg[0..");
+        putint(lengths[l]);
+        putstr("]): ");
+        print_digest("");
+    }
+    return 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_benchmark, Options};
+    use gpa_emu::Machine;
+
+    fn run(name: &str) -> gpa_emu::Outcome {
+        let image = compile_benchmark(name, &Options::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        Machine::new(&image)
+            .run(400_000_000)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+    }
+
+    #[test]
+    fn all_benchmarks_compile() {
+        for name in BENCHMARKS {
+            compile_benchmark(name, &Options::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bitcnts_strategies_agree() {
+        let out = run("bitcnts");
+        assert_eq!(out.exit_code, 0);
+        assert!(out.output_string().contains("ok"));
+    }
+
+    #[test]
+    fn crc_known_vector() {
+        let out = run("crc");
+        // CRC-32 of "abc" is 0x352441c2.
+        assert!(out.output_string().contains("crc(abc) = 352441c2"));
+        // CRC-32 of the fox pangram is 0x414fa339.
+        assert!(out.output_string().contains("crc(quick) = 414fa339"));
+    }
+
+    #[test]
+    fn dijkstra_produces_totals() {
+        let out = run("dijkstra");
+        assert_eq!(out.exit_code, 0);
+        assert!(out.output_string().contains("total = "));
+    }
+
+    #[test]
+    fn patricia_counts_are_consistent() {
+        let out = run("patricia");
+        let text = out.output_string();
+        assert!(text.contains("dup = "));
+        // All 256 original keys must be found again.
+        assert!(text.contains("inserted = 256"), "got:\n{text}");
+        assert!(text.contains("dup = 128"), "got:\n{text}");
+    }
+
+    #[test]
+    fn qsort_sorts() {
+        let out = run("qsort");
+        let text = out.output_string();
+        assert!(!text.contains("-1\n"), "unsorted result:\n{text}");
+        assert!(text.contains("apple banana cherry date fig grape kiwi lime mango orange pear plum"));
+    }
+
+    #[test]
+    fn rijndael_roundtrip() {
+        let out = run("rijndael");
+        assert_eq!(out.exit_code, 0, "output:\n{}", out.output_string());
+        assert!(out.output_string().starts_with("aes enc: "));
+        assert!(out.output_string().contains("aes roundtrip ok"));
+    }
+
+    #[test]
+    fn search_fast_equals_naive() {
+        let out = run("search");
+        assert_eq!(out.exit_code, 0, "output:\n{}", out.output_string());
+        assert!(out.output_string().contains("total = "));
+    }
+
+    #[test]
+    fn sha_known_vectors() {
+        let out = run("sha");
+        let text = out.output_string();
+        // FIPS 180-1 test vectors.
+        assert!(
+            text.contains("sha1(abc): a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("sha1(): da39a3ee 5e6b4b0d 3255bfef 95601890 afd80709"),
+            "got:\n{text}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        for name in ["crc", "sha"] {
+            let a = run(name);
+            let b = run(name);
+            assert_eq!(a.output, b.output);
+            assert_eq!(a.exit_code, b.exit_code);
+        }
+    }
+}

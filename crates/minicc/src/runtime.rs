@@ -1,0 +1,316 @@
+//! The bundled runtime library.
+//!
+//! Mirrors the paper's dietlibc setup: a small, statically linked C library
+//! whose functions are only pulled into the image when reachable
+//! (selective linking), written to share code rather than duplicate it.
+//! Most of it is MiniC ([`MINILIBC_SOURCE`]); the program entry point and
+//! the variable-amount shift helpers — which need register-shift forms the
+//! code generator never emits — are hand-written assembly
+//! ([`asm_functions`]).
+
+use gpa_arm::{Cond, Instruction, Reg};
+
+use crate::asm::{AsmFunction, AsmItem};
+
+/// The MiniC portion of the runtime library, appended to every user
+/// program by [`crate::compile`].
+///
+/// Contents: software division/modulo (the ARM subset has no divide
+/// instruction), character/string output built on the `_putc` intrinsic,
+/// string/memory helpers, a bump allocator over `_sbrk`, and a small LCG.
+pub const MINILIBC_SOURCE: &str = r#"
+// ---- minilibc (bundled runtime) ----
+
+int __udivmodsi4(int n, int d, int want_mod) {
+    int q = 0;
+    int bit = 1;
+    if (d == 0) { return 0; }
+    while (d < n && d < 0x40000000 && (d << 1) > 0) {
+        d = d << 1;
+        bit = bit << 1;
+    }
+    while (bit > 0) {
+        if (n >= d) {
+            n = n - d;
+            q = q | bit;
+        }
+        d = d >> 1;
+        bit = bit >> 1;
+    }
+    if (want_mod) { return n; }
+    return q;
+}
+
+int __divsi3(int a, int b) {
+    int neg = 0;
+    if (a < 0) { a = -a; neg = 1 - neg; }
+    if (b < 0) { b = -b; neg = 1 - neg; }
+    int q = __udivmodsi4(a, b, 0);
+    if (neg) { return -q; }
+    return q;
+}
+
+int __modsi3(int a, int b) {
+    int neg = 0;
+    if (a < 0) { a = -a; neg = 1; }
+    if (b < 0) { b = -b; }
+    int r = __udivmodsi4(a, b, 1);
+    if (neg) { return -r; }
+    return r;
+}
+
+int putchar(int c) {
+    _putc(c);
+    return c;
+}
+
+int putstr(char *s) {
+    int i = 0;
+    while (s[i]) {
+        _putc(s[i]);
+        i++;
+    }
+    return i;
+}
+
+int puts(char *s) {
+    putstr(s);
+    _putc('\n');
+    return 0;
+}
+
+int putint(int n) {
+    if (n < 0) {
+        _putc('-');
+        n = -n;
+    }
+    if (n >= 10) {
+        putint(n / 10);
+    }
+    _putc('0' + n % 10);
+    return 0;
+}
+
+int puthex(int n) {
+    int i = 28;
+    while (i >= 0) {
+        int d = (n >> i) & 15;
+        if (d < 10) { _putc('0' + d); } else { _putc('a' + d - 10); }
+        i = i - 4;
+    }
+    return 0;
+}
+
+int getchar() {
+    return _getc();
+}
+
+int memcpy(char *dst, char *src, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        dst[i] = src[i];
+    }
+    return 0;
+}
+
+int memset(char *p, int v, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        p[i] = v;
+    }
+    return 0;
+}
+
+int strlen(char *s) {
+    int i = 0;
+    while (s[i]) {
+        i++;
+    }
+    return i;
+}
+
+int strcmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] && a[i] == b[i]) {
+        i++;
+    }
+    return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+    int i = 0;
+    while (i < n && a[i] && a[i] == b[i]) {
+        i++;
+    }
+    if (i == n) { return 0; }
+    return a[i] - b[i];
+}
+
+int strcpy(char *dst, char *src) {
+    int i = 0;
+    while (src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = 0;
+    return i;
+}
+
+int atoi(char *s) {
+    int v = 0;
+    int i = 0;
+    int neg = 0;
+    if (s[0] == '-') { neg = 1; i = 1; }
+    while (s[i] >= '0' && s[i] <= '9') {
+        v = v * 10 + (s[i] - '0');
+        i++;
+    }
+    if (neg) { return -v; }
+    return v;
+}
+
+int abs(int x) {
+    if (x < 0) { return -x; }
+    return x;
+}
+
+int __rand_state = 1;
+
+int srand(int seed) {
+    __rand_state = seed;
+    return 0;
+}
+
+int rand() {
+    __rand_state = __rand_state * 1103515245 + 12345;
+    return (__rand_state >> 16) & 0x7fff;
+}
+
+char *malloc(int n) {
+    return _sbrk((n + 7) & ~7);
+}
+
+int memcmp(char *a, char *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i]) { return a[i] - b[i]; }
+    }
+    return 0;
+}
+
+int strcat(char *dst, char *src) {
+    int n = strlen(dst);
+    strcpy(dst + n, src);
+    return n;
+}
+
+char *strchr(char *s, int c) {
+    int i = 0;
+    while (s[i]) {
+        if (s[i] == c) { return s + i; }
+        i++;
+    }
+    return 0;
+}
+
+int itoa(int v, char *out) {
+    int i = 0;
+    int neg = 0;
+    if (v < 0) { neg = 1; v = -v; }
+    if (v == 0) { out[i] = '0'; i++; }
+    while (v > 0) {
+        out[i] = '0' + v % 10;
+        i++;
+        v = v / 10;
+    }
+    if (neg) { out[i] = '-'; i++; }
+    out[i] = 0;
+    // Reverse in place.
+    int a = 0;
+    int b = i - 1;
+    while (a < b) {
+        char tmp = out[a];
+        out[a] = out[b];
+        out[b] = tmp;
+        a++;
+        b--;
+    }
+    return i;
+}
+"#;
+
+/// Hand-written assembly runtime routines: `_start`, `__ashl`, `__ashr`.
+///
+/// `_start` calls `main` and passes its return value to the exit system
+/// call. The shift helpers take the value in `r0` and the amount in `r1`
+/// and shift one bit per loop iteration (amounts ≤ 0 return the value
+/// unchanged; amounts ≥ 32 drain to 0 / sign).
+pub fn asm_functions() -> Vec<AsmFunction> {
+    let mut start = AsmFunction::new("_start");
+    start.items = vec![
+        AsmItem::Label("_start".into()),
+        AsmItem::BranchTo {
+            cond: Cond::Al,
+            link: true,
+            label: "main".into(),
+        },
+        AsmItem::Insn(Instruction::Swi {
+            cond: Cond::Al,
+            imm: 0,
+        }),
+    ];
+    start.calls.push("main".into());
+
+    vec![start, shift_helper("__ashl", "lsl"), shift_helper("__ashr", "asr")]
+}
+
+fn shift_helper(name: &str, op: &str) -> AsmFunction {
+    let loop_label = format!(".L{name}_loop");
+    let mut f = AsmFunction::new(name);
+    f.items = vec![
+        AsmItem::Label(name.to_owned()),
+        AsmItem::Insn("cmp r1, #0".parse().expect("valid asm")),
+        AsmItem::Insn("bxle lr".parse().expect("valid asm")),
+        AsmItem::Label(loop_label.clone()),
+        AsmItem::Insn(
+            format!("mov r0, r0, {op} #1")
+                .parse()
+                .expect("valid asm"),
+        ),
+        AsmItem::Insn("subs r1, r1, #1".parse().expect("valid asm")),
+        AsmItem::BranchTo {
+            cond: Cond::Gt,
+            link: false,
+            label: loop_label,
+        },
+        AsmItem::Insn(Instruction::Bx {
+            cond: Cond::Al,
+            rm: Reg::LR,
+        }),
+    ];
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minilibc_parses_and_analyzes() {
+        let tokens = crate::lexer::lex(MINILIBC_SOURCE).unwrap();
+        let unit = crate::parser::parse(&tokens).unwrap();
+        let unit = crate::sema::analyze(unit).unwrap();
+        assert!(unit.function("__divsi3").is_some());
+        assert!(unit.function("puts").is_some());
+        assert!(unit.function("malloc").is_some());
+        crate::codegen::generate(&unit).unwrap();
+    }
+
+    #[test]
+    fn asm_functions_have_entry_labels() {
+        for f in asm_functions() {
+            assert_eq!(f.items[0], AsmItem::Label(f.name.clone()));
+            assert!(f.encoded_words() > 0);
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Semantic analysis: name resolution and type annotation.
+//!
+//! MiniC typing is deliberately C-like and permissive: `char` promotes to
+//! `int` in arithmetic, pointers and ints compare freely, and any scalar
+//! may be assigned to any scalar. What sema *does* enforce is the shape of
+//! the program the code generator relies on: lvalues where required,
+//! pointer arithmetic only on pointers, call-argument counts for known
+//! functions (max four — the ABI passes arguments in `r0..r3`), and
+//! `break`/`continue` only inside loops.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::CompileError;
+
+fn err(line: u32, message: impl Into<String>) -> CompileError {
+    CompileError::new("sema", format!("line {line}: {}", message.into()))
+}
+
+/// Per-function signature facts used at call sites.
+#[derive(Clone, Debug)]
+struct Signature {
+    ret: Type,
+    params: usize,
+}
+
+struct Analyzer {
+    functions: HashMap<String, Signature>,
+    globals: HashMap<String, Type>,
+    scopes: Vec<HashMap<String, Type>>,
+    loop_depth: usize,
+}
+
+impl Analyzer {
+    fn lookup(&self, name: &str) -> Option<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(t) = scope.get(name) {
+                return Some(t.clone());
+            }
+        }
+        if let Some(t) = self.globals.get(name) {
+            return Some(t.clone());
+        }
+        if self.functions.contains_key(name) {
+            return Some(Type::Func);
+        }
+        None
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, line: u32) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack is never empty");
+        if scope.insert(name.to_owned(), ty).is_some() {
+            return Err(err(line, format!("`{name}` redeclared in the same scope")));
+        }
+        Ok(())
+    }
+
+    fn is_lvalue(e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Var(_) => !matches!(e.ty, Type::Array(_, _) | Type::Func),
+            ExprKind::Deref(_) | ExprKind::Index(_, _) => true,
+            _ => false,
+        }
+    }
+
+    fn expr(&mut self, e: &mut Expr) -> Result<(), CompileError> {
+        let line = e.line;
+        let ty = match &mut e.kind {
+            ExprKind::Int(_) => Type::Int,
+            ExprKind::Str(_) => Type::Ptr(Box::new(Type::Char)),
+            ExprKind::Var(name) => self
+                .lookup(name)
+                .ok_or_else(|| err(line, format!("`{name}` is not declared")))?,
+            ExprKind::Unary(op, inner) => {
+                self.expr(inner)?;
+                if matches!(op, UnOp::Neg | UnOp::BitNot) && !inner.ty.is_scalar_int() {
+                    return Err(err(line, format!("`{}` applied to {}", "unary op", inner.ty)));
+                }
+                Type::Int
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                let (lt, rt) = (lhs.ty.decayed(), rhs.ty.decayed());
+                match op {
+                    BinOp::Add => match (&lt, &rt) {
+                        (Type::Ptr(_), t) if t.is_scalar_int() => lt,
+                        (t, Type::Ptr(_)) if t.is_scalar_int() => rt,
+                        (a, b) if a.is_scalar_int() && b.is_scalar_int() => Type::Int,
+                        _ => return Err(err(line, format!("cannot add {lt} and {rt}"))),
+                    },
+                    BinOp::Sub => match (&lt, &rt) {
+                        (Type::Ptr(_), t) if t.is_scalar_int() => lt,
+                        (Type::Ptr(a), Type::Ptr(b)) if a == b => Type::Int,
+                        (a, b) if a.is_scalar_int() && b.is_scalar_int() => Type::Int,
+                        _ => return Err(err(line, format!("cannot subtract {rt} from {lt}"))),
+                    },
+                    BinOp::LAnd | BinOp::LOr => Type::Int,
+                    _ if op.is_comparison() => Type::Int,
+                    _ => {
+                        if !lt.is_scalar_int() || !rt.is_scalar_int() {
+                            return Err(err(line, format!("arithmetic on {lt} and {rt}")));
+                        }
+                        Type::Int
+                    }
+                }
+            }
+            ExprKind::Assign(lhs, rhs) => {
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                if !Self::is_lvalue(lhs) {
+                    return Err(err(line, "assignment target is not an lvalue"));
+                }
+                lhs.ty.clone()
+            }
+            ExprKind::IncDec { target, .. } => {
+                self.expr(target)?;
+                if !Self::is_lvalue(target) {
+                    return Err(err(line, "++/-- target is not an lvalue"));
+                }
+                target.ty.clone()
+            }
+            ExprKind::Call(callee, args) => {
+                for a in args.iter_mut() {
+                    self.expr(a)?;
+                }
+                if args.len() > 4 {
+                    return Err(err(line, "at most 4 call arguments are supported"));
+                }
+                // Direct call to a known function: check arity, use return
+                // type. Anything else is an indirect call returning int.
+                // A local or global variable shadows a same-named function.
+                if let ExprKind::Var(name) = &callee.kind {
+                    let shadowed = self
+                        .scopes
+                        .iter()
+                        .any(|s| s.contains_key(name.as_str()))
+                        || self.globals.contains_key(name.as_str());
+                    if !shadowed {
+                        if let Some(sig) = self.functions.get(name).cloned() {
+                            callee.ty = Type::Func;
+                            if sig.params != args.len() {
+                                return Err(err(
+                                    line,
+                                    format!(
+                                        "`{name}` takes {} arguments, {} given",
+                                        sig.params,
+                                        args.len()
+                                    ),
+                                ));
+                            }
+                            return {
+                                e.ty = sig.ret;
+                                Ok(())
+                            };
+                        }
+                    }
+                }
+                self.expr(callee)?;
+                if !callee.ty.is_pointer_like() && !callee.ty.is_scalar_int() {
+                    return Err(err(line, format!("cannot call a value of type {}", callee.ty)));
+                }
+                Type::Int
+            }
+            ExprKind::Index(base, idx) => {
+                self.expr(base)?;
+                self.expr(idx)?;
+                if !idx.ty.decayed().is_scalar_int() {
+                    return Err(err(line, "array index must be an integer"));
+                }
+                match base.ty.pointee() {
+                    Some(elem) => elem.clone(),
+                    None => return Err(err(line, format!("cannot index into {}", base.ty))),
+                }
+            }
+            ExprKind::Deref(inner) => {
+                self.expr(inner)?;
+                match inner.ty.pointee() {
+                    Some(elem) => elem.clone(),
+                    None => return Err(err(line, format!("cannot dereference {}", inner.ty))),
+                }
+            }
+            ExprKind::AddrOf(inner) => {
+                self.expr(inner)?;
+                match &inner.kind {
+                    ExprKind::Var(name) if matches!(inner.ty, Type::Func) => {
+                        // &func — same as the bare function name.
+                        let _ = name;
+                        Type::Func
+                    }
+                    _ if Self::is_lvalue(inner) => Type::Ptr(Box::new(inner.ty.clone())),
+                    ExprKind::Var(_) if matches!(inner.ty, Type::Array(_, _)) => {
+                        Type::Ptr(Box::new(
+                            inner.ty.pointee().expect("array has element type").clone(),
+                        ))
+                    }
+                    _ => return Err(err(line, "cannot take the address of this expression")),
+                }
+            }
+            ExprKind::Cond(c, a, b) => {
+                self.expr(c)?;
+                self.expr(a)?;
+                self.expr(b)?;
+                a.ty.decayed()
+            }
+        };
+        e.ty = ty;
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &mut Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                for st in stmts {
+                    self.stmt(st)?;
+                }
+                self.scopes.pop();
+            }
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            } => {
+                if ty.size() == 0 && !matches!(ty, Type::Ptr(_)) {
+                    return Err(err(*line, format!("cannot declare `{name}` of type {ty}")));
+                }
+                if let Some(e) = init {
+                    self.expr(e)?;
+                    if matches!(ty, Type::Array(_, _)) {
+                        return Err(err(*line, "array locals cannot have initializers"));
+                    }
+                }
+                self.declare(name, ty.clone(), *line)?;
+            }
+            Stmt::Expr(e) => self.expr(e)?,
+            Stmt::If { cond, then, els } => {
+                self.expr(cond)?;
+                self.stmt(then)?;
+                if let Some(e) = els {
+                    self.stmt(e)?;
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.expr(cond)?;
+                self.loop_depth += 1;
+                self.stmt(body)?;
+                self.loop_depth -= 1;
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.loop_depth += 1;
+                self.stmt(body)?;
+                self.loop_depth -= 1;
+                self.expr(cond)?;
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                if let Some(c) = cond {
+                    self.expr(c)?;
+                }
+                if let Some(st) = step {
+                    self.expr(st)?;
+                }
+                self.loop_depth += 1;
+                self.stmt(body)?;
+                self.loop_depth -= 1;
+                self.scopes.pop();
+            }
+            Stmt::Return(value, _line) => {
+                if let Some(e) = value {
+                    self.expr(e)?;
+                }
+            }
+            Stmt::Break(line) | Stmt::Continue(line) => {
+                if self.loop_depth == 0 {
+                    return Err(err(*line, "break/continue outside of a loop"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Resolves names and annotates every expression with its type.
+///
+/// # Errors
+///
+/// Returns a sema-stage [`CompileError`] on undeclared names, non-lvalue
+/// assignment targets, invalid pointer arithmetic, call arity mismatches,
+/// and `break`/`continue` outside loops.
+pub fn analyze(mut unit: Unit) -> Result<Unit, CompileError> {
+    let mut functions = HashMap::new();
+    // Intrinsics (lowered to `swi` by codegen) and assembly runtime helpers
+    // are callable without a MiniC definition; a user definition overrides.
+    for (name, params, _svc) in crate::codegen::INTRINSICS {
+        functions.insert(
+            name.to_owned(),
+            Signature {
+                ret: Type::Int,
+                params,
+            },
+        );
+    }
+    for name in ["__ashl", "__ashr"] {
+        functions.insert(
+            name.to_owned(),
+            Signature {
+                ret: Type::Int,
+                params: 2,
+            },
+        );
+    }
+    let mut user_defined = std::collections::HashSet::new();
+    for f in &unit.functions {
+        functions.insert(
+            f.name.clone(),
+            Signature {
+                ret: f.ret.clone(),
+                params: f.params.len(),
+            },
+        );
+        if !user_defined.insert(f.name.clone()) {
+            return Err(err(f.line, format!("function `{}` defined twice", f.name)));
+        }
+        if f.params.len() > 4 {
+            return Err(err(f.line, "at most 4 parameters are supported"));
+        }
+    }
+    let mut globals = HashMap::new();
+    for g in &unit.globals {
+        if globals.insert(g.name.clone(), g.ty.clone()).is_some() {
+            return Err(err(g.line, format!("global `{}` defined twice", g.name)));
+        }
+        if functions.contains_key(&g.name) {
+            return Err(err(g.line, format!("`{}` is both global and function", g.name)));
+        }
+    }
+    let mut analyzer = Analyzer {
+        functions,
+        globals,
+        scopes: Vec::new(),
+        loop_depth: 0,
+    };
+    for f in &mut unit.functions {
+        analyzer.scopes.push(HashMap::new());
+        for (name, ty) in &f.params {
+            analyzer.declare(name, ty.clone(), f.line)?;
+        }
+        analyzer.stmt(&mut f.body)?;
+        analyzer.scopes.pop();
+        debug_assert!(analyzer.scopes.is_empty());
+    }
+    Ok(unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<Unit, CompileError> {
+        analyze(parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn annotates_types() {
+        let unit = check(
+            "int g[4];\n\
+             int f(int *p) { return g[1] + *p; }",
+        )
+        .unwrap();
+        let Stmt::Block(body) = &unit.functions[0].body else {
+            panic!()
+        };
+        let Stmt::Return(Some(e), _) = &body[0] else {
+            panic!()
+        };
+        assert_eq!(e.ty, Type::Int);
+    }
+
+    #[test]
+    fn pointer_arithmetic_scales() {
+        let unit = check("int f(int *p) { return *(p + 2); }").unwrap();
+        let Stmt::Block(body) = &unit.functions[0].body else {
+            panic!()
+        };
+        let Stmt::Return(Some(e), _) = &body[0] else {
+            panic!()
+        };
+        let ExprKind::Deref(inner) = &e.kind else { panic!() };
+        assert_eq!(inner.ty, Type::Ptr(Box::new(Type::Int)));
+    }
+
+    #[test]
+    fn rejects_bad_programs() {
+        assert!(check("int f() { return missing; }").is_err());
+        assert!(check("int f() { 3 = 4; return 0; }").is_err());
+        assert!(check("int f(int x) { return *x; }").is_err());
+        assert!(check("int f() { break; return 0; }").is_err());
+        assert!(check("int f(int a, int b, int c, int d, int e) { return 0; }").is_err());
+        assert!(check("int f(int x) { return x(1, 2, 3, 4, 5); }").is_err());
+        assert!(check("int g(int a) { return a; } int f() { return g(); }").is_err());
+        assert!(check("int f() { int x; int x; return 0; }").is_err());
+        assert!(check("int x; int x;").is_err());
+        assert!(check("int f() { return f + 1; }").is_err());
+    }
+
+    #[test]
+    fn function_names_are_values() {
+        let unit = check(
+            "int twice(int x) { return x + x; }\n\
+             int apply(int f, int x) { return f(x); }\n\
+             int main() { return apply(twice, 21); }",
+        )
+        .unwrap();
+        assert_eq!(unit.functions.len(), 3);
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_is_fine() {
+        assert!(check("int f() { int x = 1; { int x = 2; } return x; }").is_ok());
+    }
+}

@@ -1,0 +1,304 @@
+//! Embedding lists and rightmost-path extension.
+//!
+//! Unlike classical gSpan, which re-runs subgraph isomorphism to count
+//! support, this engine carries every embedding along the search (the
+//! style of MoFa/Gaston): extensions are enumerated by scanning the
+//! embeddings, which is what makes Edgar's occurrence counting possible.
+
+use std::collections::BTreeMap;
+
+use crate::dfs_code::{DfsTuple, Pattern};
+use crate::graph::InputGraph;
+
+/// One occurrence of a pattern in an input graph: `map[dfs_index]` is the
+/// graph node playing that pattern role.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Embedding {
+    /// Index of the graph within the database.
+    pub graph: u32,
+    /// DFS index → graph node.
+    pub map: Vec<u32>,
+}
+
+impl Embedding {
+    /// Whether the graph node is already used by this embedding.
+    pub fn contains(&self, node: u32) -> bool {
+        self.map.contains(&node)
+    }
+
+    /// The node set as a sorted vector (for overlap detection and
+    /// node-set deduplication).
+    pub fn sorted_nodes(&self) -> Vec<u32> {
+        let mut v = self.map.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Enumerates all single-edge patterns with their embeddings, keyed and
+/// sorted by tuple.
+pub fn seed_buckets(graphs: &[InputGraph]) -> BTreeMap<DfsTuple, Vec<Embedding>> {
+    let mut buckets: BTreeMap<DfsTuple, Vec<Embedding>> = BTreeMap::new();
+    for (gi, g) in graphs.iter().enumerate() {
+        for e in &g.edges {
+            let lf = g.labels[e.from as usize];
+            let lt = g.labels[e.to as usize];
+            // Start the DFS at either endpoint.
+            buckets
+                .entry(DfsTuple {
+                    from: 0,
+                    to: 1,
+                    from_label: lf,
+                    to_label: lt,
+                    outgoing: true,
+                    edge_label: e.label,
+                })
+                .or_default()
+                .push(Embedding {
+                    graph: gi as u32,
+                    map: vec![e.from, e.to],
+                });
+            buckets
+                .entry(DfsTuple {
+                    from: 0,
+                    to: 1,
+                    from_label: lt,
+                    to_label: lf,
+                    outgoing: false,
+                    edge_label: e.label,
+                })
+                .or_default()
+                .push(Embedding {
+                    graph: gi as u32,
+                    map: vec![e.to, e.from],
+                });
+        }
+    }
+    buckets
+}
+
+/// Enumerates every rightmost-path extension of `pattern` over its
+/// embeddings, bucketing the extended embeddings by extension tuple.
+///
+/// Backward edges leave the rightmost node towards a node on the
+/// rightmost path; forward edges attach a new graph node to any node on
+/// the rightmost path (deepest first). Arc direction is free in both
+/// cases — the tuple records it.
+pub fn extensions(
+    pattern: &Pattern,
+    graphs: &[InputGraph],
+    embeddings: &[Embedding],
+) -> BTreeMap<DfsTuple, Vec<Embedding>> {
+    let mut buckets: BTreeMap<DfsTuple, Vec<Embedding>> = BTreeMap::new();
+    let rightmost = pattern.rightmost();
+    let rm_path = pattern.rightmost_path();
+    let next_index = pattern.node_count() as u16;
+    for emb in embeddings {
+        let g = &graphs[emb.graph as usize];
+        let rm_node = emb.map[rightmost as usize];
+        // Backward extensions: rightmost node ↔ earlier rightmost-path
+        // node, edge not yet in the pattern.
+        for &v in &rm_path[..rm_path.len() - 1] {
+            if pattern.has_edge(rightmost, v) {
+                continue;
+            }
+            let v_node = emb.map[v as usize];
+            for &ei in &g.out_edges[rm_node as usize] {
+                let e = g.edges[ei as usize];
+                if e.to == v_node {
+                    push_bucket(
+                        &mut buckets,
+                        DfsTuple {
+                            from: rightmost,
+                            to: v,
+                            from_label: pattern.node_label(rightmost as usize),
+                            to_label: pattern.node_label(v as usize),
+                            outgoing: true,
+                            edge_label: e.label,
+                        },
+                        emb.clone(),
+                    );
+                }
+            }
+            for &ei in &g.in_edges[rm_node as usize] {
+                let e = g.edges[ei as usize];
+                if e.from == v_node {
+                    push_bucket(
+                        &mut buckets,
+                        DfsTuple {
+                            from: rightmost,
+                            to: v,
+                            from_label: pattern.node_label(rightmost as usize),
+                            to_label: pattern.node_label(v as usize),
+                            outgoing: false,
+                            edge_label: e.label,
+                        },
+                        emb.clone(),
+                    );
+                }
+            }
+        }
+        // Forward extensions from every rightmost-path node.
+        for &u in rm_path {
+            let u_node = emb.map[u as usize];
+            for &ei in &g.out_edges[u_node as usize] {
+                let e = g.edges[ei as usize];
+                if emb.contains(e.to) {
+                    continue;
+                }
+                let mut map = emb.map.clone();
+                map.push(e.to);
+                push_bucket(
+                    &mut buckets,
+                    DfsTuple {
+                        from: u,
+                        to: next_index,
+                        from_label: pattern.node_label(u as usize),
+                        to_label: g.labels[e.to as usize],
+                        outgoing: true,
+                        edge_label: e.label,
+                    },
+                    Embedding {
+                        graph: emb.graph,
+                        map,
+                    },
+                );
+            }
+            for &ei in &g.in_edges[u_node as usize] {
+                let e = g.edges[ei as usize];
+                if emb.contains(e.from) {
+                    continue;
+                }
+                let mut map = emb.map.clone();
+                map.push(e.from);
+                push_bucket(
+                    &mut buckets,
+                    DfsTuple {
+                        from: u,
+                        to: next_index,
+                        from_label: pattern.node_label(u as usize),
+                        to_label: g.labels[e.from as usize],
+                        outgoing: false,
+                        edge_label: e.label,
+                    },
+                    Embedding {
+                        graph: emb.graph,
+                        map,
+                    },
+                );
+            }
+        }
+    }
+    buckets
+}
+
+fn push_bucket(
+    buckets: &mut BTreeMap<DfsTuple, Vec<Embedding>>,
+    tuple: DfsTuple,
+    emb: Embedding,
+) {
+    let bucket = buckets.entry(tuple).or_default();
+    // Identical (graph, map) pairs arise when two embeddings extend to the
+    // same one; keep each once.
+    if !bucket.contains(&emb) {
+        bucket.push(emb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GEdge;
+
+    /// A: 0 →(1) 1 →(1) 2 with labels [7, 8, 7].
+    fn path_graph() -> InputGraph {
+        InputGraph::new(
+            vec![7, 8, 7],
+            vec![
+                GEdge { from: 0, to: 1, label: 1 },
+                GEdge { from: 1, to: 2, label: 1 },
+            ],
+        )
+    }
+
+    #[test]
+    fn seeds_enumerate_both_orientations() {
+        let g = path_graph();
+        let seeds = seed_buckets(std::slice::from_ref(&g));
+        // Two edges × two orientations, but 0→1 and 1→2 have different
+        // label pairs: (7,out,8), (8,in,7), (8,out,7), (7,in,8).
+        assert_eq!(seeds.len(), 4);
+        let total: usize = seeds.values().map(Vec::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn forward_extension_grows_embeddings() {
+        let g = path_graph();
+        let graphs = std::slice::from_ref(&g);
+        let seeds = seed_buckets(graphs);
+        // Take the seed (7)-out->(8): embedding [0, 1].
+        let (tuple, embs) = seeds
+            .iter()
+            .find(|(t, _)| t.from_label == 7 && t.outgoing && t.to_label == 8)
+            .unwrap();
+        let pattern = Pattern::root(*tuple);
+        let exts = extensions(&pattern, graphs, embs);
+        // From node 1 (dfs idx 1) we can go forward to node 2.
+        let fwd = exts
+            .keys()
+            .find(|t| t.is_forward() && t.to == 2)
+            .expect("a forward extension exists");
+        assert_eq!(fwd.to_label, 7);
+        let new_embs = &exts[fwd];
+        assert_eq!(new_embs[0].map, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn backward_extension_closes_cycles() {
+        // Triangle in the undirected sense: 0→1, 1→2, 0→2.
+        let g = InputGraph::new(
+            vec![5, 5, 5],
+            vec![
+                GEdge { from: 0, to: 1, label: 1 },
+                GEdge { from: 1, to: 2, label: 1 },
+                GEdge { from: 0, to: 2, label: 1 },
+            ],
+        );
+        let graphs = std::slice::from_ref(&g);
+        let seeds = seed_buckets(graphs);
+        // Grow a two-edge chain, then expect a backward tuple (2, 0).
+        let (t0, e0) = seeds
+            .iter()
+            .find(|(t, _)| t.outgoing)
+            .map(|(t, e)| (*t, e.clone()))
+            .unwrap();
+        let p = Pattern::root(t0);
+        let exts = extensions(&p, graphs, &e0);
+        let (t1, e1) = exts
+            .iter()
+            .find(|(t, _)| t.is_forward() && t.from == 1)
+            .map(|(t, e)| (*t, e.clone()))
+            .expect("chain extension exists");
+        let p2 = p.extend(t1);
+        let exts2 = extensions(&p2, graphs, &e1);
+        assert!(
+            exts2.keys().any(|t| !t.is_forward()),
+            "triangle produces a backward extension"
+        );
+    }
+
+    #[test]
+    fn embeddings_never_reuse_nodes() {
+        // Self-loop-free check: in a 2-node graph with one edge, growing
+        // beyond 2 nodes is impossible.
+        let g = InputGraph::new(vec![1, 1], vec![GEdge { from: 0, to: 1, label: 1 }]);
+        let graphs = std::slice::from_ref(&g);
+        let seeds = seed_buckets(graphs);
+        for (t, e) in &seeds {
+            let p = Pattern::root(*t);
+            let exts = extensions(&p, graphs, e);
+            assert!(exts.is_empty());
+        }
+    }
+}

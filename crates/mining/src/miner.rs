@@ -1,0 +1,595 @@
+//! The frequent-fragment search driver: DgSpan and Edgar.
+
+use std::collections::HashSet;
+
+use crate::dfs_code::Pattern;
+use crate::embed::{extensions, seed_buckets, Embedding};
+use crate::graph::InputGraph;
+use crate::mis::{collision_graph, greedy_disjoint_count, has_k_disjoint, max_independent_set};
+
+/// How a fragment's support is counted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Support {
+    /// **DgSpan**: the number of database graphs containing at least one
+    /// embedding (classical gSpan counting, directed).
+    Graphs,
+    /// **Edgar**: the number of *non-overlapping* embeddings — the size of
+    /// a maximum independent set in the embedding collision graph, summed
+    /// over graphs.
+    #[default]
+    Embeddings,
+}
+
+/// Mining configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Minimum support for a fragment to be reported and extended.
+    pub min_support: usize,
+    /// Support semantics (DgSpan vs Edgar).
+    pub support: Support,
+    /// Upper bound on fragment size in nodes (a backstop against
+    /// pathological growth; the benefit-driven consumer rarely wants huge
+    /// fragments anyway).
+    pub max_nodes: usize,
+    /// Upper bound on the embedding list carried per pattern. Blocks with
+    /// many identical independent instructions have factorially many
+    /// embeddings; lists beyond the cap are truncated (keeping the
+    /// earliest embeddings), trading completeness for bounded work.
+    pub max_embeddings: usize,
+    /// Upper bound on the number of patterns visited per mining run. The
+    /// DFS-code lattice of large, repetitive basic blocks (the paper's
+    /// rijndael, which took hours on the original implementation) is
+    /// exponentially large; the budget makes one mining round a bounded
+    /// greedy search. `usize::MAX` disables the cap.
+    pub max_patterns: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            min_support: 2,
+            support: Support::Embeddings,
+            max_nodes: 24,
+            max_embeddings: 4096,
+            max_patterns: usize::MAX,
+        }
+    }
+}
+
+/// A frequent fragment: its canonical pattern and its occurrences.
+#[derive(Clone, Debug)]
+pub struct Frequent {
+    /// The canonical pattern (minimal DFS code).
+    pub pattern: Pattern,
+    /// All embeddings, deduplicated by node set (one map kept per set).
+    pub embeddings: Vec<Embedding>,
+    /// The support under the configured counting.
+    pub support: usize,
+}
+
+/// Deduplicates embeddings by (graph, node-set), keeping the first map
+/// seen for each set.
+fn dedup_by_node_set(embeddings: &[Embedding]) -> Vec<Embedding> {
+    let mut seen: HashSet<(u32, Vec<u32>)> = HashSet::new();
+    let mut out = Vec::new();
+    for e in embeddings {
+        if seen.insert((e.graph, e.sorted_nodes())) {
+            out.push(e.clone());
+        }
+    }
+    out
+}
+
+/// Counts support of a set of node-set-deduplicated embeddings.
+///
+/// Under [`Support::Embeddings`] this is a fast greedy *lower bound* on
+/// the non-overlapping count (summed per graph) — sufficient for the
+/// frequency gate; consumers needing the exact maximum call
+/// [`non_overlapping_count`].
+pub fn count_support(embeddings: &[Embedding], support: Support) -> usize {
+    match support {
+        Support::Graphs => {
+            let graphs: HashSet<u32> = embeddings.iter().map(|e| e.graph).collect();
+            graphs.len()
+        }
+        Support::Embeddings => {
+            let mut total = 0;
+            for sets in node_sets_by_graph(embeddings).values() {
+                total += greedy_disjoint_count(sets);
+            }
+            total
+        }
+    }
+}
+
+/// Whether the support reaches `min` — exact for the paper's minimum
+/// support of 2 under both counting schemes.
+pub fn support_at_least(embeddings: &[Embedding], support: Support, min: usize) -> bool {
+    match support {
+        Support::Graphs => {
+            let mut graphs = HashSet::new();
+            for e in embeddings {
+                graphs.insert(e.graph);
+                if graphs.len() >= min {
+                    return true;
+                }
+            }
+            graphs.len() >= min
+        }
+        Support::Embeddings => {
+            if min <= 2 {
+                // Disjoint pairs across different graphs count too.
+                let by_graph = node_sets_by_graph(embeddings);
+                if by_graph.len() >= min.min(2) && by_graph.len() >= 2 {
+                    return true;
+                }
+                return by_graph
+                    .values()
+                    .any(|sets| has_k_disjoint(sets, min));
+            }
+            count_support(embeddings, support) >= min
+        }
+    }
+}
+
+fn node_sets_by_graph(embeddings: &[Embedding]) -> std::collections::BTreeMap<u32, Vec<Vec<u32>>> {
+    let mut by_graph: std::collections::BTreeMap<u32, Vec<Vec<u32>>> = Default::default();
+    for e in embeddings {
+        by_graph.entry(e.graph).or_default().push(e.sorted_nodes());
+    }
+    by_graph
+}
+
+/// Computes the maximum number of pairwise node-disjoint embeddings and
+/// returns `(count, chosen indices)`.
+///
+/// Embeddings are grouped per graph; within each graph a maximum
+/// independent set of the collision graph is computed.
+pub fn non_overlapping_count(embeddings: &[Embedding]) -> (usize, Vec<usize>) {
+    let mut chosen = Vec::new();
+    let mut by_graph: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+    for (i, e) in embeddings.iter().enumerate() {
+        by_graph.entry(e.graph).or_default().push(i);
+    }
+    for indices in by_graph.values() {
+        let sets: Vec<Vec<u32>> = indices
+            .iter()
+            .map(|&i| embeddings[i].sorted_nodes())
+            .collect();
+        let adj = collision_graph(&sets);
+        for local in max_independent_set(&adj) {
+            chosen.push(indices[local]);
+        }
+    }
+    chosen.sort_unstable();
+    (chosen.len(), chosen)
+}
+
+/// What the streaming visitor wants done with a pattern's subtree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GrowDecision {
+    /// Keep extending this pattern.
+    Continue,
+    /// Do not explore any extension of this pattern (e.g. a benefit bound
+    /// shows no descendant can be useful).
+    SkipChildren,
+}
+
+/// Mines all frequent connected fragments (two or more nodes) of the
+/// database, collecting them into a vector.
+///
+/// For large inputs prefer [`mine_streaming`], which does not materialize
+/// the (possibly huge) result set and lets the consumer prune subtrees.
+pub fn mine(graphs: &[InputGraph], config: &Config) -> Vec<Frequent> {
+    let mut results = Vec::new();
+    mine_streaming(graphs, config, &mut |f| {
+        results.push(f.clone());
+        GrowDecision::Continue
+    });
+    results
+}
+
+/// Mines frequent fragments, invoking `visit` on each one as it is
+/// discovered (parents strictly before children).
+///
+/// The search is a depth-first traversal of the DFS-code lattice with the
+/// two prunings of the paper: canonical-form (minimality) pruning and
+/// frequency antimonotone pruning — under [`Support::Embeddings`] the
+/// embeddings of a child map injectively onto disjoint embeddings of its
+/// parent, so MIS-based support is antimonotone as well (§3.4). The
+/// visitor's [`GrowDecision`] adds consumer-driven pruning on top (the PA
+/// driver cuts subtrees whose best possible benefit cannot beat the
+/// current best candidate — the paper's §3.5 "PA-specific pruning").
+pub fn mine_streaming(
+    graphs: &[InputGraph],
+    config: &Config,
+    visit: &mut dyn FnMut(&Frequent) -> GrowDecision,
+) {
+    let mut budget = config.max_patterns;
+    for (tuple, embeddings) in seed_buckets(graphs) {
+        let pattern = Pattern::root(tuple);
+        if !pattern.is_min() {
+            continue;
+        }
+        let mut embeddings = embeddings;
+        embeddings.truncate(config.max_embeddings);
+        let deduped = dedup_by_node_set(&embeddings);
+        if !support_at_least(&deduped, config.support, config.min_support) {
+            continue;
+        }
+        let support = count_support(&deduped, config.support);
+        if !grow(pattern, embeddings, deduped, support, graphs, config, visit, &mut budget) {
+            return;
+        }
+    }
+}
+
+
+/// Mines in parallel across `threads` worker threads, partitioning the
+/// seed patterns round-robin and giving each worker an equal share of the
+/// pattern budget. Results are concatenated in a deterministic order
+/// (seed order, then discovery order within a seed).
+///
+/// This reproduces the shared-memory parallelization the paper's authors
+/// report for their miner (Meinl et al., "Parallel Mining for Frequent
+/// Fragments on a Shared-Memory Multiprocessor", cited as \[33\]): the
+/// DFS-code lattice decomposes perfectly at the seed level, so speedups
+/// are near-linear until seed subtree sizes skew.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn mine_parallel(graphs: &[InputGraph], config: &Config, threads: usize) -> Vec<Frequent> {
+    assert!(threads > 0, "at least one worker thread is required");
+    // Seed work items, precomputed sequentially (cheap relative to
+    // growth).
+    let seeds: Vec<(crate::dfs_code::DfsTuple, Vec<Embedding>)> =
+        seed_buckets(graphs).into_iter().collect();
+    if threads == 1 || seeds.len() <= 1 {
+        return mine(graphs, config);
+    }
+    let per_thread_budget = (config.max_patterns / threads).max(1);
+    let results: Vec<Vec<(usize, Vec<Frequent>)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..threads {
+            let seeds = &seeds;
+            let config = config.clone();
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, Vec<Frequent>)> = Vec::new();
+                for (si, (tuple, embeddings)) in seeds.iter().enumerate() {
+                    if si % threads != worker {
+                        continue;
+                    }
+                    let pattern = Pattern::root(*tuple);
+                    if !pattern.is_min() {
+                        continue;
+                    }
+                    let mut embeddings = embeddings.clone();
+                    embeddings.truncate(config.max_embeddings);
+                    let deduped = dedup_by_node_set(&embeddings);
+                    if !support_at_least(&deduped, config.support, config.min_support) {
+                        continue;
+                    }
+                    let support = count_support(&deduped, config.support);
+                    let mut found = Vec::new();
+                    let mut budget = per_thread_budget;
+                    grow(
+                        pattern,
+                        embeddings,
+                        deduped,
+                        support,
+                        graphs,
+                        &config,
+                        &mut |f| {
+                            found.push(f.clone());
+                            GrowDecision::Continue
+                        },
+                        &mut budget,
+                    );
+                    out.push((si, found));
+                }
+                out
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    // Deterministic merge by seed index.
+    let mut by_seed: Vec<(usize, Vec<Frequent>)> = results.into_iter().flatten().collect();
+    by_seed.sort_by_key(|(si, _)| *si);
+    by_seed.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Returns `false` when the pattern budget is exhausted (abort the run).
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    pattern: Pattern,
+    embeddings: Vec<Embedding>,
+    deduped: Vec<Embedding>,
+    support: usize,
+    graphs: &[InputGraph],
+    config: &Config,
+    visit: &mut dyn FnMut(&Frequent) -> GrowDecision,
+    budget: &mut usize,
+) -> bool {
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    let frequent = Frequent {
+        pattern,
+        embeddings: deduped,
+        support,
+    };
+    let decision = visit(&frequent);
+    let pattern = frequent.pattern;
+    if decision == GrowDecision::SkipChildren || pattern.node_count() >= config.max_nodes {
+        return true;
+    }
+    for (tuple, mut child_embeddings) in extensions(&pattern, graphs, &embeddings) {
+        let child = pattern.extend(tuple);
+        if !child.is_min() {
+            continue;
+        }
+        child_embeddings.truncate(config.max_embeddings);
+        let child_deduped = dedup_by_node_set(&child_embeddings);
+        if !support_at_least(&child_deduped, config.support, config.min_support) {
+            continue;
+        }
+        let child_support = count_support(&child_deduped, config.support);
+        if !grow(
+            child,
+            child_embeddings,
+            child_deduped,
+            child_support,
+            graphs,
+            config,
+            visit,
+            budget,
+        ) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_arm::parse::parse_listing;
+    use gpa_cfg::Item;
+    use gpa_dfg::{build_dfg_from_items, LabelMode};
+
+    fn graphs_of(listings: &[&str]) -> Vec<InputGraph> {
+        let dfgs: Vec<_> = listings
+            .iter()
+            .map(|asm| {
+                let items: Vec<Item> = parse_listing(asm)
+                    .unwrap()
+                    .into_iter()
+                    .map(Item::Insn)
+                    .collect();
+                build_dfg_from_items("bb", 0, &items, LabelMode::Exact)
+            })
+            .collect();
+        InputGraph::from_dfgs(&dfgs).0
+    }
+
+    const RUNNING_EXAMPLE: &str = "ldr r3, [r1]!\n\
+                                   sub r2, r2, r3\n\
+                                   add r4, r2, #4\n\
+                                   ldr r3, [r1]!\n\
+                                   sub r2, r2, r3\n\
+                                   ldr r3, [r1]!\n\
+                                   add r4, r2, #4";
+
+    #[test]
+    fn running_example_edgar_finds_three_node_fragments() {
+        let graphs = graphs_of(&[RUNNING_EXAMPLE]);
+        let found = mine(
+            &graphs,
+            &Config {
+                min_support: 2,
+                support: Support::Embeddings,
+                max_nodes: 8,
+                ..Config::default()
+            },
+        );
+        // Figs. 4/5: three-node fragments with two disjoint embeddings.
+        let three: Vec<_> = found
+            .iter()
+            .filter(|f| f.pattern.node_count() == 3 && f.support >= 2)
+            .collect();
+        assert!(!three.is_empty(), "expected 3-node fragments, got: {:?}",
+            found.iter().map(|f| (f.pattern.node_count(), f.support)).collect::<Vec<_>>());
+        // And the 2-node ldr→sub fragment from Fig. 3 as well.
+        assert!(found
+            .iter()
+            .any(|f| f.pattern.node_count() == 2 && f.support >= 2));
+    }
+
+    #[test]
+    fn dgspan_counts_graphs_not_occurrences() {
+        // Both occurrences live in ONE graph: DgSpan support = 1,
+        // Edgar support = 2. (The paper's central observation.)
+        let graphs = graphs_of(&[RUNNING_EXAMPLE]);
+        let dg = mine(
+            &graphs,
+            &Config {
+                min_support: 2,
+                support: Support::Graphs,
+                max_nodes: 8,
+                ..Config::default()
+            },
+        );
+        assert!(
+            dg.is_empty(),
+            "a single graph can never reach graph-support 2"
+        );
+        // With the block duplicated into two graphs, DgSpan finds them.
+        let graphs2 = graphs_of(&[RUNNING_EXAMPLE, RUNNING_EXAMPLE]);
+        let dg2 = mine(
+            &graphs2,
+            &Config {
+                min_support: 2,
+                support: Support::Graphs,
+                max_nodes: 8,
+                ..Config::default()
+            },
+        );
+        assert!(dg2.iter().any(|f| f.pattern.node_count() >= 3));
+    }
+
+    #[test]
+    fn overlapping_embeddings_counted_once() {
+        // Fig. 8: two embeddings sharing the middle ldr → only one counts.
+        // Chain: ldr; sub; ldr; sub — pattern (ldr→sub) has 2 disjoint
+        // embeddings; pattern (sub→ldr… ) sharing nodes collapses.
+        let graphs = graphs_of(&["ldr r3, [r1]!\nsub r2, r2, r3\nldr r3, [r1]!\nsub r2, r2, r3"]);
+        let found = mine(
+            &graphs,
+            &Config {
+                min_support: 2,
+                support: Support::Embeddings,
+                max_nodes: 4,
+                ..Config::default()
+            },
+        );
+        let pair = found
+            .iter()
+            .find(|f| f.pattern.node_count() == 2 && f.support == 2);
+        assert!(pair.is_some(), "ldr→sub appears twice disjointly");
+        // No fragment can have support > 2 here.
+        assert!(found.iter().all(|f| f.support <= 2));
+    }
+
+    #[test]
+    fn no_frequent_fragments_in_unique_code() {
+        let graphs = graphs_of(&["mov r0, #1\nadd r1, r0, #2\nmul r2, r1, r0"]);
+        let found = mine(&graphs, &Config::default());
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn max_nodes_caps_growth() {
+        let graphs = graphs_of(&[RUNNING_EXAMPLE, RUNNING_EXAMPLE]);
+        let found = mine(
+            &graphs,
+            &Config {
+                min_support: 2,
+                support: Support::Graphs,
+                max_nodes: 2,
+                ..Config::default()
+            },
+        );
+        assert!(found.iter().all(|f| f.pattern.node_count() <= 2));
+    }
+
+    #[test]
+    fn embeddings_are_node_set_deduplicated() {
+        let graphs = graphs_of(&[RUNNING_EXAMPLE]);
+        let found = mine(&graphs, &Config::default());
+        for f in &found {
+            let mut sets: Vec<_> = f
+                .embeddings
+                .iter()
+                .map(|e| (e.graph, e.sorted_nodes()))
+                .collect();
+            let before = sets.len();
+            sets.sort();
+            sets.dedup();
+            assert_eq!(sets.len(), before, "duplicate node sets in {:?}", f.pattern);
+        }
+    }
+
+    #[test]
+    fn support_is_antimonotone_along_results() {
+        // Every reported fragment's parent prefix is also reported with
+        // at least the same support: check global max support of size-k
+        // fragments is non-increasing in k.
+        let graphs = graphs_of(&[RUNNING_EXAMPLE, RUNNING_EXAMPLE]);
+        let found = mine(
+            &graphs,
+            &Config {
+                min_support: 2,
+                support: Support::Embeddings,
+                max_nodes: 8,
+                ..Config::default()
+            },
+        );
+        let mut max_by_size: std::collections::BTreeMap<usize, usize> = Default::default();
+        for f in &found {
+            let e = max_by_size.entry(f.pattern.node_count()).or_default();
+            *e = (*e).max(f.support);
+        }
+        let sizes: Vec<_> = max_by_size.into_iter().collect();
+        for w in sizes.windows(2) {
+            assert!(w[0].1 >= w[1].1, "support not antimonotone: {sizes:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use gpa_arm::parse::parse_listing;
+    use gpa_cfg::Item;
+    use gpa_dfg::{build_dfg_from_items, LabelMode};
+
+    fn graphs_of(listings: &[&str]) -> Vec<InputGraph> {
+        let dfgs: Vec<_> = listings
+            .iter()
+            .map(|asm| {
+                let items: Vec<Item> = parse_listing(asm)
+                    .unwrap()
+                    .into_iter()
+                    .map(Item::Insn)
+                    .collect();
+                build_dfg_from_items("bb", 0, &items, LabelMode::Exact)
+            })
+            .collect();
+        InputGraph::from_dfgs(&dfgs).0
+    }
+
+    const BLOCK: &str = "ldr r3, [r1]!\n\
+                         sub r2, r2, r3\n\
+                         add r4, r2, #4\n\
+                         ldr r3, [r1]!\n\
+                         sub r2, r2, r3\n\
+                         ldr r3, [r1]!\n\
+                         add r4, r2, #4";
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let graphs = graphs_of(&[BLOCK, BLOCK, "mov r0, #1\nadd r1, r0, #2"]);
+        let config = Config {
+            min_support: 2,
+            support: Support::Embeddings,
+            max_nodes: 6,
+            ..Config::default()
+        };
+        let sequential = mine(&graphs, &config);
+        for threads in [1usize, 2, 4] {
+            let parallel = mine_parallel(&graphs, &config, threads);
+            assert_eq!(parallel.len(), sequential.len(), "threads={threads}");
+            let key = |f: &Frequent| {
+                (
+                    format!("{:?}", f.pattern.tuples()),
+                    f.support,
+                    f.embeddings.len(),
+                )
+            };
+            let mut a: Vec<_> = sequential.iter().map(key).collect();
+            let mut b: Vec<_> = parallel.iter().map(key).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_panics() {
+        let graphs = graphs_of(&[BLOCK]);
+        let _ = mine_parallel(&graphs, &Config::default(), 0);
+    }
+}

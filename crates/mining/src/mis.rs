@@ -1,0 +1,373 @@
+//! Maximum-independent-set computation on embedding collision graphs
+//! (§3.4 of the paper).
+//!
+//! Overlapping embeddings cannot all be outlined — extracting one destroys
+//! the instructions the other needs (Fig. 8). The *collision graph* has
+//! one node per embedding and an edge between every two embeddings that
+//! share an instruction; the number of outlinable occurrences is the size
+//! of a maximum independent set.
+//!
+//! The solver is exact on components of up to 64 nodes: a
+//! branch-and-bound in the spirit of Kumlander's vertex-colouring
+//! max-clique algorithm (we bound with a greedy clique-cover of the
+//! candidate set, the complement view of his colouring bound) and falls
+//! back to a greedy minimum-degree heuristic on larger components (which
+//! do not occur in the benchmark corpus).
+
+use std::collections::HashMap;
+
+/// Builds the collision graph of a set of embeddings, given each
+/// embedding's sorted node set. Returns adjacency lists.
+///
+/// Two embeddings collide when their node sets intersect. Embeddings from
+/// different input graphs never collide; callers typically partition by
+/// graph first.
+pub fn collision_graph(node_sets: &[Vec<u32>]) -> Vec<Vec<usize>> {
+    let n = node_sets.len();
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if sorted_intersects(&node_sets[i], &node_sets[j]) {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    adj
+}
+
+/// Whether two sorted slices share an element.
+pub fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Recursion-step budget for the exact solver; components exceeding it
+/// fall back to the greedy answer found so far.
+const EXACT_BUDGET: u64 = 200_000;
+
+/// Computes a maximum independent set of the graph given by adjacency
+/// lists, returning the chosen vertex indices (exact for components of at
+/// most 64 vertices within a branch-and-bound budget, greedy beyond).
+///
+/// # Examples
+///
+/// ```
+/// // A path a–b–c: the MIS is {a, c}.
+/// let adj = vec![vec![1], vec![0, 2], vec![1]];
+/// let mis = gpa_mining::mis::max_independent_set(&adj);
+/// assert_eq!(mis.len(), 2);
+/// assert!(mis.contains(&0) && mis.contains(&2));
+/// ```
+pub fn max_independent_set(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut chosen = Vec::new();
+    let mut seen = vec![false; n];
+    // Split into connected components; solve each independently.
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            component.push(v);
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        if component.len() <= 64 {
+            chosen.extend(exact_mis_component(&component, adj));
+        } else {
+            chosen.extend(greedy_mis_component(&component, adj));
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Whether at least `k` pairwise-disjoint node sets exist. Exact for
+/// `k <= 2` (all pairs are tested); greedy beyond.
+///
+/// This is the frequency gate of the miner: with the paper's minimum
+/// support of 2, "frequent" means exactly "two disjoint embeddings
+/// exist", which needs no full MIS computation.
+pub fn has_k_disjoint(node_sets: &[Vec<u32>], k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    if k == 1 {
+        return !node_sets.is_empty();
+    }
+    if k == 2 {
+        for i in 0..node_sets.len() {
+            for j in (i + 1)..node_sets.len() {
+                if !sorted_intersects(&node_sets[i], &node_sets[j]) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+    greedy_disjoint_count(node_sets) >= k
+}
+
+/// Greedy lower bound on the number of pairwise-disjoint node sets
+/// (shortest sets first — short embeddings block fewer others).
+pub fn greedy_disjoint_count(node_sets: &[Vec<u32>]) -> usize {
+    let mut order: Vec<usize> = (0..node_sets.len()).collect();
+    order.sort_by_key(|&i| node_sets[i].len());
+    let mut chosen: Vec<&Vec<u32>> = Vec::new();
+    for i in order {
+        if chosen.iter().all(|c| !sorted_intersects(c, &node_sets[i])) {
+            chosen.push(&node_sets[i]);
+        }
+    }
+    chosen.len()
+}
+
+/// Exact branch-and-bound MIS on one component (≤ 64 vertices) using
+/// bitset candidate sets and a greedy clique-cover bound.
+fn exact_mis_component(component: &[usize], adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = component.len();
+    let index: HashMap<usize, usize> = component.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // Local adjacency bitmasks.
+    let mut nbr = vec![0u64; n];
+    for (i, &v) in component.iter().enumerate() {
+        for &w in &adj[v] {
+            if let Some(&j) = index.get(&w) {
+                nbr[i] |= 1 << j;
+            }
+        }
+    }
+    let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+    let mut best_set = 0u64;
+    let mut best;
+
+    // Greedy clique cover of the candidate set: the number of cliques
+    // needed is an upper bound on the independent set inside it.
+    let clique_cover_bound = |mut p: u64, nbr: &[u64]| -> u32 {
+        let mut cliques = 0u32;
+        while p != 0 {
+            cliques += 1;
+            // Grow one clique greedily.
+            let mut candidates = p;
+            let mut clique = 0u64;
+            while candidates != 0 {
+                let v = candidates.trailing_zeros() as usize;
+                clique |= 1 << v;
+                candidates &= nbr[v];
+            }
+            p &= !clique;
+        }
+        cliques
+    };
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        p: u64,
+        current: u64,
+        size: u32,
+        nbr: &[u64],
+        best: &mut u32,
+        best_set: &mut u64,
+        bound: &dyn Fn(u64, &[u64]) -> u32,
+        budget: &mut u64,
+    ) {
+        if *budget == 0 {
+            return; // Out of budget: keep the best found so far.
+        }
+        *budget -= 1;
+        if p == 0 {
+            if size > *best {
+                *best = size;
+                *best_set = current;
+            }
+            return;
+        }
+        if size + bound(p, nbr) <= *best {
+            return;
+        }
+        // Branch on the candidate with most neighbours inside `p`.
+        let mut pick = p.trailing_zeros() as usize;
+        let mut max_deg = 0u32;
+        let mut it = p;
+        while it != 0 {
+            let v = it.trailing_zeros() as usize;
+            it &= it - 1;
+            let deg = (nbr[v] & p).count_ones();
+            if deg > max_deg {
+                max_deg = deg;
+                pick = v;
+            }
+        }
+        // Include pick.
+        recurse(
+            p & !nbr[pick] & !(1 << pick),
+            current | (1 << pick),
+            size + 1,
+            nbr,
+            best,
+            best_set,
+            bound,
+            budget,
+        );
+        // Exclude pick.
+        recurse(p & !(1 << pick), current, size, nbr, best, best_set, bound, budget);
+    }
+
+    // Seed with the greedy answer so a budget exhaustion still returns a
+    // decent set.
+    {
+        let greedy = greedy_mis_component(component, adj);
+        best = greedy.len() as u32;
+        for v in greedy {
+            let i = index[&v];
+            best_set |= 1 << i;
+        }
+    }
+    let mut budget = EXACT_BUDGET;
+    recurse(
+        full,
+        0,
+        0,
+        &nbr,
+        &mut best,
+        &mut best_set,
+        &|p, nbr| clique_cover_bound(p, nbr),
+        &mut budget,
+    );
+    (0..n)
+        .filter(|&i| best_set & (1 << i) != 0)
+        .map(|i| component[i])
+        .collect()
+}
+
+/// Greedy minimum-degree independent set (fallback for huge components).
+fn greedy_mis_component(component: &[usize], adj: &[Vec<usize>]) -> Vec<usize> {
+    let mut alive: std::collections::HashSet<usize> = component.iter().copied().collect();
+    let mut result = Vec::new();
+    let mut order: Vec<usize> = component.to_vec();
+    order.sort_by_key(|&v| adj[v].len());
+    for v in order {
+        if !alive.contains(&v) {
+            continue;
+        }
+        result.push(v);
+        alive.remove(&v);
+        for &w in &adj[v] {
+            alive.remove(&w);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj_from_edges(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    /// Brute-force MIS size for cross-checking.
+    fn brute_force_mis(adj: &[Vec<usize>]) -> usize {
+        let n = adj.len();
+        assert!(n <= 20);
+        let mut best = 0;
+        for mask in 0u32..(1 << n) {
+            let ok = (0..n).all(|v| {
+                mask & (1 << v) == 0 || adj[v].iter().all(|&w| mask & (1 << w) == 0)
+            });
+            if ok {
+                best = best.max(mask.count_ones() as usize);
+            }
+        }
+        best
+    }
+
+    fn is_independent(set: &[usize], adj: &[Vec<usize>]) -> bool {
+        set.iter()
+            .all(|&v| adj[v].iter().all(|w| !set.contains(w)))
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(max_independent_set(&[]).is_empty());
+        assert_eq!(max_independent_set(&[vec![]]), vec![0]);
+    }
+
+    #[test]
+    fn small_known_graphs() {
+        // Triangle: MIS = 1.
+        let tri = adj_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(max_independent_set(&tri).len(), 1);
+        // 5-cycle: MIS = 2.
+        let c5 = adj_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(max_independent_set(&c5).len(), 2);
+        // Star: MIS = leaves.
+        let star = adj_from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        assert_eq!(max_independent_set(&star).len(), 5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        // Deterministic xorshift for reproducibility.
+        let mut state = 0x12345678u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [6usize, 10, 14] {
+            for _ in 0..30 {
+                let mut edges = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        if rand() % 100 < 30 {
+                            edges.push((i, j));
+                        }
+                    }
+                }
+                let adj = adj_from_edges(n, &edges);
+                let mis = max_independent_set(&adj);
+                assert!(is_independent(&mis, &adj));
+                assert_eq!(mis.len(), brute_force_mis(&adj), "n={n}, edges={edges:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn collision_graph_from_node_sets() {
+        let sets = vec![vec![0, 1, 2], vec![2, 3], vec![4, 5], vec![5, 6]];
+        let adj = collision_graph(&sets);
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[2], vec![3]);
+        let mis = max_independent_set(&adj);
+        assert_eq!(mis.len(), 2);
+    }
+
+    #[test]
+    fn sorted_intersection() {
+        assert!(sorted_intersects(&[1, 3, 5], &[5, 7]));
+        assert!(!sorted_intersects(&[1, 3, 5], &[2, 4, 6]));
+        assert!(!sorted_intersects(&[], &[1]));
+    }
+}

@@ -1,0 +1,252 @@
+//! The suffix-trie baseline ("SFX"): repeated-sequence detection over the
+//! linear instruction stream, in the style of Fraser/Myers/Wendt and the
+//! fingerprinting of Debray et al. — the approach the paper compares
+//! against.
+//!
+//! Instructions are interned to symbols and the basic-block bodies are
+//! concatenated with unique separators (so no repeat crosses a block
+//! boundary, mirroring the fingerprint-per-block discipline). A suffix
+//! array plus LCP array enumerates all maximal repeated factors; each
+//! lcp-interval yields a [`RepeatCandidate`] with its occurrence
+//! positions. The *same* cost model and extraction machinery as the
+//! graph-based methods is applied by the `gpa` crate, keeping the
+//! comparison apples-to-apples.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpa_sfx::repeated_factors;
+//!
+//! // Two blocks sharing the sequence [7, 8, 9].
+//! let seqs = vec![vec![7, 8, 9, 1], vec![2, 7, 8, 9]];
+//! let candidates = repeated_factors(&seqs, 2);
+//! assert!(candidates
+//!     .iter()
+//!     .any(|c| c.len == 3 && c.occurrences.len() == 2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod suffix;
+
+pub use suffix::{lcp_array, suffix_array};
+
+/// A repeated factor of the instruction stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepeatCandidate {
+    /// Length of the repeated sequence (in instructions).
+    pub len: usize,
+    /// Occurrences as `(sequence index, start offset)`, sorted.
+    pub occurrences: Vec<(usize, usize)>,
+}
+
+impl RepeatCandidate {
+    /// Greedily selects a maximal set of non-overlapping occurrences
+    /// (left to right) — the classical suffix-trie PA overlap rule.
+    pub fn disjoint_occurrences(&self) -> Vec<(usize, usize)> {
+        let mut chosen: Vec<(usize, usize)> = Vec::new();
+        let mut last_end: Option<(usize, usize)> = None;
+        for &(seq, start) in &self.occurrences {
+            let ok = match last_end {
+                Some((lseq, lend)) => seq != lseq || start >= lend,
+                None => true,
+            };
+            if ok {
+                chosen.push((seq, start));
+                last_end = Some((seq, start + self.len));
+            }
+        }
+        chosen
+    }
+
+    /// A prefix-truncated copy of this candidate (same occurrences,
+    /// shorter length). Useful when a shorter factor scores better under
+    /// a cost model.
+    pub fn truncated(&self, len: usize) -> RepeatCandidate {
+        assert!(len <= self.len);
+        RepeatCandidate {
+            len,
+            occurrences: self.occurrences.clone(),
+        }
+    }
+}
+
+/// Enumerates all right-maximal repeated factors of length ≥ 2 occurring
+/// in at least `min_occurrences` places, across a set of symbol sequences.
+///
+/// Every repeated factor's occurrence set equals the occurrence set of
+/// one reported candidate with at least its length (right-maximality), so
+/// nothing profitable is missed by only reporting the maximal ones.
+pub fn repeated_factors(seqs: &[Vec<u32>], min_occurrences: usize) -> Vec<RepeatCandidate> {
+    // Concatenate with unique separators above the symbol range.
+    let max_sym = seqs
+        .iter()
+        .flat_map(|s| s.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let mut text: Vec<u32> = Vec::new();
+    // (sequence index, start offset) per text position.
+    let mut origin: Vec<(usize, usize)> = Vec::new();
+    for (sep, (si, s)) in (max_sym + 1..).zip(seqs.iter().enumerate()) {
+        for (i, &sym) in s.iter().enumerate() {
+            text.push(sym);
+            origin.push((si, i));
+        }
+        text.push(sep);
+        origin.push((usize::MAX, 0));
+    }
+    if text.is_empty() {
+        return Vec::new();
+    }
+    let sa = suffix_array(&text);
+    let lcp = lcp_array(&text, &sa);
+
+    // Enumerate lcp-intervals with a stack (lcp-interval tree traversal).
+    // Each interval (lcp value L ≥ 2, sa range [i..j]) is a right-maximal
+    // repeat of length L with j - i + 1 occurrences.
+    let mut out = Vec::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (lcp value, left boundary)
+    #[allow(clippy::needless_range_loop)] // i doubles as the sentinel index past lcp's end
+    for i in 1..=sa.len() {
+        let l = if i < sa.len() { lcp[i] } else { 0 };
+        let mut left = i - 1;
+        while let Some(&(top_lcp, top_left)) = stack.last() {
+            if top_lcp <= l {
+                break;
+            }
+            stack.pop();
+            if top_lcp >= 2 {
+                report_interval(&sa, &origin, top_left, i - 1, top_lcp, min_occurrences, &mut out);
+            }
+            left = top_left;
+        }
+        if l >= 1 && stack.last().map(|&(t, _)| t < l).unwrap_or(true) {
+            stack.push((l, left));
+        }
+    }
+    out
+}
+
+fn report_interval(
+    sa: &[usize],
+    origin: &[(usize, usize)],
+    left: usize,
+    right: usize,
+    len: usize,
+    min_occurrences: usize,
+    out: &mut Vec<RepeatCandidate>,
+) {
+    if right - left + 1 < min_occurrences {
+        return;
+    }
+    let mut occurrences: Vec<(usize, usize)> = Vec::with_capacity(right - left + 1);
+    for &pos in &sa[left..=right] {
+        let (seq, offset) = origin[pos];
+        // Unique separators never participate in a repeat of length ≥ 2.
+        debug_assert_ne!(seq, usize::MAX);
+        occurrences.push((seq, offset));
+    }
+    occurrences.sort_unstable();
+    if occurrences.len() >= min_occurrences {
+        out.push(RepeatCandidate { len, occurrences });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive repeat finder for cross-checking: occurrence sets of every
+    /// repeated substring of length `len`.
+    fn naive_repeats(seqs: &[Vec<u32>], len: usize) -> Vec<Vec<(usize, usize)>> {
+        use std::collections::HashMap;
+        let mut map: HashMap<&[u32], Vec<(usize, usize)>> = HashMap::new();
+        for (si, s) in seqs.iter().enumerate() {
+            if s.len() < len {
+                continue;
+            }
+            for start in 0..=(s.len() - len) {
+                map.entry(&s[start..start + len])
+                    .or_default()
+                    .push((si, start));
+            }
+        }
+        map.into_values().filter(|v| v.len() >= 2).collect()
+    }
+
+    #[test]
+    fn finds_cross_block_repeat() {
+        let seqs = vec![vec![1, 2, 3, 4], vec![9, 1, 2, 3]];
+        let cands = repeated_factors(&seqs, 2);
+        let c = cands
+            .iter()
+            .find(|c| c.len == 3)
+            .expect("the length-3 repeat [1,2,3]");
+        assert_eq!(c.occurrences, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn repeats_do_not_cross_blocks() {
+        let seqs = vec![vec![1, 2], vec![2, 1]];
+        let cands = repeated_factors(&seqs, 2);
+        assert!(cands.is_empty(), "got {cands:?}");
+    }
+
+    #[test]
+    fn within_block_repeat_and_overlap_rule() {
+        // aaaa: factor "aa" occurs at 0,1,2; greedy disjoint = {0, 2}.
+        let seqs = vec![vec![5, 5, 5, 5]];
+        let cands = repeated_factors(&seqs, 2);
+        let c = cands.iter().find(|c| c.len == 2).expect("aa repeat");
+        assert_eq!(c.occurrences.len(), 3);
+        assert_eq!(c.disjoint_occurrences(), vec![(0, 0), (0, 2)]);
+    }
+
+    #[test]
+    fn right_maximality_covers_all_repeats() {
+        // Every naive repeat's occurrence set must be exactly the
+        // occurrence set of some reported candidate of ≥ its length.
+        let mut state = 42u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 4) as u32
+        };
+        let seqs: Vec<Vec<u32>> = (0..4).map(|_| (0..40).map(|_| rand()).collect()).collect();
+        let cands = repeated_factors(&seqs, 2);
+        for len in 2..6 {
+            for mut positions in naive_repeats(&seqs, len) {
+                positions.sort_unstable();
+                let covered = cands
+                    .iter()
+                    .any(|c| c.len >= len && c.occurrences == positions);
+                assert!(
+                    covered,
+                    "naive repeat of len {len} at {positions:?} not covered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_true_repeats() {
+        let seqs = vec![
+            vec![1, 2, 3, 1, 2, 4, 1, 2, 3],
+            vec![3, 1, 2, 3, 9],
+        ];
+        for c in repeated_factors(&seqs, 2) {
+            let (s0, o0) = c.occurrences[0];
+            let reference = &seqs[s0][o0..o0 + c.len];
+            for &(s, o) in &c.occurrences[1..] {
+                assert_eq!(&seqs[s][o..o + c.len], reference);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(repeated_factors(&[], 2).is_empty());
+        assert!(repeated_factors(&[vec![]], 2).is_empty());
+        assert!(repeated_factors(&[vec![1]], 2).is_empty());
+    }
+}

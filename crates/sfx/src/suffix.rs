@@ -1,0 +1,139 @@
+//! Suffix-array and LCP-array construction.
+//!
+//! Prefix-doubling construction in `O(n log² n)` — comfortably fast for
+//! instruction streams of a few thousand symbols — and Kasai's `O(n)` LCP
+//! algorithm.
+
+/// Builds the suffix array of `text`: the lexicographically sorted suffix
+/// start positions.
+///
+/// # Examples
+///
+/// ```
+/// use gpa_sfx::suffix_array;
+///
+/// // "banana" over small ints: b=1 a=0 n=2.
+/// let text = [1, 0, 2, 0, 2, 0];
+/// assert_eq!(suffix_array(&text), vec![5, 3, 1, 0, 4, 2]);
+/// ```
+pub fn suffix_array(text: &[u32]) -> Vec<usize> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut sa: Vec<usize> = (0..n).collect();
+    let mut rank: Vec<i64> = text.iter().map(|&c| c as i64).collect();
+    let mut tmp: Vec<i64> = vec![0; n];
+    let mut k = 1usize;
+    loop {
+        let key = |i: usize| -> (i64, i64) {
+            let second = if i + k < n { rank[i + k] } else { -1 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&a| key(a));
+        tmp[sa[0]] = 0;
+        for w in 1..n {
+            tmp[sa[w]] = tmp[sa[w - 1]] + i64::from(key(sa[w - 1]) != key(sa[w]));
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1]] as usize == n - 1 {
+            break;
+        }
+        k *= 2;
+    }
+    sa
+}
+
+/// Builds the LCP array with Kasai's algorithm: `lcp[i]` is the length of
+/// the longest common prefix of the suffixes at `sa[i - 1]` and `sa[i]`
+/// (`lcp[0] == 0`).
+///
+/// # Panics
+///
+/// Panics if `sa` is not a permutation of `0..text.len()`.
+pub fn lcp_array(text: &[u32], sa: &[usize]) -> Vec<usize> {
+    let n = text.len();
+    assert_eq!(sa.len(), n, "suffix array must cover the text");
+    let mut rank = vec![0usize; n];
+    for (i, &s) in sa.iter().enumerate() {
+        rank[s] = i;
+    }
+    let mut lcp = vec![0usize; n];
+    let mut h = 0usize;
+    for i in 0..n {
+        if rank[i] == 0 {
+            h = 0;
+            continue;
+        }
+        let j = sa[rank[i] - 1];
+        while i + h < n && j + h < n && text[i + h] == text[j + h] {
+            h += 1;
+        }
+        lcp[rank[i]] = h;
+        h = h.saturating_sub(1);
+    }
+    lcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_suffix_array(text: &[u32]) -> Vec<usize> {
+        let mut sa: Vec<usize> = (0..text.len()).collect();
+        sa.sort_by(|&a, &b| text[a..].cmp(&text[b..]));
+        sa
+    }
+
+    fn naive_lcp(a: &[u32], b: &[u32]) -> usize {
+        a.iter().zip(b).take_while(|(x, y)| x == y).count()
+    }
+
+    #[test]
+    fn banana() {
+        let text = [1, 0, 2, 0, 2, 0];
+        let sa = suffix_array(&text);
+        assert_eq!(sa, naive_suffix_array(&text));
+        let lcp = lcp_array(&text, &sa);
+        // suffixes: a, ana, anana, banana, na, nana
+        assert_eq!(lcp, vec![0, 1, 3, 0, 0, 2]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        let mut state = 7u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) % 5) as u32
+        };
+        for n in [1usize, 2, 3, 10, 50, 200] {
+            let text: Vec<u32> = (0..n).map(|_| rand()).collect();
+            let sa = suffix_array(&text);
+            assert_eq!(sa, naive_suffix_array(&text), "text={text:?}");
+            let lcp = lcp_array(&text, &sa);
+            for i in 1..n {
+                assert_eq!(
+                    lcp[i],
+                    naive_lcp(&text[sa[i - 1]..], &text[sa[i]..]),
+                    "lcp[{i}] for text={text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(suffix_array(&[]).is_empty());
+        assert_eq!(suffix_array(&[9]), vec![0]);
+        assert_eq!(lcp_array(&[9], &[0]), vec![0]);
+    }
+
+    #[test]
+    fn all_equal_symbols() {
+        let text = [3u32; 8];
+        let sa = suffix_array(&text);
+        assert_eq!(sa, vec![7, 6, 5, 4, 3, 2, 1, 0]);
+        let lcp = lcp_array(&text, &sa);
+        assert_eq!(lcp, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Compares all three detection methods on one benchmark — a single row
+//! of the paper's Table 1, with per-round detail.
+//!
+//! ```text
+//! cargo run --release --example compare_methods [benchmark]
+//! ```
+//!
+//! `benchmark` defaults to `sha`; any name from
+//! [`gpa_minicc::programs::BENCHMARKS`] works.
+
+use gpa::{Method, Optimizer};
+use gpa_emu::Machine;
+use gpa_minicc::{compile_benchmark, Options};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "sha".to_owned());
+    let image = compile_benchmark(&name, &Options::default())?;
+    let baseline = Machine::new(&image).run(600_000_000)?;
+    let program = gpa_cfg::decode_image(&image)?;
+    println!(
+        "{name}: {} instructions before procedural abstraction",
+        program.instruction_count()
+    );
+
+    for method in [Method::Sfx, Method::DgSpan, Method::Edgar] {
+        let mut optimizer = Optimizer::from_image(&image)?;
+        let start = std::time::Instant::now();
+        let report = optimizer.run(method);
+        let elapsed = start.elapsed();
+        let optimized = optimizer.encode()?;
+        let after = Machine::new(&optimized).run(600_000_000)?;
+        assert_eq!(baseline.output, after.output, "{method} must preserve output");
+        println!(
+            "{method:>7}: saved {:>4} instructions | {:>3} rounds ({} proc, {} xjump) | {:.2}s",
+            report.saved_words(),
+            report.rounds.len(),
+            report.procedure_count(),
+            report.cross_jump_count(),
+            elapsed.as_secs_f64()
+        );
+    }
+    Ok(())
+}

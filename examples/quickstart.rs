@@ -1,0 +1,57 @@
+//! Quickstart: compile a MiniC program, shrink it with graph-based
+//! procedural abstraction, and prove the optimized binary still behaves
+//! identically.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use gpa::{Method, Optimizer};
+use gpa_emu::Machine;
+use gpa_minicc::{compile, Options};
+
+const PROGRAM: &str = "
+    int hash(int *p, int x) { int v = p[0] * 31 + x; p[1] = v * v + 7; return v; }
+    int h2(int *p, int x)   { int v = p[0] * 31 + x; p[1] = v * v + 7; return v + 1; }
+    int h3(int *p, int x)   { int v = p[0] * 31 + x; p[1] = v * v + 7; return v + 2; }
+    int buf[4];
+    int main() {
+        buf[0] = 5;
+        putint(hash(buf, 1) + h2(buf, 2) + h3(buf, 3) + buf[1]);
+        return 0;
+    }";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Compile and statically link against minilibc.
+    let image = compile(PROGRAM, &Options::default())?;
+    println!("compiled: {} code words", image.code_len());
+
+    // 2. Run the baseline.
+    let before = Machine::new(&image).run(10_000_000)?;
+    println!("baseline output: {}", before.output_string());
+
+    // 3. Optimize with Edgar (embedding-based graph mining + MIS).
+    let mut optimizer = Optimizer::from_image(&image)?;
+    let report = optimizer.run(Method::Edgar);
+    println!(
+        "edgar: {} rounds, {} instructions saved ({} -> {})",
+        report.rounds.len(),
+        report.saved_words(),
+        report.initial_words,
+        report.final_words,
+    );
+    for round in &report.rounds {
+        println!(
+            "  {:?}: {} words x {} sites, saved {}",
+            round.kind, round.body_words, round.occurrences, round.saved
+        );
+    }
+
+    // 4. Re-encode and verify semantics in the emulator.
+    let optimized = optimizer.encode()?;
+    let after = Machine::new(&optimized).run(10_000_000)?;
+    assert_eq!(before.output, after.output);
+    assert_eq!(before.exit_code, after.exit_code);
+    println!("verified: optimized binary produces identical output");
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the *Graph-Based Procedural Abstraction* (CGO 2007)
+//! reproduction: re-exports the workspace crates so the repository-level
+//! examples and integration tests can reach everything through one
+//! dependency.
+//!
+//! The interesting APIs live in the member crates:
+//!
+//! * [`gpa`] — the optimizer (detection, cost model, extraction);
+//! * [`gpa_minicc`] — the MiniC compiler producing the benchmark corpus;
+//! * [`gpa_cfg`] / [`gpa_dfg`] — binary lifting and data-flow graphs;
+//! * [`gpa_mining`] — DgSpan/Edgar frequent-subgraph mining;
+//! * [`gpa_sfx`] — the suffix-array baseline;
+//! * [`gpa_emu`] — the ARM-subset emulator used to verify semantics.
+
+#![warn(missing_docs)]
+
+pub use gpa;
+pub use gpa_arm;
+pub use gpa_cfg;
+pub use gpa_dfg;
+pub use gpa_emu;
+pub use gpa_image;
+pub use gpa_minicc;
+pub use gpa_mining;
+pub use gpa_sfx;
