@@ -34,7 +34,7 @@ fn bench_support_modes(c: &mut Criterion) {
                         ..Config::default()
                     },
                 )
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("edgar", name), &graphs, |b, graphs| {
             b.iter(|| {
@@ -48,7 +48,7 @@ fn bench_support_modes(c: &mut Criterion) {
                         ..Config::default()
                     },
                 )
-            })
+            });
         });
     }
     group.finish();
@@ -71,7 +71,7 @@ fn bench_fragment_cap(c: &mut Criterion) {
                         ..Config::default()
                     },
                 )
-            })
+            });
         });
     }
     group.finish();
@@ -96,7 +96,7 @@ fn bench_parallel(c: &mut Criterion) {
             BenchmarkId::from_parameter(threads),
             &threads,
             |b, &threads| {
-                b.iter(|| gpa_mining::miner::mine_parallel(&graphs, &config, threads))
+                b.iter(|| gpa_mining::miner::mine_parallel(&graphs, &config, threads));
             },
         );
     }

@@ -12,7 +12,7 @@ fn bench_compile(c: &mut Criterion) {
     group.sample_size(20);
     for name in ["crc", "rijndael"] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
-            b.iter(|| gpa_minicc::compile_benchmark(name, &Options::default()).unwrap())
+            b.iter(|| gpa_minicc::compile_benchmark(name, &Options::default()).unwrap());
         });
     }
     group.finish();
@@ -21,14 +21,14 @@ fn bench_compile(c: &mut Criterion) {
 fn bench_lift_and_encode(c: &mut Criterion) {
     let image = compile("rijndael", true);
     c.bench_function("decode_image_rijndael", |b| {
-        b.iter(|| gpa_cfg::decode_image(&image).unwrap())
+        b.iter(|| gpa_cfg::decode_image(&image).unwrap());
     });
     let program = gpa_cfg::decode_image(&image).unwrap();
     c.bench_function("encode_program_rijndael", |b| {
-        b.iter(|| gpa_cfg::encode_program(&program).unwrap())
+        b.iter(|| gpa_cfg::encode_program(&program).unwrap());
     });
     c.bench_function("build_dfgs_rijndael", |b| {
-        b.iter(|| build_all(&program, LabelMode::Exact))
+        b.iter(|| build_all(&program, LabelMode::Exact));
     });
 }
 
@@ -41,7 +41,7 @@ fn bench_emulation(c: &mut Criterion) {
             gpa_emu::Machine::new(&image)
                 .run(600_000_000)
                 .expect("crc runs")
-        })
+        });
     });
     group.finish();
 }

@@ -41,7 +41,7 @@ fn bench_repeat_enumeration(c: &mut Criterion) {
     for name in ["crc", "rijndael"] {
         let seqs = sequences_for(name);
         group.bench_with_input(BenchmarkId::from_parameter(name), &seqs, |b, seqs| {
-            b.iter(|| repeated_factors(seqs, 2))
+            b.iter(|| repeated_factors(seqs, 2));
         });
     }
     group.finish();

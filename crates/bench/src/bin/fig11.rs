@@ -13,7 +13,7 @@ fn main() {
         let [sfx, dgspan, edgar] = &row.outcomes;
         let d = dgspan.report.relative_increase_vs(&sfx.report);
         let e = edgar.report.relative_increase_vs(&sfx.report);
-        println!("{:<10} {:>9.1}% {:>9.1}%", name, d, e);
+        println!("{name:<10} {d:>9.1}% {e:>9.1}%");
         if d.is_finite() && e.is_finite() {
             sums.0 += d;
             sums.1 += e;

@@ -58,7 +58,7 @@ pub struct MethodOutcome {
 pub fn optimize(image: &Image, method: Method) -> MethodOutcome {
     let start = Instant::now();
     let mut optimizer = Optimizer::from_image(image).expect("benchmark images lift");
-    let report = optimizer.run(method);
+    let report = optimizer.run(method).expect("optimization validates");
     let elapsed = start.elapsed();
     let optimized = optimizer.encode().expect("optimized programs encode");
     let before = Machine::new(image)

@@ -338,7 +338,7 @@ impl Program {
 
     /// All straight-line regions of the program.
     pub fn regions(&self) -> Vec<Region<'_>> {
-        self.functions.iter().flat_map(|f| f.regions()).collect()
+        self.functions.iter().flat_map(FunctionCode::regions).collect()
     }
 
     /// Looks up a function by name.

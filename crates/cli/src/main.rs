@@ -7,12 +7,13 @@
 //! gpa run <image> [--input <file>]                    execute in the emulator
 //! gpa dis <image>                                     lifted assembly listing
 //! gpa stats <image>                                   DFG degree statistics
-//! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar]
+//! gpa lint <image>                                    static binary lints
+//! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] [--validate off|final|every-round]
 //! ```
 
 use std::process::ExitCode;
 
-use gpa::{Method, Optimizer};
+use gpa::{Method, Optimizer, RunConfig, ValidateLevel};
 use gpa_emu::Machine;
 use gpa_image::Image;
 
@@ -39,6 +40,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "run" => run_image(rest),
         "dis" => disassemble(rest),
         "stats" => stats(rest),
+        "lint" => lint(rest),
         "optimize" => optimize(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -56,7 +58,9 @@ fn print_usage() {
          gpa run <image> [--input <file>]\n  \
          gpa dis <image>\n  \
          gpa stats <image>\n  \
-         gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar]"
+         gpa lint <image>\n  \
+         gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] \
+         [--validate off|final|every-round]"
     );
 }
 
@@ -173,8 +177,31 @@ fn stats(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `gpa lint <image>`: run the static binary lints; exit non-zero when
+/// any error-severity finding (or an undecodable image) is reported.
+fn lint(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or_else(|| "missing image path".to_owned())?;
+    let image = load_image(path)?;
+    let diags = gpa_verify::lint_image(&image);
+    for d in &diags {
+        eprintln!("{path}: {d}");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == gpa_verify::Severity::Error)
+        .count();
+    if errors > 0 {
+        eprintln!("{path}: {errors} error(s), {} warning(s)", diags.len() - errors);
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!("{path}: clean ({} warning(s))", diags.len());
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn optimize(args: &[String]) -> Result<ExitCode, String> {
     let (output, rest) = take_output(args)?;
+    let mut config = RunConfig::default();
     let mut method = Method::Edgar;
     let mut input = None;
     let mut iter = rest.iter();
@@ -191,6 +218,17 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
                     other => return Err(format!("unknown method `{other}`")),
                 };
             }
+            "--validate" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "--validate requires a value".to_owned())?;
+                config.validate = match v.as_str() {
+                    "off" => ValidateLevel::Off,
+                    "final" => ValidateLevel::Final,
+                    "every-round" => ValidateLevel::EveryRound,
+                    other => return Err(format!("unknown validate level `{other}`")),
+                };
+            }
             other if !other.starts_with("--") => input = Some(other.to_owned()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -198,7 +236,9 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
     let input = input.ok_or_else(|| "missing image path".to_owned())?;
     let image = load_image(&input)?;
     let mut optimizer = Optimizer::from_image(&image).map_err(|e| e.to_string())?;
-    let report = optimizer.run(method);
+    let report = optimizer
+        .run_with(method, &config)
+        .map_err(|e| e.to_string())?;
     let optimized = optimizer.encode().map_err(|e| e.to_string())?;
     save_image(&optimized, &output)?;
     println!(

@@ -82,6 +82,50 @@ fn dis_and_stats() {
 }
 
 #[test]
+fn lint_accepts_clean_image_and_rejects_corruption() {
+    let img = tmp("lint.img");
+    let bad = tmp("lint_bad.img");
+    let out = gpa()
+        .args(["bench", "crc", "-o", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let lint = gpa().args(["lint", img.to_str().unwrap()]).output().unwrap();
+    assert!(
+        lint.status.success(),
+        "clean image should lint clean: {}",
+        String::from_utf8_lossy(&lint.stderr)
+    );
+    assert!(String::from_utf8_lossy(&lint.stdout).contains("clean"));
+
+    // The container header is 28 bytes (magic + six u32 fields), so byte 28
+    // is the first code word. Overwrite it with a branch far outside the
+    // code section.
+    let mut bytes = std::fs::read(&img).unwrap();
+    bytes[28..32].copy_from_slice(&0xEA80_0000u32.to_le_bytes());
+    std::fs::write(&bad, bytes).unwrap();
+
+    let lint = gpa().args(["lint", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!lint.status.success(), "corrupted image must fail the lint");
+    let stderr = String::from_utf8_lossy(&lint.stderr);
+    assert!(stderr.contains("V0") || stderr.contains("V1"), "no diagnostic in: {stderr}");
+
+    for p in [img, bad] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn lint_rejects_unreadable_container() {
+    let bad = tmp("not_an_image.img");
+    std::fs::write(&bad, b"not a GPA image at all").unwrap();
+    let out = gpa().args(["lint", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
 fn unknown_command_fails_cleanly() {
     let out = gpa().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

@@ -21,6 +21,13 @@
 //! result re-encodes to a runnable image whose behaviour the test-suite
 //! verifies in the emulator.
 //!
+//! Every rewrite can additionally be re-checked by a static translation
+//! validator ([`validate`], on by default in debug builds via
+//! [`validate::ValidateLevel`]): it independently re-derives the cost
+//! model, the dependence-preserving linearization, the liveness safety
+//! of the inserted calls, and the encode → decode round trip, failing
+//! the run with [`OptimizerError::Validate`] instead of miscompiling.
+//!
 //! # Examples
 //!
 //! ```
@@ -28,7 +35,7 @@
 //!
 //! let image = gpa_minicc::compile_benchmark("crc", &gpa_minicc::Options::default())?;
 //! let mut optimizer = Optimizer::from_image(&image)?;
-//! let report = optimizer.run(Method::Edgar);
+//! let report = optimizer.run(Method::Edgar)?;
 //! assert!(report.saved_words() > 0);
 //!
 //! // The optimized binary still runs and prints the same checksums.
@@ -49,7 +56,9 @@ pub mod optimizer;
 pub mod report;
 pub mod sfx_detect;
 pub mod trace;
+pub mod validate;
 
 pub use candidate::{Candidate, ExtractionKind, Occurrence};
-pub use optimizer::{Method, Optimizer, OptimizerError};
+pub use optimizer::{Method, Optimizer, OptimizerError, RunConfig};
 pub use report::{Report, Round};
+pub use validate::ValidateLevel;

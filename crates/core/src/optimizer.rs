@@ -5,12 +5,14 @@ use std::fmt;
 use gpa_cfg::{decode_image, encode_program, Program};
 use gpa_image::Image;
 use gpa_mining::miner::Support;
+use gpa_verify::{has_errors, Diagnostic};
 
 use crate::candidate::Candidate;
 use crate::extract;
 use crate::graph_detect::{self, GraphConfig};
 use crate::report::{Report, Round};
 use crate::sfx_detect;
+use crate::validate::{self, ValidateLevel};
 
 /// The three detection methods compared in the paper.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,6 +44,9 @@ pub enum OptimizerError {
     Encode(gpa_cfg::EncodeProgramError),
     /// An extraction failed mid-run (indicates a detection bug).
     Extract(extract::ExtractError),
+    /// The translation validator rejected a rewrite or the final
+    /// program; the diagnostics say which claims failed.
+    Validate(Vec<Diagnostic>),
 }
 
 impl fmt::Display for OptimizerError {
@@ -50,6 +55,13 @@ impl fmt::Display for OptimizerError {
             OptimizerError::Decode(e) => write!(f, "{e}"),
             OptimizerError::Encode(e) => write!(f, "{e}"),
             OptimizerError::Extract(e) => write!(f, "{e}"),
+            OptimizerError::Validate(diags) => {
+                write!(f, "validation failed with {} finding(s):", diags.len())?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -64,6 +76,8 @@ pub struct RunConfig {
     pub max_rounds: usize,
     /// Fragment size cap for the graph miners.
     pub max_fragment_nodes: usize,
+    /// How much of the run the translation validator re-checks.
+    pub validate: ValidateLevel,
 }
 
 impl Default for RunConfig {
@@ -71,6 +85,7 @@ impl Default for RunConfig {
         RunConfig {
             max_rounds: 10_000,
             max_fragment_nodes: 16,
+            validate: ValidateLevel::default(),
         }
     }
 }
@@ -140,8 +155,43 @@ impl Optimizer {
         }
     }
 
+    /// Applies one candidate, naming the new fragment from the internal
+    /// counter; returns the fragment name.
+    ///
+    /// With [`ValidateLevel::EveryRound`] the rewrite is statically
+    /// re-validated against the pre-rewrite program ([`crate::validate`]),
+    /// and any violated claim aborts with [`OptimizerError::Validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizerError::Extract`] when the candidate cannot be applied
+    /// (a detection bug), [`OptimizerError::Validate`] when the applied
+    /// rewrite fails validation.
+    pub fn apply_candidate(
+        &mut self,
+        candidate: &Candidate,
+        level: ValidateLevel,
+    ) -> Result<String, OptimizerError> {
+        let name = format!("{}{}", gpa_cfg::FRAGMENT_PREFIX, self.fragment_counter);
+        self.fragment_counter += 1;
+        let before = (level == ValidateLevel::EveryRound).then(|| self.program.clone());
+        extract::apply(&mut self.program, candidate, &name).map_err(OptimizerError::Extract)?;
+        if let Some(before) = before {
+            let diags =
+                validate::validate_extraction(&before, &self.program, candidate, &name);
+            if has_errors(&diags) {
+                return Err(OptimizerError::Validate(diags));
+            }
+        }
+        Ok(name)
+    }
+
     /// Runs the extraction loop to a fixpoint with default tuning.
-    pub fn run(&mut self, method: Method) -> Report {
+    ///
+    /// # Errors
+    ///
+    /// See [`Optimizer::run_with`].
+    pub fn run(&mut self, method: Method) -> Result<Report, OptimizerError> {
         self.run_with(method, &RunConfig::default())
     }
 
@@ -152,28 +202,20 @@ impl Optimizer {
     /// step 8: "phase (6) is repeated as long as code fragments are found
     /// that reduce the overall number of instructions").
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if applying a detected candidate fails — detection and
-    /// extraction share their validity logic, so this indicates a bug.
-    pub fn run_with(&mut self, method: Method, config: &RunConfig) -> Report {
+    /// [`OptimizerError::Extract`] when a detected candidate cannot be
+    /// applied, and — under [`RunConfig::validate`] —
+    /// [`OptimizerError::Validate`] when a rewrite or the final program
+    /// fails the static validator.
+    pub fn run_with(&mut self, method: Method, config: &RunConfig) -> Result<Report, OptimizerError> {
         let initial_words = self.program.instruction_count();
         let mut rounds = Vec::new();
         for _ in 0..config.max_rounds {
             let Some(candidate) = self.detect(method, config) else {
                 break;
             };
-            let name = format!("{}{}", gpa_cfg::FRAGMENT_PREFIX, self.fragment_counter);
-            self.fragment_counter += 1;
-            let before = self.program.instruction_count();
-            extract::apply(&mut self.program, &candidate, &name)
-                .expect("detected candidates are extractable");
-            let after = self.program.instruction_count();
-            debug_assert_eq!(
-                before as i64 - after as i64,
-                candidate.saved,
-                "cost model must match actual savings"
-            );
+            let name = self.apply_candidate(&candidate, config.validate)?;
             rounds.push(Round {
                 kind: candidate.kind,
                 body_words: candidate.body_words(),
@@ -182,11 +224,17 @@ impl Optimizer {
                 fragment_name: name,
             });
         }
-        Report {
+        if config.validate != ValidateLevel::Off {
+            let diags = validate::validate_program(&self.program);
+            if has_errors(&diags) {
+                return Err(OptimizerError::Validate(diags));
+            }
+        }
+        Ok(Report {
             initial_words,
             final_words: self.program.instruction_count(),
             rounds,
-        }
+        })
     }
 }
 
@@ -200,7 +248,7 @@ mod tests {
         let image = compile(src, &Options::default()).unwrap();
         let before = Machine::new(&image).run(100_000_000).unwrap();
         let mut opt = Optimizer::from_image(&image).unwrap();
-        let report = opt.run(method);
+        let report = opt.run(method).unwrap();
         let optimized = opt.encode().unwrap();
         let after = Machine::new(&optimized).run(100_000_000).unwrap();
         assert_eq!(before.exit_code, after.exit_code, "{method}: exit code");
@@ -259,7 +307,7 @@ mod tests {
         let image = compile(DUPLICATED, &Options::default()).unwrap();
         let saved = |method: Method| {
             let mut opt = Optimizer::from_image(&image).unwrap();
-            opt.run(method).saved_words()
+            opt.run(method).unwrap().saved_words()
         };
         let sfx = saved(Method::Sfx);
         let dgspan = saved(Method::DgSpan);
@@ -278,8 +326,60 @@ mod tests {
     fn fixpoint_leaves_nothing_profitable() {
         let image = compile(DUPLICATED, &Options::default()).unwrap();
         let mut opt = Optimizer::from_image(&image).unwrap();
-        opt.run(Method::Edgar);
+        opt.run(Method::Edgar).unwrap();
         assert!(opt.detect(Method::Edgar, &RunConfig::default()).is_none());
+    }
+
+    #[test]
+    fn corrupted_candidate_is_rejected_by_the_validator() {
+        let image = compile(DUPLICATED, &Options::default()).unwrap();
+        let mut opt = Optimizer::from_image(&image).unwrap();
+        let mut candidate = opt
+            .detect(Method::Edgar, &RunConfig::default())
+            .expect("duplicated code yields a candidate");
+        // Mutate the claimed savings: the validator must re-derive the
+        // cost-model figure and refuse the rewrite.
+        candidate.saved += 1;
+        match opt.apply_candidate(&candidate, ValidateLevel::EveryRound) {
+            Err(OptimizerError::Validate(diags)) => {
+                assert!(diags
+                    .iter()
+                    .any(|d| d.code == gpa_verify::Code::SavingsMismatch));
+            }
+            other => panic!("expected a validation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reordered_body_is_rejected_by_the_validator() {
+        let image = compile(DUPLICATED, &Options::default()).unwrap();
+        let mut opt = Optimizer::from_image(&image).unwrap();
+        let mut candidate = opt
+            .detect(Method::Edgar, &RunConfig::default())
+            .expect("duplicated code yields a candidate");
+        // Find two adjacent dependent body items and swap them; if the
+        // body happens to be fully independent, reverse it and demand a
+        // savings-neutral but order-breaking pair exists.
+        let deps: Vec<usize> = (1..candidate.body.len())
+            .filter(|&i| {
+                gpa_arm::defuse::conflicts(
+                    &candidate.body[i - 1].effects(),
+                    &candidate.body[i].effects(),
+                )
+            })
+            .collect();
+        let Some(&i) = deps.first() else {
+            return; // No dependent pair to scramble in this body.
+        };
+        candidate.body.swap(i - 1, i);
+        match opt.apply_candidate(&candidate, ValidateLevel::EveryRound) {
+            Err(OptimizerError::Validate(diags)) => {
+                assert!(diags
+                    .iter()
+                    .any(|d| d.code == gpa_verify::Code::BadLinearization));
+            }
+            other => panic!("expected a validation error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -287,7 +387,7 @@ mod tests {
         let src = "int main() { return 9; }";
         let image = compile(src, &Options::default()).unwrap();
         let mut opt = Optimizer::from_image(&image).unwrap();
-        let report = opt.run(Method::Edgar);
+        let report = opt.run(Method::Edgar).unwrap();
         // Tiny programs may still contain accidental repeats in the
         // runtime; just require termination and non-negative savings.
         assert!(report.saved_words() >= 0);

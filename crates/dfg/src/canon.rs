@@ -99,7 +99,7 @@ fn canonical_insn(insn: &Instruction) -> String {
                 AddressMode::PreIndexed => "[R, off]!",
                 AddressMode::PostIndexed => "[R], off",
             };
-            format!("{name}{cond}{b} R, {} {off}", mode)
+            format!("{name}{cond}{b} R, {mode} {off}")
         }
         Instruction::Block {
             cond,

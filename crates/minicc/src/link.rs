@@ -124,7 +124,7 @@ pub fn link(unit: &Unit, mut functions: Vec<AsmFunction>) -> Result<Image, Compi
     let mut labels: HashMap<String, u32> = HashMap::new();
     let mut layouts: Vec<FnLayout> = Vec::with_capacity(kept.len());
     let mut cursor = CODE_BASE;
-    for f in kept.iter() {
+    for f in &kept {
         let base = cursor;
         let mut offset_words = 0usize;
         let mut pool_keys: Vec<PoolKey> = Vec::new();
@@ -283,7 +283,7 @@ pub fn link(unit: &Unit, mut functions: Vec<AsmFunction>) -> Result<Image, Compi
         }
     }
     // String literals referenced from code.
-    for f in kept.iter() {
+    for f in &kept {
         for (label, bytes) in &f.strings {
             while !data.len().is_multiple_of(4) {
                 data.push(0);

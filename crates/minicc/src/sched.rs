@@ -148,8 +148,8 @@ mod tests {
     /// tracking ambiguous); use a permutation-only check otherwise.
     fn assert_valid_schedule(original: &[Instruction], scheduled: &[Instruction]) {
         assert_eq!(original.len(), scheduled.len());
-        let mut sorted_a: Vec<String> = original.iter().map(|i| i.to_string()).collect();
-        let mut sorted_b: Vec<String> = scheduled.iter().map(|i| i.to_string()).collect();
+        let mut sorted_a: Vec<String> = original.iter().map(std::string::ToString::to_string).collect();
+        let mut sorted_b: Vec<String> = scheduled.iter().map(std::string::ToString::to_string).collect();
         sorted_a.sort();
         sorted_b.sort();
         assert_eq!(sorted_a, sorted_b, "must be a permutation");
@@ -211,8 +211,8 @@ mod tests {
         let orig = insns(&f.items);
         schedule_function(&mut f);
         let new = insns(&f.items);
-        let mut a: Vec<String> = orig.iter().map(|i| i.to_string()).collect();
-        let mut b: Vec<String> = new.iter().map(|i| i.to_string()).collect();
+        let mut a: Vec<String> = orig.iter().map(std::string::ToString::to_string).collect();
+        let mut b: Vec<String> = new.iter().map(std::string::ToString::to_string).collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);

@@ -218,7 +218,7 @@ pub fn mine_streaming(
             continue;
         }
         let support = count_support(&deduped, config.support);
-        if !grow(pattern, embeddings, deduped, support, graphs, config, visit, &mut budget) {
+        if !grow(pattern, &embeddings, deduped, support, graphs, config, visit, &mut budget) {
             return;
         }
     }
@@ -275,7 +275,7 @@ pub fn mine_parallel(graphs: &[InputGraph], config: &Config, threads: usize) -> 
                     let mut budget = per_thread_budget;
                     grow(
                         pattern,
-                        embeddings,
+                        &embeddings,
                         deduped,
                         support,
                         graphs,
@@ -303,7 +303,7 @@ pub fn mine_parallel(graphs: &[InputGraph], config: &Config, threads: usize) -> 
 #[allow(clippy::too_many_arguments)]
 fn grow(
     pattern: Pattern,
-    embeddings: Vec<Embedding>,
+    embeddings: &[Embedding],
     deduped: Vec<Embedding>,
     support: usize,
     graphs: &[InputGraph],
@@ -325,7 +325,7 @@ fn grow(
     if decision == GrowDecision::SkipChildren || pattern.node_count() >= config.max_nodes {
         return true;
     }
-    for (tuple, mut child_embeddings) in extensions(&pattern, graphs, &embeddings) {
+    for (tuple, mut child_embeddings) in extensions(&pattern, graphs, embeddings) {
         let child = pattern.extend(tuple);
         if !child.is_min() {
             continue;
@@ -338,7 +338,7 @@ fn grow(
         let child_support = count_support(&child_deduped, config.support);
         if !grow(
             child,
-            child_embeddings,
+            &child_embeddings,
             child_deduped,
             child_support,
             graphs,

@@ -1,0 +1,371 @@
+//! The program call graph and per-function register/flag summaries.
+//!
+//! Each function gets a [`FnSummary`]: the registers and flags it may
+//! read before writing (its live-in) and the ones it may clobber. The
+//! summaries are computed to a least fixpoint over the call graph, so
+//! mutual recursion and the tail-call chains produced by cross-jump
+//! extraction converge. Call items are then modelled precisely in
+//! liveness ([`SummaryTransfer`]) instead of as the conservative barrier
+//! baked into [`Item::effects`] — which is what lets a validator ask "is
+//! `lr` really read after this point?" in a program that is full of
+//! extracted-fragment calls.
+
+use std::collections::HashMap;
+
+use gpa_arm::reg::RegSet;
+use gpa_arm::Reg;
+use gpa_cfg::{Item, Literal, Program};
+
+use crate::dataflow::{
+    EffectsTransfer, FnCfg, GenKill, ItemTransfer, LiveState, Liveness,
+};
+
+/// What a call to a function does to the caller-visible machine state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FnSummary {
+    /// Registers (and flags) the function may read before writing them.
+    pub live_in: LiveState,
+    /// Registers the function may leave clobbered on return.
+    pub defs: RegSet,
+    /// Whether the function may leave the flags clobbered.
+    pub writes_flags: bool,
+}
+
+impl FnSummary {
+    /// The most conservative summary: reads and clobbers everything.
+    pub fn conservative() -> FnSummary {
+        FnSummary {
+            live_in: LiveState {
+                regs: RegSet(0xffff),
+                flags: true,
+            },
+            defs: RegSet(0xffff),
+            writes_flags: true,
+        }
+    }
+}
+
+/// The program call graph plus the per-function summaries.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// Function name → index in `Program::functions`.
+    pub index: HashMap<String, usize>,
+    /// Per function, the callee indices (calls, tail calls and
+    /// address-taken references through code literals).
+    pub callees: Vec<Vec<usize>>,
+    /// Per function, whether it makes an indirect call (unknowable
+    /// callee).
+    pub has_indirect: Vec<bool>,
+    /// The fixpoint summaries, aligned with `Program::functions`.
+    pub summaries: Vec<FnSummary>,
+}
+
+/// Call-item targets of one function body.
+fn callee_names(items: &[Item]) -> (Vec<&str>, bool) {
+    let mut names = Vec::new();
+    let mut indirect = false;
+    for item in items {
+        match item {
+            Item::Call { target, .. } | Item::TailCall { cond: _, target } => {
+                names.push(target.as_str());
+            }
+            Item::LitLoad {
+                lit: Literal::Code(name),
+                ..
+            } => names.push(name.as_str()),
+            Item::IndirectCall { .. } => indirect = true,
+            _ => {}
+        }
+    }
+    (names, indirect)
+}
+
+impl CallGraph {
+    /// Builds the call graph and runs the summary fixpoint.
+    pub fn build(program: &Program) -> CallGraph {
+        let index: HashMap<String, usize> = program
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+        let mut callees = Vec::with_capacity(program.functions.len());
+        let mut has_indirect = Vec::with_capacity(program.functions.len());
+        for f in &program.functions {
+            let (names, indirect) = callee_names(&f.items);
+            let mut ids: Vec<usize> = names
+                .iter()
+                .filter_map(|n| index.get(*n).copied())
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            callees.push(ids);
+            has_indirect.push(indirect);
+        }
+
+        // Least-fixpoint summaries: start from bottom (reads nothing,
+        // clobbers nothing) and iterate; facts only grow, so this
+        // terminates and converges even through recursion.
+        let bottom = FnSummary {
+            live_in: LiveState::EMPTY,
+            defs: RegSet::EMPTY,
+            writes_flags: false,
+        };
+        let mut summaries = vec![bottom; program.functions.len()];
+        let cfgs: Vec<FnCfg> = program.functions.iter().map(FnCfg::build).collect();
+        loop {
+            let mut changed = false;
+            for (i, f) in program.functions.iter().enumerate() {
+                let transfer = SummaryTransfer {
+                    index: &index,
+                    summaries: &summaries,
+                };
+                let live =
+                    Liveness::analyze(f, &cfgs[i], &transfer, LiveState::EMPTY);
+                let live_in = live
+                    .live_in
+                    .first()
+                    .copied()
+                    .unwrap_or(LiveState::EMPTY);
+                let mut defs = RegSet::EMPTY;
+                let mut writes_flags = false;
+                for item in &f.items {
+                    match item {
+                        Item::Call { target, .. } => {
+                            defs.insert(Reg::LR);
+                            match index.get(target) {
+                                Some(&t) => {
+                                    defs = defs.union(summaries[t].defs);
+                                    writes_flags |= summaries[t].writes_flags;
+                                }
+                                None => {
+                                    defs = defs.union(FnSummary::conservative().defs);
+                                    writes_flags = true;
+                                }
+                            }
+                        }
+                        Item::TailCall { target, .. } => {
+                            if let Some(&t) = index.get(target) {
+                                defs = defs.union(summaries[t].defs);
+                                writes_flags |= summaries[t].writes_flags;
+                            } else {
+                                defs = defs.union(FnSummary::conservative().defs);
+                                writes_flags = true;
+                            }
+                        }
+                        Item::IndirectCall { .. } => {
+                            defs = defs.union(FnSummary::conservative().defs);
+                            writes_flags = true;
+                        }
+                        other => {
+                            let fx = other.effects();
+                            defs = defs.union(fx.defs);
+                            writes_flags |= fx.writes_flags;
+                        }
+                    }
+                }
+                defs.remove(Reg::PC);
+                let next = FnSummary {
+                    live_in,
+                    defs,
+                    writes_flags,
+                };
+                if next != summaries[i] {
+                    summaries[i] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        CallGraph {
+            index,
+            callees,
+            has_indirect,
+            summaries,
+        }
+    }
+
+    /// The summary of a function by name, if it exists.
+    pub fn summary(&self, name: &str) -> Option<&FnSummary> {
+        self.index.get(name).map(|&i| &self.summaries[i])
+    }
+}
+
+/// A liveness transfer that models calls with the callee's summary.
+///
+/// * `bl f` generates `f`'s live-in **minus `lr`** (the `bl` itself
+///   provides `lr`) and kills `lr` (the return address, and the popped
+///   `pc` of an ABI epilogue, always leave it clobbered);
+/// * `b f` (tail call) generates `f`'s live-in verbatim — `lr` flows
+///   through a tail call untouched;
+/// * indirect calls fall back to the conservative ABI footprint.
+pub struct SummaryTransfer<'a> {
+    index: &'a HashMap<String, usize>,
+    summaries: &'a [FnSummary],
+}
+
+impl<'a> SummaryTransfer<'a> {
+    /// Wraps a computed call graph for use in liveness queries.
+    pub fn new(graph: &'a CallGraph) -> SummaryTransfer<'a> {
+        SummaryTransfer {
+            index: &graph.index,
+            summaries: &graph.summaries,
+        }
+    }
+
+    fn callee(&self, name: &str) -> Option<&FnSummary> {
+        self.index.get(name).map(|&i| &self.summaries[i])
+    }
+}
+
+impl ItemTransfer for SummaryTransfer<'_> {
+    fn gen_kill(&self, item: &Item) -> GenKill {
+        match item {
+            Item::Call { cond, target } => {
+                let summary = self
+                    .callee(target)
+                    .copied()
+                    .unwrap_or_else(FnSummary::conservative);
+                let mut gen_regs = summary.live_in.regs;
+                gen_regs.remove(Reg::LR);
+                let mut kill = LiveState::EMPTY;
+                if cond.is_always() {
+                    kill.regs.insert(Reg::LR);
+                }
+                GenKill {
+                    gen: LiveState {
+                        regs: gen_regs,
+                        flags: summary.live_in.flags || !cond.is_always(),
+                    },
+                    kill,
+                }
+            }
+            Item::TailCall { cond, target } => {
+                let summary = self
+                    .callee(target)
+                    .copied()
+                    .unwrap_or_else(FnSummary::conservative);
+                GenKill {
+                    gen: LiveState {
+                        regs: summary.live_in.regs,
+                        flags: summary.live_in.flags || !cond.is_always(),
+                    },
+                    kill: LiveState::EMPTY,
+                }
+            }
+            other => EffectsTransfer.gen_kill(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_arm::Cond;
+    use gpa_cfg::FunctionCode;
+
+    fn insn(text: &str) -> Item {
+        Item::Insn(text.parse().unwrap())
+    }
+
+    fn program(functions: Vec<FunctionCode>) -> Program {
+        let entry = functions[0].name.clone();
+        Program {
+            functions,
+            data: Vec::new(),
+            data_symbols: Vec::new(),
+            code_base: 0x8000,
+            data_base: 0x2_0000,
+            entry,
+        }
+    }
+
+    fn func(name: &str, items: Vec<Item>) -> FunctionCode {
+        FunctionCode {
+            name: name.into(),
+            address_taken: false,
+            items,
+            label_count: 0,
+        }
+    }
+
+    #[test]
+    fn leaf_summary_is_exact() {
+        let p = program(vec![func(
+            "leaf",
+            vec![insn("add r0, r0, r1"), insn("bx lr")],
+        )]);
+        let g = CallGraph::build(&p);
+        let s = g.summary("leaf").unwrap();
+        assert_eq!(s.live_in.regs, RegSet::of(&[Reg::r(0), Reg::r(1), Reg::LR]));
+        assert_eq!(s.defs, RegSet::of(&[Reg::r(0)]));
+        assert!(!s.writes_flags);
+    }
+
+    #[test]
+    fn call_propagates_callee_summary() {
+        let p = program(vec![
+            func(
+                "caller",
+                vec![
+                    Item::Call {
+                        cond: Cond::Al,
+                        target: "leaf".into(),
+                    },
+                    insn("bx lr"),
+                ],
+            ),
+            func("leaf", vec![insn("mov r0, r4"), insn("bx lr")]),
+        ]);
+        let g = CallGraph::build(&p);
+        let caller = g.summary("caller").unwrap();
+        // The callee reads r4; through the call the caller does too. The
+        // entry value of lr is dead: the bl overwrites it before the
+        // caller's own return reads it back.
+        assert!(caller.live_in.regs.contains(Reg::r(4)));
+        assert!(!caller.live_in.regs.contains(Reg::LR));
+        // The bl clobbers lr.
+        assert!(caller.defs.contains(Reg::LR));
+        assert!(caller.defs.contains(Reg::r(0)));
+        assert_eq!(g.callees[0], vec![1]);
+    }
+
+    #[test]
+    fn tail_call_keeps_lr_live() {
+        let p = program(vec![
+            func(
+                "trampoline",
+                vec![Item::TailCall {
+                    cond: Cond::Al,
+                    target: "leaf".into(),
+                }],
+            ),
+            func("leaf", vec![insn("bx lr")]),
+        ]);
+        let g = CallGraph::build(&p);
+        // The tail-callee returns through the shared lr.
+        assert!(g.summary("trampoline").unwrap().live_in.regs.contains(Reg::LR));
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let p = program(vec![func(
+            "rec",
+            vec![
+                insn("push {r4, lr}"),
+                Item::Call {
+                    cond: Cond::Al,
+                    target: "rec".into(),
+                },
+                insn("pop {r4, pc}"),
+            ],
+        )]);
+        let g = CallGraph::build(&p);
+        let s = g.summary("rec").unwrap();
+        assert!(s.live_in.regs.contains(Reg::r(4)));
+        assert!(s.defs.contains(Reg::LR));
+        assert!(!s.defs.contains(Reg::PC));
+    }
+}

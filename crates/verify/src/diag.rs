@@ -1,0 +1,190 @@
+//! Diagnostics: the currency of the lint and validation passes.
+
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but not provably wrong; does not fail a lint run.
+    Warning,
+    /// The program or rewrite is provably broken.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable codes for every check, usable in tests and suppressions.
+///
+/// `V0xx` codes are structural binary lints; `V1xx` codes are emitted by
+/// the per-round translation validator in `gpa::validate`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Code {
+    /// V001: a branch references a label that is never defined.
+    DanglingLabel,
+    /// V002: a label id is defined more than once in one function.
+    DuplicateLabel,
+    /// V003: a block is unreachable from the function entry.
+    UnreachableBlock,
+    /// V004: control can fall off the end of a function, into the literal
+    /// pool or the next function.
+    FallThrough,
+    /// V005: a pc-relative literal load lands outside the ±4 KiB `ldr`
+    /// offset range after layout.
+    LiteralOutOfRange,
+    /// V006: a branch targets an address outside the code section, a
+    /// misaligned address, or interwoven literal-pool data.
+    BadBranchTarget,
+    /// V007: an extracted fragment clobbers `lr` and then reads it — the
+    /// `push {lr}` / `pop {pc}` discipline is violated.
+    LrDiscipline,
+    /// V008: a call, tail call or code literal references a function that
+    /// does not exist.
+    UndefinedCallTarget,
+    /// V009: two functions share one name.
+    DuplicateFunction,
+    /// V101: the reported savings disagree with the cost model or the
+    /// actual instruction-count delta.
+    SavingsMismatch,
+    /// V102: the fragment body is not a dependence-preserving
+    /// linearization of an occurrence, or the occurrence is not convex.
+    BadLinearization,
+    /// V103: a register live across a rewritten site is clobbered beyond
+    /// what the replaced instructions clobbered.
+    LiveClobber,
+    /// V104: the rewritten program does not survive an
+    /// encode → decode round trip unchanged.
+    RoundTrip,
+    /// V105: the extracted fragment function does not have the shape the
+    /// candidate claims (wrap, body, return).
+    BadFragmentShape,
+    /// V106: the image cannot be lifted at all.
+    Undecodable,
+}
+
+impl Code {
+    /// The stable `Vnnn` spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::DanglingLabel => "V001",
+            Code::DuplicateLabel => "V002",
+            Code::UnreachableBlock => "V003",
+            Code::FallThrough => "V004",
+            Code::LiteralOutOfRange => "V005",
+            Code::BadBranchTarget => "V006",
+            Code::LrDiscipline => "V007",
+            Code::UndefinedCallTarget => "V008",
+            Code::DuplicateFunction => "V009",
+            Code::SavingsMismatch => "V101",
+            Code::BadLinearization => "V102",
+            Code::LiveClobber => "V103",
+            Code::RoundTrip => "V104",
+            Code::BadFragmentShape => "V105",
+            Code::Undecodable => "V106",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Location {
+    /// The function the finding is in, when function-local.
+    pub function: Option<String>,
+    /// The item index within the function, when item-precise.
+    pub item: Option<usize>,
+}
+
+impl Location {
+    /// A whole-program location.
+    pub fn program() -> Location {
+        Location::default()
+    }
+
+    /// A function-level location.
+    pub fn function(name: impl Into<String>) -> Location {
+        Location {
+            function: Some(name.into()),
+            item: None,
+        }
+    }
+
+    /// An item-precise location.
+    pub fn item(name: impl Into<String>, item: usize) -> Location {
+        Location {
+            function: Some(name.into()),
+            item: Some(item),
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, self.item) {
+            (Some(func), Some(i)) => write!(f, "{func}+{i}"),
+            (Some(func), None) => write!(f, "{func}"),
+            _ => write!(f, "<program>"),
+        }
+    }
+}
+
+/// One finding of the lint engine or the translation validator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Stable check code.
+    pub code: Code,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub location: Location,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds an error diagnostic.
+    pub fn error(code: Code, location: Location, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            location,
+            message: message.into(),
+        }
+    }
+
+    /// Builds a warning diagnostic.
+    pub fn warning(code: Code, location: Location, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            location,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+/// Whether any diagnostic in a batch is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}

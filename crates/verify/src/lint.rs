@@ -1,0 +1,589 @@
+//! The binary linter: pass-per-check diagnostics over lifted programs
+//! and raw images.
+//!
+//! Every check re-derives its facts from scratch (layout, reachability,
+//! label tables) rather than trusting the rewriting passes — the linter
+//! is the adversary of the optimizer, not its client.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use gpa_arm::{decode as decode_word, Instruction, Reg};
+use gpa_cfg::{decode_image, FunctionCode, Item, LabelId, Literal, Program, FRAGMENT_PREFIX};
+use gpa_image::{Image, SymbolKind};
+
+use crate::dataflow::FnCfg;
+use crate::diag::{Code, Diagnostic, Location};
+
+/// Maximum byte displacement (exclusive) a pc-relative `ldr` can encode.
+const LDR_RANGE: i64 = 4096;
+
+/// Runs every program-level lint. An empty result means the program is
+/// structurally sound: every reference resolves, control never falls into
+/// data, literals stay addressable, and extracted fragments honour the
+/// `lr` discipline.
+pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    lint_duplicate_functions(program, &mut diags);
+    let names: HashSet<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
+    for f in &program.functions {
+        lint_labels(f, &mut diags);
+        lint_reachability(f, &mut diags);
+        lint_fall_through(f, &mut diags);
+        lint_literal_range(f, &mut diags);
+        lint_call_targets(f, &names, &mut diags);
+        if f.name.starts_with(FRAGMENT_PREFIX) {
+            lint_lr_discipline(f, &mut diags);
+        }
+    }
+    diags
+}
+
+/// Runs every image-level lint: structural symbol/branch checks on the
+/// raw words, then — when the image lifts at all — the program lints on
+/// the lifted form.
+pub fn lint_image(image: &Image) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    lint_symbols(image, &mut diags);
+    lint_raw_branches(image, &mut diags);
+    match decode_image(image) {
+        Ok(program) => diags.extend(lint_program(&program)),
+        Err(e) => diags.push(Diagnostic::error(
+            Code::Undecodable,
+            Location::program(),
+            e.to_string(),
+        )),
+    }
+    diags
+}
+
+/// V009: duplicate function names.
+fn lint_duplicate_functions(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut seen = HashSet::new();
+    for f in &program.functions {
+        if !seen.insert(f.name.as_str()) {
+            diags.push(Diagnostic::error(
+                Code::DuplicateFunction,
+                Location::function(&f.name),
+                format!("function `{}` is defined more than once", f.name),
+            ));
+        }
+    }
+}
+
+/// V001/V002: every branch target defined exactly once.
+fn lint_labels(f: &FunctionCode, diags: &mut Vec<Diagnostic>) {
+    let mut defined: HashMap<LabelId, usize> = HashMap::new();
+    for (i, item) in f.items.iter().enumerate() {
+        if let Item::Label(id) = item {
+            if defined.insert(*id, i).is_some() {
+                diags.push(Diagnostic::error(
+                    Code::DuplicateLabel,
+                    Location::item(&f.name, i),
+                    format!("label {id} is defined more than once"),
+                ));
+            }
+        }
+    }
+    for (i, item) in f.items.iter().enumerate() {
+        if let Item::Branch { target, .. } = item {
+            if !defined.contains_key(target) {
+                diags.push(Diagnostic::error(
+                    Code::DanglingLabel,
+                    Location::item(&f.name, i),
+                    format!("branch references undefined label {target}"),
+                ));
+            }
+        }
+    }
+}
+
+/// V003: blocks that no path from the entry reaches.
+fn lint_reachability(f: &FunctionCode, diags: &mut Vec<Diagnostic>) {
+    let cfg = FnCfg::build(f);
+    let reachable = cfg.reachable();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if reachable[b] {
+            continue;
+        }
+        // A block holding only labels carries no code; skip it.
+        let has_code = f.items[block.start..block.end]
+            .iter()
+            .any(|i| !matches!(i, Item::Label(_)));
+        if has_code {
+            diags.push(Diagnostic::error(
+                Code::UnreachableBlock,
+                Location::item(&f.name, block.start),
+                format!(
+                    "block at items {}..{} is unreachable from the function entry",
+                    block.start, block.end
+                ),
+            ));
+        }
+    }
+}
+
+/// V004: the last executed item must leave the function (or stop the
+/// machine) — otherwise control falls into the literal pool or the next
+/// function. A trailing `swi` is accepted: the exit convention never
+/// returns.
+fn lint_fall_through(f: &FunctionCode, diags: &mut Vec<Diagnostic>) {
+    let last = f.items.iter().rposition(|i| !matches!(i, Item::Label(_)));
+    let Some(last) = last else {
+        diags.push(Diagnostic::error(
+            Code::FallThrough,
+            Location::function(&f.name),
+            "function has no instructions".to_string(),
+        ));
+        return;
+    };
+    let ok = match &f.items[last] {
+        Item::Branch { cond, .. } | Item::TailCall { cond, .. } => cond.is_always(),
+        Item::Insn(i) => {
+            (i.effects().defs.contains(Reg::PC) || matches!(i, Instruction::Swi { .. }))
+                && i.cond().is_always()
+        }
+        _ => false,
+    };
+    if !ok {
+        diags.push(Diagnostic::error(
+            Code::FallThrough,
+            Location::item(&f.name, last),
+            format!(
+                "control falls off the end of `{}` ({})",
+                f.name,
+                f.items[last].mining_label()
+            ),
+        ));
+    }
+}
+
+/// V005: re-derive the function layout and check that every literal load
+/// can still reach its pool slot after re-encoding.
+fn lint_literal_range(f: &FunctionCode, diags: &mut Vec<Diagnostic>) {
+    // Mirrors the encoder's layout: items in order, pool appended after
+    // the body, one slot per distinct literal in first-use order.
+    let mut pool_keys: Vec<&Literal> = Vec::new();
+    let mut offset = 0i64;
+    let mut loads: Vec<(usize, i64, &Literal)> = Vec::new();
+    for (i, item) in f.items.iter().enumerate() {
+        match item {
+            Item::Label(_) => {}
+            Item::LitLoad { lit, .. } => {
+                if !pool_keys.contains(&lit) {
+                    pool_keys.push(lit);
+                }
+                loads.push((i, offset, lit));
+                offset += 4;
+            }
+            other => offset += 4 * other.encoded_words() as i64,
+        }
+    }
+    let pool_base = offset;
+    for (i, load_off, lit) in loads {
+        let slot = pool_keys
+            .iter()
+            .position(|k| *k == lit)
+            .expect("literal recorded above");
+        let disp = (pool_base + 4 * slot as i64) - (load_off + 8);
+        if disp.abs() >= LDR_RANGE {
+            diags.push(Diagnostic::error(
+                Code::LiteralOutOfRange,
+                Location::item(&f.name, i),
+                format!(
+                    "literal load is {disp} bytes from its pool slot (|range| < {LDR_RANGE})"
+                ),
+            ));
+        }
+    }
+}
+
+/// V008: calls, tail calls and code literals must reference existing
+/// functions.
+fn lint_call_targets(f: &FunctionCode, names: &HashSet<&str>, diags: &mut Vec<Diagnostic>) {
+    for (i, item) in f.items.iter().enumerate() {
+        let target = match item {
+            Item::Call { target, .. } | Item::TailCall { target, .. } => target,
+            Item::LitLoad {
+                lit: Literal::Code(name),
+                ..
+            } => name,
+            _ => continue,
+        };
+        if !names.contains(target.as_str()) {
+            diags.push(Diagnostic::error(
+                Code::UndefinedCallTarget,
+                Location::item(&f.name, i),
+                format!("reference to undefined function `{target}`"),
+            ));
+        }
+    }
+}
+
+/// V007: inside an extracted fragment, nothing may read `lr` after it has
+/// been clobbered — the `push {lr}` prologue reads it *before* the first
+/// clobber and the `pop {pc}` epilogue returns through the stack, so the
+/// legal shapes never trip this.
+fn lint_lr_discipline(f: &FunctionCode, diags: &mut Vec<Diagnostic>) {
+    let mut clobbered_at: Option<usize> = None;
+    for (i, item) in f.items.iter().enumerate() {
+        let fx = item.effects();
+        // A call's conservative barrier effects claim it reads lr; a
+        // real `bl` only ever *writes* it.
+        let reads_lr = fx.uses.contains(Reg::LR)
+            && !matches!(item, Item::Call { .. } | Item::IndirectCall { .. });
+        if reads_lr {
+            if let Some(c) = clobbered_at {
+                diags.push(Diagnostic::error(
+                    Code::LrDiscipline,
+                    Location::item(&f.name, i),
+                    format!(
+                        "`{}` reads lr, which item {c} clobbered — fragment lacks the \
+                         push {{lr}}/pop {{pc}} wrap",
+                        item.mining_label()
+                    ),
+                ));
+                return;
+            }
+        }
+        if fx.defs.contains(Reg::LR) {
+            clobbered_at = Some(i);
+        }
+    }
+}
+
+/// Image-level symbol sanity: function extents must be aligned, inside
+/// the code section, and non-overlapping; the entry point must be a
+/// function.
+fn lint_symbols(image: &Image, diags: &mut Vec<Diagnostic>) {
+    let mut fns: Vec<_> = image
+        .symbols()
+        .iter()
+        .filter(|s| s.kind == SymbolKind::Function)
+        .collect();
+    fns.sort_by_key(|s| s.addr);
+    for s in &fns {
+        if s.addr % 4 != 0 || s.size % 4 != 0 {
+            diags.push(Diagnostic::error(
+                Code::BadBranchTarget,
+                Location::function(&s.name),
+                format!("function extent {:#x}+{:#x} is misaligned", s.addr, s.size),
+            ));
+        }
+        if s.addr < image.code_base() || s.addr + s.size > image.code_end() {
+            diags.push(Diagnostic::error(
+                Code::BadBranchTarget,
+                Location::function(&s.name),
+                format!(
+                    "function extent {:#x}+{:#x} leaves the code section",
+                    s.addr, s.size
+                ),
+            ));
+        }
+    }
+    for pair in fns.windows(2) {
+        if pair[0].addr + pair[0].size > pair[1].addr {
+            diags.push(Diagnostic::error(
+                Code::BadBranchTarget,
+                Location::function(&pair[1].name),
+                format!(
+                    "functions `{}` and `{}` overlap",
+                    pair[0].name, pair[1].name
+                ),
+            ));
+        }
+    }
+    if !fns.iter().any(|s| s.addr == image.entry()) {
+        diags.push(Diagnostic::error(
+            Code::BadBranchTarget,
+            Location::program(),
+            format!("entry point {:#x} is not a function symbol", image.entry()),
+        ));
+    }
+}
+
+/// V006 on the raw words: every branch instruction inside a function
+/// extent must target an address inside the code section and outside the
+/// interwoven literal-pool data of its own function.
+fn lint_raw_branches(image: &Image, diags: &mut Vec<Diagnostic>) {
+    let fns: Vec<_> = image
+        .symbols()
+        .iter()
+        .filter(|s| s.kind == SymbolKind::Function)
+        .collect();
+    for sym in fns {
+        let start = sym.addr;
+        let end = sym.addr + sym.size;
+        if start % 4 != 0 || start < image.code_base() || end > image.code_end() {
+            continue; // lint_symbols already reported the extent.
+        }
+        // Re-derive the pool words exactly as the lifter does: a forward
+        // sweep collecting pc-relative load targets.
+        let mut data_words: BTreeSet<u32> = BTreeSet::new();
+        let mut branches: Vec<(u32, u32)> = Vec::new();
+        let mut addr = start;
+        while addr < end {
+            if data_words.contains(&addr) {
+                addr += 4;
+                continue;
+            }
+            let Some(word) = image.code_word_at(addr) else {
+                break;
+            };
+            if let Ok(insn) = decode_word(word) {
+                if let Instruction::Mem {
+                    op: gpa_arm::insn::MemOp::Ldr,
+                    byte: false,
+                    rn,
+                    offset: gpa_arm::insn::MemOffset::Imm(disp),
+                    mode: gpa_arm::insn::AddressMode::Offset,
+                    ..
+                } = insn
+                {
+                    if rn.is_pc() {
+                        data_words.insert((addr as i64 + 8 + disp as i64) as u32);
+                    }
+                }
+                if let Instruction::Branch { offset, .. } = insn {
+                    branches.push((addr, (addr as i64 + 8 + offset as i64 * 4) as u32));
+                }
+            }
+            addr += 4;
+        }
+        for (addr, target) in branches {
+            if data_words.contains(&addr) {
+                continue; // A pool word that happens to decode as a branch.
+            }
+            if !image.contains_code(target) {
+                diags.push(Diagnostic::error(
+                    Code::BadBranchTarget,
+                    Location::function(&sym.name),
+                    format!(
+                        "branch at {addr:#x} targets {target:#x}, outside the code section"
+                    ),
+                ));
+            } else if data_words.contains(&target) {
+                diags.push(Diagnostic::error(
+                    Code::BadBranchTarget,
+                    Location::function(&sym.name),
+                    format!("branch at {addr:#x} targets literal-pool data at {target:#x}"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_arm::Cond;
+
+    fn insn(text: &str) -> Item {
+        Item::Insn(text.parse().unwrap())
+    }
+
+    fn func(name: &str, items: Vec<Item>, label_count: u32) -> FunctionCode {
+        FunctionCode {
+            name: name.into(),
+            address_taken: false,
+            items,
+            label_count,
+        }
+    }
+
+    fn program(functions: Vec<FunctionCode>) -> Program {
+        let entry = functions[0].name.clone();
+        Program {
+            functions,
+            data: Vec::new(),
+            data_symbols: Vec::new(),
+            code_base: 0x8000,
+            data_base: 0x2_0000,
+            entry,
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_function_lints_clean() {
+        let p = program(vec![func(
+            "f",
+            vec![insn("mov r0, #1"), insn("bx lr")],
+            0,
+        )]);
+        assert!(lint_program(&p).is_empty(), "{:?}", lint_program(&p));
+    }
+
+    #[test]
+    fn dangling_label_fires() {
+        let p = program(vec![func(
+            "f",
+            vec![
+                Item::Branch {
+                    cond: Cond::Al,
+                    target: LabelId(7),
+                },
+                insn("bx lr"),
+            ],
+            0,
+        )]);
+        assert!(codes(&lint_program(&p)).contains(&Code::DanglingLabel));
+    }
+
+    #[test]
+    fn duplicate_label_fires() {
+        let p = program(vec![func(
+            "f",
+            vec![
+                Item::Label(LabelId(0)),
+                insn("mov r0, #1"),
+                Item::Label(LabelId(0)),
+                insn("bx lr"),
+            ],
+            1,
+        )]);
+        assert!(codes(&lint_program(&p)).contains(&Code::DuplicateLabel));
+    }
+
+    #[test]
+    fn unreachable_block_fires() {
+        let p = program(vec![func(
+            "f",
+            vec![
+                Item::Branch {
+                    cond: Cond::Al,
+                    target: LabelId(0),
+                },
+                insn("mov r0, #9"),
+                Item::Label(LabelId(0)),
+                insn("bx lr"),
+            ],
+            1,
+        )]);
+        assert!(codes(&lint_program(&p)).contains(&Code::UnreachableBlock));
+    }
+
+    #[test]
+    fn fall_through_fires() {
+        let p = program(vec![func("f", vec![insn("mov r0, #1")], 0)]);
+        assert!(codes(&lint_program(&p)).contains(&Code::FallThrough));
+        // Conditional return still falls through.
+        let p = program(vec![func("g", vec![insn("moveq pc, lr")], 0)]);
+        assert!(codes(&lint_program(&p)).contains(&Code::FallThrough));
+    }
+
+    #[test]
+    fn swi_terminates_start() {
+        let p = program(vec![func(
+            "_start",
+            vec![insn("mov r0, #0"), insn("swi #0")],
+            0,
+        )]);
+        assert!(lint_program(&p).is_empty());
+    }
+
+    #[test]
+    fn literal_out_of_range_fires() {
+        // > 1024 distinct literals put the first load > 4 KiB from its slot.
+        let mut items: Vec<Item> = (0..1100u32)
+            .map(|w| Item::LitLoad {
+                rd: Reg::r(0),
+                lit: Literal::Word(w),
+            })
+            .collect();
+        items.push(insn("bx lr"));
+        let p = program(vec![func("f", items, 0)]);
+        assert!(codes(&lint_program(&p)).contains(&Code::LiteralOutOfRange));
+    }
+
+    #[test]
+    fn undefined_call_target_fires() {
+        let p = program(vec![func(
+            "f",
+            vec![
+                Item::Call {
+                    cond: Cond::Al,
+                    target: "ghost".into(),
+                },
+                insn("bx lr"),
+            ],
+            0,
+        )]);
+        assert!(codes(&lint_program(&p)).contains(&Code::UndefinedCallTarget));
+    }
+
+    #[test]
+    fn duplicate_function_fires() {
+        let p = program(vec![
+            func("f", vec![insn("bx lr")], 0),
+            func("f", vec![insn("bx lr")], 0),
+        ]);
+        assert!(codes(&lint_program(&p)).contains(&Code::DuplicateFunction));
+    }
+
+    #[test]
+    fn lr_discipline_fires_on_unwrapped_call() {
+        // A fragment whose body calls out but returns via bx lr: the bl
+        // destroyed the return address.
+        let p = program(vec![
+            func(
+                "__gpa_frag0",
+                vec![
+                    insn("mov r0, r4"),
+                    Item::Call {
+                        cond: Cond::Al,
+                        target: "helper".into(),
+                    },
+                    insn("bx lr"),
+                ],
+                0,
+            ),
+            func("helper", vec![insn("bx lr")], 0),
+        ]);
+        assert!(codes(&lint_program(&p)).contains(&Code::LrDiscipline));
+    }
+
+    #[test]
+    fn lr_discipline_accepts_wrapped_fragment() {
+        let p = program(vec![
+            func(
+                "__gpa_frag0",
+                vec![
+                    insn("push {lr}"),
+                    Item::Call {
+                        cond: Cond::Al,
+                        target: "helper".into(),
+                    },
+                    insn("pop {pc}"),
+                ],
+                0,
+            ),
+            func("helper", vec![insn("bx lr")], 0),
+        ]);
+        assert!(lint_program(&p).is_empty(), "{:?}", lint_program(&p));
+    }
+
+    #[test]
+    fn compiled_program_is_clean(){
+        let image = gpa_minicc::compile(
+            "int f(int x) { return x * 3 + 1; }\n\
+             int main() { putint(f(4) + f(7)); return 0; }",
+            &gpa_minicc::Options::default(),
+        )
+        .unwrap();
+        let diags = lint_image(&image);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn corrupted_image_reports() {
+        let mut image = Image::new(0x8000, 0x2_0000);
+        image.push_code_word(0xffff_ffff);
+        image.add_symbol(gpa_image::Symbol::function("f", 0x8000, 4));
+        image.set_entry(0x8000);
+        let diags = lint_image(&image);
+        assert!(codes(&diags).contains(&Code::Undecodable));
+    }
+}

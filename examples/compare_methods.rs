@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for method in [Method::Sfx, Method::DgSpan, Method::Edgar] {
         let mut optimizer = Optimizer::from_image(&image)?;
         let start = std::time::Instant::now();
-        let report = optimizer.run(method);
+        let report = optimizer.run(method)?;
         let elapsed = start.elapsed();
         let optimized = optimizer.encode()?;
         let after = Machine::new(&optimized).run(600_000_000)?;

@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phases 7-8: mine, extract, iterate.
     let mut optimizer = Optimizer::from_program(program);
-    let report = optimizer.run(Method::Edgar);
+    let report = optimizer.run(Method::Edgar)?;
     println!(
         "edgar: saved {} instructions in {} rounds ({} procedures, {} cross-jumps)",
         report.saved_words(),

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Optimize with Edgar (embedding-based graph mining + MIS).
     let mut optimizer = Optimizer::from_image(&image)?;
-    let report = optimizer.run(Method::Edgar);
+    let report = optimizer.run(Method::Edgar)?;
     println!(
         "edgar: {} rounds, {} instructions saved ({} -> {})",
         report.rounds.len(),

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, and the promoted clippy lints.
+# The container is offline; keep cargo from touching the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all gates green"

@@ -66,7 +66,7 @@ fn random_programs_survive_all_methods() {
             .unwrap_or_else(|e| panic!("seed {seed}: baseline {e}"));
         for method in [Method::Sfx, Method::DgSpan, Method::Edgar] {
             let mut optimizer = Optimizer::from_image(&image).expect("image lifts");
-            let report = optimizer.run(method);
+            let report = optimizer.run(method).expect("optimization validates");
             let optimized = optimizer.encode().expect("encodes");
             let after = Machine::new(&optimized)
                 .run(50_000_000)
@@ -90,7 +90,7 @@ fn random_programs_with_scheduler_disabled() {
         let image = compile(&source, &Options { schedule: false }).unwrap();
         let baseline = Machine::new(&image).run(50_000_000).unwrap();
         let mut optimizer = Optimizer::from_image(&image).unwrap();
-        optimizer.run(Method::Edgar);
+        optimizer.run(Method::Edgar).unwrap();
         let after = Machine::new(&optimizer.encode().unwrap())
             .run(50_000_000)
             .unwrap();

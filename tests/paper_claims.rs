@@ -117,7 +117,7 @@ fn scheduling_ablation_helps_sfx() {
     let saved = |schedule: bool| {
         let image = compile_benchmark("crc", &Options { schedule }).unwrap();
         let mut opt = Optimizer::from_image(&image).unwrap();
-        opt.run(Method::Sfx).saved_words()
+        opt.run(Method::Sfx).unwrap().saved_words()
     };
     let with_sched = saved(true);
     let without_sched = saved(false);

@@ -19,7 +19,7 @@ fn check(name: &str, method: Method) -> i64 {
         .unwrap_or_else(|e| panic!("{name}: {e}"));
     let before = run(&image);
     let mut optimizer = Optimizer::from_image(&image).expect("image lifts");
-    let report = optimizer.run(method);
+    let report = optimizer.run(method).expect("optimization validates");
     let optimized = optimizer.encode().expect("optimized program encodes");
     let after = run(&optimized);
     assert_eq!(before.exit_code, after.exit_code, "{name}/{method}: exit code");
@@ -103,7 +103,7 @@ fn unscheduled_corpus_also_optimizes_correctly() {
     let image = compile_benchmark("crc", &Options { schedule: false }).unwrap();
     let before = run(&image);
     let mut optimizer = Optimizer::from_image(&image).unwrap();
-    optimizer.run(Method::Edgar);
+    optimizer.run(Method::Edgar).unwrap();
     let after = run(&optimizer.encode().unwrap());
     assert_eq!(before.output, after.output);
 }

@@ -1,0 +1,131 @@
+//! The verification gate: every MiBench kernel, optimized with every
+//! method under per-round translation validation, must lint clean both
+//! before and after — and a property test requires the validator to
+//! accept every optimizer output on generated MiniC programs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gpa::{Method, Optimizer, RunConfig, ValidateLevel};
+use gpa_image::Image;
+use gpa_minicc::programs::BENCHMARKS;
+use gpa_minicc::{compile, compile_benchmark, Options};
+use gpa_verify::lint_image;
+
+fn validated_config() -> RunConfig {
+    RunConfig {
+        validate: ValidateLevel::EveryRound,
+        ..RunConfig::default()
+    }
+}
+
+fn assert_lints_clean(image: &Image, what: &str) {
+    let diags = lint_image(image);
+    assert!(
+        diags.is_empty(),
+        "{what}: expected a clean lint, got:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Optimizes one kernel under [`ValidateLevel::EveryRound`], linting the
+/// image on both sides of the rewrite.
+fn check_kernel(name: &str, method: Method) {
+    let image =
+        compile_benchmark(name, &Options::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_lints_clean(&image, &format!("{name} (unoptimized)"));
+    let mut optimizer = Optimizer::from_image(&image).expect("image lifts");
+    let report = optimizer
+        .run_with(method, &validated_config())
+        .unwrap_or_else(|e| panic!("{name}/{method}: {e}"));
+    assert!(report.saved_words() >= 0, "{name}/{method} grew");
+    let optimized = optimizer.encode().expect("optimized program encodes");
+    assert_lints_clean(&optimized, &format!("{name}/{method} (optimized)"));
+}
+
+#[test]
+fn all_kernels_validate_under_sfx() {
+    for name in BENCHMARKS {
+        check_kernel(name, Method::Sfx);
+    }
+}
+
+#[test]
+fn all_kernels_validate_under_dgspan() {
+    for name in BENCHMARKS {
+        check_kernel(name, Method::DgSpan);
+    }
+}
+
+#[test]
+fn all_kernels_validate_under_edgar() {
+    for name in BENCHMARKS {
+        check_kernel(name, Method::Edgar);
+    }
+}
+
+/// A small always-valid MiniC program with deliberate duplication, so
+/// the optimizer has something to extract.
+fn generate_source(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = String::from("int acc[4];\n");
+    let n_funcs = rng.gen_range(2..5usize);
+    let ops = ["+", "-", "*", "^"];
+    for f in 0..n_funcs {
+        let a = rng.gen_range(1..40);
+        let op = ops[rng.gen_range(0..ops.len())];
+        src.push_str(&format!(
+            "int f{f}(int x, int y) {{\n    int v = (x {op} {a}) * (y + {});\n",
+            f + 1
+        ));
+        if rng.gen_bool(0.5) {
+            src.push_str("    if (v > 9) { v = v - y; } else { v = v + x; }\n");
+        }
+        src.push_str(&format!("    acc[{}] = v;\n    return v;\n}}\n", f % 4));
+    }
+    src.push_str("int main() {\n    int total = 0;\n");
+    for c in 0..rng.gen_range(3..7usize) {
+        let f = rng.gen_range(0..n_funcs);
+        let x = rng.gen_range(0..30);
+        src.push_str(&format!("    total = total + f{f}({x}, {c});\n"));
+    }
+    src.push_str("    putint(total ^ acc[1]);\n    return 0;\n}\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The validator accepts every rewrite the optimizer actually makes,
+    /// whatever program it is fed.
+    #[test]
+    fn validator_accepts_every_optimizer_output(seed in 0u64..1_000_000) {
+        let source = generate_source(seed);
+        let image = compile(&source, &Options::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{source}"));
+        for method in [Method::Sfx, Method::DgSpan, Method::Edgar] {
+            let mut optimizer = Optimizer::from_image(&image).expect("image lifts");
+            let result = optimizer.run_with(method, &validated_config());
+            prop_assert!(
+                result.is_ok(),
+                "seed {}/{}: {}\n{}",
+                seed,
+                method,
+                result.unwrap_err(),
+                source
+            );
+            let optimized = optimizer.encode().expect("encodes");
+            prop_assert!(
+                lint_image(&optimized).is_empty(),
+                "seed {}/{}: optimized image lints dirty",
+                seed,
+                method
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the workspace vendors
+//! the API subset its benches use: `Criterion::{bench_function,
+//! benchmark_group}`, groups with `sample_size` / `bench_with_input` /
+//! `finish`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a fixed warm-up plus a
+//! timed sample loop and prints mean wall-clock time — enough to compare
+//! orders of magnitude, with none of upstream's statistics.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark label, possibly parameterised.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` label.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// A parameter-only label.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    label: String,
+}
+
+impl Bencher {
+    /// Times `routine`: a few warm-up runs, then `samples` timed runs;
+    /// prints the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        println!(
+            "{:<40} {:>12.3?}/iter ({} iters)",
+            self.label,
+            total / self.samples as u32,
+            self.samples
+        );
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the timed-iteration count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    // Upstream criterion takes the id by value; the stub must match.
+    #[allow(clippy::needless_pass_by_value)]
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            label: format!("{}/{}", self.name, id.name),
+        };
+        routine(&mut bencher, input);
+        self
+    }
+
+    /// Runs one benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            label: format!("{}/{}", self.name, name.into()),
+        };
+        routine(&mut bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 10,
+            label: name.into(),
+        };
+        routine(&mut bencher);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::new("f", 1), &21u32, |b, &x| {
+                b.iter(|| x * 2);
+                runs += 1;
+            });
+            group.bench_with_input(BenchmarkId::from_parameter("p"), &(), |b, ()| {
+                b.iter(|| 1 + 1);
+                runs += 1;
+            });
+            group.finish();
+        }
+        c.bench_function("lone", |b| {
+            b.iter(|| black_box(3) + 4);
+            runs += 1;
+        });
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so the workspace vendors
+//! the slice of the proptest API its tests use: [`Strategy`] with
+//! `prop_map` / `prop_flat_map`, ranges / tuples / `Vec` / `&str`-regex
+//! as strategies, [`collection::vec`] and [`collection::btree_set`],
+//! `prop_oneof!`, `Just`, `any::<T>()`, and the `proptest!` test macro
+//! with `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with the generated values
+//!   in the assertion message instead of a minimised counterexample;
+//! * **deterministic seeding** — each test's RNG is seeded from the test
+//!   name, so runs are reproducible without a persistence file;
+//! * the `&str` strategy understands only the character-class regex
+//!   subset used in this repository (`[a-z_]`, literals, `{m,n}`).
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Everything a `proptest`-based test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between several strategies producing the same type.
+///
+/// Each arm is boxed; selection is uniform (upstream weights are not
+/// supported — nothing in this repository uses them).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property-test assertion; panics on failure (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property-test equality assertion; panics on failure (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property-test inequality assertion; panics on failure (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The test-declaration macro: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs the body for `ProptestConfig::cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident
+        ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..config.cases {
+                    let _ = __case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}

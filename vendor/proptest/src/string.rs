@@ -1,0 +1,138 @@
+//! The `&str` strategy: a generator for the character-class regex
+//! subset this workspace uses (e.g. `"[a-z_][a-z0-9_]{0,12}"`).
+//!
+//! Supported syntax: literal characters, `[...]` classes containing
+//! single characters and `a-z` ranges, and the quantifiers `{n}`,
+//! `{m,n}`, `?`, `*` and `+` (the starred forms are capped at 8
+//! repetitions — test inputs, not general regex semantics).
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+struct Atom {
+    /// Candidate characters (singleton for a literal).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = if c == '[' {
+            let mut set = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                let Some(c) = it.next() else {
+                    panic!("unterminated class in regex `{pattern}`");
+                };
+                match c {
+                    ']' => break,
+                    '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                        let lo = prev.take().expect("checked above");
+                        let hi = it.next().expect("peeked above");
+                        for ch in lo..=hi {
+                            set.push(ch);
+                        }
+                    }
+                    other => {
+                        if let Some(p) = prev.take() {
+                            set.push(p);
+                        }
+                        prev = Some(other);
+                    }
+                }
+            }
+            if let Some(p) = prev {
+                set.push(p);
+            }
+            assert!(!set.is_empty(), "empty class in regex `{pattern}`");
+            set
+        } else {
+            vec![c]
+        };
+        let (min, max) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut spec = String::new();
+                for c in it.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad quantifier"),
+                        n.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                it.next();
+                (0, 1)
+            }
+            Some('*') => {
+                it.next();
+                (0, 8)
+            }
+            Some('+') => {
+                it.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier in regex `{pattern}`");
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = atom.min + rng.below(atom.max - atom.min + 1);
+        for _ in 0..count {
+            out.push(atom.chars[rng.below(atom.chars.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn identifier_pattern_generates_identifiers() {
+        let mut rng = TestRng::deterministic("ident");
+        for _ in 0..200 {
+            let s = generate("[a-z_][a-z0-9_]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            let mut cs = s.chars();
+            let first = cs.next().expect("non-empty");
+            assert!(first.is_ascii_lowercase() || first == '_', "{s:?}");
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::deterministic("lit");
+        assert_eq!(generate("abc", &mut rng), "abc");
+        let s = generate("x[01]{3}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x'));
+        assert!(s[1..].chars().all(|c| c == '0' || c == '1'));
+    }
+}
