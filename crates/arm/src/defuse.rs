@@ -101,7 +101,11 @@ impl Instruction {
                 }
             }
             Instruction::Mul {
-                set_flags, rd, rm, rs, ..
+                set_flags,
+                rd,
+                rm,
+                rs,
+                ..
             } => {
                 fx.uses.insert(rm);
                 fx.uses.insert(rs);
@@ -183,7 +187,9 @@ impl Instruction {
             Instruction::Swi { .. } => {
                 // System-call convention: service args in r0..r2, result in
                 // r0. Conservatively touches memory both ways.
-                fx.uses = fx.uses.union(RegSet::of(&[Reg::r(0), Reg::r(1), Reg::r(2)]));
+                fx.uses = fx
+                    .uses
+                    .union(RegSet::of(&[Reg::r(0), Reg::r(1), Reg::r(2)]));
                 fx.defs.insert(Reg::r(0));
                 fx.reads_mem = true;
                 fx.writes_mem = true;

@@ -33,13 +33,18 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::UnencodableImm(v) => {
-                write!(f, "immediate {v:#x} is not an 8-bit value rotated by an even amount")
+                write!(
+                    f,
+                    "immediate {v:#x} is not an 8-bit value rotated by an even amount"
+                )
             }
             EncodeError::BadShiftAmount(k, n) => write!(f, "shift {k} #{n} is not encodable"),
             EncodeError::OffsetOutOfRange(v) => write!(f, "memory offset {v} exceeds 12 bits"),
             EncodeError::BranchOutOfRange(v) => write!(f, "branch offset {v} exceeds 24 bits"),
             EncodeError::SwiOutOfRange(v) => write!(f, "swi number {v:#x} exceeds 24 bits"),
-            EncodeError::EmptyRegisterList => write!(f, "ldm/stm requires a non-empty register list"),
+            EncodeError::EmptyRegisterList => {
+                write!(f, "ldm/stm requires a non-empty register list")
+            }
         }
     }
 }
@@ -164,7 +169,11 @@ impl Instruction {
             } => {
                 let (i, shifter) = encode_shifter(op2)?;
                 let s = (set_flags || op.is_compare()) as u32;
-                let rd_bits = if op.is_compare() { 0 } else { rd.number() as u32 };
+                let rd_bits = if op.is_compare() {
+                    0
+                } else {
+                    rd.number() as u32
+                };
                 let rn_bits = if op.is_move() { 0 } else { rn.number() as u32 };
                 Ok(cond
                     | (i << 25)
@@ -456,11 +465,15 @@ mod tests {
     fn known_encodings() {
         // Cross-checked against `arm-none-eabi-as` output.
         assert_eq!(
-            I::dp_imm(DpOp::Add, Reg::r(4), Reg::r(2), 4).encode().unwrap(),
+            I::dp_imm(DpOp::Add, Reg::r(4), Reg::r(2), 4)
+                .encode()
+                .unwrap(),
             0xe282_4004
         );
         assert_eq!(
-            I::dp_reg(DpOp::Sub, Reg::r(2), Reg::r(2), Reg::r(3)).encode().unwrap(),
+            I::dp_reg(DpOp::Sub, Reg::r(2), Reg::r(2), Reg::r(3))
+                .encode()
+                .unwrap(),
             0xe042_2003
         );
         assert_eq!(I::mov_imm(Reg::r(0), 0).encode().unwrap(), 0xe3a0_0000);
@@ -508,7 +521,11 @@ mod tests {
                 cond: Cond::Ne,
                 op,
                 set_flags: op.is_compare(),
-                rd: if op.is_compare() { Reg::r(0) } else { Reg::r(3) },
+                rd: if op.is_compare() {
+                    Reg::r(0)
+                } else {
+                    Reg::r(3)
+                },
                 rn: if op.is_move() { Reg::r(0) } else { Reg::r(5) },
                 op2: Operand2::Imm(0xff),
             };
@@ -518,7 +535,12 @@ mod tests {
 
     #[test]
     fn round_trip_shifted_operands() {
-        for kind in [ShiftKind::Lsl, ShiftKind::Lsr, ShiftKind::Asr, ShiftKind::Ror] {
+        for kind in [
+            ShiftKind::Lsl,
+            ShiftKind::Lsr,
+            ShiftKind::Asr,
+            ShiftKind::Ror,
+        ] {
             for amount in [1u8, 2, 17, 31] {
                 round_trip(I::DataProc {
                     cond: Cond::Al,
@@ -556,8 +578,13 @@ mod tests {
             AddressMode::PreIndexed,
             AddressMode::PostIndexed,
         ] {
-            for offset in [MemOffset::Imm(0), MemOffset::Imm(4), MemOffset::Imm(-8),
-                           MemOffset::Reg(Reg::r(6), false), MemOffset::Reg(Reg::r(6), true)] {
+            for offset in [
+                MemOffset::Imm(0),
+                MemOffset::Imm(4),
+                MemOffset::Imm(-8),
+                MemOffset::Reg(Reg::r(6), false),
+                MemOffset::Reg(Reg::r(6), true),
+            ] {
                 for (op, byte) in [(MemOp::Ldr, false), (MemOp::Str, true)] {
                     round_trip(I::Mem {
                         cond: Cond::Al,

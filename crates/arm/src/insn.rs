@@ -530,7 +530,11 @@ impl fmt::Display for Instruction {
                 rn,
                 op2,
             } => {
-                let s = if set_flags && !op.is_compare() { "s" } else { "" };
+                let s = if set_flags && !op.is_compare() {
+                    "s"
+                } else {
+                    ""
+                };
                 if op.is_compare() {
                     write!(f, "{op}{cond} {rn}, {op2}")
                 } else if op.is_move() {

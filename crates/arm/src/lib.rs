@@ -42,7 +42,5 @@ pub mod reg;
 pub use cond::Cond;
 pub use defuse::Effects;
 pub use encode::{decode, encode_rotated_imm, DecodeError, EncodeError};
-pub use insn::{
-    AddressMode, BlockMode, DpOp, Instruction, MemOffset, MemOp, Operand2, ShiftKind,
-};
+pub use insn::{AddressMode, BlockMode, DpOp, Instruction, MemOffset, MemOp, Operand2, ShiftKind};
 pub use reg::Reg;

@@ -67,9 +67,9 @@ fn split_operands(s: &str) -> Vec<String> {
 }
 
 fn parse_imm(s: &str, line: &str) -> Result<i64, ParseInstructionError> {
-    let body = s
-        .strip_prefix('#')
-        .ok_or_else(|| ParseInstructionError::new(line, format!("expected immediate, got `{s}`")))?;
+    let body = s.strip_prefix('#').ok_or_else(|| {
+        ParseInstructionError::new(line, format!("expected immediate, got `{s}`"))
+    })?;
     let (neg, digits) = match body.strip_prefix('-') {
         Some(rest) => (true, rest),
         None => (false, body),
@@ -179,7 +179,11 @@ fn parse_address(
             if writeback {
                 return Err(ParseInstructionError::new(line, "post-index with `!`"));
             }
-            Ok((parse_reg(rn, line)?, parse_off(off)?, AddressMode::PostIndexed))
+            Ok((
+                parse_reg(rn, line)?,
+                parse_off(off)?,
+                AddressMode::PostIndexed,
+            ))
         }
         ([rn, off], None) => {
             let mode = if writeback {
@@ -208,7 +212,10 @@ fn parse_reglist(s: &str, line: &str) -> Result<RegSet, ParseInstructionError> {
             let lo = parse_reg(lo.trim(), line)?;
             let hi = parse_reg(hi.trim(), line)?;
             if lo > hi {
-                return Err(ParseInstructionError::new(line, "descending register range"));
+                return Err(ParseInstructionError::new(
+                    line,
+                    "descending register range",
+                ));
             }
             for n in lo.number()..=hi.number() {
                 set.insert(Reg::r(n));

@@ -70,15 +70,17 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             Just(AddressMode::PostIndexed),
         ],
     )
-        .prop_map(|(cond, load, byte, rd, rn, offset, mode)| Instruction::Mem {
-            cond,
-            op: if load { MemOp::Ldr } else { MemOp::Str },
-            byte,
-            rd,
-            rn,
-            offset,
-            mode,
-        });
+        .prop_map(
+            |(cond, load, byte, rd, rn, offset, mode)| Instruction::Mem {
+                cond,
+                op: if load { MemOp::Ldr } else { MemOp::Str },
+                byte,
+                rd,
+                rn,
+                offset,
+                mode,
+            },
+        );
     let block = (
         arb_cond(),
         any::<bool>(),
@@ -92,17 +94,18 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         ],
         1u16..=u16::MAX,
     )
-        .prop_map(|(cond, load, rn, writeback, mode, regs)| Instruction::Block {
-            cond,
-            op: if load { MemOp::Ldr } else { MemOp::Str },
-            rn,
-            writeback,
-            mode,
-            regs: RegSet(regs),
-        });
-    let branch = (arb_cond(), any::<bool>(), -(1i32 << 23)..(1 << 23)).prop_map(
-        |(cond, link, offset)| Instruction::Branch { cond, link, offset },
-    );
+        .prop_map(
+            |(cond, load, rn, writeback, mode, regs)| Instruction::Block {
+                cond,
+                op: if load { MemOp::Ldr } else { MemOp::Str },
+                rn,
+                writeback,
+                mode,
+                regs: RegSet(regs),
+            },
+        );
+    let branch = (arb_cond(), any::<bool>(), -(1i32 << 23)..(1 << 23))
+        .prop_map(|(cond, link, offset)| Instruction::Branch { cond, link, offset });
     let misc = prop_oneof![
         (arb_cond(), arb_reg()).prop_map(|(cond, rm)| Instruction::Bx { cond, rm }),
         (arb_cond(), 0u32..(1 << 24)).prop_map(|(cond, imm)| Instruction::Swi { cond, imm }),
@@ -115,16 +118,22 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
                 rs
             }
         ),
-        (arb_cond(), any::<bool>(), arb_reg(), arb_reg(), arb_reg(), arb_reg()).prop_map(
-            |(cond, s, rd, rm, rs, rn)| Instruction::Mla {
+        (
+            arb_cond(),
+            any::<bool>(),
+            arb_reg(),
+            arb_reg(),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(cond, s, rd, rm, rs, rn)| Instruction::Mla {
                 cond,
                 set_flags: s,
                 rd,
                 rm,
                 rs,
                 rn
-            }
-        ),
+            }),
     ];
     prop_oneof![dp, mem, block, branch, misc]
 }

@@ -1,0 +1,63 @@
+//! Batch-pipeline benchmarks: cold vs cache-warm corpus runs and the
+//! worker-pool scaling of `gpa batch`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpa::{RunConfig, ValidateLevel};
+use gpa_bench::compile;
+use gpa_pipeline::{run_batch, BatchConfig, BatchInput};
+
+fn corpus() -> Vec<BatchInput> {
+    ["crc", "sha", "bitcnts", "qsort"]
+        .iter()
+        .map(|name| BatchInput::loaded(*name, compile(name, true)))
+        .collect()
+}
+
+fn config(jobs: usize) -> BatchConfig {
+    BatchConfig {
+        jobs,
+        run: RunConfig {
+            validate: ValidateLevel::Off,
+            ..RunConfig::default()
+        },
+        ..BatchConfig::default()
+    }
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let inputs = corpus();
+    let mut group = c.benchmark_group("batch_cache");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        // A fresh in-memory cache per run: every image misses.
+        b.iter(|| run_batch(&inputs, &config(1)).unwrap());
+    });
+    let dir = std::env::temp_dir().join(format!("gpa-bench-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let warm_config = BatchConfig {
+        cache_dir: Some(dir.clone()),
+        ..config(1)
+    };
+    run_batch(&inputs, &warm_config).unwrap(); // prime the disk layer
+    group.bench_function("warm", |b| {
+        b.iter(|| run_batch(&inputs, &warm_config).unwrap());
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let inputs = corpus();
+    let mut group = c.benchmark_group("batch_jobs");
+    group.sample_size(10);
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| run_batch(&inputs, &config(jobs)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_worker_scaling);
+criterion_main!(benches);

@@ -103,5 +103,10 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_support_modes, bench_fragment_cap, bench_parallel);
+criterion_group!(
+    benches,
+    bench_support_modes,
+    bench_fragment_cap,
+    bench_parallel
+);
 criterion_main!(benches);

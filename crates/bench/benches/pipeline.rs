@@ -46,5 +46,10 @@ fn bench_emulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_lift_and_encode, bench_emulation);
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_lift_and_encode,
+    bench_emulation
+);
 criterion_main!(benches);

@@ -71,7 +71,9 @@ fn main() {
         let saved = |schedule: bool, method: Method| {
             let image = compile(name, schedule);
             let mut opt = Optimizer::from_image(&image).expect("lifts");
-            opt.run(method).expect("optimization validates").saved_words()
+            opt.run(method)
+                .expect("optimization validates")
+                .saved_words()
         };
         println!(
             "{:<10} {:>12} {:>12} {:>12}",

@@ -16,7 +16,11 @@ fn main() {
     let schedule = !std::env::args().any(|a| a == "--no-sched");
     println!(
         "Table 1: Saved instructions in the benchmark suite{}",
-        if schedule { "" } else { " (scheduler disabled)" }
+        if schedule {
+            ""
+        } else {
+            " (scheduler disabled)"
+        }
     );
     println!(
         "{:<10} {:>13} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",

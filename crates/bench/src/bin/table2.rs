@@ -7,7 +7,10 @@ use gpa_dfg::{build_all, stats::degree_stats, LabelMode};
 
 fn main() {
     println!("Table 2: Instructions with (degree_IN v degree_OUT) > 1 in all DFGs");
-    println!("{:<10} {:>11} {:>11} {:>8}", "Program", "degree > 1", "degree <= 1", "share");
+    println!(
+        "{:<10} {:>11} {:>11} {:>8}",
+        "Program", "degree > 1", "degree <= 1", "share"
+    );
     let mut total = (0usize, 0usize);
     for name in BENCHMARKS {
         let image = compile(name, true);

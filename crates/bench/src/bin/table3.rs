@@ -19,11 +19,23 @@ fn main() {
         let stats = degree_stats(&dfgs);
         println!(
             "{:<10} {:<4} {:>7} {:>7} {:>7} {:>7} {:>7}",
-            name, "In", stats.in_hist[0], stats.in_hist[1], stats.in_hist[2], stats.in_hist[3], stats.in_hist[4]
+            name,
+            "In",
+            stats.in_hist[0],
+            stats.in_hist[1],
+            stats.in_hist[2],
+            stats.in_hist[3],
+            stats.in_hist[4]
         );
         println!(
             "{:<10} {:<4} {:>7} {:>7} {:>7} {:>7} {:>7}",
-            "", "Out", stats.out_hist[0], stats.out_hist[1], stats.out_hist[2], stats.out_hist[3], stats.out_hist[4]
+            "",
+            "Out",
+            stats.out_hist[0],
+            stats.out_hist[1],
+            stats.out_hist[2],
+            stats.out_hist[3],
+            stats.out_hist[4]
         );
         for i in 0..5 {
             total_in[i] += stats.in_hist[i];

@@ -61,13 +61,14 @@ pub fn optimize(image: &Image, method: Method) -> MethodOutcome {
     let report = optimizer.run(method).expect("optimization validates");
     let elapsed = start.elapsed();
     let optimized = optimizer.encode().expect("optimized programs encode");
-    let before = Machine::new(image)
-        .run(STEP_BUDGET)
-        .expect("baseline runs");
+    let before = Machine::new(image).run(STEP_BUDGET).expect("baseline runs");
     let after = Machine::new(&optimized)
         .run(STEP_BUDGET)
         .expect("optimized binary runs");
-    assert_eq!(before.exit_code, after.exit_code, "{method}: exit code changed");
+    assert_eq!(
+        before.exit_code, after.exit_code,
+        "{method}: exit code changed"
+    );
     assert_eq!(before.output, after.output, "{method}: output changed");
     MethodOutcome {
         report,

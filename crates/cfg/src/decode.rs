@@ -83,10 +83,8 @@ pub fn decode_image(image: &Image) -> Result<Program, DecodeImageError> {
     if fn_syms.is_empty() {
         return Err(err("image has no function symbols"));
     }
-    let entry_by_addr: HashMap<u32, &str> = fn_syms
-        .iter()
-        .map(|s| (s.addr, s.name.as_str()))
-        .collect();
+    let entry_by_addr: HashMap<u32, &str> =
+        fn_syms.iter().map(|s| (s.addr, s.name.as_str())).collect();
 
     let mut functions = Vec::with_capacity(fn_syms.len());
     for (i, sym) in fn_syms.iter().enumerate() {
@@ -353,10 +351,7 @@ mod tests {
             .filter(|i| matches!(i, Item::Label(_)))
             .count();
         assert_eq!(labels as u32, main.label_count);
-        assert!(main
-            .items
-            .iter()
-            .any(|i| matches!(i, Item::Branch { .. })));
+        assert!(main.items.iter().any(|i| matches!(i, Item::Branch { .. })));
     }
 
     #[test]
@@ -371,9 +366,7 @@ mod tests {
 
     #[test]
     fn regions_of_compiled_program() {
-        let p = lift(
-            "int main() { int s = 0; for (int i = 0; i < 5; i++) s += i; return s; }",
-        );
+        let p = lift("int main() { int s = 0; for (int i = 0; i < 5; i++) s += i; return s; }");
         let regions = p.regions();
         assert!(regions.len() >= 4);
         // No region contains a label.

@@ -140,7 +140,11 @@ pub fn encode_program(program: &Program) -> Result<Image, EncodeProgramError> {
                     )?;
                 }
                 Item::IndirectCall { target } => {
-                    emit(&mut image, Instruction::mov_reg(Reg::LR, Reg::PC), &mut addr)?;
+                    emit(
+                        &mut image,
+                        Instruction::mov_reg(Reg::LR, Reg::PC),
+                        &mut addr,
+                    )?;
                     emit(
                         &mut image,
                         Instruction::Bx {

@@ -90,9 +90,10 @@ impl Item {
         match self {
             Item::Branch { .. } | Item::TailCall { .. } => true,
             Item::Insn(i) => i.effects().defs.contains(Reg::PC),
-            Item::Label(_) | Item::Call { .. } | Item::IndirectCall { .. } | Item::LitLoad { .. } => {
-                false
-            }
+            Item::Label(_)
+            | Item::Call { .. }
+            | Item::IndirectCall { .. }
+            | Item::LitLoad { .. } => false,
         }
     }
 
@@ -195,7 +196,14 @@ impl fmt::Display for Item {
 fn call_effects() -> Effects {
     Effects {
         uses: RegSet::of(&[Reg::r(0), Reg::r(1), Reg::r(2), Reg::r(3), Reg::SP]),
-        defs: RegSet::of(&[Reg::r(0), Reg::r(1), Reg::r(2), Reg::r(3), Reg::r(12), Reg::LR]),
+        defs: RegSet::of(&[
+            Reg::r(0),
+            Reg::r(1),
+            Reg::r(2),
+            Reg::r(3),
+            Reg::r(12),
+            Reg::LR,
+        ]),
         reads_flags: false,
         writes_flags: true,
         reads_mem: true,
@@ -338,7 +346,10 @@ impl Program {
 
     /// All straight-line regions of the program.
     pub fn regions(&self) -> Vec<Region<'_>> {
-        self.functions.iter().flat_map(FunctionCode::regions).collect()
+        self.functions
+            .iter()
+            .flat_map(FunctionCode::regions)
+            .collect()
     }
 
     /// Looks up a function by name.

@@ -16,8 +16,12 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 fn arb_body_item() -> impl Strategy<Value = Item> {
     prop_oneof![
         (arb_reg(), 0u32..256).prop_map(|(rd, imm)| Item::Insn(Instruction::mov_imm(rd, imm))),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rn, rm)| Item::Insn(Instruction::dp_reg(DpOp::Add, rd, rn, rm))),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rn, rm)| Item::Insn(Instruction::dp_reg(
+            DpOp::Add,
+            rd,
+            rn,
+            rm
+        ))),
         (arb_reg(), arb_reg()).prop_map(|(rd, rn)| Item::Insn(Instruction::ldr_imm(rd, rn, 4))),
         (arb_reg(), any::<u32>()).prop_map(|(rd, value)| Item::LitLoad {
             rd,

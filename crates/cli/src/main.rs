@@ -6,16 +6,19 @@
 //! gpa bench <name> -o <out.img> [--no-sched]          build a bundled benchmark
 //! gpa run <image> [--input <file>]                    execute in the emulator
 //! gpa dis <image>                                     lifted assembly listing
-//! gpa stats <image>                                   DFG degree statistics
+//! gpa stats <image> [--json]                          DFG degree statistics
 //! gpa lint <image>                                    static binary lints
-//! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] [--validate off|final|every-round]
+//! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] [--validate off|final|every-round] [--jobs N]
+//! gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--method sfx|dgspan|edgar] [--validate] [--report out.json]
 //! ```
 
 use std::process::ExitCode;
 
+use gpa::json::Json;
 use gpa::{Method, Optimizer, RunConfig, ValidateLevel};
 use gpa_emu::Machine;
 use gpa_image::Image;
+use gpa_pipeline::{expand_inputs, run_batch, BatchConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +45,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "stats" => stats(rest),
         "lint" => lint(rest),
         "optimize" => optimize(rest),
+        "batch" => batch_run(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -57,10 +61,12 @@ fn print_usage() {
          gpa bench <name> -o <out.img> [--no-sched]\n  \
          gpa run <image> [--input <file>]\n  \
          gpa dis <image>\n  \
-         gpa stats <image>\n  \
+         gpa stats <image> [--json]\n  \
          gpa lint <image>\n  \
          gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] \
-         [--validate off|final|every-round]"
+         [--validate off|final|every-round] [--jobs N]\n  \
+         gpa batch <dir|files...> [--jobs N] [--cache-dir D] \
+         [--method sfx|dgspan|edgar] [--validate] [--report out.json]"
     );
 }
 
@@ -80,7 +86,10 @@ fn take_output(args: &[String]) -> Result<(String, Vec<String>), String> {
             rest.push(a.clone());
         }
     }
-    Ok((output.ok_or_else(|| "missing -o <out.img>".to_owned())?, rest))
+    Ok((
+        output.ok_or_else(|| "missing -o <out.img>".to_owned())?,
+        rest,
+    ))
 }
 
 fn load_image(path: &str) -> Result<Image, String> {
@@ -114,15 +123,12 @@ fn compile(args: &[String]) -> Result<ExitCode, String> {
 fn bench(args: &[String]) -> Result<ExitCode, String> {
     let (output, rest) = take_output(args)?;
     let schedule = !rest.iter().any(|a| a == "--no-sched");
-    let name = rest
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .ok_or_else(|| {
-            format!(
-                "missing benchmark name (one of: {})",
-                gpa_minicc::programs::BENCHMARKS.join(", ")
-            )
-        })?;
+    let name = rest.iter().find(|a| !a.starts_with("--")).ok_or_else(|| {
+        format!(
+            "missing benchmark name (one of: {})",
+            gpa_minicc::programs::BENCHMARKS.join(", ")
+        )
+    })?;
     let image = gpa_minicc::compile_benchmark(name, &gpa_minicc::Options { schedule })
         .map_err(|e| e.to_string())?;
     save_image(&image, &output)?;
@@ -131,7 +137,9 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn run_image(args: &[String]) -> Result<ExitCode, String> {
-    let path = args.first().ok_or_else(|| "missing image path".to_owned())?;
+    let path = args
+        .first()
+        .ok_or_else(|| "missing image path".to_owned())?;
     let image = load_image(path)?;
     let mut machine = Machine::new(&image);
     if let Some(pos) = args.iter().position(|a| a == "--input") {
@@ -145,12 +153,17 @@ fn run_image(args: &[String]) -> Result<ExitCode, String> {
         .run(2_000_000_000)
         .map_err(|e| format!("emulation failed: {e}"))?;
     print!("{}", outcome.output_string());
-    eprintln!("[exit {} after {} instructions]", outcome.exit_code, outcome.steps);
+    eprintln!(
+        "[exit {} after {} instructions]",
+        outcome.exit_code, outcome.steps
+    );
     Ok(ExitCode::from(outcome.exit_code as u8))
 }
 
 fn disassemble(args: &[String]) -> Result<ExitCode, String> {
-    let path = args.first().ok_or_else(|| "missing image path".to_owned())?;
+    let path = args
+        .first()
+        .ok_or_else(|| "missing image path".to_owned())?;
     let image = load_image(path)?;
     let program = gpa_cfg::decode_image(&image).map_err(|e| e.to_string())?;
     print!("{}", program.listing());
@@ -158,11 +171,32 @@ fn disassemble(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn stats(args: &[String]) -> Result<ExitCode, String> {
-    let path = args.first().ok_or_else(|| "missing image path".to_owned())?;
+    let json = args.iter().any(|a| a == "--json");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| "missing image path".to_owned())?;
     let image = load_image(path)?;
     let program = gpa_cfg::decode_image(&image).map_err(|e| e.to_string())?;
     let dfgs = gpa_dfg::build_all(&program, gpa_dfg::LabelMode::Exact);
     let stats = gpa_dfg::stats::degree_stats(&dfgs);
+    if json {
+        let hist = |h: &[usize]| Json::Arr(h.iter().map(|&v| Json::from(v)).collect());
+        let doc = Json::obj([
+            ("functions", Json::from(program.functions.len())),
+            ("instructions", Json::from(program.instruction_count())),
+            ("regions", Json::from(program.regions().len())),
+            (
+                "literal_pool_words",
+                Json::from(image.code_len() - program.instruction_count()),
+            ),
+            ("high_degree_nodes", Json::from(stats.high_degree)),
+            ("in_degree_hist", hist(&stats.in_hist)),
+            ("out_degree_hist", hist(&stats.out_hist)),
+        ]);
+        println!("{doc}");
+        return Ok(ExitCode::SUCCESS);
+    }
     println!("functions:        {}", program.functions.len());
     println!("instructions:     {}", program.instruction_count());
     println!("regions:          {}", program.regions().len());
@@ -170,8 +204,11 @@ fn stats(args: &[String]) -> Result<ExitCode, String> {
         "literal pools:    {} words",
         image.code_len() - program.instruction_count()
     );
-    println!("degree > 1 nodes: {} ({:.1}%)", stats.high_degree,
-        100.0 * stats.high_degree as f64 / stats.total().max(1) as f64);
+    println!(
+        "degree > 1 nodes: {} ({:.1}%)",
+        stats.high_degree,
+        100.0 * stats.high_degree as f64 / stats.total().max(1) as f64
+    );
     println!("in-degree hist:   {:?}", stats.in_hist);
     println!("out-degree hist:  {:?}", stats.out_hist);
     Ok(ExitCode::SUCCESS)
@@ -180,7 +217,9 @@ fn stats(args: &[String]) -> Result<ExitCode, String> {
 /// `gpa lint <image>`: run the static binary lints; exit non-zero when
 /// any error-severity finding (or an undecodable image) is reported.
 fn lint(args: &[String]) -> Result<ExitCode, String> {
-    let path = args.first().ok_or_else(|| "missing image path".to_owned())?;
+    let path = args
+        .first()
+        .ok_or_else(|| "missing image path".to_owned())?;
     let image = load_image(path)?;
     let diags = gpa_verify::lint_image(&image);
     for d in &diags {
@@ -191,7 +230,10 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
         .filter(|d| d.severity == gpa_verify::Severity::Error)
         .count();
     if errors > 0 {
-        eprintln!("{path}: {errors} error(s), {} warning(s)", diags.len() - errors);
+        eprintln!(
+            "{path}: {errors} error(s), {} warning(s)",
+            diags.len() - errors
+        );
         Ok(ExitCode::FAILURE)
     } else {
         println!("{path}: clean ({} warning(s))", diags.len());
@@ -229,11 +271,16 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
                     other => return Err(format!("unknown validate level `{other}`")),
                 };
             }
+            "--jobs" => config.mining_threads = take_jobs(&mut iter)?,
             other if !other.starts_with("--") => input = Some(other.to_owned()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     let input = input.ok_or_else(|| "missing image path".to_owned())?;
+    if config.mining_threads == 0 {
+        config.mining_threads =
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    }
     let image = load_image(&input)?;
     let mut optimizer = Optimizer::from_image(&image).map_err(|e| e.to_string())?;
     let report = optimizer
@@ -252,4 +299,99 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
     );
     println!("wrote {output}");
     Ok(ExitCode::SUCCESS)
+}
+
+/// Parses the value of a `--jobs` flag (`0` means auto-detect).
+fn take_jobs<'a>(iter: &mut impl Iterator<Item = &'a String>) -> Result<usize, String> {
+    iter.next()
+        .ok_or_else(|| "--jobs requires a number".to_owned())?
+        .parse()
+        .map_err(|_| "--jobs requires a number".to_owned())
+}
+
+/// `gpa batch`: optimize a whole corpus on a worker pool with the
+/// content-addressed artifact cache.
+///
+/// The deterministic corpus report goes to stdout (or `--report <file>`);
+/// a human-readable summary with cache and timing metrics goes to stderr.
+/// Exits non-zero when any input failed.
+fn batch_run(args: &[String]) -> Result<ExitCode, String> {
+    let mut config = BatchConfig::default();
+    let mut operands = Vec::new();
+    let mut report_path = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--jobs" => config.jobs = take_jobs(&mut iter)?,
+            "--cache-dir" => {
+                let dir = iter
+                    .next()
+                    .ok_or_else(|| "--cache-dir requires a path".to_owned())?;
+                config.cache_dir = Some(dir.into());
+            }
+            "--method" => {
+                let m = iter
+                    .next()
+                    .ok_or_else(|| "--method requires a value".to_owned())?;
+                config.method = Method::parse(m).ok_or_else(|| format!("unknown method `{m}`"))?;
+            }
+            "--validate" => config.run.validate = ValidateLevel::Final,
+            "--report" => {
+                let p = iter
+                    .next()
+                    .ok_or_else(|| "--report requires a path".to_owned())?;
+                report_path = Some(p.clone());
+            }
+            other if !other.starts_with("--") => operands.push(other.to_owned()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if operands.is_empty() {
+        return Err("missing inputs (files or directories)".to_owned());
+    }
+    let inputs = expand_inputs(&operands)?;
+    if inputs.is_empty() {
+        return Err("inputs expanded to no files".to_owned());
+    }
+    let corpus = run_batch(&inputs, &config)?;
+    let document = corpus.to_json(true).to_string();
+    match &report_path {
+        Some(path) => std::fs::write(path, &document).map_err(|e| format!("{path}: {e}"))?,
+        None => println!("{document}"),
+    }
+    let timings = corpus.total_timings();
+    eprintln!(
+        "batch: {} image(s) on {} worker(s), {} error(s), {} words saved",
+        corpus.images.len(),
+        corpus.jobs,
+        corpus.error_count(),
+        corpus.total_saved_words()
+    );
+    eprintln!(
+        "cache: reports {}/{} hit, dfgs {}/{} hit",
+        corpus.report_cache_hits,
+        corpus.report_cache_hits + corpus.report_cache_misses,
+        corpus.dfg_cache_hits,
+        corpus.dfg_cache_hits + corpus.dfg_cache_misses
+    );
+    eprintln!(
+        "stages (ms): decode {} dfg {} mining {} mis {} extract {} validate {} | wall {}",
+        timings.decode_ns / 1_000_000,
+        timings.dfg_build_ns / 1_000_000,
+        timings.mining_ns / 1_000_000,
+        timings.mis_ns / 1_000_000,
+        timings.extraction_ns / 1_000_000,
+        timings.validation_ns / 1_000_000,
+        corpus.wall_ns / 1_000_000
+    );
+    for entry in corpus.images.iter().filter(|e| e.outcome.is_err()) {
+        if let Err(message) = &entry.outcome {
+            eprintln!("error: {}: {message}", entry.name);
+        }
+    }
+    if corpus.error_count() > 0 {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }

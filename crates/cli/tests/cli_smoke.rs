@@ -25,10 +25,19 @@ fn compile_run_optimize_roundtrip() {
     .unwrap();
 
     let out = gpa()
-        .args(["compile", src.to_str().unwrap(), "-o", img.to_str().unwrap()])
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "-o",
+            img.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let run1 = gpa().args(["run", img.to_str().unwrap()]).output().unwrap();
     assert!(run1.status.success());
@@ -45,7 +54,11 @@ fn compile_run_optimize_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let run2 = gpa().args(["run", opt.to_str().unwrap()]).output().unwrap();
     assert_eq!(
@@ -65,7 +78,11 @@ fn dis_and_stats() {
         .args(["bench", "crc", "-o", img.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let dis = gpa().args(["dis", img.to_str().unwrap()]).output().unwrap();
     assert!(dis.status.success());
@@ -74,11 +91,128 @@ fn dis_and_stats() {
     assert!(text.contains("crc_update:"));
     assert!(text.contains("bl main"));
 
-    let stats = gpa().args(["stats", img.to_str().unwrap()]).output().unwrap();
+    let stats = gpa()
+        .args(["stats", img.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(stats.status.success());
     assert!(String::from_utf8_lossy(&stats.stdout).contains("instructions:"));
 
     let _ = std::fs::remove_file(img);
+}
+
+#[test]
+fn stats_json_is_machine_readable() {
+    let img = tmp("stats_json.img");
+    let out = gpa()
+        .args(["bench", "crc", "-o", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let stats = gpa()
+        .args(["stats", img.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(stats.status.success());
+    let doc = gpa::json::Json::parse(&String::from_utf8_lossy(&stats.stdout))
+        .expect("stats --json must emit valid JSON");
+    let int = |key: &str| doc.get(key).and_then(gpa::json::Json::as_int);
+    assert!(int("instructions").unwrap() > 0);
+    assert!(int("functions").unwrap() > 0);
+    let hist = doc
+        .get("in_degree_hist")
+        .and_then(gpa::json::Json::as_arr)
+        .expect("histogram array");
+    assert_eq!(hist.len(), 5);
+
+    let _ = std::fs::remove_file(img);
+}
+
+#[test]
+fn batch_cold_then_warm_hits_the_cache() {
+    let dir = tmp("batch_corpus");
+    let cache = tmp("batch_cache");
+    let report_path = tmp("batch_report.json");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cache);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, source) in [
+        ("a.mc", "int f(int x) { return x * 3 + 1; } int main() { putint(f(2) + f(4)); return 0; }"),
+        ("b.mc", "int main() { int s = 0; for (int i = 0; i < 5; i = i + 1) s = s + i; putint(s); return 0; }"),
+    ] {
+        let src = dir.join(name);
+        std::fs::write(&src, source).unwrap();
+        let img = dir.join(name.replace(".mc", ".img"));
+        let out = gpa()
+            .args(["compile", src.to_str().unwrap(), "-o", img.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        std::fs::remove_file(src).unwrap();
+    }
+
+    let run_batch = || {
+        let out = gpa()
+            .args([
+                "batch",
+                dir.to_str().unwrap(),
+                "--jobs",
+                "2",
+                "--cache-dir",
+                cache.to_str().unwrap(),
+                "--report",
+                report_path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        gpa::json::Json::parse(&std::fs::read_to_string(&report_path).unwrap())
+            .expect("batch report must be valid JSON")
+    };
+    let hits = |doc: &gpa::json::Json| {
+        doc.get("metrics")
+            .and_then(|m| m.get("report_cache"))
+            .and_then(|c| c.get("hits"))
+            .and_then(gpa::json::Json::as_int)
+            .unwrap()
+    };
+    // Drops the non-deterministic metrics section.
+    let deterministic = |doc: &gpa::json::Json| {
+        let gpa::json::Json::Obj(pairs) = doc else {
+            panic!("object")
+        };
+        gpa::json::Json::Obj(
+            pairs
+                .iter()
+                .filter(|(k, _)| k != "metrics")
+                .cloned()
+                .collect(),
+        )
+        .to_string()
+    };
+
+    let cold = run_batch();
+    assert_eq!(hits(&cold), 0, "cold run must not hit");
+    assert_eq!(
+        cold.get("errors").and_then(gpa::json::Json::as_int),
+        Some(0)
+    );
+    let warm = run_batch();
+    assert!(hits(&warm) >= 1, "warm run must hit the report cache");
+    assert_eq!(deterministic(&cold), deterministic(&warm));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_file(&report_path);
 }
 
 #[test]
@@ -89,9 +223,16 @@ fn lint_accepts_clean_image_and_rejects_corruption() {
         .args(["bench", "crc", "-o", img.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
-    let lint = gpa().args(["lint", img.to_str().unwrap()]).output().unwrap();
+    let lint = gpa()
+        .args(["lint", img.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(
         lint.status.success(),
         "clean image should lint clean: {}",
@@ -106,10 +247,16 @@ fn lint_accepts_clean_image_and_rejects_corruption() {
     bytes[28..32].copy_from_slice(&0xEA80_0000u32.to_le_bytes());
     std::fs::write(&bad, bytes).unwrap();
 
-    let lint = gpa().args(["lint", bad.to_str().unwrap()]).output().unwrap();
+    let lint = gpa()
+        .args(["lint", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!lint.status.success(), "corrupted image must fail the lint");
     let stderr = String::from_utf8_lossy(&lint.stderr);
-    assert!(stderr.contains("V0") || stderr.contains("V1"), "no diagnostic in: {stderr}");
+    assert!(
+        stderr.contains("V0") || stderr.contains("V1"),
+        "no diagnostic in: {stderr}"
+    );
 
     for p in [img, bad] {
         let _ = std::fs::remove_file(p);
@@ -120,7 +267,10 @@ fn lint_accepts_clean_image_and_rejects_corruption() {
 fn lint_rejects_unreadable_container() {
     let bad = tmp("not_an_image.img");
     std::fs::write(&bad, b"not a GPA image at all").unwrap();
-    let out = gpa().args(["lint", bad.to_str().unwrap()]).output().unwrap();
+    let out = gpa()
+        .args(["lint", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let _ = std::fs::remove_file(bad);
 }

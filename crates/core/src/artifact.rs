@@ -1,0 +1,210 @@
+//! Content-addressed artifacts shared by batch runs.
+//!
+//! Corpus optimization re-sees the same inputs constantly: the same
+//! runtime blocks in every image, unchanged images across re-runs, and —
+//! within one run — every block the current round did not rewrite. Two
+//! addresses make that reuse safe:
+//!
+//! * [`image_cache_key`] — the address of a whole optimization *result*:
+//!   a stable hash of the image's normalized code (code words, layout
+//!   bases, entry, symbol table — everything lifting reads; the data
+//!   payload is excluded because it cannot influence the rewrite) plus
+//!   the [`Method`] and every [`RunConfig`] knob that changes the output.
+//!   Equal keys ⇒ byte-identical [`crate::Report`]s.
+//! * [`DfgCache`] — an in-memory map from a block's content address
+//!   ([`gpa_dfg::block_content_hash`]) to its built artifact: the DFG and
+//!   the forward-reachability closure detection needs for convexity
+//!   checks. The cache is shared across rounds, images and worker
+//!   threads; graph construction is deterministic, so a hit returns
+//!   exactly what a rebuild would.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gpa_cfg::Item;
+use gpa_dfg::hash::Fnv128;
+use gpa_dfg::{block_content_hash, Dfg, LabelMode};
+use gpa_image::Image;
+
+use crate::graph_detect::Reach;
+use crate::optimizer::{Method, RunConfig};
+use crate::validate::ValidateLevel;
+
+/// A per-block detection artifact: the DFG plus its reachability closure.
+///
+/// Cached entries are built with an empty function name and region start
+/// zero — detection reads only labels, edges and degrees, all of which
+/// are position-independent.
+pub(crate) struct BlockArtifact {
+    pub(crate) dfg: Dfg,
+    pub(crate) reach: Reach,
+}
+
+impl BlockArtifact {
+    pub(crate) fn build(items: &[Item], mode: LabelMode) -> BlockArtifact {
+        let dfg = gpa_dfg::build_dfg_from_items("", 0, items, mode);
+        let reach = Reach::new(&dfg);
+        BlockArtifact { dfg, reach }
+    }
+}
+
+/// A thread-safe, content-addressed cache of per-block [`Dfg`]s and
+/// reachability closures, keyed by [`gpa_dfg::block_content_hash`].
+///
+/// Hit/miss counters feed the pipeline's metrics report.
+#[derive(Default)]
+pub struct DfgCache {
+    map: Mutex<HashMap<u128, Arc<BlockArtifact>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DfgCache {
+    /// An empty cache.
+    pub fn new() -> DfgCache {
+        DfgCache::default()
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to build the artifact.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Returns the artifact for a block, building and publishing it on
+    /// first sight.
+    pub(crate) fn get_or_build(&self, items: &[Item], mode: LabelMode) -> Arc<BlockArtifact> {
+        let key = block_content_hash(items, mode);
+        if let Some(found) = self.map.lock().expect("dfg cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        // Build outside the lock: duplicate work on a race is cheaper
+        // than serializing every construction behind one mutex.
+        let built = Arc::new(BlockArtifact::build(items, mode));
+        let mut map = self.map.lock().expect("dfg cache poisoned");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
+        let entry = Arc::clone(entry);
+        drop(map);
+        if Arc::ptr_eq(&entry, &built) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        entry
+    }
+}
+
+/// The content address of an optimization run's *result*: two calls agree
+/// exactly when [`crate::Optimizer::run_with`] is guaranteed to produce
+/// the same [`crate::Report`].
+///
+/// Normalization: the data section's *payload* is excluded (lifting never
+/// reads it), while everything decode consumes — code words, section
+/// bases, entry point, and the full symbol table — is hashed. Of the
+/// [`RunConfig`], the knobs that shape the search (`max_rounds`,
+/// `max_fragment_nodes`) and the validation level (a failed validation
+/// yields an error, not a report) are included; `mining_threads` is not,
+/// because partitioned detection merges to the single-threaded result.
+pub fn image_cache_key(image: &Image, method: Method, config: &RunConfig) -> u128 {
+    let mut h = Fnv128::new();
+    h.write(b"gpa-image-key/1");
+    h.write(crate::report::REPORT_SCHEMA.as_bytes());
+    h.write(match method {
+        Method::Sfx => b"sfx",
+        Method::DgSpan => b"dgspan",
+        Method::Edgar => b"edgar",
+    });
+    h.write_u64(config.max_rounds as u64);
+    h.write_u64(config.max_fragment_nodes as u64);
+    h.write(&[match config.validate {
+        ValidateLevel::Off => 0u8,
+        ValidateLevel::Final => 1,
+        ValidateLevel::EveryRound => 2,
+    }]);
+    h.write_u64(u64::from(image.code_base()));
+    h.write_u64(u64::from(image.data_base()));
+    h.write_u64(u64::from(image.entry()));
+    h.write_u64(image.code_words().len() as u64);
+    for &word in image.code_words() {
+        h.write(&word.to_le_bytes());
+    }
+    h.write_u64(image.symbols().len() as u64);
+    for sym in image.symbols() {
+        h.write_u64(sym.name.len() as u64);
+        h.write(sym.name.as_bytes());
+        h.write_u64(u64::from(sym.addr));
+        h.write_u64(u64::from(sym.size));
+        h.write(&[
+            match sym.kind {
+                gpa_image::SymbolKind::Function => 0u8,
+                gpa_image::SymbolKind::Object => 1,
+            },
+            u8::from(sym.address_taken),
+        ]);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_minicc::{compile, Options};
+
+    fn items(asm: &str) -> Vec<Item> {
+        gpa_arm::parse::parse_listing(asm)
+            .unwrap()
+            .into_iter()
+            .map(Item::Insn)
+            .collect()
+    }
+
+    #[test]
+    fn dfg_cache_hits_on_equal_blocks() {
+        let cache = DfgCache::new();
+        let a = items("ldr r3, [r1]!\nsub r2, r2, r3");
+        let first = cache.get_or_build(&a, LabelMode::Exact);
+        let second = cache.get_or_build(&a, LabelMode::Exact);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // A different block misses.
+        let b = items("mov r0, #7");
+        let _ = cache.get_or_build(&b, LabelMode::Exact);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cached_artifact_equals_direct_build() {
+        let a = items("ldr r3, [r1]!\nsub r2, r2, r3\nadd r4, r2, #4");
+        let cache = DfgCache::new();
+        let cached = cache.get_or_build(&a, LabelMode::Exact);
+        let direct = BlockArtifact::build(&a, LabelMode::Exact);
+        assert_eq!(cached.dfg.edges(), direct.dfg.edges());
+        assert_eq!(cached.dfg.node_count(), direct.dfg.node_count());
+    }
+
+    #[test]
+    fn image_key_tracks_code_not_data() {
+        let src = "int g[2]; int main() { g[0] = 3; putint(g[0]); return 0; }";
+        let image = compile(src, &Options::default()).unwrap();
+        let config = RunConfig::default();
+        let base = image_cache_key(&image, Method::Edgar, &config);
+        assert_eq!(base, image_cache_key(&image, Method::Edgar, &config));
+        assert_ne!(base, image_cache_key(&image, Method::Sfx, &config));
+        let mut smaller = config.clone();
+        smaller.max_fragment_nodes = 4;
+        assert_ne!(base, image_cache_key(&image, Method::Edgar, &smaller));
+        let mut threaded = config.clone();
+        threaded.mining_threads = 8;
+        assert_eq!(base, image_cache_key(&image, Method::Edgar, &threaded));
+        // A different program produces a different key.
+        let other = compile("int main() { return 1; }", &Options::default()).unwrap();
+        assert_ne!(base, image_cache_key(&other, Method::Edgar, &config));
+    }
+}

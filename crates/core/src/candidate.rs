@@ -91,10 +91,7 @@ pub fn classify_body(body: &[Item]) -> Option<ExtractionKind> {
         return Some(ExtractionKind::CrossJump);
     }
     // Procedure: the call clobbers lr, so the body must not read it.
-    if body
-        .iter()
-        .any(|i| i.effects().uses.contains(Reg::LR))
-    {
+    if body.iter().any(|i| i.effects().uses.contains(Reg::LR)) {
         return None;
     }
     let is_call = |i: &Item| matches!(i, Item::Call { .. } | Item::IndirectCall { .. });

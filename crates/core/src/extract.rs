@@ -30,8 +30,8 @@ impl std::error::Error for ExtractError {}
 /// A scheduling unit of a contracted region: one external item or one
 /// whole occurrence.
 enum Unit {
-    External(usize),          // item index, relative to region
-    Fragment(Vec<usize>),     // member item indices, relative to region
+    External(usize),      // item index, relative to region
+    Fragment(Vec<usize>), // member item indices, relative to region
 }
 
 impl Unit {
@@ -212,12 +212,7 @@ pub fn apply(
             ExtractionKind::Procedure { .. } => {
                 let sets: Vec<Vec<usize>> = occs
                     .iter()
-                    .map(|o| {
-                        o.item_indices
-                            .iter()
-                            .map(|&i| i - region_start)
-                            .collect()
-                    })
+                    .map(|o| o.item_indices.iter().map(|&i| i - region_start).collect())
                     .collect();
                 contract_region(&region_items, &sets, frag_name).ok_or_else(|| {
                     ExtractError(format!(
@@ -234,11 +229,8 @@ pub fn apply(
                         "multiple cross-jump occurrences in one region".into(),
                     ));
                 }
-                let members: HashSet<usize> = occ
-                    .item_indices
-                    .iter()
-                    .map(|&i| i - region_start)
-                    .collect();
+                let members: HashSet<usize> =
+                    occ.item_indices.iter().map(|&i| i - region_start).collect();
                 let mut rest: Vec<Item> = region_items
                     .iter()
                     .enumerate()
@@ -303,9 +295,9 @@ mod tests {
         // fragment = {0, 2}; item 1 depends on 0 and 2 depends on 1 —
         // contracting {0, 2} is the non-convex case of Fig. 9.
         let items = vec![
-            insn("ldr r3, [r1], #4"),  // 0: defs r3, r1
-            insn("sub r2, r2, r3"),    // 1: uses r3, defs r2
-            insn("add r4, r2, #4"),    // 2: uses r2
+            insn("ldr r3, [r1], #4"), // 0: defs r3, r1
+            insn("sub r2, r2, r3"),   // 1: uses r3, defs r2
+            insn("add r4, r2, #4"),   // 2: uses r2
         ];
         assert_eq!(contract_region(&items, &[vec![0, 2]], "frag"), None);
     }
@@ -347,7 +339,9 @@ mod tests {
         assert_eq!(f.items.len(), 4);
         // `push {lr}` prints in its canonical stm form.
         assert!(matches!(&f.items[0], Item::Insn(i) if i.to_string() == "stmdb sp!, {lr}"));
-        assert!(matches!(f.items.last(), Some(Item::Insn(i)) if i.to_string() == "ldmia sp!, {pc}"));
+        assert!(
+            matches!(f.items.last(), Some(Item::Insn(i)) if i.to_string() == "ldmia sp!, {pc}")
+        );
 
         let cj = Candidate {
             body: vec![insn("add sp, sp, #8"), insn("pop {r4, pc}")],

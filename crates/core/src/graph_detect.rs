@@ -1,15 +1,22 @@
 //! Graph-based fragment detection: DgSpan and Edgar candidates.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 use gpa_cfg::{Item, Program};
-use gpa_dfg::{build_dfg_from_items, Dfg, LabelMode};
+use gpa_dfg::{Dfg, LabelMode};
+use gpa_mining::embed::seed_buckets;
 use gpa_mining::graph::InputGraph;
-use gpa_mining::miner::{mine_streaming, non_overlapping_count, Config, Frequent, GrowDecision, Support};
+use gpa_mining::miner::{
+    mine_seed, non_overlapping_count, Config, Frequent, GrowDecision, Support,
+};
 
+use crate::artifact::{BlockArtifact, DfgCache};
 use crate::candidate::{classify_body, Candidate, ExtractionKind, Occurrence};
 use crate::cost::saved_words;
 use crate::extract::contract_region;
+use crate::stage::StageTimings;
 use crate::trace::trace_equivalent;
 
 /// Detection configuration for the graph-based methods.
@@ -25,6 +32,11 @@ pub struct GraphConfig {
     /// lattice of large repetitive blocks; see
     /// [`gpa_mining::miner::Config::max_patterns`]).
     pub max_patterns: usize,
+    /// Worker threads for the lattice search (seed-level round-robin
+    /// partition; `1` = in-place sequential search). Results are merged
+    /// so the winning candidate matches the sequential search whenever
+    /// the pattern budget is not exhausted.
+    pub threads: usize,
 }
 
 impl Default for GraphConfig {
@@ -34,6 +46,7 @@ impl Default for GraphConfig {
             label_mode: LabelMode::Exact,
             max_nodes: 16,
             max_patterns: 60_000,
+            threads: 1,
         }
     }
 }
@@ -149,14 +162,12 @@ impl Reach {
 /// the benefit is enormous anyway, and validation cost must stay bounded.
 const MAX_VALIDATED_EMBEDDINGS: usize = 512;
 
-#[allow(clippy::too_many_arguments)]
 fn candidate_from_frequent(
     freq: &Frequent,
     infos: &[RegionInfo],
-    dfgs: &[Dfg],
-    reaches: &[Reach],
+    artifacts: &[Arc<BlockArtifact>],
     lr_free: &[bool],
-    support: Support,
+    mis_ns: &mut u64,
 ) -> Option<Candidate> {
     if freq.embeddings.len() < 2 {
         return None;
@@ -175,8 +186,8 @@ fn candidate_from_frequent(
     let mut valid: Vec<&gpa_mining::embed::Embedding> = Vec::new();
     for emb in freq.embeddings.iter().take(MAX_VALIDATED_EMBEDDINGS) {
         let info = &infos[emb.graph as usize];
-        let dfg = &dfgs[emb.graph as usize];
-        let reach = &reaches[emb.graph as usize];
+        let dfg = &artifacts[emb.graph as usize].dfg;
+        let reach = &artifacts[emb.graph as usize].reach;
         let nodes = emb.sorted_nodes();
         let seq: Vec<Item> = nodes
             .iter()
@@ -227,9 +238,7 @@ fn candidate_from_frequent(
             ExtractionKind::CrossJump => {
                 // Exit-closed: no direct edge from a fragment node to an
                 // external node (the fragment must be schedulable last).
-                !dfg.edges()
-                    .iter()
-                    .any(|e| in_set(e.from) && !in_set(e.to))
+                !dfg.edges().iter().any(|e| in_set(e.from) && !in_set(e.to))
             }
         };
         if ok {
@@ -246,11 +255,11 @@ fn candidate_from_frequent(
     // look infrequent to DgSpan); once a fragment is selected, the
     // extraction machinery takes every non-overlapping occurrence for
     // both methods.
-    let _ = support;
     let selected: Vec<&gpa_mining::embed::Embedding> = {
-        let owned: Vec<gpa_mining::embed::Embedding> =
-            valid.iter().map(|e| (*e).clone()).collect();
+        let owned: Vec<gpa_mining::embed::Embedding> = valid.iter().map(|e| (*e).clone()).collect();
+        let mis_start = Instant::now();
         let (_, chosen) = non_overlapping_count(&owned);
+        *mis_ns += mis_start.elapsed().as_nanos() as u64;
         chosen.into_iter().map(|i| valid[i]).collect()
     };
 
@@ -307,118 +316,240 @@ fn candidate_from_frequent(
     })
 }
 
+/// The strict total preference order on candidates: more savings, then
+/// smaller body, then earliest first occurrence. A full tie means the two
+/// candidates rewrite the same first site with the same-size body for the
+/// same benefit; the incumbent wins.
+fn better(c: &Candidate, b: &Candidate) -> bool {
+    c.saved > b.saved
+        || (c.saved == b.saved && c.body_words() < b.body_words())
+        || (c.saved == b.saved
+            && c.body_words() == b.body_words()
+            && (&c.occurrences[0].function, &c.occurrences[0].item_indices)
+                < (&b.occurrences[0].function, &b.occurrences[0].item_indices))
+}
+
+/// Shared, read-only state of one detection round's lattice search.
+struct SearchCtx<'a> {
+    infos: &'a [RegionInfo],
+    artifacts: &'a [Arc<BlockArtifact>],
+    lr_free: &'a [bool],
+    region_live: &'a [bool],
+    graphs: &'a [InputGraph],
+    max_body_words: i64,
+}
+
+/// One worker's running result: its best candidate, the seed index that
+/// produced it (for deterministic cross-worker tie-breaking), and its MIS
+/// time share.
+#[derive(Default)]
+struct WorkerBest {
+    candidate: Option<Candidate>,
+    seed: usize,
+    mis_ns: u64,
+}
+
+impl SearchCtx<'_> {
+    // The cross-jump benefit k·m − k − m is the most generous extraction
+    // kind and is increasing in both k (occurrences) and m (body words),
+    // so evaluating it at upper bounds of k and m bounds every candidate
+    // derivable from a pattern (and, for the subtree bound, from any of
+    // its descendants).
+    fn benefit_bound(k: i64, m: i64) -> i64 {
+        k * m - k - m
+    }
+
+    /// Upper bound on disjoint occurrences of ANY pattern with ≥ `m`
+    /// nodes embedded in the given graphs: disjoint embeddings of size m
+    /// tile a graph, so at most ⌊|V|/m⌋ fit per graph.
+    fn tiling_bound(&self, f: &Frequent, m: usize) -> i64 {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total = 0i64;
+        for e in &f.embeddings {
+            if seen.insert(e.graph) {
+                total += (self.graphs[e.graph as usize].node_count() / m) as i64;
+            }
+        }
+        total.min(f.embeddings.len() as i64)
+    }
+
+    /// The streaming visitor body; `seed` is the index of the seed whose
+    /// subtree is being grown. Bounds are compared against
+    /// `max(best, 1)` *inclusively*, so candidates tying the incumbent
+    /// are still evaluated — this keeps the tie-break total and makes
+    /// the partitioned search merge to the sequential result.
+    fn visit(&self, f: &Frequent, seed: usize, best: &mut WorkerBest) -> GrowDecision {
+        let m = f.pattern.node_count();
+        // Any real candidate saves at least one word.
+        let target = best.candidate.as_ref().map(|b| b.saved).unwrap_or(0).max(1);
+        // §3.5 PA-specific lattice pruning: an embedding can only ever be
+        // extracted if its region admits *some* mechanism (see
+        // region_live in best_candidate_instrumented); branches of the
+        // lattice supported only by dead regions are pruned.
+        let k_live = f
+            .embeddings
+            .iter()
+            .filter(|e| self.region_live[e.graph as usize])
+            .count();
+        if k_live < 2 {
+            return GrowDecision::SkipChildren;
+        }
+        let k_ub = self.tiling_bound(f, m);
+        // No descendant (m′ ≥ m, occurrences ≤ k_ub since disjoint
+        // counts are antimonotone) can reach the target: prune.
+        if Self::benefit_bound(k_ub, self.max_body_words) < target {
+            return GrowDecision::SkipChildren;
+        }
+        // This very pattern cannot reach the target: skip the expensive
+        // validation but keep growing.
+        if Self::benefit_bound(k_ub, 2 * m as i64) >= target {
+            if let Some(c) = candidate_from_frequent(
+                f,
+                self.infos,
+                self.artifacts,
+                self.lr_free,
+                &mut best.mis_ns,
+            ) {
+                let wins = match &best.candidate {
+                    None => true,
+                    Some(b) => better(&c, b),
+                };
+                if wins {
+                    best.candidate = Some(c);
+                    best.seed = seed;
+                }
+            }
+        }
+        GrowDecision::Continue
+    }
+}
+
 /// Finds the best extractable candidate in the program under graph-based
 /// detection, or `None` when no extraction shrinks the program.
 pub fn best_candidate(program: &Program, config: &GraphConfig) -> Option<Candidate> {
+    let mut scratch = StageTimings::default();
+    best_candidate_instrumented(program, config, &mut scratch, None)
+}
+
+/// [`best_candidate`] with per-stage timing accumulation and an optional
+/// content-addressed cache of per-block artifacts.
+///
+/// With `config.threads > 1` the seed patterns of the DFS-code lattice
+/// are partitioned round-robin over worker threads; each worker keeps a
+/// local best and the results merge under the same total preference
+/// order the sequential search uses (ties broken towards the earlier
+/// seed), so the returned candidate is the sequential one whenever the
+/// per-worker pattern budget is not exhausted.
+pub(crate) fn best_candidate_instrumented(
+    program: &Program,
+    config: &GraphConfig,
+    timings: &mut StageTimings,
+    cache: Option<&DfgCache>,
+) -> Option<Candidate> {
     let infos = region_infos(program);
-    let dfgs: Vec<Dfg> = infos
+    let build_start = Instant::now();
+    let artifacts: Vec<Arc<BlockArtifact>> = infos
         .iter()
-        .map(|info| {
-            build_dfg_from_items(
-                &program.functions[info.function].name,
-                info.start,
-                &info.items,
-                config.label_mode,
-            )
+        .map(|info| match cache {
+            Some(cache) => cache.get_or_build(&info.items, config.label_mode),
+            None => Arc::new(BlockArtifact::build(&info.items, config.label_mode)),
         })
         .collect();
     let lr_free = lr_free_functions(program);
-    let reaches: Vec<Reach> = dfgs.iter().map(Reach::new).collect();
-    let (graphs, _interner) = InputGraph::from_dfgs(&dfgs);
-    // §3.5 PA-specific lattice pruning: an embedding can only ever be
-    // extracted if its region admits *some* mechanism — procedures need a
-    // clobberable lr; cross-jumps need the region's return to be part of
-    // a connected (≥ 2 node) fragment. Regions offering neither (leaf
-    // function bodies whose `bx lr` is edge-isolated) contribute nothing,
-    // and branches of the lattice supported only by them are pruned.
+    let (graphs, _interner) = InputGraph::from_dfg_refs(artifacts.iter().map(|a| &a.dfg));
+    timings.dfg_build_ns += build_start.elapsed().as_nanos() as u64;
+    // A region is "live" when it could ever host an extraction: its
+    // function's lr is clobberable (procedures), or its return
+    // participates in a connected fragment (cross-jumps).
     let region_live: Vec<bool> = infos
         .iter()
-        .zip(&dfgs)
-        .map(|(info, dfg)| {
+        .zip(&artifacts)
+        .map(|(info, artifact)| {
             if lr_free[info.function] {
                 return true;
             }
+            let dfg = &artifact.dfg;
             let n = dfg.node_count();
             n > 0
                 && info.items[n - 1].is_return()
                 && (dfg.in_degree(n - 1) > 0 || dfg.out_degree(n - 1) > 0)
         })
         .collect();
-    // The cross-jump benefit k·m − k − m is the most generous extraction
-    // kind and is increasing in both k (occurrences) and m (body words),
-    // so evaluating it at upper bounds of k and m bounds every candidate
-    // derivable from a pattern (and, for the subtree bound, from any of
-    // its descendants).
-    let benefit_bound = |k: i64, m: i64| k * m - k - m;
-    // Upper bound on disjoint occurrences of ANY pattern with ≥ `m` nodes
-    // embedded in the given graphs: disjoint embeddings of size m tile a
-    // graph, so at most ⌊|V|/m⌋ fit per graph.
-    let tiling_bound = |f: &Frequent, m: usize| -> i64 {
-        let mut seen = std::collections::BTreeSet::new();
-        let mut total = 0i64;
-        for e in &f.embeddings {
-            if seen.insert(e.graph) {
-                total += (graphs[e.graph as usize].node_count() / m) as i64;
+    let ctx = SearchCtx {
+        infos: &infos,
+        artifacts: &artifacts,
+        lr_free: &lr_free,
+        region_live: &region_live,
+        graphs: &graphs,
+        max_body_words: 2 * config.max_nodes as i64, // fused calls = 2 words
+    };
+    let mine_config = Config {
+        min_support: 2,
+        support: config.support,
+        max_nodes: config.max_nodes,
+        max_patterns: config.max_patterns,
+        ..Config::default()
+    };
+    let mine_start = Instant::now();
+    let seeds: Vec<_> = seed_buckets(&graphs).into_iter().collect();
+    let workers = config.threads.max(1).min(seeds.len().max(1));
+    let run_worker = |worker: usize, stride: usize| -> WorkerBest {
+        let mut best = WorkerBest::default();
+        let mut budget = mine_config.max_patterns;
+        for (si, (tuple, embeddings)) in seeds.iter().enumerate() {
+            if si % stride != worker {
+                continue;
+            }
+            let keep_going = mine_seed(
+                *tuple,
+                embeddings.clone(),
+                &graphs,
+                &mine_config,
+                &mut |f| ctx.visit(f, si, &mut best),
+                &mut budget,
+            );
+            if !keep_going {
+                break;
             }
         }
-        total.min(f.embeddings.len() as i64)
+        best
     };
-    let max_body_words = 2 * config.max_nodes as i64; // fused calls = 2 words
-    let mut best: Option<Candidate> = None;
-    mine_streaming(
-        &graphs,
-        &Config {
-            min_support: 2,
-            support: config.support,
-            max_nodes: config.max_nodes,
-            max_patterns: config.max_patterns,
-            ..Config::default()
-        },
-        &mut |f| {
-            let m = f.pattern.node_count();
-            let best_saved = best.as_ref().map(|b| b.saved).unwrap_or(0);
-            // Unextractable-region pruning (see region_live above).
-            let k_live = f
-                .embeddings
-                .iter()
-                .filter(|e| region_live[e.graph as usize])
-                .count();
-            if k_live < 2 {
-                return GrowDecision::SkipChildren;
-            }
-            let k_ub = tiling_bound(f, m);
-            // No descendant (m′ ≥ m, occurrences ≤ k_ub since disjoint
-            // counts are antimonotone) can beat the current best: prune.
-            if benefit_bound(k_ub, max_body_words) <= best_saved {
-                return GrowDecision::SkipChildren;
-            }
-            // This very pattern cannot beat the best: skip the expensive
-            // validation but keep growing.
-            if benefit_bound(k_ub, 2 * m as i64) > best_saved {
-                if let Some(c) =
-                    candidate_from_frequent(f, &infos, &dfgs, &reaches, &lr_free, config.support)
-                {
-                    let better = match &best {
-                        None => true,
-                        Some(b) => {
-                            c.saved > b.saved
-                                || (c.saved == b.saved && c.body_words() < b.body_words())
-                                || (c.saved == b.saved
-                                    && c.body_words() == b.body_words()
-                                    && (&c.occurrences[0].function, &c.occurrences[0].item_indices)
-                                        < (&b.occurrences[0].function,
-                                           &b.occurrences[0].item_indices))
-                        }
-                    };
-                    if better {
-                        best = Some(c);
-                    }
+    let worker_bests: Vec<WorkerBest> = if workers <= 1 {
+        vec![run_worker(0, 1)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let run_worker = &run_worker;
+                    scope.spawn(move || run_worker(w, workers))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mining worker panicked"))
+                .collect()
+        })
+    };
+    let mut mis_total = 0u64;
+    let mut merged: Option<(Candidate, usize)> = None;
+    for wb in worker_bests {
+        mis_total += wb.mis_ns;
+        let Some(c) = wb.candidate else { continue };
+        merged = match merged {
+            None => Some((c, wb.seed)),
+            Some((incumbent, inc_seed)) => {
+                if better(&c, &incumbent) || (!better(&incumbent, &c) && wb.seed < inc_seed) {
+                    Some((c, wb.seed))
+                } else {
+                    Some((incumbent, inc_seed))
                 }
             }
-            GrowDecision::Continue
-        },
-    );
-    best
+        };
+    }
+    let mine_ns = mine_start.elapsed().as_nanos() as u64;
+    timings.mining_ns += mine_ns.saturating_sub(mis_total);
+    timings.mis_ns += mis_total;
+    merged.map(|(c, _)| c)
 }
 
 #[cfg(test)]
@@ -497,6 +628,51 @@ mod tests {
     }
 
     #[test]
+    fn threaded_search_matches_sequential() {
+        let program = running_example_program();
+        for support in [Support::Embeddings, Support::Graphs] {
+            let sequential = best_candidate(
+                &program,
+                &GraphConfig {
+                    support,
+                    ..GraphConfig::default()
+                },
+            );
+            for threads in [2, 3, 8] {
+                let parallel = best_candidate(
+                    &program,
+                    &GraphConfig {
+                        support,
+                        threads,
+                        ..GraphConfig::default()
+                    },
+                );
+                assert_eq!(parallel, sequential, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_search_matches_uncached_and_hits_on_reuse() {
+        let program = running_example_program();
+        let config = GraphConfig {
+            support: Support::Embeddings,
+            ..GraphConfig::default()
+        };
+        let uncached = best_candidate(&program, &config);
+        let cache = DfgCache::new();
+        let mut timings = StageTimings::default();
+        let first = best_candidate_instrumented(&program, &config, &mut timings, Some(&cache));
+        let second = best_candidate_instrumented(&program, &config, &mut timings, Some(&cache));
+        assert_eq!(first, uncached);
+        assert_eq!(second, uncached);
+        // Both regions are identical blocks, so even the cold pass hits
+        // once; the warm pass hits on every region.
+        assert!(cache.hits() >= 2, "hits: {}", cache.hits());
+        assert!(timings.dfg_build_ns > 0 && timings.mining_ns > 0);
+    }
+
+    #[test]
     fn edgar_beats_dgspan_on_intra_block_repeats() {
         let program = running_example_program();
         let edgar = best_candidate(
@@ -523,4 +699,3 @@ mod tests {
         );
     }
 }
-

@@ -48,17 +48,22 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod candidate;
 pub mod cost;
 pub mod extract;
 pub mod graph_detect;
+pub mod json;
 pub mod optimizer;
 pub mod report;
 pub mod sfx_detect;
+pub mod stage;
 pub mod trace;
 pub mod validate;
 
+pub use artifact::{image_cache_key, DfgCache};
 pub use candidate::{Candidate, ExtractionKind, Occurrence};
 pub use optimizer::{Method, Optimizer, OptimizerError, RunConfig};
-pub use report::{Report, Round};
+pub use report::{Report, Round, REPORT_SCHEMA};
+pub use stage::StageTimings;
 pub use validate::ValidateLevel;

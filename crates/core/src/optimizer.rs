@@ -1,17 +1,20 @@
 //! The optimization driver: mine → pick best → extract → repeat.
 
 use std::fmt;
+use std::time::Instant;
 
 use gpa_cfg::{decode_image, encode_program, Program};
 use gpa_image::Image;
 use gpa_mining::miner::Support;
 use gpa_verify::{has_errors, Diagnostic};
 
+use crate::artifact::DfgCache;
 use crate::candidate::Candidate;
 use crate::extract;
 use crate::graph_detect::{self, GraphConfig};
 use crate::report::{Report, Round};
 use crate::sfx_detect;
+use crate::stage::StageTimings;
 use crate::validate::{self, ValidateLevel};
 
 /// The three detection methods compared in the paper.
@@ -23,6 +26,28 @@ pub enum Method {
     DgSpan,
     /// Embedding-based counting with MIS overlap resolution.
     Edgar,
+}
+
+impl Method {
+    /// The stable lowercase name used on the command line and in cache
+    /// keys; [`Method::parse`] is its inverse.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Sfx => "sfx",
+            Method::DgSpan => "dgspan",
+            Method::Edgar => "edgar",
+        }
+    }
+
+    /// Parses a [`Method::as_str`] name (case-sensitive).
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "sfx" => Some(Method::Sfx),
+            "dgspan" => Some(Method::DgSpan),
+            "edgar" => Some(Method::Edgar),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Method {
@@ -78,6 +103,11 @@ pub struct RunConfig {
     pub max_fragment_nodes: usize,
     /// How much of the run the translation validator re-checks.
     pub validate: ValidateLevel,
+    /// Worker threads for the graph miners' lattice search (see
+    /// [`GraphConfig::threads`]); the partitioned search merges to the
+    /// single-threaded result, so this knob never changes the output and
+    /// is excluded from [`crate::artifact::image_cache_key`].
+    pub mining_threads: usize,
 }
 
 impl Default for RunConfig {
@@ -86,6 +116,7 @@ impl Default for RunConfig {
             max_rounds: 10_000,
             max_fragment_nodes: 16,
             validate: ValidateLevel::default(),
+            mining_threads: 1,
         }
     }
 }
@@ -108,6 +139,22 @@ impl Optimizer {
         Ok(Optimizer::from_program(
             decode_image(image).map_err(OptimizerError::Decode)?,
         ))
+    }
+
+    /// [`Optimizer::from_image`] with the decode time added to
+    /// `timings.decode_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`gpa_cfg::decode_image`] failures.
+    pub fn from_image_timed(
+        image: &Image,
+        timings: &mut StageTimings,
+    ) -> Result<Optimizer, OptimizerError> {
+        let start = Instant::now();
+        let result = Optimizer::from_image(image);
+        timings.decode_ns += start.elapsed().as_nanos() as u64;
+        result
     }
 
     /// Wraps an already-lifted program.
@@ -134,23 +181,47 @@ impl Optimizer {
 
     /// Finds the best candidate under `method` without applying it.
     pub fn detect(&self, method: Method, config: &RunConfig) -> Option<Candidate> {
+        let mut scratch = StageTimings::default();
+        self.detect_instrumented(method, config, &mut scratch, None)
+    }
+
+    /// [`Optimizer::detect`] with per-stage timing accumulation and an
+    /// optional shared DFG artifact cache.
+    pub fn detect_instrumented(
+        &self,
+        method: Method,
+        config: &RunConfig,
+        timings: &mut StageTimings,
+        cache: Option<&DfgCache>,
+    ) -> Option<Candidate> {
         match method {
-            Method::Sfx => sfx_detect::best_candidate(&self.program),
-            Method::DgSpan => graph_detect::best_candidate(
+            Method::Sfx => {
+                let start = Instant::now();
+                let found = sfx_detect::best_candidate(&self.program);
+                timings.mining_ns += start.elapsed().as_nanos() as u64;
+                found
+            }
+            Method::DgSpan => graph_detect::best_candidate_instrumented(
                 &self.program,
                 &GraphConfig {
                     support: Support::Graphs,
                     max_nodes: config.max_fragment_nodes,
+                    threads: config.mining_threads,
                     ..GraphConfig::default()
                 },
+                timings,
+                cache,
             ),
-            Method::Edgar => graph_detect::best_candidate(
+            Method::Edgar => graph_detect::best_candidate_instrumented(
                 &self.program,
                 &GraphConfig {
                     support: Support::Embeddings,
                     max_nodes: config.max_fragment_nodes,
+                    threads: config.mining_threads,
                     ..GraphConfig::default()
                 },
+                timings,
+                cache,
             ),
         }
     }
@@ -177,8 +248,7 @@ impl Optimizer {
         let before = (level == ValidateLevel::EveryRound).then(|| self.program.clone());
         extract::apply(&mut self.program, candidate, &name).map_err(OptimizerError::Extract)?;
         if let Some(before) = before {
-            let diags =
-                validate::validate_extraction(&before, &self.program, candidate, &name);
+            let diags = validate::validate_extraction(&before, &self.program, candidate, &name);
             if has_errors(&diags) {
                 return Err(OptimizerError::Validate(diags));
             }
@@ -208,14 +278,52 @@ impl Optimizer {
     /// applied, and — under [`RunConfig::validate`] —
     /// [`OptimizerError::Validate`] when a rewrite or the final program
     /// fails the static validator.
-    pub fn run_with(&mut self, method: Method, config: &RunConfig) -> Result<Report, OptimizerError> {
+    pub fn run_with(
+        &mut self,
+        method: Method,
+        config: &RunConfig,
+    ) -> Result<Report, OptimizerError> {
+        let mut scratch = StageTimings::default();
+        self.run_instrumented(method, config, &mut scratch, None)
+    }
+
+    /// [`Optimizer::run_with`] with per-stage timing accumulation and an
+    /// optional shared DFG artifact cache.
+    ///
+    /// Wall time is attributed to [`StageTimings`] buckets: DFG
+    /// construction, mining, and MIS resolution inside detection;
+    /// extraction around [`Optimizer::apply_candidate`] (minus any
+    /// per-round validation, which counts as validation); and the final
+    /// program validation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Optimizer::run_with`].
+    pub fn run_instrumented(
+        &mut self,
+        method: Method,
+        config: &RunConfig,
+        timings: &mut StageTimings,
+        cache: Option<&DfgCache>,
+    ) -> Result<Report, OptimizerError> {
         let initial_words = self.program.instruction_count();
         let mut rounds = Vec::new();
         for _ in 0..config.max_rounds {
-            let Some(candidate) = self.detect(method, config) else {
+            let Some(candidate) = self.detect_instrumented(method, config, timings, cache) else {
                 break;
             };
+            let apply_start = Instant::now();
+            let round_validated = config.validate == ValidateLevel::EveryRound;
             let name = self.apply_candidate(&candidate, config.validate)?;
+            let apply_ns = apply_start.elapsed().as_nanos() as u64;
+            // Per-round validation dominates the apply path when on;
+            // attribute the whole round-validated apply to validation
+            // rather than splitting hairs inside apply_candidate.
+            if round_validated {
+                timings.validation_ns += apply_ns;
+            } else {
+                timings.extraction_ns += apply_ns;
+            }
             rounds.push(Round {
                 kind: candidate.kind,
                 body_words: candidate.body_words(),
@@ -225,7 +333,9 @@ impl Optimizer {
             });
         }
         if config.validate != ValidateLevel::Off {
+            let validate_start = Instant::now();
             let diags = validate::validate_program(&self.program);
+            timings.validation_ns += validate_start.elapsed().as_nanos() as u64;
             if has_errors(&diags) {
                 return Err(OptimizerError::Validate(diags));
             }
@@ -255,8 +365,7 @@ mod tests {
         assert_eq!(before.output, after.output, "{method}: output");
         assert_eq!(
             report.saved_words(),
-            image.code_len() as i64 - optimized.code_len() as i64
-                + pool_delta(&image, &optimized)
+            image.code_len() as i64 - optimized.code_len() as i64 + pool_delta(&image, &optimized)
         );
         (report, after.steps)
     }

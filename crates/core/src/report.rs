@@ -1,6 +1,12 @@
 //! Optimization reports: the data behind Table 1 and Fig. 12.
 
 use crate::candidate::ExtractionKind;
+use crate::json::Json;
+
+/// Version tag of the report JSON schema (bump on incompatible change;
+/// the artifact cache rejects mismatched payloads, turning a format
+/// change into a cache miss instead of a parse error).
+pub const REPORT_SCHEMA: &str = "gpa-report/1";
 
 /// One extraction round.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,9 +61,116 @@ impl Report {
     pub fn relative_increase_vs(&self, baseline: &Report) -> f64 {
         let base = baseline.saved_words() as f64;
         if base == 0.0 {
-            return if self.saved_words() > 0 { f64::INFINITY } else { 0.0 };
+            return if self.saved_words() > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
         }
         (self.saved_words() as f64 / base - 1.0) * 100.0
+    }
+
+    /// Serializes the report to the [`REPORT_SCHEMA`] JSON document — the
+    /// payload the pipeline's artifact cache stores and the corpus report
+    /// embeds. [`Report::from_json`] is its exact inverse.
+    pub fn to_json(&self) -> Json {
+        let rounds = self
+            .rounds
+            .iter()
+            .map(|r| {
+                let mut pairs = vec![(
+                    "kind".to_owned(),
+                    Json::from(match r.kind {
+                        ExtractionKind::Procedure { .. } => "procedure",
+                        ExtractionKind::CrossJump => "cross_jump",
+                    }),
+                )];
+                if let ExtractionKind::Procedure { lr_save } = r.kind {
+                    pairs.push(("lr_save".to_owned(), Json::from(lr_save)));
+                }
+                pairs.push(("body_words".to_owned(), Json::from(r.body_words)));
+                pairs.push(("occurrences".to_owned(), Json::from(r.occurrences)));
+                pairs.push(("saved".to_owned(), Json::from(r.saved)));
+                pairs.push((
+                    "fragment_name".to_owned(),
+                    Json::from(r.fragment_name.as_str()),
+                ));
+                Json::Obj(pairs)
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::from(REPORT_SCHEMA)),
+            ("initial_words", Json::from(self.initial_words)),
+            ("final_words", Json::from(self.final_words)),
+            ("saved_words", Json::from(self.saved_words())),
+            ("rounds", Json::Arr(rounds)),
+        ])
+    }
+
+    /// Deserializes a report written by [`Report::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on schema mismatch or any missing/mistyped field.
+    pub fn from_json(doc: &Json) -> Result<Report, String> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(REPORT_SCHEMA) => {}
+            other => return Err(format!("unsupported report schema {other:?}")),
+        }
+        let int = |key: &str| -> Result<i64, String> {
+            doc.get(key)
+                .and_then(Json::as_int)
+                .ok_or_else(|| format!("missing integer field `{key}`"))
+        };
+        let initial_words = usize::try_from(int("initial_words")?)
+            .map_err(|_| "negative initial_words".to_owned())?;
+        let final_words =
+            usize::try_from(int("final_words")?).map_err(|_| "negative final_words".to_owned())?;
+        let mut rounds = Vec::new();
+        for (i, r) in doc
+            .get("rounds")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing `rounds` array".to_owned())?
+            .iter()
+            .enumerate()
+        {
+            let field = |key: &str| -> Result<&Json, String> {
+                r.get(key)
+                    .ok_or_else(|| format!("round {i}: missing field `{key}`"))
+            };
+            let kind = match field("kind")?.as_str() {
+                Some("procedure") => ExtractionKind::Procedure {
+                    lr_save: field("lr_save")?
+                        .as_bool()
+                        .ok_or_else(|| format!("round {i}: bad lr_save"))?,
+                },
+                Some("cross_jump") => ExtractionKind::CrossJump,
+                other => return Err(format!("round {i}: unknown kind {other:?}")),
+            };
+            let uint = |key: &str| -> Result<usize, String> {
+                field(key)?
+                    .as_int()
+                    .and_then(|v| usize::try_from(v).ok())
+                    .ok_or_else(|| format!("round {i}: bad `{key}`"))
+            };
+            rounds.push(Round {
+                kind,
+                body_words: uint("body_words")?,
+                occurrences: uint("occurrences")?,
+                saved: field("saved")?
+                    .as_int()
+                    .ok_or_else(|| format!("round {i}: bad `saved`"))?,
+                fragment_name: field("fragment_name")?
+                    .as_str()
+                    .ok_or_else(|| format!("round {i}: bad `fragment_name`"))?
+                    .to_owned(),
+            });
+        }
+        Ok(Report {
+            initial_words,
+            final_words,
+            rounds,
+        })
     }
 }
 

@@ -65,7 +65,11 @@ fn candidate_from_repeat(
             kind,
             saved,
         };
-        if best.as_ref().map(|b| candidate.saved > b.saved).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|b| candidate.saved > b.saved)
+            .unwrap_or(true)
+        {
             best = Some(candidate);
         }
     }
@@ -155,7 +159,10 @@ mod tests {
         let cand = best_candidate(&p).expect("profitable repeat");
         assert!(cand.saved > 0);
         assert_eq!(cand.occurrences.len(), 3);
-        assert!(matches!(cand.kind, ExtractionKind::Procedure { .. } | ExtractionKind::CrossJump));
+        assert!(matches!(
+            cand.kind,
+            ExtractionKind::Procedure { .. } | ExtractionKind::CrossJump
+        ));
     }
 
     #[test]
@@ -165,11 +172,23 @@ mod tests {
         let p = program(vec![
             function(
                 "a",
-                &["push {r4, lr}", "mov r4, #1", "mov r3, #2", "mov r2, #3", "pop {r4, pc}"],
+                &[
+                    "push {r4, lr}",
+                    "mov r4, #1",
+                    "mov r3, #2",
+                    "mov r2, #3",
+                    "pop {r4, pc}",
+                ],
             ),
             function(
                 "b",
-                &["push {r4, lr}", "mov r2, #3", "mov r4, #1", "mov r3, #2", "pop {r4, pc}"],
+                &[
+                    "push {r4, lr}",
+                    "mov r2, #3",
+                    "mov r4, #1",
+                    "mov r3, #2",
+                    "pop {r4, pc}",
+                ],
             ),
         ]);
         // The only shared 2+-sequences are the prologue/epilogue pairs,

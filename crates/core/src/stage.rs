@@ -1,0 +1,104 @@
+//! Per-stage wall-time accounting for optimization runs.
+//!
+//! The batch pipeline (`gpa batch`) wants to know where corpus time goes:
+//! lifting, DFG construction, lattice mining, MIS overlap resolution,
+//! extraction, validation. [`StageTimings`] is the accumulator the
+//! instrumented entry points ([`crate::Optimizer::run_instrumented`],
+//! [`crate::Optimizer::from_image_timed`]) fill in; totals merge across
+//! rounds, images and worker threads by plain addition.
+//!
+//! Times are nanoseconds of wall clock *per stage invocation*, summed.
+//! When detection itself runs on several mining threads the per-worker
+//! times add up, so a stage total can exceed the end-to-end wall time —
+//! read them as CPU-seconds of attributable work, not as a timeline.
+
+use crate::json::Json;
+
+/// Accumulated per-stage wall time, in nanoseconds.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Image lifting ([`gpa_cfg::decode_image`]).
+    pub decode_ns: u64,
+    /// Data-flow-graph construction and reachability closures.
+    pub dfg_build_ns: u64,
+    /// Frequent-fragment lattice search (minus the MIS share below).
+    pub mining_ns: u64,
+    /// Maximum-independent-set overlap resolution during candidate
+    /// construction.
+    pub mis_ns: u64,
+    /// Applying the winning candidate (program rewriting).
+    pub extraction_ns: u64,
+    /// Translation validation (per-round and final).
+    pub validation_ns: u64,
+}
+
+impl StageTimings {
+    /// Adds another accumulator into this one, stage by stage.
+    pub fn merge(&mut self, other: &StageTimings) {
+        self.decode_ns += other.decode_ns;
+        self.dfg_build_ns += other.dfg_build_ns;
+        self.mining_ns += other.mining_ns;
+        self.mis_ns += other.mis_ns;
+        self.extraction_ns += other.extraction_ns;
+        self.validation_ns += other.validation_ns;
+    }
+
+    /// Sum over all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.decode_ns
+            + self.dfg_build_ns
+            + self.mining_ns
+            + self.mis_ns
+            + self.extraction_ns
+            + self.validation_ns
+    }
+
+    /// The metrics-schema JSON object (`{"decode_ns": …, …}`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("decode_ns", Json::from(self.decode_ns)),
+            ("dfg_build_ns", Json::from(self.dfg_build_ns)),
+            ("mining_ns", Json::from(self.mining_ns)),
+            ("mis_ns", Json::from(self.mis_ns)),
+            ("extraction_ns", Json::from(self.extraction_ns)),
+            ("validation_ns", Json::from(self.validation_ns)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_total() {
+        let mut a = StageTimings {
+            decode_ns: 1,
+            dfg_build_ns: 2,
+            mining_ns: 3,
+            mis_ns: 4,
+            extraction_ns: 5,
+            validation_ns: 6,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total_ns(), 42);
+        assert_eq!(a.mining_ns, 6);
+    }
+
+    #[test]
+    fn json_shape() {
+        let t = StageTimings::default();
+        let doc = t.to_json();
+        for key in [
+            "decode_ns",
+            "dfg_build_ns",
+            "mining_ns",
+            "mis_ns",
+            "extraction_ns",
+            "validation_ns",
+        ] {
+            assert_eq!(doc.get(key).and_then(Json::as_int), Some(0), "{key}");
+        }
+    }
+}

@@ -140,7 +140,10 @@ fn check_occurrences(before: &Program, candidate: &Candidate, diags: &mut Vec<Di
             diags.push(Diagnostic::error(
                 Code::BadLinearization,
                 Location::program(),
-                format!("occurrence {o} references function #{} which does not exist", occ.function),
+                format!(
+                    "occurrence {o} references function #{} which does not exist",
+                    occ.function
+                ),
             ));
             continue;
         };
@@ -200,9 +203,7 @@ fn check_linearization(
     // Original region position matched to each body position.
     let mut matched: Vec<usize> = Vec::with_capacity(candidate.body.len());
     for (b, item) in candidate.body.iter().enumerate() {
-        let Some(k) = (0..members.len())
-            .find(|&k| !used[k] && region[members[k]] == *item)
-        else {
+        let Some(k) = (0..members.len()).find(|&k| !used[k] && region[members[k]] == *item) else {
             diags.push(Diagnostic::error(
                 Code::BadLinearization,
                 Location::function(fname),
@@ -314,8 +315,8 @@ fn check_fragment_shape(
                 && frag.items[body.len()].is_return()
         }
         ExtractionKind::Procedure { lr_save: true } => {
-            let wrap_ok = frag.items.len() == body.len() + 2
-                && frag.items[1..=body.len()] == body[..];
+            let wrap_ok =
+                frag.items.len() == body.len() + 2 && frag.items[1..=body.len()] == body[..];
             wrap_ok && {
                 let push = frag.items[0].effects();
                 let pop = frag.items[body.len() + 1].effects();
@@ -524,7 +525,7 @@ fn check_round_trip(program: &Program, diags: &mut Vec<Diagnostic>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use gpa_cfg::FunctionCode;
     use gpa_verify::has_errors;
 
@@ -637,12 +638,7 @@ mod tests {
         // item 2 — the classic Fig. 9 rejection.
         let f = func(
             "f",
-            &[
-                "ldr r3, [r1]",
-                "add r4, r3, #1",
-                "str r4, [r3]",
-                "bx lr",
-            ],
+            &["ldr r3, [r1]", "add r4, r3, #1", "str r4, [r3]", "bx lr"],
         );
         let p = program(vec![f]);
         let c = Candidate {

@@ -62,7 +62,11 @@ fn canonical_insn(insn: &Instruction) -> String {
             op2,
             ..
         } => {
-            let s = if *set_flags && !op.is_compare() { "s" } else { "" };
+            let s = if *set_flags && !op.is_compare() {
+                "s"
+            } else {
+                ""
+            };
             if op.is_compare() {
                 format!("{op}{cond} R, {}", op2_shape(op2))
             } else if op.is_move() {
@@ -71,10 +75,14 @@ fn canonical_insn(insn: &Instruction) -> String {
                 format!("{op}{cond}{s} R, R, {}", op2_shape(op2))
             }
         }
-        Instruction::Mul { cond, set_flags, .. } => {
+        Instruction::Mul {
+            cond, set_flags, ..
+        } => {
             format!("mul{cond}{} R, R, R", if *set_flags { "s" } else { "" })
         }
-        Instruction::Mla { cond, set_flags, .. } => {
+        Instruction::Mla {
+            cond, set_flags, ..
+        } => {
             format!("mla{cond}{} R, R, R, R", if *set_flags { "s" } else { "" })
         }
         Instruction::Mem {

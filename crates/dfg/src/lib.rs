@@ -44,7 +44,10 @@
 #![warn(missing_docs)]
 
 pub mod canon;
+pub mod hash;
 pub mod stats;
+
+pub use hash::block_content_hash;
 
 use gpa_arm::defuse::conflicts;
 use gpa_cfg::{Item, Region};
@@ -293,7 +296,11 @@ pub fn build_dfg_from_items(
             .iter()
             .any(|&k| k != j && reach[k][j / 64] & (1 << (j % 64)) != 0);
         if !redundant {
-            edges.push(Edge { from: i, to: j, kinds });
+            edges.push(Edge {
+                from: i,
+                to: j,
+                kinds,
+            });
         }
     }
     edges.sort_by_key(|e| (e.from, e.to));
@@ -351,7 +358,11 @@ mod tests {
         );
         assert_eq!(dfg.node_count(), 7);
         // ldr0 → sub1 (RAW on r3).
-        let e01 = dfg.edges().iter().find(|e| e.from == 0 && e.to == 1).unwrap();
+        let e01 = dfg
+            .edges()
+            .iter()
+            .find(|e| e.from == 0 && e.to == 1)
+            .unwrap();
         assert!(e01.kinds.contains(DepMask::DATA));
         // sub1 → add2 (RAW on r2).
         assert!(dfg.edges().iter().any(|e| e.from == 1 && e.to == 2));

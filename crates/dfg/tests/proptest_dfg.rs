@@ -14,21 +14,17 @@ fn arb_item() -> impl Strategy<Value = Item> {
     let reg = (0u8..8).prop_map(Reg::r);
     prop_oneof![
         // mov rd, #imm
-        (reg.clone(), 0u32..256).prop_map(|(rd, imm)| {
-            Item::Insn(Instruction::mov_imm(rd, imm))
-        }),
+        (reg.clone(), 0u32..256)
+            .prop_map(|(rd, imm)| { Item::Insn(Instruction::mov_imm(rd, imm)) }),
         // add rd, rn, rm
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rn, rm)| {
-            Item::Insn(Instruction::dp_reg(DpOp::Add, rd, rn, rm))
-        }),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(rd, rn, rm)| { Item::Insn(Instruction::dp_reg(DpOp::Add, rd, rn, rm)) }),
         // ldr rd, [rn]
-        (reg.clone(), reg.clone()).prop_map(|(rd, rn)| {
-            Item::Insn(Instruction::ldr_imm(rd, rn, 0))
-        }),
+        (reg.clone(), reg.clone())
+            .prop_map(|(rd, rn)| { Item::Insn(Instruction::ldr_imm(rd, rn, 0)) }),
         // str rd, [rn]
-        (reg.clone(), reg.clone()).prop_map(|(rd, rn)| {
-            Item::Insn(Instruction::str_imm(rd, rn, 0))
-        }),
+        (reg.clone(), reg.clone())
+            .prop_map(|(rd, rn)| { Item::Insn(Instruction::str_imm(rd, rn, 0)) }),
         // cmp rn, #imm
         (reg.clone(), 0u32..16).prop_map(|(rn, imm)| {
             Item::Insn(Instruction::DataProc {

@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use gpa_arm::insn::{AddressMode, BlockMode, DpOp, Instruction, MemOffset, MemOp, Operand2, ShiftKind};
+use gpa_arm::insn::{
+    AddressMode, BlockMode, DpOp, Instruction, MemOffset, MemOp, Operand2, ShiftKind,
+};
 use gpa_arm::{decode, Cond, Reg};
 use gpa_image::Image;
 
@@ -308,7 +310,11 @@ impl Machine {
                 }
             }
             Instruction::Mul {
-                set_flags, rd, rm, rs, ..
+                set_flags,
+                rd,
+                rm,
+                rs,
+                ..
             } => {
                 let result = self.reg(rm).wrapping_mul(self.reg(rs));
                 self.set_reg(rd, result);
@@ -371,7 +377,8 @@ impl Machine {
                         }
                     }
                 }
-                if mode.writes_back() && !(mode == AddressMode::PreIndexed && rd == rn && op == MemOp::Ldr)
+                if mode.writes_back()
+                    && !(mode == AddressMode::PreIndexed && rd == rn && op == MemOp::Ldr)
                 {
                     self.set_reg(rn, indexed);
                 }
@@ -513,49 +520,42 @@ mod tests {
     #[test]
     fn arithmetic_and_flags() {
         // 7 * 6 == 42, tested via mul and conditional moves.
-        let out = run(
-            "mov r1, #7\n\
+        let out = run("mov r1, #7\n\
              mov r2, #6\n\
              mul r3, r1, r2\n\
              cmp r3, #42\n\
              moveq r0, #1\n\
              movne r0, #2\n\
-             swi #0",
-        );
+             swi #0");
         assert_eq!(out.exit_code, 1);
     }
 
     #[test]
     fn signed_comparisons() {
         // -1 < 1 signed, but not unsigned.
-        let out = run(
-            "mvn r1, #0\n\
+        let out = run("mvn r1, #0\n\
              cmp r1, #1\n\
              movlt r0, #10\n\
              addcs r0, r0, #1\n\
-             swi #0",
-        );
+             swi #0");
         assert_eq!(out.exit_code, 11);
     }
 
     #[test]
     fn loop_sum() {
         // sum 1..=10 == 55
-        let out = run(
-            "mov r0, #0\n\
+        let out = run("mov r0, #0\n\
              mov r1, #10\n\
              add r0, r0, r1\n\
              subs r1, r1, #1\n\
              bne -8\n\
-             swi #0",
-        );
+             swi #0");
         assert_eq!(out.exit_code, 55);
     }
 
     #[test]
     fn memory_and_writeback() {
-        let out = run(
-            "mov r1, #4096\n\
+        let out = run("mov r1, #4096\n\
              mov r2, #17\n\
              str r2, [r1], #4\n\
              mov r3, #25\n\
@@ -564,21 +564,18 @@ mod tests {
              ldr r4, [r1], #4\n\
              ldr r5, [r1]\n\
              add r0, r4, r5\n\
-             swi #0",
-        );
+             swi #0");
         assert_eq!(out.exit_code, 42);
     }
 
     #[test]
     fn byte_memory() {
-        let out = run(
-            "mov r1, #4096\n\
+        let out = run("mov r1, #4096\n\
              mov r2, #0xff\n\
              add r2, r2, #1\n\
              strb r2, [r1]\n\
              ldrb r0, [r1]\n\
-             swi #0",
-        );
+             swi #0");
         // 0x100 truncates to 0 as a byte.
         assert_eq!(out.exit_code, 0);
     }
@@ -586,14 +583,12 @@ mod tests {
     #[test]
     fn push_pop_and_calls() {
         // main: bl f; exit(r0). f: returns 7.
-        let out = run(
-            "bl +12\n\
+        let out = run("bl +12\n\
              swi #0\n\
              mov r0, #99\n\
              push {r4, lr}\n\
              mov r0, #7\n\
-             pop {r4, pc}",
-        );
+             pop {r4, pc}");
         assert_eq!(out.exit_code, 7);
     }
 
@@ -613,15 +608,13 @@ mod tests {
 
     #[test]
     fn sbrk_allocates_monotonically() {
-        let out = run(
-            "mov r0, #16\n\
+        let out = run("mov r0, #16\n\
              swi #4\n\
              mov r4, r0\n\
              mov r0, #16\n\
              swi #4\n\
              sub r0, r0, r4\n\
-             swi #0",
-        );
+             swi #0");
         assert_eq!(out.exit_code, 16);
     }
 
@@ -644,10 +637,7 @@ mod tests {
         let mut image = Image::new(0x8000, 0x2_0000);
         // b . — infinite loop
         image.push_code_word(0xeaff_fffe);
-        assert_eq!(
-            Machine::new(&image).run(10),
-            Err(EmuError::StepLimit(10))
-        );
+        assert_eq!(Machine::new(&image).run(10), Err(EmuError::StepLimit(10)));
         // Run off the end of code.
         let mut image2 = Image::new(0x8000, 0x2_0000);
         image2.push_code_word(0xe3a0_0000); // mov r0, #0
@@ -657,14 +647,12 @@ mod tests {
 
     #[test]
     fn shifted_operands() {
-        let out = run(
-            "mov r1, #1\n\
+        let out = run("mov r1, #1\n\
              mov r2, r1, lsl #4\n\
              add r2, r2, r1, lsl #1\n\
              mov r3, r2, lsr #1\n\
              add r0, r2, r3\n\
-             swi #0",
-        );
+             swi #0");
         // r2 = 16 + 2 = 18, r3 = 9 → 27
         assert_eq!(out.exit_code, 27);
     }

@@ -17,40 +17,35 @@ fn run(asm: &str) -> Outcome {
 #[test]
 fn sixty_four_bit_addition_via_adc() {
     // 0xffffffff + 1 carries into the high word: (0x1, 0x0) pair.
-    let out = run(
-        "mvn r0, #0\n\
+    let out = run("mvn r0, #0\n\
          mov r1, #0\n\
          mov r2, #1\n\
          mov r3, #0\n\
          adds r0, r0, r2\n\
          adc r1, r1, r3\n\
          mov r0, r1\n\
-         swi #0",
-    );
+         swi #0");
     assert_eq!(out.exit_code, 1);
 }
 
 #[test]
 fn sixty_four_bit_subtraction_via_sbc() {
     // (1:0) - (0:1) = (0:0xffffffff); return high word.
-    let out = run(
-        "mov r0, #0\n\
+    let out = run("mov r0, #0\n\
          mov r1, #1\n\
          mov r2, #1\n\
          mov r3, #0\n\
          subs r0, r0, r2\n\
          sbc r1, r1, r3\n\
          mov r0, r1\n\
-         swi #0",
-    );
+         swi #0");
     assert_eq!(out.exit_code, 0);
 }
 
 #[test]
 fn overflow_flag_and_signed_conditions() {
     // 0x7fffffff + 1 overflows: V set, result negative.
-    let out = run(
-        "mov r1, #0x7f000000\n\
+    let out = run("mov r1, #0x7f000000\n\
          orr r1, r1, #0x00ff0000\n\
          orr r1, r1, #0x0000ff00\n\
          orr r1, r1, #0x000000ff\n\
@@ -59,8 +54,7 @@ fn overflow_flag_and_signed_conditions() {
          addvs r0, r0, #1\n\
          addmi r0, r0, #2\n\
          addlt r0, r0, #4\n\
-         swi #0",
-    );
+         swi #0");
     // V=1 (+1), N=1 (+2), N!=V is false since both set -> lt not taken.
     assert_eq!(out.exit_code, 3);
 }
@@ -68,8 +62,7 @@ fn overflow_flag_and_signed_conditions() {
 #[test]
 fn every_unsigned_condition() {
     // 5 vs 3: cs (hs) true, hi true, cc false, ls false.
-    let out = run(
-        "mov r1, #5\n\
+    let out = run("mov r1, #5\n\
          cmp r1, #3\n\
          mov r0, #0\n\
          addcs r0, r0, #1\n\
@@ -80,8 +73,7 @@ fn every_unsigned_condition() {
          addeq r0, r0, #32\n\
          addge r0, r0, #64\n\
          addgt r0, r0, #128\n\
-         swi #0",
-    );
+         swi #0");
     assert_eq!(out.exit_code, 1 + 2 + 16 + 64 + 128);
 }
 
@@ -89,7 +81,12 @@ fn every_unsigned_condition() {
 fn block_transfer_modes_round_trip() {
     // Store three registers with each stm mode, reload with the matching
     // ldm mode, and verify values survive.
-    for (stm, ldm) in [("stmia", "ldmia"), ("stmib", "ldmib"), ("stmda", "ldmda"), ("stmdb", "ldmdb")] {
+    for (stm, ldm) in [
+        ("stmia", "ldmia"),
+        ("stmib", "ldmib"),
+        ("stmda", "ldmda"),
+        ("stmdb", "ldmdb"),
+    ] {
         let asm = format!(
             "mov r1, #4096\n\
              mov r4, #7\n\
@@ -111,87 +108,75 @@ fn block_transfer_modes_round_trip() {
 
 #[test]
 fn writeback_block_transfer_is_stack_discipline() {
-    let out = run(
-        "mov r4, #21\n\
+    let out = run("mov r4, #21\n\
          mov r5, #21\n\
          push {r4, r5}\n\
          mov r4, #0\n\
          mov r5, #0\n\
          pop {r4, r5}\n\
          add r0, r4, r5\n\
-         swi #0",
-    );
+         swi #0");
     assert_eq!(out.exit_code, 42);
 }
 
 #[test]
 fn logical_shift_carry_out_feeds_flags() {
     // movs r1, r2, lsr #1 with r2 odd sets carry; addcs observes it.
-    let out = run(
-        "mov r2, #5\n\
+    let out = run("mov r2, #5\n\
          movs r1, r2, lsr #1\n\
          mov r0, #0\n\
          addcs r0, r0, #1\n\
          mov r2, #4\n\
          movs r1, r2, lsr #1\n\
          addcs r0, r0, #2\n\
-         swi #0",
-    );
+         swi #0");
     assert_eq!(out.exit_code, 1);
 }
 
 #[test]
 fn asr_32_smears_sign() {
-    let out = run(
-        "mvn r2, #0\n\
+    let out = run("mvn r2, #0\n\
          mov r1, r2, asr #32\n\
          cmp r1, r2\n\
          moveq r0, #1\n\
          movne r0, #0\n\
-         swi #0",
-    );
+         swi #0");
     assert_eq!(out.exit_code, 1);
 }
 
 #[test]
 fn rsb_and_mla() {
     // rsb: 10 - 3 = 7; mla: 7 * 6 + 8 = 50.
-    let out = run(
-        "mov r1, #3\n\
+    let out = run("mov r1, #3\n\
          rsb r2, r1, #10\n\
          mov r3, #6\n\
          mov r4, #8\n\
          mla r0, r2, r3, r4\n\
-         swi #0",
-    );
+         swi #0");
     assert_eq!(out.exit_code, 50);
 }
 
 #[test]
 fn conditional_branches_both_ways() {
     // Count down from 3 with bne; then bgt falls through at zero.
-    let out = run(
-        "mov r1, #3\n\
+    let out = run("mov r1, #3\n\
          mov r0, #0\n\
          add r0, r0, #1\n\
          subs r1, r1, #1\n\
          bne -8\n\
-         swi #0",
-    );
+         swi #0");
     assert_eq!(out.exit_code, 3);
 }
 
 #[test]
 fn byte_stores_do_not_clobber_neighbours() {
-    let out = run(
-        "mov r1, #4096\n\
+    let out = run("mov r1, #4096\n\
          mvn r2, #0\n\
          str r2, [r1]\n\
          mov r3, #0\n\
          strb r3, [r1, #1]\n\
          ldr r0, [r1]\n\
          and r0, r0, #0x0000ff00\n\
-         swi #0",
-    );
+         swi #0");
     assert_eq!(out.exit_code, 0);
 }

@@ -9,7 +9,16 @@ fn arb_image() -> impl Strategy<Value = Image> {
         0u32..0x10_0000,
         proptest::collection::vec(any::<u32>(), 0..200),
         proptest::collection::vec(any::<u8>(), 0..300),
-        proptest::collection::vec(("[a-z_][a-z0-9_]{0,12}", any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>()), 0..10),
+        proptest::collection::vec(
+            (
+                "[a-z_][a-z0-9_]{0,12}",
+                any::<u32>(),
+                any::<u32>(),
+                any::<bool>(),
+                any::<bool>(),
+            ),
+            0..10,
+        ),
     )
         .prop_map(|(code_base, data_base, code, data, symbols)| {
             let mut image = Image::new(code_base, data_base);

@@ -154,11 +154,7 @@ impl<'a> FnGen<'a> {
     }
 
     fn lookup_local(&self, name: &str) -> Option<Slot> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name))
-            .cloned()
+        self.scopes.iter().rev().find_map(|s| s.get(name)).cloned()
     }
 
     /// Emits `dest = src ± value`, splitting an unencodable immediate into
@@ -211,7 +207,14 @@ impl<'a> FnGen<'a> {
     }
 
     /// Emits `dest = base + idx * size(elem)` (both operands registers).
-    fn scaled_add(&mut self, dest: Reg, base: Reg, idx: Reg, elem: &Type, line: u32) -> Result<(), CompileError> {
+    fn scaled_add(
+        &mut self,
+        dest: Reg,
+        base: Reg,
+        idx: Reg,
+        elem: &Type,
+        line: u32,
+    ) -> Result<(), CompileError> {
         match Self::scale_shift(elem) {
             Some(0) => self.emit(Instruction::dp_reg(DpOp::Add, dest, base, idx)),
             Some(shift) => self.emit(Instruction::DataProc {
@@ -353,7 +356,13 @@ impl<'a> FnGen<'a> {
     }
 
     /// Loads the value of a named variable.
-    fn var_value(&mut self, name: &str, dest: Reg, ty: &Type, line: u32) -> Result<(), CompileError> {
+    fn var_value(
+        &mut self,
+        name: &str,
+        dest: Reg,
+        ty: &Type,
+        line: u32,
+    ) -> Result<(), CompileError> {
         if let Some(slot) = self.lookup_local(name) {
             match &slot.ty {
                 Type::Array(_, _) => self.add_sub_imm(DpOp::Add, dest, Reg::SP, slot.offset as u32),
@@ -385,9 +394,7 @@ impl<'a> FnGen<'a> {
             ExprKind::Var(name) => {
                 if let Some(slot) = self.lookup_local(name) {
                     self.add_sub_imm(DpOp::Add, dest, Reg::SP, slot.offset as u32);
-                } else if self.unit.global(name).is_some()
-                    || self.unit.function(name).is_some()
-                {
+                } else if self.unit.global(name).is_some() || self.unit.function(name).is_some() {
                     self.load_addr(dest, name);
                 } else {
                     return Err(err(line, format!("`{name}` not found at codegen time")));
@@ -491,10 +498,18 @@ impl<'a> FnGen<'a> {
         let lt = lhs.ty.decayed();
         let rt = rhs.ty.decayed();
         if op == BinOp::Add && lt.is_pointer_like() != rt.is_pointer_like() {
-            let (ptr, int) = if lt.is_pointer_like() { (lhs, rhs) } else { (rhs, lhs) };
-            let elem = if lt.is_pointer_like() { lt.pointee() } else { rt.pointee() }
-                .expect("pointer operand has pointee")
-                .clone();
+            let (ptr, int) = if lt.is_pointer_like() {
+                (lhs, rhs)
+            } else {
+                (rhs, lhs)
+            };
+            let elem = if lt.is_pointer_like() {
+                lt.pointee()
+            } else {
+                rt.pointee()
+            }
+            .expect("pointer operand has pointee")
+            .clone();
             self.expr_to(ptr, dest)?;
             let t = self.alloc_temp(line)?;
             self.expr_to(int, t)?;
@@ -532,7 +547,11 @@ impl<'a> FnGen<'a> {
         }
         // Division family: runtime calls.
         if matches!(op, BinOp::Div | BinOp::Mod) {
-            let callee = if op == BinOp::Div { "__divsi3" } else { "__modsi3" };
+            let callee = if op == BinOp::Div {
+                "__divsi3"
+            } else {
+                "__modsi3"
+            };
             return self.runtime_binop(callee, lhs, rhs, dest, line);
         }
         // Shifts: immediate amounts use the barrel shifter, variable
@@ -542,7 +561,11 @@ impl<'a> FnGen<'a> {
                 if (0..32).contains(&n) {
                     self.expr_to(lhs, dest)?;
                     if n > 0 {
-                        let kind = if op == BinOp::Shl { ShiftKind::Lsl } else { ShiftKind::Asr };
+                        let kind = if op == BinOp::Shl {
+                            ShiftKind::Lsl
+                        } else {
+                            ShiftKind::Asr
+                        };
                         self.emit(Instruction::DataProc {
                             cond: Cond::Al,
                             op: DpOp::Mov,
@@ -618,7 +641,13 @@ impl<'a> FnGen<'a> {
     }
 
     /// Emits `cmp lhs, rhs` with an immediate fold.
-    fn compare(&mut self, lhs: &Expr, rhs: &Expr, scratch: Reg, line: u32) -> Result<(), CompileError> {
+    fn compare(
+        &mut self,
+        lhs: &Expr,
+        rhs: &Expr,
+        scratch: Reg,
+        line: u32,
+    ) -> Result<(), CompileError> {
         self.expr_to(lhs, scratch)?;
         if let ExprKind::Int(v) = rhs.kind {
             if is_encodable_imm(v as u32) {
@@ -1121,10 +1150,8 @@ mod tests {
 
     #[test]
     fn indirect_call_uses_idiom() {
-        let fns = gen(
-            "int twice(int x) { return x + x; }\n\
-             int apply(int f, int x) { return f(x); }",
-        );
+        let fns = gen("int twice(int x) { return x + x; }\n\
+             int apply(int f, int x) { return f(x); }");
         let apply = fns.iter().find(|f| f.name == "apply").unwrap();
         assert!(apply
             .items
@@ -1134,10 +1161,8 @@ mod tests {
 
     #[test]
     fn function_as_value_loads_address() {
-        let fns = gen(
-            "int twice(int x) { return x + x; }\n\
-             int main() { int f = twice; return f; }",
-        );
+        let fns = gen("int twice(int x) { return x + x; }\n\
+             int main() { int f = twice; return f; }");
         let main = fns.iter().find(|f| f.name == "main").unwrap();
         assert!(main.symbol_refs.contains(&"twice".to_string()));
     }

@@ -39,8 +39,8 @@ impl TokenKind {
 /// Multi-character operators, longest first so maximal munch works.
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
-    "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<",
-    ">", "=", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+    "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+    "=", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
 ];
 
 fn err(line: u32, message: impl Into<String>) -> CompileError {
@@ -160,10 +160,14 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
         // Character literals.
         if c == '\'' {
             pos += 1;
-            let ch = *bytes.get(pos).ok_or_else(|| err(line, "unterminated char"))? as char;
+            let ch = *bytes
+                .get(pos)
+                .ok_or_else(|| err(line, "unterminated char"))? as char;
             let value = if ch == '\\' {
                 pos += 1;
-                let e = *bytes.get(pos).ok_or_else(|| err(line, "unterminated char"))? as char;
+                let e = *bytes
+                    .get(pos)
+                    .ok_or_else(|| err(line, "unterminated char"))? as char;
                 unescape(e, line)?
             } else {
                 ch as u8
@@ -186,7 +190,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
             loop {
                 let ch = *bytes
                     .get(pos)
-                    .ok_or_else(|| err(line, "unterminated string"))? as char;
+                    .ok_or_else(|| err(line, "unterminated string"))?
+                    as char;
                 pos += 1;
                 match ch {
                     '"' => break,

@@ -299,29 +299,33 @@ pub fn link(unit: &Unit, mut functions: Vec<AsmFunction>) -> Result<Image, Compi
 
     // Unified symbol resolution: code labels win, then data.
     let resolve = |name: &str| -> Option<u32> {
-        labels.get(name).copied().or_else(|| global_addrs.get(name).copied())
+        labels
+            .get(name)
+            .copied()
+            .or_else(|| global_addrs.get(name).copied())
     };
 
     // --- Pass 2: encoding ---
     let mut image = Image::new(CODE_BASE, DATA_BASE);
     for (f, layout) in kept.iter().zip(&layouts) {
         let mut addr = layout.base;
-        let push = |image: &mut Image, insn: Instruction, addr: &mut u32| -> Result<(), CompileError> {
-            let word = insn
-                .encode()
-                .map_err(|e| err(format!("in `{}`: {insn}: {e}", f.name)))?;
-            let at = image.push_code_word(word);
-            debug_assert_eq!(at, *addr);
-            *addr += 4;
-            Ok(())
-        };
+        let push =
+            |image: &mut Image, insn: Instruction, addr: &mut u32| -> Result<(), CompileError> {
+                let word = insn
+                    .encode()
+                    .map_err(|e| err(format!("in `{}`: {insn}: {e}", f.name)))?;
+                let at = image.push_code_word(word);
+                debug_assert_eq!(at, *addr);
+                *addr += 4;
+                Ok(())
+            };
         for item in &f.items {
             match item {
                 AsmItem::Label(_) => {}
                 AsmItem::Insn(insn) => push(&mut image, *insn, &mut addr)?,
                 AsmItem::BranchTo { cond, link, label } => {
-                    let target = resolve(label)
-                        .ok_or_else(|| err(format!("undefined label `{label}`")))?;
+                    let target =
+                        resolve(label).ok_or_else(|| err(format!("undefined label `{label}`")))?;
                     let offset = (target as i64 - (addr as i64 + 8)) / 4;
                     let insn = Instruction::Branch {
                         cond: *cond,
@@ -335,7 +339,11 @@ pub fn link(unit: &Unit, mut functions: Vec<AsmFunction>) -> Result<Image, Compi
                     let pool_addr = layout
                         .pool_addr(&key)
                         .expect("pass 1 recorded a pool slot for every LoadAddr");
-                    push(&mut image, pc_relative_load(*rd, addr, pool_addr)?, &mut addr)?;
+                    push(
+                        &mut image,
+                        pc_relative_load(*rd, addr, pool_addr)?,
+                        &mut addr,
+                    )?;
                 }
                 AsmItem::LoadConst { rd, value } => {
                     let insn = if is_encodable_imm(*value) {
@@ -434,7 +442,7 @@ fn pc_relative_load(rd: Reg, insn_addr: u32, pool_addr: u32) -> Result<Instructi
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{compile, compile_freestanding, Options};
     use gpa_emu::Machine;
     use gpa_image::SymbolKind;
@@ -483,47 +491,39 @@ mod tests {
 
     #[test]
     fn globals_and_strings() {
-        let out = run(
-            "char *greeting = \"hello\";\n\
-             int main() { puts(greeting); putint(strlen(greeting)); return 0; }",
-        );
+        let out = run("char *greeting = \"hello\";\n\
+             int main() { puts(greeting); putint(strlen(greeting)); return 0; }");
         assert_eq!(out.output_string(), "hello\n5");
     }
 
     #[test]
     fn division_runtime_works() {
-        let out = run(
-            "int main() {\n\
+        let out = run("int main() {\n\
                putint(1234 / 10); _putc(' ');\n\
                putint(1234 % 10); _putc(' ');\n\
                putint(-7 / 2); _putc(' ');\n\
                putint(-7 % 2);\n\
-               return 0; }",
-        );
+               return 0; }");
         assert_eq!(out.output_string(), "123 4 -3 -1");
     }
 
     #[test]
     fn variable_shifts_work() {
-        let out = run(
-            "int main() {\n\
+        let out = run("int main() {\n\
                int n = 3;\n\
                putint(5 << n); _putc(' ');\n\
                putint(-64 >> n); _putc(' ');\n\
                putint(1 << 0);\n\
-               return 0; }",
-        );
+               return 0; }");
         assert_eq!(out.output_string(), "40 -8 1");
     }
 
     #[test]
     fn function_pointers_round_trip() {
-        let out = run(
-            "int twice(int x) { return x + x; }\n\
+        let out = run("int twice(int x) { return x + x; }\n\
              int thrice(int x) { return x * 3; }\n\
              int apply(int f, int x) { return f(x); }\n\
-             int main() { return apply(twice, 10) + apply(thrice, 1); }",
-        );
+             int main() { return apply(twice, 10) + apply(thrice, 1); }");
         assert_eq!(out.exit_code, 23);
         let image = compile(
             "int twice(int x) { return x + x; }\n\
@@ -539,15 +539,13 @@ mod tests {
 
     #[test]
     fn global_arrays() {
-        let out = run(
-            "int table[5] = {10, 20, 30, 40, 50};\n\
+        let out = run("int table[5] = {10, 20, 30, 40, 50};\n\
              char name[8] = \"abc\";\n\
              int main() {\n\
                int s = 0;\n\
                for (int i = 0; i < 5; i++) s += table[i];\n\
                putint(s); _putc(' '); putint(name[2]);\n\
-               return 0; }",
-        );
+               return 0; }");
         assert_eq!(out.output_string(), "150 99");
     }
 
@@ -567,14 +565,12 @@ mod tests {
 
     #[test]
     fn malloc_and_memset() {
-        let out = run(
-            "int main() {\n\
+        let out = run("int main() {\n\
                char *p = malloc(16);\n\
                memset(p, 7, 16);\n\
                int s = 0;\n\
                for (int i = 0; i < 16; i++) s += p[i];\n\
-               return s; }",
-        );
+               return s; }");
         assert_eq!(out.exit_code, 112);
     }
 
@@ -586,7 +582,11 @@ mod tests {
     #[test]
     fn unscheduled_code_also_runs() {
         let opts = Options { schedule: false };
-        let image = compile("int main() { int a = 2; int b = 3; return a * b + 1; }", &opts).unwrap();
+        let image = compile(
+            "int main() { int a = 2; int b = 3; return a * b + 1; }",
+            &opts,
+        )
+        .unwrap();
         let out = Machine::new(&image).run(100_000).unwrap();
         assert_eq!(out.exit_code, 7);
     }

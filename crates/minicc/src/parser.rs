@@ -52,7 +52,10 @@ impl<'a> Parser<'a> {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(err(self.line(), format!("expected `{p}`, found {:?}", self.peek())))
+            Err(err(
+                self.line(),
+                format!("expected `{p}`, found {:?}", self.peek()),
+            ))
         }
     }
 
@@ -662,7 +665,10 @@ mod tests {
              int arr[8];\n\
              int use() { return arr[2] + *(arr + 3); }",
         );
-        assert_eq!(unit.functions[0].params[1].1, Type::Ptr(Box::new(Type::Char)));
+        assert_eq!(
+            unit.functions[0].params[1].1,
+            Type::Ptr(Box::new(Type::Char))
+        );
     }
 
     #[test]

@@ -1352,8 +1352,8 @@ mod tests {
     use gpa_emu::Machine;
 
     fn run(name: &str) -> gpa_emu::Outcome {
-        let image = compile_benchmark(name, &Options::default())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let image =
+            compile_benchmark(name, &Options::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
         Machine::new(&image)
             .run(400_000_000)
             .unwrap_or_else(|e| panic!("{name}: {e}"))
@@ -1362,8 +1362,7 @@ mod tests {
     #[test]
     fn all_benchmarks_compile() {
         for name in BENCHMARKS {
-            compile_benchmark(name, &Options::default())
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            compile_benchmark(name, &Options::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 
@@ -1405,7 +1404,9 @@ mod tests {
         let out = run("qsort");
         let text = out.output_string();
         assert!(!text.contains("-1\n"), "unsorted result:\n{text}");
-        assert!(text.contains("apple banana cherry date fig grape kiwi lime mango orange pear plum"));
+        assert!(
+            text.contains("apple banana cherry date fig grape kiwi lime mango orange pear plum")
+        );
     }
 
     #[test]

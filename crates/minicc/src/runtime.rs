@@ -261,7 +261,11 @@ pub fn asm_functions() -> Vec<AsmFunction> {
     ];
     start.calls.push("main".into());
 
-    vec![start, shift_helper("__ashl", "lsl"), shift_helper("__ashr", "asr")]
+    vec![
+        start,
+        shift_helper("__ashl", "lsl"),
+        shift_helper("__ashr", "asr"),
+    ]
 }
 
 fn shift_helper(name: &str, op: &str) -> AsmFunction {
@@ -272,11 +276,7 @@ fn shift_helper(name: &str, op: &str) -> AsmFunction {
         AsmItem::Insn("cmp r1, #0".parse().expect("valid asm")),
         AsmItem::Insn("bxle lr".parse().expect("valid asm")),
         AsmItem::Label(loop_label.clone()),
-        AsmItem::Insn(
-            format!("mov r0, r0, {op} #1")
-                .parse()
-                .expect("valid asm"),
-        ),
+        AsmItem::Insn(format!("mov r0, r0, {op} #1").parse().expect("valid asm")),
         AsmItem::Insn("subs r1, r1, #1".parse().expect("valid asm")),
         AsmItem::BranchTo {
             cond: Cond::Gt,

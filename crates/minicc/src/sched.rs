@@ -45,10 +45,7 @@ fn schedule_region(items: &mut [AsmItem], region_seed: u64) {
     // Priority: loads first (hoisted), then the context hash.
     let priority = |idx: usize| -> (u8, u64) {
         let is_load = effects[idx].reads_mem;
-        (
-            if is_load { 0 } else { 1 },
-            mix(region_seed, idx as u64),
-        )
+        (if is_load { 0 } else { 1 }, mix(region_seed, idx as u64))
     };
     let mut ready: Vec<usize> = (0..n).filter(|&i| pred_count[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
@@ -148,8 +145,14 @@ mod tests {
     /// tracking ambiguous); use a permutation-only check otherwise.
     fn assert_valid_schedule(original: &[Instruction], scheduled: &[Instruction]) {
         assert_eq!(original.len(), scheduled.len());
-        let mut sorted_a: Vec<String> = original.iter().map(std::string::ToString::to_string).collect();
-        let mut sorted_b: Vec<String> = scheduled.iter().map(std::string::ToString::to_string).collect();
+        let mut sorted_a: Vec<String> = original
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let mut sorted_b: Vec<String> = scheduled
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         sorted_a.sort();
         sorted_b.sort();
         assert_eq!(sorted_a, sorted_b, "must be a permutation");
@@ -255,7 +258,16 @@ mod tests {
         schedule_function(&mut a);
         schedule_function(&mut b);
         // Both keep their dependencies.
-        assert_valid_schedule(&items(&format!("{template}\nadd r5, r5, #1")).iter().filter_map(|i| match i { AsmItem::Insn(x) => Some(*x), _ => None }).collect::<Vec<_>>(), &insns(&a.items));
+        assert_valid_schedule(
+            &items(&format!("{template}\nadd r5, r5, #1"))
+                .iter()
+                .filter_map(|i| match i {
+                    AsmItem::Insn(x) => Some(*x),
+                    _ => None,
+                })
+                .collect::<Vec<_>>(),
+            &insns(&a.items),
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl Analyzer {
             ExprKind::Unary(op, inner) => {
                 self.expr(inner)?;
                 if matches!(op, UnOp::Neg | UnOp::BitNot) && !inner.ty.is_scalar_int() {
-                    return Err(err(line, format!("`{}` applied to {}", "unary op", inner.ty)));
+                    return Err(err(
+                        line,
+                        format!("`{}` applied to {}", "unary op", inner.ty),
+                    ));
                 }
                 Type::Int
             }
@@ -131,10 +134,7 @@ impl Analyzer {
                 // type. Anything else is an indirect call returning int.
                 // A local or global variable shadows a same-named function.
                 if let ExprKind::Var(name) = &callee.kind {
-                    let shadowed = self
-                        .scopes
-                        .iter()
-                        .any(|s| s.contains_key(name.as_str()))
+                    let shadowed = self.scopes.iter().any(|s| s.contains_key(name.as_str()))
                         || self.globals.contains_key(name.as_str());
                     if !shadowed {
                         if let Some(sig) = self.functions.get(name).cloned() {
@@ -158,7 +158,10 @@ impl Analyzer {
                 }
                 self.expr(callee)?;
                 if !callee.ty.is_pointer_like() && !callee.ty.is_scalar_int() {
-                    return Err(err(line, format!("cannot call a value of type {}", callee.ty)));
+                    return Err(err(
+                        line,
+                        format!("cannot call a value of type {}", callee.ty),
+                    ));
                 }
                 Type::Int
             }
@@ -189,11 +192,9 @@ impl Analyzer {
                         Type::Func
                     }
                     _ if Self::is_lvalue(inner) => Type::Ptr(Box::new(inner.ty.clone())),
-                    ExprKind::Var(_) if matches!(inner.ty, Type::Array(_, _)) => {
-                        Type::Ptr(Box::new(
-                            inner.ty.pointee().expect("array has element type").clone(),
-                        ))
-                    }
+                    ExprKind::Var(_) if matches!(inner.ty, Type::Array(_, _)) => Type::Ptr(
+                        Box::new(inner.ty.pointee().expect("array has element type").clone()),
+                    ),
                     _ => return Err(err(line, "cannot take the address of this expression")),
                 }
             }
@@ -341,7 +342,10 @@ pub fn analyze(mut unit: Unit) -> Result<Unit, CompileError> {
             return Err(err(g.line, format!("global `{}` defined twice", g.name)));
         }
         if functions.contains_key(&g.name) {
-            return Err(err(g.line, format!("`{}` is both global and function", g.name)));
+            return Err(err(
+                g.line,
+                format!("`{}` is both global and function", g.name),
+            ));
         }
     }
     let mut analyzer = Analyzer {
@@ -397,7 +401,9 @@ mod tests {
         let Stmt::Return(Some(e), _) = &body[0] else {
             panic!()
         };
-        let ExprKind::Deref(inner) = &e.kind else { panic!() };
+        let ExprKind::Deref(inner) = &e.kind else {
+            panic!()
+        };
         assert_eq!(inner.ty, Type::Ptr(Box::new(Type::Int)));
     }
 

@@ -174,7 +174,11 @@ impl Pattern {
             child.rightmost_path.truncate(cut + 1);
             child.rightmost_path.push(tuple.to);
         } else {
-            assert_eq!(tuple.from, self.rightmost(), "backward tuples leave the rightmost node");
+            assert_eq!(
+                tuple.from,
+                self.rightmost(),
+                "backward tuples leave the rightmost node"
+            );
         }
         child.tuples.push(tuple);
         child
@@ -264,18 +268,36 @@ mod tests {
     #[test]
     fn tuple_order_forward_backward() {
         // forward (0,1) < backward (1,0)
-        assert_eq!(tuple_cmp(&t(0, 1, 0, 0, true), &t(1, 0, 0, 0, true)), Ordering::Less);
+        assert_eq!(
+            tuple_cmp(&t(0, 1, 0, 0, true), &t(1, 0, 0, 0, true)),
+            Ordering::Less
+        );
         // backward (1,0) < forward (1,2)
-        assert_eq!(tuple_cmp(&t(1, 0, 0, 0, true), &t(1, 2, 0, 0, true)), Ordering::Less);
+        assert_eq!(
+            tuple_cmp(&t(1, 0, 0, 0, true), &t(1, 2, 0, 0, true)),
+            Ordering::Less
+        );
         // deeper forward first when same target: (2,3) < (1,3)? No — same
         // `to`, larger `from` first: (2,3) < (1,3).
-        assert_eq!(tuple_cmp(&t(2, 3, 0, 0, true), &t(1, 3, 0, 0, true)), Ordering::Less);
+        assert_eq!(
+            tuple_cmp(&t(2, 3, 0, 0, true), &t(1, 3, 0, 0, true)),
+            Ordering::Less
+        );
         // forward discovery order: (0,1) < (1,2).
-        assert_eq!(tuple_cmp(&t(0, 1, 0, 0, true), &t(1, 2, 0, 0, true)), Ordering::Less);
+        assert_eq!(
+            tuple_cmp(&t(0, 1, 0, 0, true), &t(1, 2, 0, 0, true)),
+            Ordering::Less
+        );
         // label tiebreak: smaller from_label first.
-        assert_eq!(tuple_cmp(&t(0, 1, 0, 5, true), &t(0, 1, 1, 0, true)), Ordering::Less);
+        assert_eq!(
+            tuple_cmp(&t(0, 1, 0, 5, true), &t(0, 1, 1, 0, true)),
+            Ordering::Less
+        );
         // direction tiebreak: incoming before outgoing.
-        assert_eq!(tuple_cmp(&t(0, 1, 0, 0, false), &t(0, 1, 0, 0, true)), Ordering::Less);
+        assert_eq!(
+            tuple_cmp(&t(0, 1, 0, 0, false), &t(0, 1, 0, 0, true)),
+            Ordering::Less
+        );
     }
 
     #[test]

@@ -192,11 +192,7 @@ pub fn extensions(
     buckets
 }
 
-fn push_bucket(
-    buckets: &mut BTreeMap<DfsTuple, Vec<Embedding>>,
-    tuple: DfsTuple,
-    emb: Embedding,
-) {
+fn push_bucket(buckets: &mut BTreeMap<DfsTuple, Vec<Embedding>>, tuple: DfsTuple, emb: Embedding) {
     let bucket = buckets.entry(tuple).or_default();
     // Identical (graph, map) pairs arise when two embeddings extend to the
     // same one; keep each once.
@@ -215,8 +211,16 @@ mod tests {
         InputGraph::new(
             vec![7, 8, 7],
             vec![
-                GEdge { from: 0, to: 1, label: 1 },
-                GEdge { from: 1, to: 2, label: 1 },
+                GEdge {
+                    from: 0,
+                    to: 1,
+                    label: 1,
+                },
+                GEdge {
+                    from: 1,
+                    to: 2,
+                    label: 1,
+                },
             ],
         )
     }
@@ -260,9 +264,21 @@ mod tests {
         let g = InputGraph::new(
             vec![5, 5, 5],
             vec![
-                GEdge { from: 0, to: 1, label: 1 },
-                GEdge { from: 1, to: 2, label: 1 },
-                GEdge { from: 0, to: 2, label: 1 },
+                GEdge {
+                    from: 0,
+                    to: 1,
+                    label: 1,
+                },
+                GEdge {
+                    from: 1,
+                    to: 2,
+                    label: 1,
+                },
+                GEdge {
+                    from: 0,
+                    to: 2,
+                    label: 1,
+                },
             ],
         );
         let graphs = std::slice::from_ref(&g);
@@ -292,7 +308,14 @@ mod tests {
     fn embeddings_never_reuse_nodes() {
         // Self-loop-free check: in a 2-node graph with one edge, growing
         // beyond 2 nodes is impossible.
-        let g = InputGraph::new(vec![1, 1], vec![GEdge { from: 0, to: 1, label: 1 }]);
+        let g = InputGraph::new(
+            vec![1, 1],
+            vec![GEdge {
+                from: 0,
+                to: 1,
+                label: 1,
+            }],
+        );
         let graphs = std::slice::from_ref(&g);
         let seeds = seed_buckets(graphs);
         for (t, e) in &seeds {

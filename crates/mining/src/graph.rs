@@ -95,9 +95,19 @@ impl InputGraph {
     /// Converts a batch of DFGs, sharing one label interner so equal
     /// instructions get equal ids across graphs.
     pub fn from_dfgs(dfgs: &[Dfg]) -> (Vec<InputGraph>, LabelInterner) {
+        Self::from_dfg_refs(dfgs.iter())
+    }
+
+    /// [`InputGraph::from_dfgs`] over any iterator of DFG references —
+    /// lets callers holding `Arc`-shared (e.g. cached) DFGs convert
+    /// without cloning them into a contiguous slice.
+    pub fn from_dfg_refs<'a, I>(dfgs: I) -> (Vec<InputGraph>, LabelInterner)
+    where
+        I: IntoIterator<Item = &'a Dfg>,
+    {
         let mut interner = LabelInterner::new();
         let graphs = dfgs
-            .iter()
+            .into_iter()
             .map(|dfg| {
                 let labels = (0..dfg.node_count())
                     .map(|i| interner.intern(dfg.label(i)))
@@ -138,9 +148,21 @@ mod tests {
         let g = InputGraph::new(
             vec![0, 1, 2],
             vec![
-                GEdge { from: 0, to: 1, label: 1 },
-                GEdge { from: 0, to: 2, label: 1 },
-                GEdge { from: 1, to: 2, label: 2 },
+                GEdge {
+                    from: 0,
+                    to: 1,
+                    label: 1,
+                },
+                GEdge {
+                    from: 0,
+                    to: 2,
+                    label: 1,
+                },
+                GEdge {
+                    from: 1,
+                    to: 2,
+                    label: 2,
+                },
             ],
         );
         assert_eq!(g.out_edges[0], vec![0, 1]);

@@ -8,8 +8,8 @@
 
 use std::fmt::Write;
 
-use crate::embed::{extensions, seed_buckets, Embedding};
 use crate::dfs_code::Pattern;
+use crate::embed::{extensions, seed_buckets, Embedding};
 use crate::graph::{InputGraph, LabelInterner};
 
 /// Options for the lattice dump.
@@ -65,7 +65,15 @@ pub fn render_lattice(
         if !pattern.is_min() {
             continue;
         }
-        render_node(&pattern, &embeddings, graphs, interner, options, 1, &mut out);
+        render_node(
+            &pattern,
+            &embeddings,
+            graphs,
+            interner,
+            options,
+            1,
+            &mut out,
+        );
     }
     out
 }

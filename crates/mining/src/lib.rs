@@ -50,8 +50,8 @@
 #![warn(missing_docs)]
 
 pub mod dfs_code;
-pub mod lattice;
 pub mod embed;
 pub mod graph;
+pub mod lattice;
 pub mod miner;
 pub mod mis;

@@ -123,9 +123,7 @@ pub fn support_at_least(embeddings: &[Embedding], support: Support, min: usize) 
                 if by_graph.len() >= min.min(2) && by_graph.len() >= 2 {
                     return true;
                 }
-                return by_graph
-                    .values()
-                    .any(|sets| has_k_disjoint(sets, min));
+                return by_graph.values().any(|sets| has_k_disjoint(sets, min));
             }
             count_support(embeddings, support) >= min
         }
@@ -205,25 +203,84 @@ pub fn mine_streaming(
     config: &Config,
     visit: &mut dyn FnMut(&Frequent) -> GrowDecision,
 ) {
+    mine_streaming_partition(graphs, config, 0, 1, visit);
+}
+
+/// [`mine_streaming`] restricted to the seeds of one worker in a
+/// round-robin partition: worker `worker` of `stride` visits exactly the
+/// seed patterns with index `si % stride == worker` (in seed order), each
+/// grown to completion.
+///
+/// The DFS-code lattice decomposes perfectly at the seed level, so
+/// running every worker of a partition covers exactly the patterns one
+/// [`mine_streaming`] call visits — this is the building block both
+/// [`mine_parallel`] and the optimizer's threaded detection use. Each
+/// call owns a full `config.max_patterns` budget; when budgets are tight
+/// enough to exhaust, a partitioned run may therefore visit a superset of
+/// the single-threaded run.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero or `worker >= stride`.
+pub fn mine_streaming_partition(
+    graphs: &[InputGraph],
+    config: &Config,
+    worker: usize,
+    stride: usize,
+    visit: &mut dyn FnMut(&Frequent) -> GrowDecision,
+) {
+    assert!(stride > 0, "partition stride must be positive");
+    assert!(
+        worker < stride,
+        "worker {worker} out of range for stride {stride}"
+    );
     let mut budget = config.max_patterns;
-    for (tuple, embeddings) in seed_buckets(graphs) {
-        let pattern = Pattern::root(tuple);
-        if !pattern.is_min() {
+    for (si, (tuple, embeddings)) in seed_buckets(graphs).into_iter().enumerate() {
+        if si % stride != worker {
             continue;
         }
-        let mut embeddings = embeddings;
-        embeddings.truncate(config.max_embeddings);
-        let deduped = dedup_by_node_set(&embeddings);
-        if !support_at_least(&deduped, config.support, config.min_support) {
-            continue;
-        }
-        let support = count_support(&deduped, config.support);
-        if !grow(pattern, &embeddings, deduped, support, graphs, config, visit, &mut budget) {
+        if !mine_seed(tuple, embeddings, graphs, config, visit, &mut budget) {
             return;
         }
     }
 }
 
+/// Grows one seed pattern to completion under the shared gates
+/// (canonicality, embedding cap, support); returns `false` when the
+/// pattern budget is exhausted.
+///
+/// Public so callers that need per-seed control (e.g. a partitioned
+/// search that tracks which seed produced a result) can drive the
+/// lattice themselves from [`crate::embed::seed_buckets`].
+pub fn mine_seed(
+    tuple: crate::dfs_code::DfsTuple,
+    mut embeddings: Vec<Embedding>,
+    graphs: &[InputGraph],
+    config: &Config,
+    visit: &mut dyn FnMut(&Frequent) -> GrowDecision,
+    budget: &mut usize,
+) -> bool {
+    let pattern = Pattern::root(tuple);
+    if !pattern.is_min() {
+        return true;
+    }
+    embeddings.truncate(config.max_embeddings);
+    let deduped = dedup_by_node_set(&embeddings);
+    if !support_at_least(&deduped, config.support, config.min_support) {
+        return true;
+    }
+    let support = count_support(&deduped, config.support);
+    grow(
+        pattern,
+        &embeddings,
+        deduped,
+        support,
+        graphs,
+        config,
+        visit,
+        budget,
+    )
+}
 
 /// Mines in parallel across `threads` worker threads, partitioning the
 /// seed patterns round-robin and giving each worker an equal share of the
@@ -260,24 +317,11 @@ pub fn mine_parallel(graphs: &[InputGraph], config: &Config, threads: usize) -> 
                     if si % threads != worker {
                         continue;
                     }
-                    let pattern = Pattern::root(*tuple);
-                    if !pattern.is_min() {
-                        continue;
-                    }
-                    let mut embeddings = embeddings.clone();
-                    embeddings.truncate(config.max_embeddings);
-                    let deduped = dedup_by_node_set(&embeddings);
-                    if !support_at_least(&deduped, config.support, config.min_support) {
-                        continue;
-                    }
-                    let support = count_support(&deduped, config.support);
                     let mut found = Vec::new();
                     let mut budget = per_thread_budget;
-                    grow(
-                        pattern,
-                        &embeddings,
-                        deduped,
-                        support,
+                    mine_seed(
+                        *tuple,
+                        embeddings.clone(),
                         graphs,
                         &config,
                         &mut |f| {
@@ -291,7 +335,10 @@ pub fn mine_parallel(graphs: &[InputGraph], config: &Config, threads: usize) -> 
                 out
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     // Deterministic merge by seed index.
     let mut by_seed: Vec<(usize, Vec<Frequent>)> = results.into_iter().flatten().collect();
@@ -399,8 +446,14 @@ mod tests {
             .iter()
             .filter(|f| f.pattern.node_count() == 3 && f.support >= 2)
             .collect();
-        assert!(!three.is_empty(), "expected 3-node fragments, got: {:?}",
-            found.iter().map(|f| (f.pattern.node_count(), f.support)).collect::<Vec<_>>());
+        assert!(
+            !three.is_empty(),
+            "expected 3-node fragments, got: {:?}",
+            found
+                .iter()
+                .map(|f| (f.pattern.node_count(), f.support))
+                .collect::<Vec<_>>()
+        );
         // And the 2-node ldr→sub fragment from Fig. 3 as well.
         assert!(found
             .iter()
@@ -584,6 +637,45 @@ mod parallel_tests {
             b.sort();
             assert_eq!(a, b, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn partition_union_matches_full_stream() {
+        let graphs = graphs_of(&[BLOCK, BLOCK, "mov r0, #1\nadd r1, r0, #2"]);
+        let config = Config {
+            min_support: 2,
+            support: Support::Embeddings,
+            max_nodes: 6,
+            ..Config::default()
+        };
+        let mut full = Vec::new();
+        mine_streaming(&graphs, &config, &mut |f| {
+            full.push(format!("{:?}", f.pattern.tuples()));
+            GrowDecision::Continue
+        });
+        for stride in [1usize, 2, 3, 5] {
+            let mut union = Vec::new();
+            for worker in 0..stride {
+                mine_streaming_partition(&graphs, &config, worker, stride, &mut |f| {
+                    union.push(format!("{:?}", f.pattern.tuples()));
+                    GrowDecision::Continue
+                });
+            }
+            let mut a = full.clone();
+            let mut b = union;
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "stride={stride}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_worker_out_of_range_panics() {
+        let graphs = graphs_of(&[BLOCK]);
+        mine_streaming_partition(&graphs, &Config::default(), 2, 2, &mut |_| {
+            GrowDecision::Continue
+        });
     }
 
     #[test]

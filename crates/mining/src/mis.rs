@@ -224,7 +224,16 @@ fn exact_mis_component(component: &[usize], adj: &[Vec<usize>]) -> Vec<usize> {
             budget,
         );
         // Exclude pick.
-        recurse(p & !(1 << pick), current, size, nbr, best, best_set, bound, budget);
+        recurse(
+            p & !(1 << pick),
+            current,
+            size,
+            nbr,
+            best,
+            best_set,
+            bound,
+            budget,
+        );
     }
 
     // Seed with the greedy answer so a budget exhaustion still returns a
@@ -292,9 +301,8 @@ mod tests {
         assert!(n <= 20);
         let mut best = 0;
         for mask in 0u32..(1 << n) {
-            let ok = (0..n).all(|v| {
-                mask & (1 << v) == 0 || adj[v].iter().all(|&w| mask & (1 << w) == 0)
-            });
+            let ok = (0..n)
+                .all(|v| mask & (1 << v) == 0 || adj[v].iter().all(|&w| mask & (1 << w) == 0));
             if ok {
                 best = best.max(mask.count_ones() as usize);
             }
@@ -303,8 +311,7 @@ mod tests {
     }
 
     fn is_independent(set: &[usize], adj: &[Vec<usize>]) -> bool {
-        set.iter()
-            .all(|&v| adj[v].iter().all(|w| !set.contains(w)))
+        set.iter().all(|&v| adj[v].iter().all(|w| !set.contains(w)))
     }
 
     #[test]

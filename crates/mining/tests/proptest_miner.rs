@@ -16,10 +16,7 @@ fn arb_dag(max_nodes: usize, labels: u32) -> impl Strategy<Value = InputGraph> {
     (2..=max_nodes)
         .prop_flat_map(move |n| {
             let node_labels = proptest::collection::vec(0..labels, n);
-            let edges = proptest::collection::vec(
-                (0..n, 0..n, 1u8..4),
-                0..(n * 2),
-            );
+            let edges = proptest::collection::vec((0..n, 0..n, 1u8..4), 0..(n * 2));
             (node_labels, edges)
         })
         .prop_map(|(labels, raw_edges)| {

@@ -1,0 +1,280 @@
+//! The batch driver: a bounded worker pool with deterministic merge.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use gpa::{image_cache_key, DfgCache, Method, Optimizer, RunConfig, StageTimings};
+use gpa_image::Image;
+
+use crate::cache::ReportCache;
+use crate::report::{CorpusReport, ImageEntry};
+
+/// Tuning for one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Worker threads; `0` means [`std::thread::available_parallelism`].
+    pub jobs: usize,
+    /// Detection method for every image.
+    pub method: Method,
+    /// Per-image optimizer tuning (validation level, round caps, mining
+    /// threads).
+    pub run: RunConfig,
+    /// Directory for the persistent report-cache layer; `None` keeps the
+    /// cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            jobs: 0,
+            method: Method::Edgar,
+            run: RunConfig::default(),
+            cache_dir: None,
+        }
+    }
+}
+
+/// One unit of batch work.
+#[derive(Clone, Debug)]
+pub enum BatchInput {
+    /// Load the image from this file inside the worker.
+    Path(PathBuf),
+    /// An already-loaded image under a display name.
+    Loaded(String, Image),
+}
+
+impl BatchInput {
+    /// Wraps an in-memory image (tests, embedded corpora).
+    pub fn loaded(name: impl Into<String>, image: Image) -> BatchInput {
+        BatchInput::Loaded(name.into(), image)
+    }
+
+    /// The display name used in the corpus report.
+    pub fn name(&self) -> String {
+        match self {
+            BatchInput::Path(p) => p.display().to_string(),
+            BatchInput::Loaded(name, _) => name.clone(),
+        }
+    }
+}
+
+/// Expands command-line operands into batch inputs: a file stands for
+/// itself, a directory for its regular files in byte-wise name order
+/// (non-recursive), so a corpus directory enumerates identically on every
+/// platform.
+///
+/// # Errors
+///
+/// A message for an operand that does not exist or a directory that
+/// cannot be read.
+pub fn expand_inputs(operands: &[String]) -> Result<Vec<BatchInput>, String> {
+    let mut inputs = Vec::new();
+    for op in operands {
+        let path = Path::new(op);
+        if path.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("{op}: {e}"))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.is_file())
+                .collect();
+            entries.sort();
+            inputs.extend(entries.into_iter().map(BatchInput::Path));
+        } else if path.is_file() {
+            inputs.push(BatchInput::Path(path.to_path_buf()));
+        } else {
+            return Err(format!("{op}: no such file or directory"));
+        }
+    }
+    Ok(inputs)
+}
+
+fn effective_jobs(requested: usize, work_items: usize) -> usize {
+    let hardware = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    let jobs = if requested == 0 {
+        hardware()
+    } else {
+        requested
+    };
+    jobs.clamp(1, work_items.max(1))
+}
+
+/// Optimizes every input and merges the per-image results in input order.
+///
+/// Workers pull indices off a shared atomic counter, so the pool is
+/// naturally load-balanced; because results land in their input slot, the
+/// deterministic section of the returned [`CorpusReport`]
+/// ([`CorpusReport::to_json`] with `include_metrics = false`) is
+/// byte-identical for any `jobs` value and any cache temperature.
+///
+/// Per-image failures (unreadable file, undecodable image, failed
+/// validation) become [`ImageEntry::outcome`] errors; the run continues.
+///
+/// # Errors
+///
+/// Only a failure to create the `cache_dir` aborts the whole batch.
+pub fn run_batch(inputs: &[BatchInput], config: &BatchConfig) -> Result<CorpusReport, String> {
+    let start = Instant::now();
+    let report_cache = match &config.cache_dir {
+        Some(dir) => {
+            ReportCache::with_dir(dir).map_err(|e| format!("cache dir {}: {e}", dir.display()))?
+        }
+        None => ReportCache::in_memory(),
+    };
+    let dfg_cache = DfgCache::new();
+    let jobs = effective_jobs(config.jobs, inputs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ImageEntry>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+    let worker = || loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        let Some(input) = inputs.get(index) else {
+            return;
+        };
+        let entry = process_one(input, config, &report_cache, &dfg_cache);
+        *slots[index].lock().expect("result slot poisoned") = Some(entry);
+    };
+    if jobs <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(worker);
+            }
+        });
+    }
+    let images = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool drained every index")
+        })
+        .collect();
+    Ok(CorpusReport {
+        method: config.method,
+        images,
+        jobs,
+        wall_ns: start.elapsed().as_nanos() as u64,
+        report_cache_hits: report_cache.hits(),
+        report_cache_misses: report_cache.misses(),
+        dfg_cache_hits: dfg_cache.hits(),
+        dfg_cache_misses: dfg_cache.misses(),
+    })
+}
+
+fn process_one(
+    input: &BatchInput,
+    config: &BatchConfig,
+    report_cache: &ReportCache,
+    dfg_cache: &DfgCache,
+) -> ImageEntry {
+    let name = input.name();
+    let mut timings = StageTimings::default();
+    let fail = |outcome: String, key, timings| ImageEntry {
+        name: name.clone(),
+        key,
+        outcome: Err(outcome),
+        cached: false,
+        timings,
+    };
+    let image = match input {
+        BatchInput::Loaded(_, image) => image.clone(),
+        BatchInput::Path(path) => {
+            let bytes = match std::fs::read(path) {
+                Ok(bytes) => bytes,
+                Err(e) => return fail(e.to_string(), None, timings),
+            };
+            match Image::from_bytes(&bytes) {
+                Ok(image) => image,
+                Err(e) => return fail(e.to_string(), None, timings),
+            }
+        }
+    };
+    let key = image_cache_key(&image, config.method, &config.run);
+    if let Some(report) = report_cache.get(key) {
+        return ImageEntry {
+            name,
+            key: Some(key),
+            outcome: Ok(report),
+            cached: true,
+            timings,
+        };
+    }
+    let mut optimizer = match Optimizer::from_image_timed(&image, &mut timings) {
+        Ok(optimizer) => optimizer,
+        Err(e) => return fail(e.to_string(), Some(key), timings),
+    };
+    match optimizer.run_instrumented(config.method, &config.run, &mut timings, Some(dfg_cache)) {
+        Ok(report) => {
+            report_cache.put(key, &report);
+            ImageEntry {
+                name,
+                key: Some(key),
+                outcome: Ok(report),
+                cached: false,
+                timings,
+            }
+        }
+        Err(e) => fail(e.to_string(), Some(key), timings),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_resolution() {
+        assert_eq!(effective_jobs(4, 100), 4);
+        assert_eq!(effective_jobs(4, 2), 2);
+        assert_eq!(effective_jobs(1, 0), 1);
+        assert!(effective_jobs(0, 100) >= 1);
+    }
+
+    #[test]
+    fn missing_operand_is_an_error() {
+        assert!(expand_inputs(&["/definitely/not/here".into()]).is_err());
+    }
+
+    #[test]
+    fn directory_expansion_is_sorted() {
+        let dir = std::env::temp_dir().join(format!("gpa-batch-expand-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["b.img", "a.img", "c.img"] {
+            std::fs::write(dir.join(name), b"x").unwrap();
+        }
+        let inputs = expand_inputs(&[dir.display().to_string()]).unwrap();
+        let names: Vec<String> = inputs.iter().map(BatchInput::name).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names[0].ends_with("a.img"));
+        assert!(names[2].ends_with("c.img"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_image_fails_without_aborting_the_batch() {
+        let dir = std::env::temp_dir().join(format!("gpa-batch-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.img");
+        std::fs::write(&bad, b"not an image").unwrap();
+        let corpus = run_batch(
+            &[BatchInput::Path(bad)],
+            &BatchConfig {
+                jobs: 1,
+                ..BatchConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(corpus.error_count(), 1);
+        assert!(corpus.images[0].key.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

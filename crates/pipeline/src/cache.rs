@@ -1,0 +1,159 @@
+//! The report-level artifact cache.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use gpa::json::Json;
+use gpa::Report;
+
+/// A content-addressed cache of optimization results, keyed by
+/// [`gpa::image_cache_key`].
+///
+/// Always has an in-memory layer (shared by every worker of a batch run);
+/// with [`ReportCache::with_dir`] a second, on-disk layer persists
+/// results across runs as `<dir>/<key as 32 hex digits>.json` files
+/// holding the [`Report::to_json`] document.
+///
+/// The disk layer is best-effort and safe against concurrent writers:
+/// files are written to a temporary name and atomically renamed into
+/// place, and an unreadable or unparsable file (e.g. a stale schema after
+/// an upgrade) counts as a miss rather than an error.
+pub struct ReportCache {
+    dir: Option<PathBuf>,
+    map: Mutex<HashMap<u128, Report>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ReportCache {
+    /// A purely in-memory cache (one batch run's lifetime).
+    pub fn in_memory() -> ReportCache {
+        ReportCache {
+            dir: None,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by `dir`, created if missing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn with_dir(dir: &Path) -> io::Result<ReportCache> {
+        std::fs::create_dir_all(dir)?;
+        let mut cache = ReportCache::in_memory();
+        cache.dir = Some(dir.to_path_buf());
+        Ok(cache)
+    }
+
+    /// Lookups answered from memory or disk.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (the optimizer had to run).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn entry_path(&self, key: u128) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{key:032x}.json")))
+    }
+
+    /// Fetches the report stored under `key`, consulting memory first and
+    /// then the disk layer (promoting disk hits into memory).
+    pub fn get(&self, key: u128) -> Option<Report> {
+        if let Some(found) = self.map.lock().expect("report cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(found.clone());
+        }
+        if let Some(report) = self.read_disk(key) {
+            self.map
+                .lock()
+                .expect("report cache poisoned")
+                .insert(key, report.clone());
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(report);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn read_disk(&self, key: u128) -> Option<Report> {
+        let path = self.entry_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        Report::from_json(&doc).ok()
+    }
+
+    /// Stores a freshly computed report under `key` in every layer.
+    pub fn put(&self, key: u128, report: &Report) {
+        self.map
+            .lock()
+            .expect("report cache poisoned")
+            .insert(key, report.clone());
+        if let Some(path) = self.entry_path(key) {
+            // Atomic publish: never expose a half-written file to a
+            // concurrent reader. Failures only cost future cache hits.
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            let payload = report.to_json().to_string();
+            if std::fs::write(&tmp, payload).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa::{ExtractionKind, Round};
+
+    fn sample() -> Report {
+        Report {
+            initial_words: 40,
+            final_words: 30,
+            rounds: vec![Round {
+                kind: ExtractionKind::Procedure { lr_save: false },
+                body_words: 5,
+                occurrences: 3,
+                saved: 10,
+                fragment_name: "__gpa_frag_0".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn memory_roundtrip_and_counters() {
+        let cache = ReportCache::in_memory();
+        assert!(cache.get(7).is_none());
+        cache.put(7, &sample());
+        assert_eq!(cache.get(7), Some(sample()));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn disk_layer_survives_a_new_cache() {
+        let dir = std::env::temp_dir().join(format!("gpa-report-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ReportCache::with_dir(&dir).unwrap();
+            cache.put(0xabc, &sample());
+        }
+        let warm = ReportCache::with_dir(&dir).unwrap();
+        assert_eq!(warm.get(0xabc), Some(sample()));
+        assert_eq!(warm.hits(), 1);
+        // A corrupt entry is a miss, not an error.
+        std::fs::write(dir.join(format!("{:032x}.json", 0xdefu32)), "not json").unwrap();
+        assert!(warm.get(0xdef).is_none());
+        assert_eq!(warm.misses(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,119 @@
+//! Corpus-level regression tests: determinism across worker counts,
+//! agreement with the single-shot optimizer, and cache-warm identity.
+//!
+//! Validation is pinned to [`ValidateLevel::Off`] here — the translation
+//! validator has its own end-to-end suite (`tests/verify_pipeline.rs` at
+//! the workspace root), and these tests assert pipeline properties, not
+//! rewrite soundness.
+
+use gpa::{Method, Optimizer, RunConfig, ValidateLevel};
+use gpa_pipeline::{run_batch, BatchConfig, BatchInput};
+
+fn kernel_inputs(names: &[&str]) -> Vec<BatchInput> {
+    names
+        .iter()
+        .map(|name| {
+            let image =
+                gpa_minicc::compile_benchmark(name, &gpa_minicc::Options::default()).unwrap();
+            BatchInput::loaded(*name, image)
+        })
+        .collect()
+}
+
+fn fast_config() -> BatchConfig {
+    BatchConfig {
+        run: RunConfig {
+            validate: ValidateLevel::Off,
+            ..RunConfig::default()
+        },
+        ..BatchConfig::default()
+    }
+}
+
+/// The deterministic report section is byte-identical no matter how many
+/// workers the pool ran — the core acceptance criterion of the batch
+/// engine, asserted over the full 8-kernel corpus.
+#[test]
+fn batch_is_deterministic_across_job_counts() {
+    let inputs = kernel_inputs(&gpa_minicc::programs::BENCHMARKS);
+    let corpus_of = |jobs: usize| {
+        run_batch(
+            &inputs,
+            &BatchConfig {
+                jobs,
+                ..fast_config()
+            },
+        )
+        .unwrap()
+    };
+    let sequential = corpus_of(1);
+    let parallel = corpus_of(4);
+    assert_eq!(
+        sequential.to_json(false).to_string(),
+        parallel.to_json(false).to_string()
+    );
+    assert_eq!(sequential.error_count(), 0);
+    assert!(sequential.total_saved_words() > 0);
+}
+
+/// Batch savings per image equal what a direct `Optimizer::run_with`
+/// reports: the pipeline adds caching and parallelism, never different
+/// results.
+#[test]
+fn batch_matches_single_shot_optimizer() {
+    let inputs = kernel_inputs(&["crc", "sha", "bitcnts"]);
+    let config = fast_config();
+    let corpus = run_batch(&inputs, &config).unwrap();
+    for (input, entry) in inputs.iter().zip(&corpus.images) {
+        let BatchInput::Loaded(name, image) = input else {
+            unreachable!()
+        };
+        let mut opt = Optimizer::from_image(image).unwrap();
+        let direct = opt.run_with(Method::Edgar, &config.run).unwrap();
+        assert_eq!(entry.outcome.as_ref(), Ok(&direct), "{name}");
+    }
+}
+
+/// A second run against the same on-disk cache answers from the cache and
+/// reports the identical deterministic section.
+#[test]
+fn warm_cache_run_is_identical_and_hits() {
+    let inputs = kernel_inputs(&["dijkstra", "qsort"]);
+    let dir = std::env::temp_dir().join(format!("gpa-batch-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = BatchConfig {
+        cache_dir: Some(dir.clone()),
+        ..fast_config()
+    };
+    let cold = run_batch(&inputs, &config).unwrap();
+    let warm = run_batch(&inputs, &config).unwrap();
+    assert_eq!(
+        cold.to_json(false).to_string(),
+        warm.to_json(false).to_string()
+    );
+    assert_eq!(warm.report_cache_hits, inputs.len() as u64);
+    assert_eq!(warm.report_cache_misses, 0);
+    assert!(warm.images.iter().all(|e| e.cached));
+    assert!(cold.images.iter().all(|e| !e.cached));
+    // The DFG cache sees traffic on the cold pass (shared runtime blocks
+    // recur across rounds and images).
+    assert!(cold.dfg_cache_misses > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `mining_threads` feeds the partitioned lattice search and must not
+/// change any report.
+#[test]
+fn mining_threads_do_not_change_results() {
+    let inputs = kernel_inputs(&["search", "patricia"]);
+    let corpus_of = |mining_threads: usize| {
+        let mut config = fast_config();
+        config.jobs = 1;
+        config.run.mining_threads = mining_threads;
+        run_batch(&inputs, &config).unwrap()
+    };
+    assert_eq!(
+        corpus_of(1).to_json(false).to_string(),
+        corpus_of(4).to_json(false).to_string()
+    );
+}

@@ -117,7 +117,15 @@ pub fn repeated_factors(seqs: &[Vec<u32>], min_occurrences: usize) -> Vec<Repeat
             }
             stack.pop();
             if top_lcp >= 2 {
-                report_interval(&sa, &origin, top_left, i - 1, top_lcp, min_occurrences, &mut out);
+                report_interval(
+                    &sa,
+                    &origin,
+                    top_left,
+                    i - 1,
+                    top_lcp,
+                    min_occurrences,
+                    &mut out,
+                );
             }
             left = top_left;
         }
@@ -230,10 +238,7 @@ mod tests {
 
     #[test]
     fn candidates_are_true_repeats() {
-        let seqs = vec![
-            vec![1, 2, 3, 1, 2, 4, 1, 2, 3],
-            vec![3, 1, 2, 3, 9],
-        ];
+        let seqs = vec![vec![1, 2, 3, 1, 2, 4, 1, 2, 3], vec![3, 1, 2, 3, 9]];
         for c in repeated_factors(&seqs, 2) {
             let (s0, o0) = c.occurrences[0];
             let reference = &seqs[s0][o0..o0 + c.len];

@@ -103,7 +103,9 @@ mod tests {
     fn matches_naive_on_random_inputs() {
         let mut state = 7u64;
         let mut rand = move || {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             ((state >> 33) % 5) as u32
         };
         for n in [1usize, 2, 3, 10, 50, 200] {

@@ -16,9 +16,7 @@ use gpa_arm::reg::RegSet;
 use gpa_arm::Reg;
 use gpa_cfg::{Item, Literal, Program};
 
-use crate::dataflow::{
-    EffectsTransfer, FnCfg, GenKill, ItemTransfer, LiveState, Liveness,
-};
+use crate::dataflow::{EffectsTransfer, FnCfg, GenKill, ItemTransfer, LiveState, Liveness};
 
 /// What a call to a function does to the caller-visible machine state.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -120,13 +118,8 @@ impl CallGraph {
                     index: &index,
                     summaries: &summaries,
                 };
-                let live =
-                    Liveness::analyze(f, &cfgs[i], &transfer, LiveState::EMPTY);
-                let live_in = live
-                    .live_in
-                    .first()
-                    .copied()
-                    .unwrap_or(LiveState::EMPTY);
+                let live = Liveness::analyze(f, &cfgs[i], &transfer, LiveState::EMPTY);
+                let live_in = live.live_in.first().copied().unwrap_or(LiveState::EMPTY);
                 let mut defs = RegSet::EMPTY;
                 let mut writes_flags = false;
                 for item in &f.items {
@@ -346,7 +339,12 @@ mod tests {
         ]);
         let g = CallGraph::build(&p);
         // The tail-callee returns through the shared lr.
-        assert!(g.summary("trampoline").unwrap().live_in.regs.contains(Reg::LR));
+        assert!(g
+            .summary("trampoline")
+            .unwrap()
+            .live_in
+            .regs
+            .contains(Reg::LR));
     }
 
     #[test]

@@ -285,7 +285,11 @@ impl Liveness {
         let mut work: Vec<usize> = (0..n).collect();
         while let Some(b) = work.pop() {
             let block = &cfg.blocks[b];
-            let mut out = if block.exits { exit_live } else { LiveState::EMPTY };
+            let mut out = if block.exits {
+                exit_live
+            } else {
+                LiveState::EMPTY
+            };
             for &s in &block.succs {
                 out = out.union(live_in[s]);
             }

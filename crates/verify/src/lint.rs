@@ -189,9 +189,7 @@ fn lint_literal_range(f: &FunctionCode, diags: &mut Vec<Diagnostic>) {
             diags.push(Diagnostic::error(
                 Code::LiteralOutOfRange,
                 Location::item(&f.name, i),
-                format!(
-                    "literal load is {disp} bytes from its pool slot (|range| < {LDR_RANGE})"
-                ),
+                format!("literal load is {disp} bytes from its pool slot (|range| < {LDR_RANGE})"),
             ));
         }
     }
@@ -357,9 +355,7 @@ fn lint_raw_branches(image: &Image, diags: &mut Vec<Diagnostic>) {
                 diags.push(Diagnostic::error(
                     Code::BadBranchTarget,
                     Location::function(&sym.name),
-                    format!(
-                        "branch at {addr:#x} targets {target:#x}, outside the code section"
-                    ),
+                    format!("branch at {addr:#x} targets {target:#x}, outside the code section"),
                 ));
             } else if data_words.contains(&target) {
                 diags.push(Diagnostic::error(
@@ -408,11 +404,7 @@ mod tests {
 
     #[test]
     fn clean_function_lints_clean() {
-        let p = program(vec![func(
-            "f",
-            vec![insn("mov r0, #1"), insn("bx lr")],
-            0,
-        )]);
+        let p = program(vec![func("f", vec![insn("mov r0, #1"), insn("bx lr")], 0)]);
         assert!(lint_program(&p).is_empty(), "{:?}", lint_program(&p));
     }
 
@@ -566,7 +558,7 @@ mod tests {
     }
 
     #[test]
-    fn compiled_program_is_clean(){
+    fn compiled_program_is_clean() {
         let image = gpa_minicc::compile(
             "int f(int x) { return x * 3 + 1; }\n\
              int main() { putint(f(4) + f(7)); return 0; }",

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let elapsed = start.elapsed();
         let optimized = optimizer.encode()?;
         let after = Machine::new(&optimized).run(600_000_000)?;
-        assert_eq!(baseline.output, after.output, "{method} must preserve output");
+        assert_eq!(
+            baseline.output, after.output,
+            "{method} must preserve output"
+        );
         println!(
             "{method:>7}: saved {:>4} instructions | {:>3} rounds ({} proc, {} xjump) | {:.2}s",
             report.saved_words(),

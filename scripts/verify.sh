@@ -1,12 +1,52 @@
 #!/usr/bin/env bash
-# Full verification gate: build, tests, and the promoted clippy lints.
+# Full verification gate: formatting, build, tests, the promoted clippy
+# lints, and a cold-vs-warm `gpa batch` smoke over a tiny corpus.
 # The container is offline; keep cargo from touching the network.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
+cargo fmt --all --check
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Batch-pipeline smoke: two images, cold run then warm run against the
+# same cache dir. The warm run must answer from the cache, and the
+# deterministic report sections must agree byte-for-byte.
+GPA=target/release/gpa
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+"$GPA" bench crc -o "$WORK/crc.img" >/dev/null
+"$GPA" bench sha -o "$WORK/sha.img" >/dev/null
+"$GPA" batch "$WORK/crc.img" "$WORK/sha.img" --jobs 2 \
+    --cache-dir "$WORK/cache" --report "$WORK/cold.json" 2>"$WORK/cold.log"
+"$GPA" batch "$WORK/crc.img" "$WORK/sha.img" --jobs 2 \
+    --cache-dir "$WORK/cache" --report "$WORK/warm.json" 2>"$WORK/warm.log"
+
+extract_metric() { # file key -> first integer after "key":
+    sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p" "$1" | head -n1
+}
+cold_wall_ns=$(extract_metric "$WORK/cold.json" wall_ns)
+cold_hits=$(sed -n 's/.*"report_cache":{"hits":\([0-9][0-9]*\).*/\1/p' "$WORK/cold.json")
+warm_hits=$(sed -n 's/.*"report_cache":{"hits":\([0-9][0-9]*\).*/\1/p' "$WORK/warm.json")
+if [ "${warm_hits:-0}" -lt 1 ]; then
+    echo "verify: warm batch run did not hit the artifact cache" >&2
+    exit 1
+fi
+# Deterministic sections (everything before the metrics object) agree.
+cold_det=$(sed 's/,"metrics":.*//' "$WORK/cold.json")
+warm_det=$(sed 's/,"metrics":.*//' "$WORK/warm.json")
+if [ "$cold_det" != "$warm_det" ]; then
+    echo "verify: cold and warm batch reports disagree" >&2
+    exit 1
+fi
+warm_wall_json_ns=$(extract_metric "$WORK/warm.json" wall_ns)
+warm_misses=$(sed -n 's/.*"report_cache":{"hits":[0-9]*,"misses":\([0-9][0-9]*\).*/\1/p' "$WORK/warm.json")
+warm_rate_pct=$(( 100 * warm_hits / (warm_hits + ${warm_misses:-0}) ))
+printf '{"bench":"pipeline_batch_smoke","images":2,"cold_wall_ns":%s,"warm_wall_ns":%s,"cold_report_cache_hits":%s,"warm_report_cache_hits":%s,"warm_hit_rate_pct":%s}\n' \
+    "${cold_wall_ns:-0}" "${warm_wall_json_ns:-0}" "${cold_hits:-0}" "${warm_hits:-0}" "$warm_rate_pct" \
+    > BENCH_pipeline.json
+echo "verify: batch smoke OK ($(cat BENCH_pipeline.json))"
 
 echo "verify: all gates green"

@@ -47,7 +47,10 @@ fn generate_program(rng: &mut StdRng) -> String {
         let f = rng.gen_range(0..n_funcs);
         let x = rng.gen_range(0..50);
         let y = rng.gen_range(0..50);
-        src.push_str(&format!("    total = total + f{f}({x}, {y}) * {};\n", c + 1));
+        src.push_str(&format!(
+            "    total = total + f{f}({x}, {y}) * {};\n",
+            c + 1
+        ));
     }
     src.push_str("    for (int i = 0; i < 8; i++) total = total ^ acc[i];\n");
     src.push_str("    putint(total);\n    putint(acc[3]);\n    return 0;\n}\n");

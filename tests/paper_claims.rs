@@ -5,9 +5,9 @@
 use gpa_arm::parse::parse_listing;
 use gpa_cfg::Item;
 use gpa_dfg::{build_all, build_dfg_from_items, stats::degree_stats, LabelMode};
+use gpa_minicc::{compile_benchmark, Options};
 use gpa_mining::graph::InputGraph;
 use gpa_mining::miner::{mine, Config, Support};
-use gpa_minicc::{compile_benchmark, Options};
 
 /// Fig. 1 of the paper.
 const RUNNING_EXAMPLE: &str = "ldr r3, [r1]!
@@ -63,7 +63,10 @@ fn figs4_5_graph_mining_finds_three_instruction_fragments() {
         .map(|f| f.pattern.node_count())
         .max()
         .unwrap();
-    assert!(largest >= 3, "graph mining sees 3-node fragments, got {largest}");
+    assert!(
+        largest >= 3,
+        "graph mining sees 3-node fragments, got {largest}"
+    );
 }
 
 /// §3.4 (Fig. 8): a four-node fragment's two embeddings share the middle
@@ -137,8 +140,11 @@ fn table3_histograms_are_complete() {
     let out_total: usize = stats.out_hist.iter().sum();
     assert_eq!(in_total, stats.total());
     assert_eq!(out_total, stats.total());
-    assert_eq!(stats.total(), program.instruction_count() -
+    assert_eq!(
+        stats.total(),
+        program.instruction_count() -
         // Fused indirect-call items count as one node but two instructions.
         program.regions().iter().flat_map(|r| r.items.iter())
-            .filter(|i| matches!(i, Item::IndirectCall { .. })).count());
+            .filter(|i| matches!(i, Item::IndirectCall { .. })).count()
+    );
 }

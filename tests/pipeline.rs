@@ -10,19 +10,24 @@ use gpa_minicc::{compile_benchmark, Options};
 const STEPS: u64 = 600_000_000;
 
 fn run(image: &Image) -> Outcome {
-    Machine::new(image).run(STEPS).expect("binary runs to completion")
+    Machine::new(image)
+        .run(STEPS)
+        .expect("binary runs to completion")
 }
 
 /// Optimizes `name` with `method`; returns (saved words, baseline, after).
 fn check(name: &str, method: Method) -> i64 {
-    let image = compile_benchmark(name, &Options::default())
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let image =
+        compile_benchmark(name, &Options::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
     let before = run(&image);
     let mut optimizer = Optimizer::from_image(&image).expect("image lifts");
     let report = optimizer.run(method).expect("optimization validates");
     let optimized = optimizer.encode().expect("optimized program encodes");
     let after = run(&optimized);
-    assert_eq!(before.exit_code, after.exit_code, "{name}/{method}: exit code");
+    assert_eq!(
+        before.exit_code, after.exit_code,
+        "{name}/{method}: exit code"
+    );
     assert_eq!(
         before.output_string(),
         after.output_string(),
@@ -35,8 +40,14 @@ fn check(name: &str, method: Method) -> i64 {
     // The code section genuinely shrank by the reported amount (modulo
     // literal pools, which the re-encoder may share differently).
     let p_before = gpa_cfg::decode_image(&image).unwrap().instruction_count() as i64;
-    let p_after = gpa_cfg::decode_image(&optimized).unwrap().instruction_count() as i64;
-    assert_eq!(p_before - p_after, report.saved_words(), "{name}/{method}: accounting");
+    let p_after = gpa_cfg::decode_image(&optimized)
+        .unwrap()
+        .instruction_count() as i64;
+    assert_eq!(
+        p_before - p_after,
+        report.saved_words(),
+        "{name}/{method}: accounting"
+    );
     report.saved_words()
 }
 

@@ -115,7 +115,9 @@ mod tests {
             assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
         }
         let mut c = StdRng::seed_from_u64(8);
-        let equal = (0..100).filter(|_| a.gen_range(0u32..1000) == c.gen_range(0u32..1000)).count();
+        let equal = (0..100)
+            .filter(|_| a.gen_range(0u32..1000) == c.gen_range(0u32..1000))
+            .count();
         assert!(equal < 50, "different seeds should diverge");
     }
 
