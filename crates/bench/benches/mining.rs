@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use gpa_bench::compile;
 use gpa_dfg::{build_all, LabelMode};
-use gpa_mining::graph::InputGraph;
+use gpa_mining::graph::{GEdge, InputGraph};
 use gpa_mining::miner::{mine, Config, Support};
 
 fn graphs_for(name: &str) -> Vec<InputGraph> {
@@ -103,10 +103,52 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_dense_bucket(c: &mut Criterion) {
+    // Regression guard for the `push_bucket` dedup rewrite: a star graph
+    // funnels every seed embedding into one extension bucket, which the
+    // old `Vec::contains` scan made quadratic in bucket size. With the
+    // hash-set dedup, doubling the leaf count should roughly double the
+    // per-bucket work, not quadruple it.
+    let star = |leaves: u32| {
+        let labels: Vec<u32> = std::iter::once(1)
+            .chain(std::iter::repeat_n(2, leaves as usize))
+            .collect();
+        let edges: Vec<GEdge> = (1..=leaves)
+            .map(|leaf| GEdge {
+                from: 0,
+                to: leaf,
+                label: 1,
+            })
+            .collect();
+        InputGraph::new(labels, edges)
+    };
+    let mut group = c.benchmark_group("mining_dense_bucket");
+    group.sample_size(10);
+    for leaves in [32u32, 64] {
+        let graphs = vec![star(leaves)];
+        group.bench_with_input(BenchmarkId::from_parameter(leaves), &graphs, |b, graphs| {
+            b.iter(|| {
+                mine(
+                    graphs,
+                    &Config {
+                        min_support: 2,
+                        support: Support::Embeddings,
+                        max_nodes: 3,
+                        max_patterns: 10_000,
+                        ..Config::default()
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_support_modes,
     bench_fragment_cap,
-    bench_parallel
+    bench_parallel,
+    bench_dense_bucket
 );
 criterion_main!(benches);

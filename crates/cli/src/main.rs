@@ -8,17 +8,20 @@
 //! gpa dis <image>                                     lifted assembly listing
 //! gpa stats <image> [--json]                          DFG degree statistics
 //! gpa lint <image>                                    static binary lints
-//! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] [--validate off|final|every-round] [--jobs N]
-//! gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--method sfx|dgspan|edgar] [--validate] [--report out.json]
+//! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] [--validate off|final|every-round] [--jobs N] [--trace out.jsonl]
+//! gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--trace-dir D] [--method sfx|dgspan|edgar] [--validate] [--report out.json]
+//! gpa trace-check <trace.jsonl...>                    validate trace streams
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gpa::json::Json;
-use gpa::{Method, Optimizer, RunConfig, ValidateLevel};
+use gpa::{Method, Optimizer, RunConfig, StageTimings, ValidateLevel};
 use gpa_emu::Machine;
 use gpa_image::Image;
 use gpa_pipeline::{expand_inputs, run_batch, BatchConfig};
+use gpa_trace::{JsonlTracer, TRACE_SCHEMA};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +49,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "lint" => lint(rest),
         "optimize" => optimize(rest),
         "batch" => batch_run(rest),
+        "trace-check" => trace_check(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -64,9 +68,10 @@ fn print_usage() {
          gpa stats <image> [--json]\n  \
          gpa lint <image>\n  \
          gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] \
-         [--validate off|final|every-round] [--jobs N]\n  \
-         gpa batch <dir|files...> [--jobs N] [--cache-dir D] \
-         [--method sfx|dgspan|edgar] [--validate] [--report out.json]"
+         [--validate off|final|every-round] [--jobs N] [--trace out.jsonl]\n  \
+         gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--trace-dir D] \
+         [--method sfx|dgspan|edgar] [--validate] [--report out.json]\n  \
+         gpa trace-check <trace.jsonl...>"
     );
 }
 
@@ -246,6 +251,7 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
     let mut config = RunConfig::default();
     let mut method = Method::Edgar;
     let mut input = None;
+    let mut trace_path = None;
     let mut iter = rest.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -272,6 +278,12 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
                 };
             }
             "--jobs" => config.mining_threads = take_jobs(&mut iter)?,
+            "--trace" => {
+                let p = iter
+                    .next()
+                    .ok_or_else(|| "--trace requires a path".to_owned())?;
+                trace_path = Some(p.clone());
+            }
             other if !other.starts_with("--") => input = Some(other.to_owned()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -281,11 +293,20 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
         config.mining_threads =
             std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     }
+    if let Some(path) = &trace_path {
+        let tracer =
+            JsonlTracer::to_file(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        config.tracer = Arc::new(tracer);
+    }
     let image = load_image(&input)?;
-    let mut optimizer = Optimizer::from_image(&image).map_err(|e| e.to_string())?;
+    let mut timings = StageTimings::default();
+    let mut optimizer =
+        Optimizer::from_image_timed(&image, &mut timings).map_err(|e| e.to_string())?;
     let report = optimizer
-        .run_with(method, &config)
+        .run_instrumented(method, &config, &mut timings, None)
         .map_err(|e| e.to_string())?;
+    timings.trace(config.tracer.as_ref());
+    config.tracer.finish();
     let optimized = optimizer.encode().map_err(|e| e.to_string())?;
     save_image(&optimized, &output)?;
     println!(
@@ -298,6 +319,9 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
         report.cross_jump_count()
     );
     println!("wrote {output}");
+    if let Some(path) = &trace_path {
+        eprintln!("trace written to {path}");
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -328,6 +352,12 @@ fn batch_run(args: &[String]) -> Result<ExitCode, String> {
                     .next()
                     .ok_or_else(|| "--cache-dir requires a path".to_owned())?;
                 config.cache_dir = Some(dir.into());
+            }
+            "--trace-dir" => {
+                let dir = iter
+                    .next()
+                    .ok_or_else(|| "--trace-dir requires a path".to_owned())?;
+                config.trace_dir = Some(dir.into());
             }
             "--method" => {
                 let m = iter
@@ -394,4 +424,85 @@ fn batch_run(args: &[String]) -> Result<ExitCode, String> {
     } else {
         Ok(ExitCode::SUCCESS)
     }
+}
+
+/// `gpa trace-check`: structural validation of `gpa-trace/1` streams.
+///
+/// For each file: every line must parse as JSON, the first line must be
+/// the schema header, the last the counter summary; every event name's
+/// line count must equal its recorded counter; and the miner's visit
+/// identity (`visited == expanded + subtree_skipped + stopped_max_nodes`)
+/// must hold.
+fn trace_check(args: &[String]) -> Result<ExitCode, String> {
+    if args.is_empty() {
+        return Err("missing trace file(s)".to_owned());
+    }
+    for path in args {
+        check_one_trace(path)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn check_one_trace(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut lines = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let doc = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", number + 1))?;
+        lines.push(doc);
+    }
+    let Some((header, rest)) = lines.split_first() else {
+        return Err(format!("{path}: empty trace"));
+    };
+    if header.get("schema").and_then(Json::as_str) != Some(TRACE_SCHEMA) {
+        return Err(format!("{path}:1: missing or unknown schema header"));
+    }
+    let Some((summary, events)) = rest.split_last() else {
+        return Err(format!("{path}: missing counter-summary line"));
+    };
+    if summary.get("ev").and_then(Json::as_str) != Some("counters") {
+        return Err(format!("{path}: last line is not the counter summary"));
+    }
+    let counters = summary
+        .get("counters")
+        .ok_or_else(|| format!("{path}: summary has no counters object"))?;
+    let mut observed: std::collections::BTreeMap<&str, i64> = std::collections::BTreeMap::new();
+    for doc in events {
+        let name = doc
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: event line without \"ev\""))?;
+        if doc.get("at_ns").and_then(Json::as_int).is_none() {
+            return Err(format!("{path}: event `{name}` without \"at_ns\""));
+        }
+        *observed.entry(name).or_insert(0) += 1;
+    }
+    let counter = |name: &str| counters.get(name).and_then(Json::as_int).unwrap_or(0);
+    for (name, lines_seen) in &observed {
+        let recorded = counter(name);
+        if recorded != *lines_seen {
+            return Err(format!(
+                "{path}: counter `{name}` records {recorded}, \
+                 but {lines_seen} event line(s) are present"
+            ));
+        }
+    }
+    let visited = counter("mine.patterns_visited");
+    let accounted = counter("mine.expanded")
+        + counter("mine.subtree_skipped")
+        + counter("mine.stopped_max_nodes");
+    if visited != accounted {
+        return Err(format!(
+            "{path}: mine.patterns_visited is {visited}, \
+             but expanded + subtree_skipped + stopped_max_nodes is {accounted}"
+        ));
+    }
+    let counter_total = match counters {
+        Json::Obj(pairs) => pairs.len(),
+        _ => return Err(format!("{path}: counters is not an object")),
+    };
+    println!(
+        "{path}: ok ({} event line(s), {counter_total} counter(s))",
+        events.len()
+    );
+    Ok(())
 }

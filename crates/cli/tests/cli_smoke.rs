@@ -216,6 +216,148 @@ fn batch_cold_then_warm_hits_the_cache() {
 }
 
 #[test]
+fn optimize_trace_writes_a_checkable_stream_and_changes_nothing() {
+    let img = tmp("trace.img");
+    let out = gpa()
+        .args(["bench", "crc", "-o", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let opt_plain = tmp("trace_plain.img");
+    let opt_traced = tmp("trace_traced.img");
+    let trace = tmp("trace.jsonl");
+    let optimize = |out_img: &std::path::Path, trace: Option<&std::path::Path>| {
+        let mut cmd = gpa();
+        cmd.args([
+            "optimize",
+            img.to_str().unwrap(),
+            "-o",
+            out_img.to_str().unwrap(),
+            "--validate",
+            "off",
+        ]);
+        if let Some(t) = trace {
+            cmd.args(["--trace", t.to_str().unwrap()]);
+        }
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let plain = optimize(&opt_plain, None);
+    let traced = optimize(&opt_traced, Some(&trace));
+    // Tracing must not change the report line or the produced image.
+    assert_eq!(plain.lines().next(), traced.lines().next());
+    assert_eq!(
+        std::fs::read(&opt_plain).unwrap(),
+        std::fs::read(&opt_traced).unwrap()
+    );
+
+    // The stream passes the structural validator.
+    let check = gpa()
+        .args(["trace-check", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    assert!(String::from_utf8_lossy(&check.stdout).contains("ok"));
+
+    // A tampered counter summary must be rejected.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.contains("\"mine.patterns_visited\":"));
+    let tampered_path = tmp("trace_tampered.jsonl");
+    let tampered = text.replacen(
+        "\"mine.patterns_visited\":",
+        "\"mine.patterns_visited\":9",
+        1,
+    );
+    std::fs::write(&tampered_path, tampered).unwrap();
+    let check = gpa()
+        .args(["trace-check", tampered_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        !check.status.success(),
+        "tampered trace must fail the check"
+    );
+
+    for p in [img, opt_plain, opt_traced, trace, tampered_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn batch_trace_dir_writes_per_image_streams() {
+    let img = tmp("batch_trace.img");
+    let out = gpa()
+        .args(["bench", "qsort", "-o", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace_dir = tmp("batch_traces");
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let report_path = tmp("batch_trace_report.json");
+    let out = gpa()
+        .args([
+            "batch",
+            img.to_str().unwrap(),
+            "--trace-dir",
+            trace_dir.to_str().unwrap(),
+            "--report",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let traces: Vec<_> = std::fs::read_dir(&trace_dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    assert_eq!(traces.len(), 1, "one trace per input");
+    let check = gpa()
+        .args(["trace-check", traces[0].to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    // Aggregated counters surface in the corpus metrics.
+    let doc = gpa::json::Json::parse(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    let visited = doc
+        .get("metrics")
+        .and_then(|m| m.get("trace"))
+        .and_then(|t| t.get("mine.patterns_visited"))
+        .and_then(gpa::json::Json::as_int)
+        .unwrap();
+    assert!(visited > 0);
+
+    let _ = std::fs::remove_file(&img);
+    let _ = std::fs::remove_file(&report_path);
+    let _ = std::fs::remove_dir_all(&trace_dir);
+}
+
+#[test]
 fn lint_accepts_clean_image_and_rejects_corruption() {
     let img = tmp("lint.img");
     let bad = tmp("lint_bad.img");

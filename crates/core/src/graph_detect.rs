@@ -9,8 +9,9 @@ use gpa_dfg::{Dfg, LabelMode};
 use gpa_mining::embed::seed_buckets;
 use gpa_mining::graph::InputGraph;
 use gpa_mining::miner::{
-    mine_seed, non_overlapping_count, Config, Frequent, GrowDecision, Support,
+    mine_seed, non_overlapping_count_traced, Config, Frequent, GrowDecision, Support,
 };
+use gpa_trace::{NoopTracer, Tracer, Value};
 
 use crate::artifact::{BlockArtifact, DfgCache};
 use crate::candidate::{classify_body, Candidate, ExtractionKind, Occurrence};
@@ -37,6 +38,11 @@ pub struct GraphConfig {
     /// so the winning candidate matches the sequential search whenever
     /// the pattern budget is not exhausted.
     pub threads: usize,
+    /// Telemetry sink for detection counters, the per-round candidate
+    /// table and degradation events. Tracing never changes which
+    /// candidate wins, so the tracer — like `threads` — is excluded
+    /// from [`crate::artifact::image_cache_key`].
+    pub tracer: Arc<dyn Tracer>,
 }
 
 impl Default for GraphConfig {
@@ -47,6 +53,7 @@ impl Default for GraphConfig {
             max_nodes: 16,
             max_patterns: 60_000,
             threads: 1,
+            tracer: Arc::new(NoopTracer),
         }
     }
 }
@@ -168,9 +175,22 @@ fn candidate_from_frequent(
     artifacts: &[Arc<BlockArtifact>],
     lr_free: &[bool],
     mis_ns: &mut u64,
+    tracer: &dyn Tracer,
 ) -> Option<Candidate> {
     if freq.embeddings.len() < 2 {
         return None;
+    }
+    if freq.embeddings.len() > MAX_VALIDATED_EMBEDDINGS {
+        // Occurrences beyond the cap are silently never extracted;
+        // record how many a consumer of this pattern loses sight of.
+        tracer.event(
+            "detect.validation_truncated",
+            &[
+                ("pattern_nodes", Value::from(freq.pattern.node_count())),
+                ("embeddings", Value::from(freq.embeddings.len())),
+                ("validated", Value::from(MAX_VALIDATED_EMBEDDINGS)),
+            ],
+        );
     }
     // Body: the first embedding's nodes in program order.
     let first = &freq.embeddings[0];
@@ -258,7 +278,7 @@ fn candidate_from_frequent(
     let selected: Vec<&gpa_mining::embed::Embedding> = {
         let owned: Vec<gpa_mining::embed::Embedding> = valid.iter().map(|e| (*e).clone()).collect();
         let mis_start = Instant::now();
-        let (_, chosen) = non_overlapping_count(&owned);
+        let (_, chosen) = non_overlapping_count_traced(&owned, tracer);
         *mis_ns += mis_start.elapsed().as_nanos() as u64;
         chosen.into_iter().map(|i| valid[i]).collect()
     };
@@ -337,16 +357,52 @@ struct SearchCtx<'a> {
     region_live: &'a [bool],
     graphs: &'a [InputGraph],
     max_body_words: i64,
+    tracer: &'a dyn Tracer,
 }
 
+/// The stable lowercase mechanism name used in trace events.
+pub(crate) fn kind_name(kind: ExtractionKind) -> &'static str {
+    match kind {
+        ExtractionKind::Procedure { .. } => "procedure",
+        ExtractionKind::CrossJump => "cross_jump",
+    }
+}
+
+/// A line of the per-round candidate table: enough of an evaluated
+/// candidate to explain, in the trace, why the winner won.
+#[derive(Clone, Debug)]
+struct CandidateSummary {
+    saved: i64,
+    body_words: usize,
+    occurrences: usize,
+    kind: &'static str,
+    seed: usize,
+}
+
+impl CandidateSummary {
+    fn of(c: &Candidate, seed: usize) -> CandidateSummary {
+        CandidateSummary {
+            saved: c.saved,
+            body_words: c.body_words(),
+            occurrences: c.occurrences.len(),
+            kind: kind_name(c.kind),
+            seed,
+        }
+    }
+}
+
+/// How many candidate-table lines each round's trace carries.
+const CANDIDATE_TABLE_LEN: usize = 5;
+
 /// One worker's running result: its best candidate, the seed index that
-/// produced it (for deterministic cross-worker tie-breaking), and its MIS
-/// time share.
+/// produced it (for deterministic cross-worker tie-breaking), its MIS
+/// time share, and — when tracing — its slice of the candidate table.
 #[derive(Default)]
 struct WorkerBest {
     candidate: Option<Candidate>,
     seed: usize,
     mis_ns: u64,
+    top: Vec<CandidateSummary>,
 }
 
 impl SearchCtx<'_> {
@@ -392,24 +448,33 @@ impl SearchCtx<'_> {
             .filter(|e| self.region_live[e.graph as usize])
             .count();
         if k_live < 2 {
+            self.tracer.count("detect.prune_dead_region", 1);
             return GrowDecision::SkipChildren;
         }
         let k_ub = self.tiling_bound(f, m);
         // No descendant (m′ ≥ m, occurrences ≤ k_ub since disjoint
         // counts are antimonotone) can reach the target: prune.
         if Self::benefit_bound(k_ub, self.max_body_words) < target {
+            self.tracer.count("detect.prune_tiling_bound", 1);
             return GrowDecision::SkipChildren;
         }
         // This very pattern cannot reach the target: skip the expensive
         // validation but keep growing.
         if Self::benefit_bound(k_ub, 2 * m as i64) >= target {
+            self.tracer.count("detect.candidates_evaluated", 1);
             if let Some(c) = candidate_from_frequent(
                 f,
                 self.infos,
                 self.artifacts,
                 self.lr_free,
                 &mut best.mis_ns,
+                self.tracer,
             ) {
+                if self.tracer.enabled() {
+                    best.top.push(CandidateSummary::of(&c, seed));
+                    best.top.sort_by_key(|s| (-s.saved, s.body_words, s.seed));
+                    best.top.truncate(CANDIDATE_TABLE_LEN);
+                }
                 let wins = match &best.candidate {
                     None => true,
                     Some(b) => better(&c, b),
@@ -419,6 +484,8 @@ impl SearchCtx<'_> {
                     best.seed = seed;
                 }
             }
+        } else {
+            self.tracer.count("detect.skip_eval_benefit", 1);
         }
         GrowDecision::Continue
     }
@@ -482,12 +549,14 @@ pub(crate) fn best_candidate_instrumented(
         region_live: &region_live,
         graphs: &graphs,
         max_body_words: 2 * config.max_nodes as i64, // fused calls = 2 words
+        tracer: &*config.tracer,
     };
     let mine_config = Config {
         min_support: 2,
         support: config.support,
         max_nodes: config.max_nodes,
         max_patterns: config.max_patterns,
+        tracer: config.tracer.clone(),
         ..Config::default()
     };
     let mine_start = Instant::now();
@@ -532,8 +601,10 @@ pub(crate) fn best_candidate_instrumented(
     };
     let mut mis_total = 0u64;
     let mut merged: Option<(Candidate, usize)> = None;
+    let mut table: Vec<CandidateSummary> = Vec::new();
     for wb in worker_bests {
         mis_total += wb.mis_ns;
+        table.extend(wb.top);
         let Some(c) = wb.candidate else { continue };
         merged = match merged {
             None => Some((c, wb.seed)),
@@ -545,6 +616,49 @@ pub(crate) fn best_candidate_instrumented(
                 }
             }
         };
+    }
+    if config.tracer.enabled() {
+        table.sort_by_key(|s| (-s.saved, s.body_words, s.seed));
+        table.truncate(CANDIDATE_TABLE_LEN);
+        for (rank, s) in table.iter().enumerate() {
+            config.tracer.event(
+                "detect.candidate",
+                &[
+                    ("rank", Value::from(rank + 1)),
+                    ("saved", Value::Int(s.saved)),
+                    ("body_words", Value::from(s.body_words)),
+                    ("occurrences", Value::from(s.occurrences)),
+                    ("kind", Value::from(s.kind)),
+                    ("seed", Value::from(s.seed)),
+                ],
+            );
+        }
+        if let Some((winner, _)) = &merged {
+            // Explain the win against the strongest runner-up in the
+            // table (the table order mirrors `better`, so the winner is
+            // line 1 and the runner-up line 2).
+            let runner_up = table.get(1);
+            let why = match runner_up {
+                None => "only_candidate",
+                Some(r) if winner.saved > r.saved => "more_savings",
+                Some(r) if winner.body_words() < r.body_words => "smaller_body",
+                Some(_) => "earlier_site",
+            };
+            config.tracer.event(
+                "detect.winner",
+                &[
+                    ("saved", Value::Int(winner.saved)),
+                    ("body_words", Value::from(winner.body_words())),
+                    ("occurrences", Value::from(winner.occurrences.len())),
+                    ("kind", Value::from(kind_name(winner.kind))),
+                    ("why", Value::from(why)),
+                    (
+                        "margin",
+                        Value::Int(winner.saved - runner_up.map_or(winner.saved, |r| r.saved)),
+                    ),
+                ],
+            );
+        }
     }
     let mine_ns = mine_start.elapsed().as_nanos() as u64;
     timings.mining_ns += mine_ns.saturating_sub(mis_total);

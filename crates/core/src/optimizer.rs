@@ -1,11 +1,13 @@
 //! The optimization driver: mine → pick best → extract → repeat.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use gpa_cfg::{decode_image, encode_program, Program};
 use gpa_image::Image;
 use gpa_mining::miner::Support;
+use gpa_trace::{NoopTracer, Tracer, Value};
 use gpa_verify::{has_errors, Diagnostic};
 
 use crate::artifact::DfgCache;
@@ -108,6 +110,11 @@ pub struct RunConfig {
     /// single-threaded result, so this knob never changes the output and
     /// is excluded from [`crate::artifact::image_cache_key`].
     pub mining_threads: usize,
+    /// Telemetry sink threaded through detection, mining and MIS
+    /// resolution. Tracing observes the run without changing it, so the
+    /// tracer — like `mining_threads` — is excluded from
+    /// [`crate::artifact::image_cache_key`].
+    pub tracer: Arc<dyn Tracer>,
 }
 
 impl Default for RunConfig {
@@ -117,6 +124,7 @@ impl Default for RunConfig {
             max_fragment_nodes: 16,
             validate: ValidateLevel::default(),
             mining_threads: 1,
+            tracer: Arc::new(NoopTracer),
         }
     }
 }
@@ -207,6 +215,7 @@ impl Optimizer {
                     support: Support::Graphs,
                     max_nodes: config.max_fragment_nodes,
                     threads: config.mining_threads,
+                    tracer: config.tracer.clone(),
                     ..GraphConfig::default()
                 },
                 timings,
@@ -218,6 +227,7 @@ impl Optimizer {
                     support: Support::Embeddings,
                     max_nodes: config.max_fragment_nodes,
                     threads: config.mining_threads,
+                    tracer: config.tracer.clone(),
                     ..GraphConfig::default()
                 },
                 timings,
@@ -308,7 +318,7 @@ impl Optimizer {
     ) -> Result<Report, OptimizerError> {
         let initial_words = self.program.instruction_count();
         let mut rounds = Vec::new();
-        for _ in 0..config.max_rounds {
+        for round in 0..config.max_rounds {
             let Some(candidate) = self.detect_instrumented(method, config, timings, cache) else {
                 break;
             };
@@ -323,6 +333,22 @@ impl Optimizer {
                 timings.validation_ns += apply_ns;
             } else {
                 timings.extraction_ns += apply_ns;
+            }
+            config.tracer.count("run.rounds", 1);
+            if config.tracer.enabled() {
+                config.tracer.event(
+                    "round.applied",
+                    &[
+                        ("round", Value::from(round)),
+                        ("saved", Value::Int(candidate.saved)),
+                        ("body_words", Value::from(candidate.body_words())),
+                        ("occurrences", Value::from(candidate.occurrences.len())),
+                        (
+                            "mechanism",
+                            Value::from(graph_detect::kind_name(candidate.kind)),
+                        ),
+                    ],
+                );
             }
             rounds.push(Round {
                 kind: candidate.kind,
@@ -489,6 +515,39 @@ mod tests {
             }
             other => panic!("expected a validation error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tracing_never_changes_the_report() {
+        use gpa_trace::CounterTracer;
+        let image = compile(DUPLICATED, &Options::default()).unwrap();
+        let baseline = Optimizer::from_image(&image)
+            .unwrap()
+            .run(Method::Edgar)
+            .unwrap();
+        let tracer = Arc::new(CounterTracer::new());
+        let config = RunConfig {
+            tracer: tracer.clone(),
+            ..RunConfig::default()
+        };
+        let mut opt = Optimizer::from_image(&image).unwrap();
+        let traced = opt.run_with(Method::Edgar, &config).unwrap();
+        assert_eq!(traced.initial_words, baseline.initial_words);
+        assert_eq!(traced.final_words, baseline.final_words);
+        assert_eq!(traced.rounds.len(), baseline.rounds.len());
+        let c = tracer.counters();
+        assert_eq!(c.get("run.rounds") as usize, traced.rounds.len());
+        assert_eq!(c.get("round.applied") as usize, traced.rounds.len());
+        assert!(c.get("detect.winner") >= 1, "{c:?}");
+        assert!(c.get("detect.candidate") >= 1);
+        assert!(c.get("mine.patterns_visited") > 0);
+        // The visited-pattern identity holds across a whole run.
+        assert_eq!(
+            c.get("mine.patterns_visited"),
+            c.get("mine.expanded")
+                + c.get("mine.subtree_skipped")
+                + c.get("mine.stopped_max_nodes")
+        );
     }
 
     #[test]

@@ -64,6 +64,33 @@ impl StageTimings {
             ("validation_ns", Json::from(self.validation_ns)),
         ])
     }
+
+    /// Mirrors the accumulator into the trace stream: one
+    /// `run.stage_timings` event plus a `time.*_ns` counter twin per
+    /// stage, so JSONL consumers see the same figures the report's
+    /// metrics object carries.
+    pub fn trace(&self, tracer: &dyn gpa_trace::Tracer) {
+        if !tracer.enabled() {
+            return;
+        }
+        tracer.event(
+            "run.stage_timings",
+            &[
+                ("decode_ns", gpa_trace::Value::from(self.decode_ns)),
+                ("dfg_build_ns", gpa_trace::Value::from(self.dfg_build_ns)),
+                ("mining_ns", gpa_trace::Value::from(self.mining_ns)),
+                ("mis_ns", gpa_trace::Value::from(self.mis_ns)),
+                ("extraction_ns", gpa_trace::Value::from(self.extraction_ns)),
+                ("validation_ns", gpa_trace::Value::from(self.validation_ns)),
+            ],
+        );
+        tracer.count("time.decode_ns", self.decode_ns);
+        tracer.count("time.dfg_build_ns", self.dfg_build_ns);
+        tracer.count("time.mining_ns", self.mining_ns);
+        tracer.count("time.mis_ns", self.mis_ns);
+        tracer.count("time.extraction_ns", self.extraction_ns);
+        tracer.count("time.validation_ns", self.validation_ns);
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! style of MoFa/Gaston): extensions are enumerated by scanning the
 //! embeddings, which is what makes Edgar's occurrence counting possible.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use crate::dfs_code::{DfsTuple, Pattern};
 use crate::graph::InputGraph;
@@ -90,6 +90,7 @@ pub fn extensions(
     embeddings: &[Embedding],
 ) -> BTreeMap<DfsTuple, Vec<Embedding>> {
     let mut buckets: BTreeMap<DfsTuple, Vec<Embedding>> = BTreeMap::new();
+    let mut seen: HashSet<(DfsTuple, Embedding)> = HashSet::new();
     let rightmost = pattern.rightmost();
     let rm_path = pattern.rightmost_path();
     let next_index = pattern.node_count() as u16;
@@ -108,6 +109,7 @@ pub fn extensions(
                 if e.to == v_node {
                     push_bucket(
                         &mut buckets,
+                        &mut seen,
                         DfsTuple {
                             from: rightmost,
                             to: v,
@@ -125,6 +127,7 @@ pub fn extensions(
                 if e.from == v_node {
                     push_bucket(
                         &mut buckets,
+                        &mut seen,
                         DfsTuple {
                             from: rightmost,
                             to: v,
@@ -150,6 +153,7 @@ pub fn extensions(
                 map.push(e.to);
                 push_bucket(
                     &mut buckets,
+                    &mut seen,
                     DfsTuple {
                         from: u,
                         to: next_index,
@@ -173,6 +177,7 @@ pub fn extensions(
                 map.push(e.from);
                 push_bucket(
                     &mut buckets,
+                    &mut seen,
                     DfsTuple {
                         from: u,
                         to: next_index,
@@ -192,12 +197,18 @@ pub fn extensions(
     buckets
 }
 
-fn push_bucket(buckets: &mut BTreeMap<DfsTuple, Vec<Embedding>>, tuple: DfsTuple, emb: Embedding) {
-    let bucket = buckets.entry(tuple).or_default();
+fn push_bucket(
+    buckets: &mut BTreeMap<DfsTuple, Vec<Embedding>>,
+    seen: &mut HashSet<(DfsTuple, Embedding)>,
+    tuple: DfsTuple,
+    emb: Embedding,
+) {
     // Identical (graph, map) pairs arise when two embeddings extend to the
-    // same one; keep each once.
-    if !bucket.contains(&emb) {
-        bucket.push(emb);
+    // same one; keep each once. The hash set replaces a linear scan of the
+    // bucket, which turned dense buckets (N² embeddings in a star graph)
+    // into O(N⁴) work.
+    if seen.insert((tuple, emb.clone())) {
+        buckets.entry(tuple).or_default().push(emb);
     }
 }
 
@@ -302,6 +313,35 @@ mod tests {
             exts2.keys().any(|t| !t.is_forward()),
             "triangle produces a backward extension"
         );
+    }
+
+    /// Dense buckets (a star graph puts every seed embedding in one
+    /// bucket) must stay deduplicated after the hash-set rewrite of
+    /// `push_bucket` — same invariant the old linear scan enforced.
+    #[test]
+    fn dense_bucket_extensions_stay_unique() {
+        let n_leaves = 24u32;
+        let labels: Vec<u32> = std::iter::once(1)
+            .chain(std::iter::repeat_n(2, n_leaves as usize))
+            .collect();
+        let edges: Vec<GEdge> = (1..=n_leaves)
+            .map(|leaf| GEdge {
+                from: 0,
+                to: leaf,
+                label: 1,
+            })
+            .collect();
+        let g = InputGraph::new(labels, edges);
+        let graphs = std::slice::from_ref(&g);
+        let seeds = seed_buckets(graphs);
+        for (t, e) in &seeds {
+            let p = Pattern::root(*t);
+            let exts = extensions(&p, graphs, e);
+            for (xt, xe) in &exts {
+                let unique: HashSet<&Embedding> = xe.iter().collect();
+                assert_eq!(unique.len(), xe.len(), "duplicates under {xt:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,16 @@
 //! The frequent-fragment search driver: DgSpan and Edgar.
 
 use std::collections::HashSet;
+use std::sync::Arc;
+
+use gpa_trace::{NoopTracer, Tracer, Value};
 
 use crate::dfs_code::Pattern;
 use crate::embed::{extensions, seed_buckets, Embedding};
 use crate::graph::InputGraph;
-use crate::mis::{collision_graph, greedy_disjoint_count, has_k_disjoint, max_independent_set};
+use crate::mis::{
+    collision_graph, disjoint_count_traced, has_k_disjoint, max_independent_set_traced,
+};
 
 /// How a fragment's support is counted.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -42,6 +47,11 @@ pub struct Config {
     /// exponentially large; the budget makes one mining round a bounded
     /// greedy search. `usize::MAX` disables the cap.
     pub max_patterns: usize,
+    /// Telemetry sink for search counters and degradation events
+    /// (truncated embedding lists, exhausted pattern budgets, greedy
+    /// support answers). Defaults to [`NoopTracer`]; tracing never
+    /// changes what is mined.
+    pub tracer: Arc<dyn Tracer>,
 }
 
 impl Default for Config {
@@ -52,6 +62,7 @@ impl Default for Config {
             max_nodes: 24,
             max_embeddings: 4096,
             max_patterns: usize::MAX,
+            tracer: Arc::new(NoopTracer),
         }
     }
 }
@@ -82,11 +93,19 @@ fn dedup_by_node_set(embeddings: &[Embedding]) -> Vec<Embedding> {
 
 /// Counts support of a set of node-set-deduplicated embeddings.
 ///
-/// Under [`Support::Embeddings`] this is a fast greedy *lower bound* on
-/// the non-overlapping count (summed per graph) — sufficient for the
-/// frequency gate; consumers needing the exact maximum call
-/// [`non_overlapping_count`].
+/// Under [`Support::Embeddings`] this is the non-overlapping count
+/// (summed per graph) — exact up to the per-graph set limit of the
+/// bounded MIS solver, the greedy lower bound beyond it.
 pub fn count_support(embeddings: &[Embedding], support: Support) -> usize {
+    count_support_traced(embeddings, support, &NoopTracer)
+}
+
+/// [`count_support`] with telemetry on which gate path answered.
+pub fn count_support_traced(
+    embeddings: &[Embedding],
+    support: Support,
+    tracer: &dyn Tracer,
+) -> usize {
     match support {
         Support::Graphs => {
             let graphs: HashSet<u32> = embeddings.iter().map(|e| e.graph).collect();
@@ -95,7 +114,7 @@ pub fn count_support(embeddings: &[Embedding], support: Support) -> usize {
         Support::Embeddings => {
             let mut total = 0;
             for sets in node_sets_by_graph(embeddings).values() {
-                total += greedy_disjoint_count(sets);
+                total += disjoint_count_traced(sets, tracer);
             }
             total
         }
@@ -103,8 +122,19 @@ pub fn count_support(embeddings: &[Embedding], support: Support) -> usize {
 }
 
 /// Whether the support reaches `min` — exact for the paper's minimum
-/// support of 2 under both counting schemes.
+/// support of 2 under both counting schemes, and for any `min` while
+/// the per-graph embedding counts stay within the exact-MIS limit.
 pub fn support_at_least(embeddings: &[Embedding], support: Support, min: usize) -> bool {
+    support_at_least_traced(embeddings, support, min, &NoopTracer)
+}
+
+/// [`support_at_least`] with telemetry on which gate path answered.
+pub fn support_at_least_traced(
+    embeddings: &[Embedding],
+    support: Support,
+    min: usize,
+    tracer: &dyn Tracer,
+) -> bool {
     match support {
         Support::Graphs => {
             let mut graphs = HashSet::new();
@@ -125,7 +155,19 @@ pub fn support_at_least(embeddings: &[Embedding], support: Support, min: usize) 
                 }
                 return by_graph.values().any(|sets| has_k_disjoint(sets, min));
             }
-            count_support(embeddings, support) >= min
+            // min > 2 must NOT be answered by the greedy count alone: a
+            // greedy undershoot here prunes a whole lattice subtree, and
+            // the antimonotone gate must never under-approximate. The
+            // traced count is exact while each graph's embedding count
+            // stays within the bounded-MIS limit.
+            let mut total = 0;
+            for sets in node_sets_by_graph(embeddings).values() {
+                total += disjoint_count_traced(sets, tracer);
+                if total >= min {
+                    return true;
+                }
+            }
+            false
         }
     }
 }
@@ -144,6 +186,15 @@ fn node_sets_by_graph(embeddings: &[Embedding]) -> std::collections::BTreeMap<u3
 /// Embeddings are grouped per graph; within each graph a maximum
 /// independent set of the collision graph is computed.
 pub fn non_overlapping_count(embeddings: &[Embedding]) -> (usize, Vec<usize>) {
+    non_overlapping_count_traced(embeddings, &NoopTracer)
+}
+
+/// [`non_overlapping_count`] with MIS telemetry (component sizes,
+/// exact-vs-greedy path, budget exhaustions).
+pub fn non_overlapping_count_traced(
+    embeddings: &[Embedding],
+    tracer: &dyn Tracer,
+) -> (usize, Vec<usize>) {
     let mut chosen = Vec::new();
     let mut by_graph: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
     for (i, e) in embeddings.iter().enumerate() {
@@ -155,7 +206,7 @@ pub fn non_overlapping_count(embeddings: &[Embedding]) -> (usize, Vec<usize>) {
             .map(|&i| embeddings[i].sorted_nodes())
             .collect();
         let adj = collision_graph(&sets);
-        for local in max_independent_set(&adj) {
+        for local in max_independent_set_traced(&adj, tracer) {
             chosen.push(indices[local]);
         }
     }
@@ -240,6 +291,16 @@ pub fn mine_streaming_partition(
             continue;
         }
         if !mine_seed(tuple, embeddings, graphs, config, visit, &mut budget) {
+            // The pattern budget ran dry mid-seed: the rest of this
+            // worker's lattice share is silently unexplored — trace it.
+            config.tracer.event(
+                "mine.budget_exhausted",
+                &[
+                    ("seed", Value::from(si)),
+                    ("worker", Value::from(worker)),
+                    ("stride", Value::from(stride)),
+                ],
+            );
             return;
         }
     }
@@ -260,16 +321,29 @@ pub fn mine_seed(
     visit: &mut dyn FnMut(&Frequent) -> GrowDecision,
     budget: &mut usize,
 ) -> bool {
+    let tracer = &*config.tracer;
     let pattern = Pattern::root(tuple);
     if !pattern.is_min() {
+        tracer.count("mine.prune_non_canonical", 1);
         return true;
     }
-    embeddings.truncate(config.max_embeddings);
+    if embeddings.len() > config.max_embeddings {
+        tracer.event(
+            "mine.embeddings_truncated",
+            &[
+                ("pattern_nodes", Value::from(pattern.node_count())),
+                ("before", Value::from(embeddings.len())),
+                ("after", Value::from(config.max_embeddings)),
+            ],
+        );
+        embeddings.truncate(config.max_embeddings);
+    }
     let deduped = dedup_by_node_set(&embeddings);
-    if !support_at_least(&deduped, config.support, config.min_support) {
+    if !support_at_least_traced(&deduped, config.support, config.min_support, tracer) {
+        tracer.count("mine.prune_infrequent", 1);
         return true;
     }
-    let support = count_support(&deduped, config.support);
+    let support = count_support_traced(&deduped, config.support, tracer);
     grow(
         pattern,
         &embeddings,
@@ -319,7 +393,7 @@ pub fn mine_parallel(graphs: &[InputGraph], config: &Config, threads: usize) -> 
                     }
                     let mut found = Vec::new();
                     let mut budget = per_thread_budget;
-                    mine_seed(
+                    if !mine_seed(
                         *tuple,
                         embeddings.clone(),
                         graphs,
@@ -329,7 +403,16 @@ pub fn mine_parallel(graphs: &[InputGraph], config: &Config, threads: usize) -> 
                             GrowDecision::Continue
                         },
                         &mut budget,
-                    );
+                    ) {
+                        config.tracer.event(
+                            "mine.budget_exhausted",
+                            &[
+                                ("seed", Value::from(si)),
+                                ("worker", Value::from(worker)),
+                                ("stride", Value::from(threads)),
+                            ],
+                        );
+                    }
                     out.push((si, found));
                 }
                 out
@@ -362,6 +445,12 @@ fn grow(
         return false;
     }
     *budget -= 1;
+    let tracer = &*config.tracer;
+    // Exactly one of {subtree_skipped, stopped_max_nodes, expanded} is
+    // counted per visited pattern, so the identity
+    //   patterns_visited == expanded + subtree_skipped + stopped_max_nodes
+    // holds by construction (`gpa trace-check` asserts it).
+    tracer.count("mine.patterns_visited", 1);
     let frequent = Frequent {
         pattern,
         embeddings: deduped,
@@ -369,20 +458,39 @@ fn grow(
     };
     let decision = visit(&frequent);
     let pattern = frequent.pattern;
-    if decision == GrowDecision::SkipChildren || pattern.node_count() >= config.max_nodes {
+    if decision == GrowDecision::SkipChildren {
+        tracer.count("mine.subtree_skipped", 1);
         return true;
     }
+    if pattern.node_count() >= config.max_nodes {
+        tracer.count("mine.stopped_max_nodes", 1);
+        return true;
+    }
+    tracer.count("mine.expanded", 1);
     for (tuple, mut child_embeddings) in extensions(&pattern, graphs, embeddings) {
+        tracer.count("mine.extensions_generated", 1);
         let child = pattern.extend(tuple);
         if !child.is_min() {
+            tracer.count("mine.prune_non_canonical", 1);
             continue;
         }
-        child_embeddings.truncate(config.max_embeddings);
+        if child_embeddings.len() > config.max_embeddings {
+            tracer.event(
+                "mine.embeddings_truncated",
+                &[
+                    ("pattern_nodes", Value::from(child.node_count())),
+                    ("before", Value::from(child_embeddings.len())),
+                    ("after", Value::from(config.max_embeddings)),
+                ],
+            );
+            child_embeddings.truncate(config.max_embeddings);
+        }
         let child_deduped = dedup_by_node_set(&child_embeddings);
-        if !support_at_least(&child_deduped, config.support, config.min_support) {
+        if !support_at_least_traced(&child_deduped, config.support, config.min_support, tracer) {
+            tracer.count("mine.prune_infrequent", 1);
             continue;
         }
-        let child_support = count_support(&child_deduped, config.support);
+        let child_support = count_support_traced(&child_deduped, config.support, tracer);
         if !grow(
             child,
             &child_embeddings,
@@ -551,6 +659,98 @@ mod tests {
             sets.sort();
             sets.dedup();
             assert_eq!(sets.len(), before, "duplicate node sets in {:?}", f.pattern);
+        }
+    }
+
+    #[test]
+    fn counter_identity_holds_and_tracing_changes_nothing() {
+        use gpa_trace::CounterTracer;
+        let graphs = graphs_of(&[RUNNING_EXAMPLE, RUNNING_EXAMPLE]);
+        let plain = Config {
+            min_support: 2,
+            support: Support::Embeddings,
+            max_nodes: 8,
+            ..Config::default()
+        };
+        let baseline = mine(&graphs, &plain);
+        let tracer = std::sync::Arc::new(CounterTracer::new());
+        let traced_cfg = Config {
+            tracer: tracer.clone(),
+            ..plain
+        };
+        let traced = mine(&graphs, &traced_cfg);
+        // Tracing must never change what is mined.
+        assert_eq!(baseline.len(), traced.len());
+        let c = tracer.counters();
+        let visited = c.get("mine.patterns_visited");
+        assert!(visited > 0);
+        assert_eq!(
+            visited,
+            c.get("mine.expanded")
+                + c.get("mine.subtree_skipped")
+                + c.get("mine.stopped_max_nodes"),
+            "visited-pattern identity violated: {c:?}"
+        );
+    }
+
+    #[test]
+    fn tight_budget_traces_exhaustion() {
+        use gpa_trace::CounterTracer;
+        let graphs = graphs_of(&[RUNNING_EXAMPLE, RUNNING_EXAMPLE]);
+        let tracer = std::sync::Arc::new(CounterTracer::new());
+        let config = Config {
+            min_support: 2,
+            support: Support::Embeddings,
+            max_nodes: 8,
+            max_patterns: 2,
+            tracer: tracer.clone(),
+            ..Config::default()
+        };
+        let _ = mine(&graphs, &config);
+        assert_eq!(tracer.counters().get("mine.budget_exhausted"), 1);
+    }
+
+    #[test]
+    fn min_support_three_matches_brute_force_disjoint_count() {
+        // Three disjoint occurrences of ldr→sub in one block, arranged so
+        // the pattern also has overlapping extra embeddings. Mining with
+        // min_support = 3 must agree with the brute-force maximum
+        // disjoint-embedding count of every reported fragment.
+        let graphs = graphs_of(&["ldr r3, [r1]!\nsub r2, r2, r3\n\
+                                  ldr r3, [r1]!\nsub r2, r2, r3\n\
+                                  ldr r3, [r1]!\nsub r2, r2, r3"]);
+        let found = mine(
+            &graphs,
+            &Config {
+                min_support: 3,
+                support: Support::Embeddings,
+                max_nodes: 4,
+                ..Config::default()
+            },
+        );
+        assert!(
+            found.iter().any(|f| f.pattern.node_count() == 2),
+            "three disjoint ldr→sub embeddings must survive min_support = 3"
+        );
+        for f in &found {
+            // Brute force over all embedding subsets.
+            let sets: Vec<Vec<u32>> = f.embeddings.iter().map(Embedding::sorted_nodes).collect();
+            let n = sets.len();
+            assert!(n <= 20, "test inputs stay brute-forceable");
+            let mut best = 0usize;
+            for mask in 0u32..(1 << n) {
+                let idx: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+                let ok = idx.iter().enumerate().all(|(a, &i)| {
+                    idx[a + 1..]
+                        .iter()
+                        .all(|&j| !crate::mis::sorted_intersects(&sets[i], &sets[j]))
+                });
+                if ok {
+                    best = best.max(idx.len());
+                }
+            }
+            assert!(best >= 3, "reported fragment lacks 3 disjoint embeddings");
+            assert_eq!(f.support, best, "support disagrees with brute force");
         }
     }
 

@@ -16,6 +16,8 @@
 
 use std::collections::HashMap;
 
+use gpa_trace::{NoopTracer, Tracer, Value};
+
 /// Builds the collision graph of a set of embeddings, given each
 /// embedding's sorted node set. Returns adjacency lists.
 ///
@@ -50,8 +52,14 @@ pub fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
 }
 
 /// Recursion-step budget for the exact solver; components exceeding it
-/// fall back to the greedy answer found so far.
+/// fall back to the greedy answer found so far. Exhaustions are traced
+/// as `mis.budget_exhausted` events.
 const EXACT_BUDGET: u64 = 200_000;
+
+/// Largest node-set count for which the frequency gate answers exactly
+/// (via [`max_independent_set`] on the collision graph); beyond it the
+/// gate is genuinely greedy and traced as `mis.support_greedy`.
+const EXACT_SUPPORT_SETS: usize = 64;
 
 /// Computes a maximum independent set of the graph given by adjacency
 /// lists, returning the chosen vertex indices (exact for components of at
@@ -67,6 +75,13 @@ const EXACT_BUDGET: u64 = 200_000;
 /// assert!(mis.contains(&0) && mis.contains(&2));
 /// ```
 pub fn max_independent_set(adj: &[Vec<usize>]) -> Vec<usize> {
+    max_independent_set_traced(adj, &NoopTracer)
+}
+
+/// [`max_independent_set`] with per-component telemetry: component
+/// sizes, exact-vs-greedy path taken, branch-and-bound steps, budget
+/// exhaustions and greedy-seed-kept events.
+pub fn max_independent_set_traced(adj: &[Vec<usize>], tracer: &dyn Tracer) -> Vec<usize> {
     let n = adj.len();
     let mut chosen = Vec::new();
     let mut seen = vec![false; n];
@@ -87,9 +102,17 @@ pub fn max_independent_set(adj: &[Vec<usize>]) -> Vec<usize> {
                 }
             }
         }
+        tracer.count("mis.components", 1);
         if component.len() <= 64 {
-            chosen.extend(exact_mis_component(&component, adj));
+            tracer.count("mis.component_exact", 1);
+            chosen.extend(exact_mis_component(&component, adj, tracer));
         } else {
+            // Silent no more: the greedy answer on an oversized component
+            // can be arbitrarily far from the maximum.
+            tracer.event(
+                "mis.greedy_fallback",
+                &[("component_size", Value::from(component.len()))],
+            );
             chosen.extend(greedy_mis_component(&component, adj));
         }
     }
@@ -97,13 +120,25 @@ pub fn max_independent_set(adj: &[Vec<usize>]) -> Vec<usize> {
     chosen
 }
 
-/// Whether at least `k` pairwise-disjoint node sets exist. Exact for
-/// `k <= 2` (all pairs are tested); greedy beyond.
+/// Whether at least `k` pairwise-disjoint node sets exist.
 ///
-/// This is the frequency gate of the miner: with the paper's minimum
-/// support of 2, "frequent" means exactly "two disjoint embeddings
-/// exist", which needs no full MIS computation.
+/// This is the frequency gate of the miner. Exact for `k <= 2` (all
+/// pairs are tested — with the paper's minimum support of 2, "frequent"
+/// means exactly "two disjoint embeddings exist") and for up to
+/// [`EXACT_SUPPORT_SETS`] node sets (via the bounded exact MIS on the
+/// collision graph); only beyond both is the answer the greedy lower
+/// bound, and that genuinely-greedy remainder is traced.
+///
+/// Exactness matters beyond `k = 2`: the greedy count can undershoot
+/// the true maximum, and a pattern wrongly reported infrequent has its
+/// whole lattice subtree pruned (the antimonotone gate must never
+/// under-approximate).
 pub fn has_k_disjoint(node_sets: &[Vec<u32>], k: usize) -> bool {
+    has_k_disjoint_traced(node_sets, k, &NoopTracer)
+}
+
+/// [`has_k_disjoint`] with telemetry on which gate path answered.
+pub fn has_k_disjoint_traced(node_sets: &[Vec<u32>], k: usize, tracer: &dyn Tracer) -> bool {
     if k == 0 {
         return true;
     }
@@ -111,6 +146,7 @@ pub fn has_k_disjoint(node_sets: &[Vec<u32>], k: usize) -> bool {
         return !node_sets.is_empty();
     }
     if k == 2 {
+        tracer.count("mis.support_exact_pairs", 1);
         for i in 0..node_sets.len() {
             for j in (i + 1)..node_sets.len() {
                 if !sorted_intersects(&node_sets[i], &node_sets[j]) {
@@ -120,7 +156,48 @@ pub fn has_k_disjoint(node_sets: &[Vec<u32>], k: usize) -> bool {
         }
         return false;
     }
-    greedy_disjoint_count(node_sets) >= k
+    // The greedy count is a sound lower bound: reaching `k` proves the
+    // disjoint sets exist. Failing to reach `k` proves nothing.
+    if greedy_disjoint_count(node_sets) >= k {
+        return true;
+    }
+    if node_sets.len() <= EXACT_SUPPORT_SETS {
+        tracer.count("mis.support_exact", 1);
+        let adj = collision_graph(node_sets);
+        return max_independent_set_traced(&adj, tracer).len() >= k;
+    }
+    tracer.event(
+        "mis.support_greedy",
+        &[
+            ("sets", Value::from(node_sets.len())),
+            ("k", Value::from(k)),
+        ],
+    );
+    false
+}
+
+/// Best-effort maximum number of pairwise-disjoint node sets: exact for
+/// up to [`EXACT_SUPPORT_SETS`] sets (within the branch-and-bound
+/// budget), the greedy lower bound beyond (traced).
+pub fn disjoint_count_traced(node_sets: &[Vec<u32>], tracer: &dyn Tracer) -> usize {
+    let greedy = greedy_disjoint_count(node_sets);
+    if node_sets.len() <= greedy.max(1) {
+        // 0 or 1 sets, or greedy already took everything: exact.
+        return greedy;
+    }
+    if node_sets.len() <= EXACT_SUPPORT_SETS {
+        tracer.count("mis.support_exact", 1);
+        let adj = collision_graph(node_sets);
+        return max_independent_set_traced(&adj, tracer).len().max(greedy);
+    }
+    tracer.event(
+        "mis.support_greedy",
+        &[
+            ("sets", Value::from(node_sets.len())),
+            ("k", Value::Int(-1)),
+        ],
+    );
+    greedy
 }
 
 /// Greedy lower bound on the number of pairwise-disjoint node sets
@@ -139,7 +216,7 @@ pub fn greedy_disjoint_count(node_sets: &[Vec<u32>]) -> usize {
 
 /// Exact branch-and-bound MIS on one component (≤ 64 vertices) using
 /// bitset candidate sets and a greedy clique-cover bound.
-fn exact_mis_component(component: &[usize], adj: &[Vec<usize>]) -> Vec<usize> {
+fn exact_mis_component(component: &[usize], adj: &[Vec<usize>], tracer: &dyn Tracer) -> Vec<usize> {
     let n = component.len();
     let index: HashMap<usize, usize> = component.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     // Local adjacency bitmasks.
@@ -238,9 +315,11 @@ fn exact_mis_component(component: &[usize], adj: &[Vec<usize>]) -> Vec<usize> {
 
     // Seed with the greedy answer so a budget exhaustion still returns a
     // decent set.
+    let greedy_size;
     {
         let greedy = greedy_mis_component(component, adj);
-        best = greedy.len() as u32;
+        greedy_size = greedy.len() as u32;
+        best = greedy_size;
         for v in greedy {
             let i = index[&v];
             best_set |= 1 << i;
@@ -257,6 +336,27 @@ fn exact_mis_component(component: &[usize], adj: &[Vec<usize>]) -> Vec<usize> {
         &|p, nbr| clique_cover_bound(p, nbr),
         &mut budget,
     );
+    tracer.count("mis.bb_steps", EXACT_BUDGET - budget);
+    if budget == 0 {
+        // The search was cut off: the answer is only a lower bound. When
+        // branch-and-bound never improved on the greedy seed, the whole
+        // exact budget bought nothing — the paper-visible quality of
+        // this component is exactly the greedy heuristic's.
+        tracer.event(
+            "mis.budget_exhausted",
+            &[
+                ("component_size", Value::from(n)),
+                ("best", Value::from(u64::from(best))),
+                ("improved_on_greedy", Value::from(best > greedy_size)),
+            ],
+        );
+        if best == greedy_size {
+            tracer.event(
+                "mis.greedy_seed_kept",
+                &[("component_size", Value::from(n))],
+            );
+        }
+    }
     (0..n)
         .filter(|&i| best_set & (1 << i) != 0)
         .map(|i| component[i])
@@ -376,5 +476,98 @@ mod tests {
         assert!(sorted_intersects(&[1, 3, 5], &[5, 7]));
         assert!(!sorted_intersects(&[1, 3, 5], &[2, 4, 6]));
         assert!(!sorted_intersects(&[], &[1]));
+    }
+
+    /// Regression for the `min_support > 2` antimonotone-gate violation:
+    /// the greedy count (taken in input order for equal-length sets)
+    /// picks the two "center" sets and blocks the three-set optimum, so
+    /// the pre-fix gate wrongly reported `k = 3` unreachable.
+    #[test]
+    fn k_disjoint_beyond_two_is_exact_on_small_inputs() {
+        let sets = vec![
+            vec![2, 3], // greedy picks this first …
+            vec![4, 5], // … and this, blocking the rest.
+            vec![1, 2],
+            vec![3, 4],
+            vec![5, 6],
+        ];
+        assert!(
+            greedy_disjoint_count(&sets) < 3,
+            "the adversarial input must defeat the greedy heuristic"
+        );
+        // {1,2}, {3,4}, {5,6} are pairwise disjoint: the answer is yes.
+        assert!(has_k_disjoint(&sets, 3));
+        assert!(!has_k_disjoint(&sets, 4));
+        assert_eq!(disjoint_count_traced(&sets, &NoopTracer), 3);
+    }
+
+    #[test]
+    fn k_disjoint_matches_brute_force_on_random_sets() {
+        let mut state = 0x9e3779b9u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = 3 + (rand() % 10) as usize;
+            let sets: Vec<Vec<u32>> = (0..n)
+                .map(|_| {
+                    let mut s: Vec<u32> =
+                        (0..2 + rand() % 3).map(|_| (rand() % 12) as u32).collect();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            // Brute-force maximum disjoint count over all subsets.
+            let mut best = 0usize;
+            for mask in 0u32..(1 << n) {
+                let idx: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+                let ok = idx.iter().enumerate().all(|(a, &i)| {
+                    idx[a + 1..]
+                        .iter()
+                        .all(|&j| !sorted_intersects(&sets[i], &sets[j]))
+                });
+                if ok {
+                    best = best.max(idx.len());
+                }
+            }
+            assert_eq!(disjoint_count_traced(&sets, &NoopTracer), best, "{sets:?}");
+            for k in 0..=n + 1 {
+                assert_eq!(has_k_disjoint(&sets, k), best >= k, "k={k} {sets:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_component_traces_greedy_fallback() {
+        use gpa_trace::CounterTracer;
+        // A star with 70 leaves is one 71-node component: greedy path.
+        let mut edges = Vec::new();
+        for leaf in 1..71 {
+            edges.push((0usize, leaf));
+        }
+        let adj = adj_from_edges(71, &edges);
+        let tracer = CounterTracer::new();
+        let mis = max_independent_set_traced(&adj, &tracer);
+        assert_eq!(mis.len(), 70);
+        let c = tracer.counters();
+        assert_eq!(c.get("mis.greedy_fallback"), 1);
+        assert_eq!(c.get("mis.components"), 1);
+        assert_eq!(c.get("mis.component_exact"), 0);
+    }
+
+    #[test]
+    fn exact_component_counts_bb_steps() {
+        use gpa_trace::CounterTracer;
+        let c5 = adj_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let tracer = CounterTracer::new();
+        assert_eq!(max_independent_set_traced(&c5, &tracer).len(), 2);
+        let c = tracer.counters();
+        assert_eq!(c.get("mis.component_exact"), 1);
+        assert!(c.get("mis.bb_steps") > 0);
+        assert_eq!(c.get("mis.budget_exhausted"), 0);
     }
 }

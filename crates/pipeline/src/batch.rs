@@ -2,11 +2,12 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use gpa::{image_cache_key, DfgCache, Method, Optimizer, RunConfig, StageTimings};
+use gpa::{image_cache_key, DfgCache, Method, Optimizer, Report, RunConfig, StageTimings};
 use gpa_image::Image;
+use gpa_trace::{CounterTracer, JsonlTracer, NoopTracer, Tracer};
 
 use crate::cache::ReportCache;
 use crate::report::{CorpusReport, ImageEntry};
@@ -24,6 +25,10 @@ pub struct BatchConfig {
     /// Directory for the persistent report-cache layer; `None` keeps the
     /// cache in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Directory for per-image `gpa-trace/1` JSONL trace files
+    /// (`NNNN-<name>.jsonl`, one per input slot); `None` disables
+    /// tracing.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for BatchConfig {
@@ -33,6 +38,7 @@ impl Default for BatchConfig {
             method: Method::Edgar,
             run: RunConfig::default(),
             cache_dir: None,
+            trace_dir: None,
         }
     }
 }
@@ -118,7 +124,8 @@ fn effective_jobs(requested: usize, work_items: usize) -> usize {
 ///
 /// # Errors
 ///
-/// Only a failure to create the `cache_dir` aborts the whole batch.
+/// Only a failure to create the `cache_dir` or `trace_dir` aborts the
+/// whole batch.
 pub fn run_batch(inputs: &[BatchInput], config: &BatchConfig) -> Result<CorpusReport, String> {
     let start = Instant::now();
     let report_cache = match &config.cache_dir {
@@ -127,6 +134,9 @@ pub fn run_batch(inputs: &[BatchInput], config: &BatchConfig) -> Result<CorpusRe
         }
         None => ReportCache::in_memory(),
     };
+    if let Some(dir) = &config.trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("trace dir {}: {e}", dir.display()))?;
+    }
     let dfg_cache = DfgCache::new();
     let jobs = effective_jobs(config.jobs, inputs.len());
     let next = AtomicUsize::new(0);
@@ -136,7 +146,7 @@ pub fn run_batch(inputs: &[BatchInput], config: &BatchConfig) -> Result<CorpusRe
         let Some(input) = inputs.get(index) else {
             return;
         };
-        let entry = process_one(input, config, &report_cache, &dfg_cache);
+        let entry = process_one(index, input, config, &report_cache, &dfg_cache);
         *slots[index].lock().expect("result slot poisoned") = Some(entry);
     };
     if jobs <= 1 {
@@ -168,60 +178,103 @@ pub fn run_batch(inputs: &[BatchInput], config: &BatchConfig) -> Result<CorpusRe
     })
 }
 
+/// Trace file name for input slot `index`: the slot number keeps names
+/// unique, the sanitized basename keeps them readable.
+fn trace_file_name(index: usize, name: &str) -> String {
+    let base = name.rsplit(['/', '\\']).next().unwrap_or(name);
+    let stem: String = base
+        .chars()
+        .take(80)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{index:04}-{stem}.jsonl")
+}
+
 fn process_one(
+    index: usize,
     input: &BatchInput,
     config: &BatchConfig,
     report_cache: &ReportCache,
     dfg_cache: &DfgCache,
 ) -> ImageEntry {
     let name = input.name();
-    let mut timings = StageTimings::default();
-    let fail = |outcome: String, key, timings| ImageEntry {
-        name: name.clone(),
-        key,
-        outcome: Err(outcome),
-        cached: false,
-        timings,
+    let tracer: Arc<dyn Tracer> = match &config.trace_dir {
+        Some(dir) => match JsonlTracer::to_file(&dir.join(trace_file_name(index, &name))) {
+            Ok(tracer) => Arc::new(tracer),
+            // Keeping the counter totals beats dropping the trace whole.
+            Err(_) => Arc::new(CounterTracer::new()),
+        },
+        None => Arc::new(NoopTracer),
     };
+    let mut timings = StageTimings::default();
+    let (key, outcome, cached) = optimize_input(
+        input,
+        config,
+        report_cache,
+        dfg_cache,
+        &tracer,
+        &mut timings,
+    );
+    timings.trace(tracer.as_ref());
+    tracer.finish();
+    ImageEntry {
+        name,
+        key,
+        outcome,
+        cached,
+        timings,
+        counters: tracer.counters(),
+    }
+}
+
+/// The optimize-or-fetch body of [`process_one`]: returns the cache key
+/// (once the image decoded far enough to have one), the outcome, and
+/// whether the report came from the cache.
+fn optimize_input(
+    input: &BatchInput,
+    config: &BatchConfig,
+    report_cache: &ReportCache,
+    dfg_cache: &DfgCache,
+    tracer: &Arc<dyn Tracer>,
+    timings: &mut StageTimings,
+) -> (Option<u128>, Result<Report, String>, bool) {
     let image = match input {
         BatchInput::Loaded(_, image) => image.clone(),
         BatchInput::Path(path) => {
             let bytes = match std::fs::read(path) {
                 Ok(bytes) => bytes,
-                Err(e) => return fail(e.to_string(), None, timings),
+                Err(e) => return (None, Err(e.to_string()), false),
             };
             match Image::from_bytes(&bytes) {
                 Ok(image) => image,
-                Err(e) => return fail(e.to_string(), None, timings),
+                Err(e) => return (None, Err(e.to_string()), false),
             }
         }
     };
-    let key = image_cache_key(&image, config.method, &config.run);
-    if let Some(report) = report_cache.get(key) {
-        return ImageEntry {
-            name,
-            key: Some(key),
-            outcome: Ok(report),
-            cached: true,
-            timings,
-        };
+    let run = RunConfig {
+        tracer: Arc::clone(tracer),
+        ..config.run.clone()
+    };
+    let key = image_cache_key(&image, config.method, &run);
+    if let Some(report) = report_cache.get_traced(key, tracer.as_ref()) {
+        return (Some(key), Ok(report), true);
     }
-    let mut optimizer = match Optimizer::from_image_timed(&image, &mut timings) {
+    let mut optimizer = match Optimizer::from_image_timed(&image, timings) {
         Ok(optimizer) => optimizer,
-        Err(e) => return fail(e.to_string(), Some(key), timings),
+        Err(e) => return (Some(key), Err(e.to_string()), false),
     };
-    match optimizer.run_instrumented(config.method, &config.run, &mut timings, Some(dfg_cache)) {
+    match optimizer.run_instrumented(config.method, &run, timings, Some(dfg_cache)) {
         Ok(report) => {
-            report_cache.put(key, &report);
-            ImageEntry {
-                name,
-                key: Some(key),
-                outcome: Ok(report),
-                cached: false,
-                timings,
-            }
+            report_cache.put_traced(key, &report, tracer.as_ref());
+            (Some(key), Ok(report), false)
         }
-        Err(e) => fail(e.to_string(), Some(key), timings),
+        Err(e) => (Some(key), Err(e.to_string()), false),
     }
 }
 

@@ -8,6 +8,7 @@ use std::sync::Mutex;
 
 use gpa::json::Json;
 use gpa::Report;
+use gpa_trace::{NoopTracer, Tracer, Value};
 
 /// A content-addressed cache of optimization results, keyed by
 /// [`gpa::image_cache_key`].
@@ -39,13 +40,25 @@ impl ReportCache {
         }
     }
 
-    /// A cache backed by `dir`, created if missing.
+    /// A cache backed by `dir`, created if missing. Stale temporary
+    /// files (`*.tmp.*` left behind by a crashed or killed writer) are
+    /// swept on open; a live writer is never affected because every tmp
+    /// name embeds the writing process's id and a per-process sequence
+    /// number, and publication is a single atomic rename.
     ///
     /// # Errors
     ///
     /// Propagates the `create_dir_all` failure.
     pub fn with_dir(dir: &Path) -> io::Result<ReportCache> {
         std::fs::create_dir_all(dir)?;
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if name.to_string_lossy().contains(".tmp.") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
         let mut cache = ReportCache::in_memory();
         cache.dir = Some(dir.to_path_buf());
         Ok(cache)
@@ -70,31 +83,75 @@ impl ReportCache {
     /// Fetches the report stored under `key`, consulting memory first and
     /// then the disk layer (promoting disk hits into memory).
     pub fn get(&self, key: u128) -> Option<Report> {
+        self.get_traced(key, &NoopTracer)
+    }
+
+    /// [`ReportCache::get`] with hit/miss provenance counters
+    /// (`cache.hit_memory`, `cache.hit_disk`, `cache.miss`) and a
+    /// `cache.corrupt_entry` event when an on-disk entry had to be
+    /// degraded to a miss.
+    pub fn get_traced(&self, key: u128, tracer: &dyn Tracer) -> Option<Report> {
         if let Some(found) = self.map.lock().expect("report cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            tracer.count("cache.hit_memory", 1);
             return Some(found.clone());
         }
-        if let Some(report) = self.read_disk(key) {
-            self.map
-                .lock()
-                .expect("report cache poisoned")
-                .insert(key, report.clone());
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(report);
+        match self.read_disk(key) {
+            DiskRead::Hit(report) => {
+                self.map
+                    .lock()
+                    .expect("report cache poisoned")
+                    .insert(key, report.clone());
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                tracer.count("cache.hit_disk", 1);
+                return Some(report);
+            }
+            DiskRead::Miss => {}
+            DiskRead::Corrupt(reason) => {
+                // An unreadable entry silently costs a re-optimization;
+                // surface it so corpus runs can see degraded caches.
+                tracer.event(
+                    "cache.corrupt_entry",
+                    &[
+                        ("key", Value::from(format!("{key:032x}"))),
+                        ("reason", Value::from(reason)),
+                    ],
+                );
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        tracer.count("cache.miss", 1);
         None
     }
 
-    fn read_disk(&self, key: u128) -> Option<Report> {
-        let path = self.entry_path(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let doc = Json::parse(&text).ok()?;
-        Report::from_json(&doc).ok()
+    fn read_disk(&self, key: u128) -> DiskRead {
+        let Some(path) = self.entry_path(key) else {
+            return DiskRead::Miss;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            // A missing file is the normal cold-cache case; any other
+            // read failure is a degradation worth reporting.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return DiskRead::Miss,
+            Err(_) => return DiskRead::Corrupt("unreadable"),
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            return DiskRead::Corrupt("invalid_json");
+        };
+        match Report::from_json(&doc) {
+            Ok(report) => DiskRead::Hit(report),
+            Err(_) => DiskRead::Corrupt("schema_mismatch"),
+        }
     }
 
     /// Stores a freshly computed report under `key` in every layer.
     pub fn put(&self, key: u128, report: &Report) {
+        self.put_traced(key, report, &NoopTracer);
+    }
+
+    /// [`ReportCache::put`] with a `cache.write_failed` counter for
+    /// best-effort disk stores that did not land.
+    pub fn put_traced(&self, key: u128, report: &Report, tracer: &dyn Tracer) {
         self.map
             .lock()
             .expect("report cache poisoned")
@@ -102,13 +159,33 @@ impl ReportCache {
         if let Some(path) = self.entry_path(key) {
             // Atomic publish: never expose a half-written file to a
             // concurrent reader. Failures only cost future cache hits.
-            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            //
+            // The tmp name must be unique per *writer*, not just per
+            // process: two threads storing the same key used to share one
+            // pid-derived tmp path and interleave write/rename/remove,
+            // publishing truncated or mixed files. A per-process atomic
+            // sequence number makes every tmp path single-writer.
+            let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+            let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), seq));
             let payload = report.to_json().to_string();
-            if std::fs::write(&tmp, payload).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let landed =
+                std::fs::write(&tmp, payload).is_ok() && std::fs::rename(&tmp, &path).is_ok();
+            if !landed {
                 let _ = std::fs::remove_file(&tmp);
+                tracer.count("cache.write_failed", 1);
             }
         }
     }
+}
+
+/// Per-process tmp-name disambiguator for [`ReportCache::put_traced`].
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Outcome of one disk-layer lookup.
+enum DiskRead {
+    Hit(Report),
+    Miss,
+    Corrupt(&'static str),
 }
 
 #[cfg(test)]
@@ -137,6 +214,175 @@ mod tests {
         cache.put(7, &sample());
         assert_eq!(cache.get(7), Some(sample()));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    fn sample_sized(rounds: usize) -> Report {
+        Report {
+            initial_words: 100 * rounds,
+            final_words: 90 * rounds,
+            rounds: (0..rounds)
+                .map(|i| Round {
+                    kind: ExtractionKind::Procedure { lr_save: false },
+                    body_words: 5 + i,
+                    occurrences: 3,
+                    saved: 10,
+                    fragment_name: format!("__gpa_frag_{i}"),
+                })
+                .collect(),
+        }
+    }
+
+    /// Deterministic regression for the shared-tmp-name race. Pre-fix,
+    /// every `put` in a process derived the same `<key>.tmp.<pid>` path,
+    /// so a second writer mid-`put` held an open handle to the very inode
+    /// the first writer renamed into place — and its late bytes landed in
+    /// the *published* entry. The rival thread here replays that
+    /// interleaving exactly, with the scheduling pinned down: it opens the
+    /// shared tmp path first, lets a full `put` run, then flushes. With
+    /// per-writer sequence numbers the tmp path is private, so the rival's
+    /// bytes land in an orphan file and the published entry stays intact.
+    #[test]
+    fn tmp_path_is_private_to_one_writer() {
+        use std::io::Write;
+        let dir = std::env::temp_dir().join(format!("gpa-cache-tmpname-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ReportCache::with_dir(&dir).unwrap();
+        let key = 0xfeed;
+        let shared = dir.join(format!("{key:032x}.tmp.{}", std::process::id()));
+        let mut rival = std::fs::File::create(&shared).unwrap();
+        cache.put(key, &sample());
+        rival.write_all(b"\0\0torn\0\0").unwrap();
+        rival.sync_all().unwrap();
+        drop(rival);
+        let reread = ReportCache::with_dir(&dir).unwrap();
+        assert_eq!(
+            reread.get(key),
+            Some(sample()),
+            "a published entry must be immune to writers of the shared tmp path"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Stress companion to [`tmp_path_is_private_to_one_writer`]: many
+    /// same-key writers and readers hammering one entry. Every read of
+    /// the published path must parse to one of the stored variants, and
+    /// the settled entry a later batch run reads must be a whole variant.
+    #[test]
+    fn concurrent_same_key_puts_never_corrupt_the_disk_entry() {
+        use std::sync::atomic::AtomicBool;
+        let dir = std::env::temp_dir().join(format!("gpa-cache-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ReportCache::with_dir(&dir).unwrap();
+        let key = 0x5eed;
+        let path = dir.join(format!("{key:032x}.json"));
+        // Payloads big enough that writes and reads genuinely overlap,
+        // small enough to keep the test quick.
+        let variants: Vec<Report> = (1..=4).map(|r| sample_sized(r * 500)).collect();
+        let done = AtomicBool::new(false);
+        let corrupt = Mutex::new(None::<String>);
+        std::thread::scope(|scope| {
+            for variant in &variants {
+                let cache = &cache;
+                let done = &done;
+                scope.spawn(move || {
+                    for _ in 0..40 {
+                        if done.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        cache.put(key, variant);
+                    }
+                });
+            }
+            for _ in 0..6 {
+                let (path, variants) = (&path, &variants);
+                let (done, corrupt) = (&done, &corrupt);
+                scope.spawn(move || {
+                    let mut iteration = 0usize;
+                    while !done.load(Ordering::Relaxed) {
+                        // Read the published path exactly as a fresh
+                        // cache would; a missing file just means no
+                        // writer has landed yet.
+                        let Ok(bytes) = std::fs::read(path) else {
+                            continue;
+                        };
+                        iteration += 1;
+                        // Cheap structural probe first (the corruption
+                        // window is narrow, so the sampling loop must be
+                        // tight): a clean publish is a complete JSON
+                        // object with no holes from interleaved writes.
+                        let shape_ok = bytes.first() == Some(&b'{')
+                            && bytes.last() == Some(&b'}')
+                            && !bytes.contains(&0);
+                        if !shape_ok {
+                            *corrupt.lock().unwrap() =
+                                Some(format!("torn entry ({} bytes)", bytes.len()));
+                            done.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        if !iteration.is_multiple_of(16) {
+                            continue;
+                        }
+                        let parsed = String::from_utf8(bytes).ok().and_then(|text| {
+                            Json::parse(&text)
+                                .ok()
+                                .and_then(|doc| Report::from_json(&doc).ok())
+                        });
+                        match parsed {
+                            Some(found) if variants.contains(&found) => {}
+                            _ => {
+                                *corrupt.lock().unwrap() = Some("mixed document".into());
+                                done.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            // Let writers finish, then release the readers.
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(800));
+                done.store(true, Ordering::Relaxed);
+            });
+        });
+        if let Some(reason) = corrupt.lock().unwrap().take() {
+            panic!("published cache entry was observed corrupt: {reason}");
+        }
+        // And the settled entry a later batch run reads is one variant.
+        let reread = ReportCache::with_dir(&dir).unwrap();
+        let found = reread
+            .get(key)
+            .expect("the disk entry must be present and parsable");
+        assert!(variants.contains(&found));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        let dir = std::env::temp_dir().join(format!("gpa-cache-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join("0000.tmp.999.7");
+        std::fs::write(&stale, "half-written").unwrap();
+        let keep = dir.join(format!("{:032x}.json", 0x1u32));
+        std::fs::write(&keep, sample().to_json().to_string()).unwrap();
+        let _ = ReportCache::with_dir(&dir).unwrap();
+        assert!(!stale.exists(), "stale tmp file must be swept");
+        assert!(keep.exists(), "published entries must survive the sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_traced() {
+        use gpa_trace::CounterTracer;
+        let dir = std::env::temp_dir().join(format!("gpa-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ReportCache::with_dir(&dir).unwrap();
+        std::fs::write(dir.join(format!("{:032x}.json", 0x77u32)), "not json").unwrap();
+        let tracer = CounterTracer::new();
+        assert!(cache.get_traced(0x77, &tracer).is_none());
+        let c = tracer.counters();
+        assert_eq!(c.get("cache.corrupt_entry"), 1);
+        assert_eq!(c.get("cache.miss"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use gpa::json::Json;
 use gpa::{Method, Report, StageTimings};
+use gpa_trace::Counters;
 
 /// Version tag of the corpus-report JSON schema.
 pub const CORPUS_SCHEMA: &str = "gpa-corpus/1";
@@ -20,6 +21,9 @@ pub struct ImageEntry {
     pub cached: bool,
     /// Per-stage time this entry cost (all zero on a cache hit).
     pub timings: StageTimings,
+    /// Aggregated trace counters for this entry (empty when the batch
+    /// ran without a trace dir).
+    pub counters: Counters,
 }
 
 /// The result of [`crate::run_batch`] over a corpus.
@@ -63,6 +67,16 @@ impl CorpusReport {
         let mut total = StageTimings::default();
         for e in &self.images {
             total.merge(&e.timings);
+        }
+        total
+    }
+
+    /// Trace counters summed over every entry (empty when the batch ran
+    /// untraced).
+    pub fn total_counters(&self) -> Counters {
+        let mut total = Counters::default();
+        for e in &self.images {
+            total.merge(&e.counters);
         }
         total
     }
@@ -115,11 +129,15 @@ impl CorpusReport {
                 .images
                 .iter()
                 .map(|e| {
-                    Json::obj([
-                        ("name", Json::from(e.name.as_str())),
-                        ("cached", Json::from(e.cached)),
-                        ("timings", e.timings.to_json()),
-                    ])
+                    let mut pairs = vec![
+                        ("name".to_owned(), Json::from(e.name.as_str())),
+                        ("cached".to_owned(), Json::from(e.cached)),
+                        ("timings".to_owned(), e.timings.to_json()),
+                    ];
+                    if !e.counters.is_empty() {
+                        pairs.push(("counters".to_owned(), counters_json(&e.counters)));
+                    }
+                    Json::Obj(pairs)
                 })
                 .collect();
             doc.push((
@@ -142,12 +160,24 @@ impl CorpusReport {
                         ]),
                     ),
                     ("stage_totals", self.total_timings().to_json()),
+                    ("trace", counters_json(&self.total_counters())),
                     ("images", Json::Arr(per_image)),
                 ]),
             ));
         }
         Json::Obj(doc)
     }
+}
+
+/// Serializes aggregated trace counters as a flat name → total object.
+fn counters_json(counters: &Counters) -> Json {
+    Json::Obj(
+        counters
+            .0
+            .iter()
+            .map(|(name, total)| (name.clone(), Json::from(*total)))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -168,6 +198,11 @@ mod tests {
                     }),
                     cached: true,
                     timings: StageTimings::default(),
+                    counters: Counters(
+                        [("mine.patterns_visited".to_owned(), 7u64)]
+                            .into_iter()
+                            .collect(),
+                    ),
                 },
                 ImageEntry {
                     name: "b.img".into(),
@@ -178,6 +213,7 @@ mod tests {
                         decode_ns: 5,
                         ..StageTimings::default()
                     },
+                    counters: Counters::default(),
                 },
             ],
             jobs: 4,
@@ -195,6 +231,7 @@ mod tests {
         assert_eq!(c.total_saved_words(), 2);
         assert_eq!(c.error_count(), 1);
         assert_eq!(c.total_timings().decode_ns, 5);
+        assert_eq!(c.total_counters().get("mine.patterns_visited"), 7);
     }
 
     #[test]
@@ -207,11 +244,18 @@ mod tests {
             Some(CORPUS_SCHEMA)
         );
         assert_eq!(bare.get("errors").and_then(Json::as_int), Some(1));
-        // `cached` must not leak into the deterministic section.
+        // `cached` and trace counters must not leak into the
+        // deterministic section.
         assert!(!bare.to_string().contains("cached"));
+        assert!(!bare.to_string().contains("patterns_visited"));
         let full = c.to_json(true);
         let metrics = full.get("metrics").expect("metrics present");
         assert_eq!(metrics.get("jobs").and_then(Json::as_int), Some(4));
+        let trace = metrics.get("trace").expect("aggregated trace counters");
+        assert_eq!(
+            trace.get("mine.patterns_visited").and_then(Json::as_int),
+            Some(7)
+        );
         // The document round-trips through the parser.
         assert_eq!(Json::parse(&full.to_string()).unwrap(), full);
     }

@@ -101,6 +101,63 @@ fn warm_cache_run_is_identical_and_hits() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `--trace-dir` writes one parsable `gpa-trace/1` JSONL file per input,
+/// folds per-image counters into the corpus metrics, and leaves the
+/// deterministic report section byte-identical to an untraced run.
+#[test]
+fn trace_dir_writes_jsonl_and_never_changes_reports() {
+    use gpa::json::Json;
+    let inputs = kernel_inputs(&["crc", "sha"]);
+    let dir = std::env::temp_dir().join(format!("gpa-batch-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let untraced = run_batch(&inputs, &fast_config()).unwrap();
+    let traced = run_batch(
+        &inputs,
+        &BatchConfig {
+            trace_dir: Some(dir.clone()),
+            ..fast_config()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        untraced.to_json(false).to_string(),
+        traced.to_json(false).to_string(),
+        "tracing must not change the deterministic section"
+    );
+    for (index, entry) in traced.images.iter().enumerate() {
+        // One trace file per input slot, every line a complete JSON
+        // object, header first and counter summary last.
+        let file = dir.join(format!("{index:04}-{}.jsonl", entry.name));
+        let text = std::fs::read_to_string(&file).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "{}", entry.name);
+        for line in &lines {
+            Json::parse(line).unwrap_or_else(|e| panic!("{}: {e}: {line}", entry.name));
+        }
+        assert!(lines[0].contains("\"schema\":\"gpa-trace/1\""));
+        assert!(lines[lines.len() - 1].contains("\"ev\":\"counters\""));
+        // The entry carries the counters, and the mining identity holds.
+        let c = &entry.counters;
+        assert!(c.get("mine.patterns_visited") > 0, "{}", entry.name);
+        assert_eq!(
+            c.get("mine.patterns_visited"),
+            c.get("mine.expanded")
+                + c.get("mine.subtree_skipped")
+                + c.get("mine.stopped_max_nodes"),
+            "{}",
+            entry.name
+        );
+    }
+    // The aggregate lands in the metrics object, not the bare section.
+    let metrics = traced.to_json(true);
+    let trace = metrics
+        .get("metrics")
+        .and_then(|m| m.get("trace"))
+        .expect("aggregated trace counters in metrics");
+    assert!(trace.get("mine.patterns_visited").is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `mining_threads` feeds the partitioned lattice search and must not
 /// change any report.
 #[test]

@@ -1,0 +1,469 @@
+//! `gpa-trace` — structured tracing and telemetry for the
+//! procedural-abstraction pipeline.
+//!
+//! The miner, the MIS solver and the batch cache all contain *bounded*
+//! algorithms with silent fallbacks: pattern budgets, embedding-list
+//! caps, a branch-and-bound step budget, a greedy path for oversized
+//! collision-graph components, corrupt cache entries degraded to misses.
+//! Each of those trades result quality for bounded work — invisibly,
+//! unless something records that the trade happened. This crate is that
+//! record: a zero-dependency [`Tracer`] trait threaded through the whole
+//! pipeline, with three implementations:
+//!
+//! * [`NoopTracer`] — the default; every call is a no-op so the hot
+//!   mining loops pay one virtual call and nothing else;
+//! * [`CounterTracer`] — aggregates named counters in memory (tests,
+//!   embedders that only want totals);
+//! * [`JsonlTracer`] — appends one JSON object per event to a writer
+//!   (the `gpa optimize --trace` / `gpa batch --trace-dir` backends)
+//!   and aggregates counters on the side.
+//!
+//! # Event stream schema (`gpa-trace/1`)
+//!
+//! A trace file is JSON Lines: every line is a self-contained JSON
+//! object with an `"ev"` name field. The first line is a header
+//! (`{"schema":"gpa-trace/1","ev":"trace_begin"}`), the last — written
+//! by [`Tracer::finish`] — is the counter summary
+//! (`{"ev":"counters","counters":{…}}`). In between, every
+//! [`Tracer::event`] call appends a line
+//! `{"ev":"<name>","at_ns":<ns since trace start>, …fields}` and bumps
+//! the counter of the same name, so a well-formed trace satisfies
+//! *counter(name) == number of `name` event lines* for every name that
+//! appears as an event (`gpa trace-check` enforces this). Hot-path
+//! figures (patterns visited, branch-and-bound steps) are counted via
+//! [`Tracer::count`] without emitting per-increment events; they appear
+//! only in the final summary.
+//!
+//! Event ordering between threads follows lock acquisition, so two runs
+//! may interleave events differently; counter totals for a fixed
+//! configuration are deterministic. Tracing never influences any
+//! optimization decision: reports are byte-identical with tracing on or
+//! off.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Version tag of the trace event-stream schema.
+pub const TRACE_SCHEMA: &str = "gpa-trace/1";
+
+/// A field value of a trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// An integer (counts, sizes, nanoseconds; saturating from `u64`).
+    Int(i64),
+    /// A string (names, reasons, hex keys).
+    Str(String),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<u64> for Value {
+    /// Saturates at `i64::MAX`.
+    fn from(v: u64) -> Value {
+        Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<usize> for Value {
+    /// Saturates at `i64::MAX`.
+    fn from(v: usize) -> Value {
+        Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// An ordered name → total map of aggregated counters.
+///
+/// Produced by [`Tracer::counters`]; merged across images by the batch
+/// pipeline and folded into the corpus report's `"metrics"` object.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters(pub BTreeMap<String, u64>);
+
+impl Counters {
+    /// The total recorded under `name` (zero when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.0.get(name).copied().unwrap_or(0)
+    }
+
+    /// Adds every counter of `other` into this map.
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, total) in &other.0 {
+            *self.0.entry(name.clone()).or_insert(0) += total;
+        }
+    }
+
+    /// Whether no counter has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The tracing sink threaded through mining, detection, extraction and
+/// the batch cache.
+///
+/// Implementations must be cheap when disabled and safe to share across
+/// worker threads ([`Send`] + [`Sync`]); the pipeline hands the same
+/// tracer to every mining worker of a detection round.
+pub trait Tracer: Send + Sync + fmt::Debug {
+    /// Bumps the named counter by `delta`. Hot-path safe: no event line
+    /// is emitted.
+    fn count(&self, counter: &'static str, delta: u64);
+
+    /// Emits a structured event and bumps the counter of the same name
+    /// by one.
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]);
+
+    /// Whether this tracer records anything (lets callers skip building
+    /// expensive field sets).
+    fn enabled(&self) -> bool;
+
+    /// A snapshot of every counter recorded so far.
+    fn counters(&self) -> Counters {
+        Counters::default()
+    }
+
+    /// Flushes the trace, writing the trailing counter-summary line for
+    /// stream-backed tracers. Idempotent; a no-op for others.
+    fn finish(&self) {}
+}
+
+/// The default tracer: records nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    fn count(&self, _counter: &'static str, _delta: u64) {}
+    fn event(&self, _name: &'static str, _fields: &[(&'static str, Value)]) {}
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A tracer that aggregates counters in memory and drops events' fields.
+#[derive(Debug, Default)]
+pub struct CounterTracer {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl CounterTracer {
+    /// An empty counter set.
+    pub fn new() -> CounterTracer {
+        CounterTracer::default()
+    }
+}
+
+impl Tracer for CounterTracer {
+    fn count(&self, counter: &'static str, delta: u64) {
+        *self
+            .counters
+            .lock()
+            .expect("counter tracer poisoned")
+            .entry(counter)
+            .or_insert(0) += delta;
+    }
+
+    fn event(&self, name: &'static str, _fields: &[(&'static str, Value)]) {
+        self.count(name, 1);
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counters(&self) -> Counters {
+        Counters(
+            self.counters
+                .lock()
+                .expect("counter tracer poisoned")
+                .iter()
+                .map(|(&k, &v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+}
+
+struct JsonlInner {
+    out: Box<dyn Write + Send>,
+    counters: BTreeMap<&'static str, u64>,
+    finished: bool,
+}
+
+/// A tracer that appends one JSON object per event to a writer
+/// (`gpa-trace/1` JSON Lines) and aggregates counters on the side.
+///
+/// Writing is best-effort: an I/O error on an event line is swallowed
+/// (tracing must never fail the traced run), but creation errors are
+/// surfaced so a mistyped `--trace` path is not silently ignored.
+pub struct JsonlTracer {
+    start: Instant,
+    inner: Mutex<JsonlInner>,
+}
+
+impl fmt::Debug for JsonlTracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlTracer").finish_non_exhaustive()
+    }
+}
+
+impl JsonlTracer {
+    /// Traces into a freshly created (truncated) file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure.
+    pub fn to_file(path: &Path) -> io::Result<JsonlTracer> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlTracer::to_writer(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// Traces into an arbitrary writer.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> JsonlTracer {
+        let tracer = JsonlTracer {
+            start: Instant::now(),
+            inner: Mutex::new(JsonlInner {
+                out,
+                counters: BTreeMap::new(),
+                finished: false,
+            }),
+        };
+        {
+            let mut inner = tracer.inner.lock().expect("jsonl tracer poisoned");
+            let mut line = String::new();
+            line.push_str("{\"schema\":");
+            write_json_str(&mut line, TRACE_SCHEMA);
+            line.push_str(",\"ev\":\"trace_begin\"}\n");
+            let _ = inner.out.write_all(line.as_bytes());
+        }
+        tracer
+    }
+}
+
+impl Tracer for JsonlTracer {
+    fn count(&self, counter: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("jsonl tracer poisoned");
+        *inner.counters.entry(counter).or_insert(0) += delta;
+    }
+
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        let at_ns = self.start.elapsed().as_nanos() as u64;
+        let mut line = String::new();
+        line.push_str("{\"ev\":");
+        write_json_str(&mut line, name);
+        line.push_str(",\"at_ns\":");
+        line.push_str(&at_ns.min(i64::MAX as u64).to_string());
+        for (key, value) in fields {
+            line.push(',');
+            write_json_str(&mut line, key);
+            line.push(':');
+            match value {
+                Value::Int(v) => line.push_str(&v.to_string()),
+                Value::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+                Value::Str(s) => write_json_str(&mut line, s),
+            }
+        }
+        line.push_str("}\n");
+        let mut inner = self.inner.lock().expect("jsonl tracer poisoned");
+        *inner.counters.entry(name).or_insert(0) += 1;
+        let _ = inner.out.write_all(line.as_bytes());
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counters(&self) -> Counters {
+        Counters(
+            self.inner
+                .lock()
+                .expect("jsonl tracer poisoned")
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    fn finish(&self) {
+        let mut inner = self.inner.lock().expect("jsonl tracer poisoned");
+        if inner.finished {
+            return;
+        }
+        inner.finished = true;
+        let mut line = String::from("{\"ev\":\"counters\",\"counters\":{");
+        for (i, (name, total)) in inner.counters.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            write_json_str(&mut line, name);
+            line.push(':');
+            line.push_str(&total.to_string());
+        }
+        line.push_str("}}\n");
+        let _ = inner.out.write_all(line.as_bytes());
+        let _ = inner.out.flush();
+    }
+}
+
+impl Drop for JsonlTracer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A Vec<u8> sink shareable between the tracer and the assertion.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn noop_records_nothing() {
+        let t = NoopTracer;
+        t.count("x", 5);
+        t.event("y", &[("a", Value::Int(1))]);
+        assert!(!t.enabled());
+        assert!(t.counters().is_empty());
+    }
+
+    #[test]
+    fn counter_tracer_aggregates() {
+        let t = CounterTracer::new();
+        t.count("mine.patterns_visited", 3);
+        t.count("mine.patterns_visited", 4);
+        t.event("mis.budget_exhausted", &[]);
+        let c = t.counters();
+        assert_eq!(c.get("mine.patterns_visited"), 7);
+        assert_eq!(c.get("mis.budget_exhausted"), 1);
+        assert_eq!(c.get("absent"), 0);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = Counters::default();
+        a.0.insert("x".into(), 2);
+        let mut b = Counters::default();
+        b.0.insert("x".into(), 3);
+        b.0.insert("y".into(), 1);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
+    }
+
+    #[test]
+    fn jsonl_stream_shape() {
+        let buf = SharedBuf::default();
+        let t = JsonlTracer::to_writer(Box::new(buf.clone()));
+        t.count("hot", 9);
+        t.event(
+            "cache.corrupt_entry",
+            &[
+                ("key", Value::from("00ff")),
+                ("reason", Value::from("bad \"json\"\n")),
+                ("recovered", Value::from(true)),
+                ("bytes", Value::from(42u64)),
+            ],
+        );
+        t.finish();
+        t.finish(); // idempotent
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("\"schema\":\"gpa-trace/1\""));
+        assert!(lines[0].contains("\"ev\":\"trace_begin\""));
+        assert!(lines[1].contains("\"ev\":\"cache.corrupt_entry\""));
+        assert!(lines[1].contains("\"reason\":\"bad \\\"json\\\"\\n\""));
+        assert!(lines[1].contains("\"recovered\":true"));
+        assert!(lines[1].contains("\"at_ns\":"));
+        assert!(lines[2].contains("\"ev\":\"counters\""));
+        assert!(lines[2].contains("\"cache.corrupt_entry\":1"));
+        assert!(lines[2].contains("\"hot\":9"));
+        let c = t.counters();
+        assert_eq!(c.get("hot"), 9);
+        assert_eq!(c.get("cache.corrupt_entry"), 1);
+    }
+
+    #[test]
+    fn jsonl_is_shareable_across_threads() {
+        let buf = SharedBuf::default();
+        let t = Arc::new(JsonlTracer::to_writer(Box::new(buf.clone())));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = Arc::clone(&t);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        t.count("n", 1);
+                    }
+                    t.event("worker_done", &[]);
+                });
+            }
+        });
+        t.finish();
+        let c = t.counters();
+        assert_eq!(c.get("n"), 400);
+        assert_eq!(c.get("worker_done"), 4);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        // Every line is a complete object (no interleaved writes).
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+}

@@ -49,4 +49,38 @@ printf '{"bench":"pipeline_batch_smoke","images":2,"cold_wall_ns":%s,"warm_wall_
     > BENCH_pipeline.json
 echo "verify: batch smoke OK ($(cat BENCH_pipeline.json))"
 
+# Trace smoke: one traced kernel. The stream must pass the structural
+# validator (every line parses, counters match their event-line counts,
+# the miner's visit identity holds), and the deterministic report line
+# plus the output image must be byte-identical with tracing on and off.
+# (capture full stdout, then compare only the report line: the second
+# line names the per-run output path, and `| head` would close the pipe
+# under gpa's feet)
+"$GPA" optimize "$WORK/crc.img" -o "$WORK/crc_plain.img" --validate off \
+    > "$WORK/opt_plain_full.txt"
+"$GPA" optimize "$WORK/crc.img" -o "$WORK/crc_traced.img" --validate off \
+    --trace "$WORK/crc.jsonl" > "$WORK/opt_traced_full.txt"
+head -n1 "$WORK/opt_plain_full.txt" > "$WORK/opt_plain.txt"
+head -n1 "$WORK/opt_traced_full.txt" > "$WORK/opt_traced.txt"
+"$GPA" trace-check "$WORK/crc.jsonl"
+if ! cmp -s "$WORK/opt_plain.txt" "$WORK/opt_traced.txt"; then
+    echo "verify: tracing changed the optimize report" >&2
+    exit 1
+fi
+if ! cmp -s "$WORK/crc_plain.img" "$WORK/crc_traced.img"; then
+    echo "verify: tracing changed the optimized image" >&2
+    exit 1
+fi
+# Traced batch run: per-image streams check out, and the deterministic
+# report section matches the untraced runs above.
+"$GPA" batch "$WORK/crc.img" "$WORK/sha.img" --jobs 2 \
+    --trace-dir "$WORK/traces" --report "$WORK/traced.json" 2>/dev/null
+"$GPA" trace-check "$WORK/traces"/*.jsonl
+traced_det=$(sed 's/,"metrics":.*//' "$WORK/traced.json")
+if [ "$cold_det" != "$traced_det" ]; then
+    echo "verify: traced batch report disagrees with the untraced run" >&2
+    exit 1
+fi
+echo "verify: trace smoke OK"
+
 echo "verify: all gates green"
