@@ -1,0 +1,72 @@
+//! Latency-histogram benchmarks: the `gpa perf` harness records one
+//! [`LogHistogram`] sample per stage per image, and the regression gate
+//! reads percentiles back out — both must stay cheap enough to never
+//! distort the latencies they measure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gpa_trace::LogHistogram;
+
+/// Log-uniform latencies spanning nanoseconds to seconds, the range the
+/// stage timings actually cover.
+fn samples(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let exponent = rng.gen_range(0..30u32);
+            rng.gen_range(0..2u64 << exponent)
+        })
+        .collect()
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram_record");
+    for &n in &[1_000usize, 100_000] {
+        let values = samples(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, values| {
+            b.iter(|| {
+                let mut h = LogHistogram::new();
+                for &v in values {
+                    h.record(v);
+                }
+                h.count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_percentiles(c: &mut Criterion) {
+    let mut h = LogHistogram::new();
+    for v in samples(100_000, 7) {
+        h.record(v);
+    }
+    c.bench_function("histogram_p50_p90_p99", |b| {
+        b.iter(|| (h.percentile(50), h.percentile(90), h.percentile(99)));
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut parts = Vec::new();
+    for seed in 0..8u64 {
+        let mut h = LogHistogram::new();
+        for v in samples(10_000, seed) {
+            h.record(v);
+        }
+        parts.push(h);
+    }
+    c.bench_function("histogram_merge_8x10k", |b| {
+        b.iter(|| {
+            let mut total = LogHistogram::new();
+            for part in &parts {
+                total.merge(part);
+            }
+            total.count()
+        });
+    });
+}
+
+criterion_group!(benches, bench_record, bench_percentiles, bench_merge);
+criterion_main!(benches);

@@ -3,15 +3,31 @@
 //!
 //! ```text
 //! gpa compile <source.mc> -o <out.img> [--no-sched]   MiniC → linked image
-//! gpa bench <name> -o <out.img> [--no-sched]          build a bundled benchmark
+//! gpa build-bench <name> -o <out.img> [--no-sched]    build a bundled benchmark image
 //! gpa run <image> [--input <file>]                    execute in the emulator
 //! gpa dis <image>                                     lifted assembly listing
 //! gpa stats <image> [--json]                          DFG degree statistics
 //! gpa lint <image>                                    static binary lints
 //! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] [--validate off|final|every-round] [--jobs N] [--trace out.jsonl]
 //! gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--trace-dir D] [--method sfx|dgspan|edgar] [--validate] [--report out.json]
+//! gpa perf [-o bench.json] [--methods a,b] [--kernels a,b] [--jobs N] [--no-sched] [--validate L] [--profile] [--baseline FILE] [--tolerance-pct N] [--compare FILE]
 //! gpa trace-check <trace.jsonl...>                    validate trace streams
+//! gpa trace-profile <trace.jsonl...>                  aggregate span profile
 //! ```
+//!
+//! `gpa bench` remains a deprecated alias of `gpa build-bench`.
+//!
+//! # Exit codes
+//!
+//! Most commands exit `0` on success and `1` on any error. Two commands
+//! distinguish their failure classes:
+//!
+//! * `gpa perf --baseline`: `2` — a *hard* compression regression (or a
+//!   kernel/method missing vs the baseline); `3` — only *soft* latency
+//!   drift beyond `--tolerance-pct`.
+//! * `gpa trace-check`: `2` — I/O error; `3` — schema violation (bad
+//!   JSON, missing header/summary, malformed event line); `4` — a
+//!   counter-invariant mismatch.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -42,14 +58,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let rest = &args[1..];
     match command.as_str() {
         "compile" => compile(rest),
-        "bench" => bench(rest),
+        // `bench` is the historical spelling, kept for compatibility.
+        "build-bench" | "bench" => bench(rest),
         "run" => run_image(rest),
         "dis" => disassemble(rest),
         "stats" => stats(rest),
         "lint" => lint(rest),
         "optimize" => optimize(rest),
         "batch" => batch_run(rest),
+        "perf" => perf(rest),
         "trace-check" => trace_check(rest),
+        "trace-profile" => trace_profile(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -62,7 +81,7 @@ fn print_usage() {
     eprintln!(
         "usage:\n  \
          gpa compile <source.mc> -o <out.img> [--no-sched]\n  \
-         gpa bench <name> -o <out.img> [--no-sched]\n  \
+         gpa build-bench <name> -o <out.img> [--no-sched]   (alias: bench)\n  \
          gpa run <image> [--input <file>]\n  \
          gpa dis <image>\n  \
          gpa stats <image> [--json]\n  \
@@ -71,7 +90,11 @@ fn print_usage() {
          [--validate off|final|every-round] [--jobs N] [--trace out.jsonl]\n  \
          gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--trace-dir D] \
          [--method sfx|dgspan|edgar] [--validate] [--report out.json]\n  \
-         gpa trace-check <trace.jsonl...>"
+         gpa perf [-o bench.json] [--methods a,b] [--kernels a,b] [--jobs N] \
+         [--no-sched] [--validate off|final|every-round] [--profile] \
+         [--baseline FILE] [--tolerance-pct N] [--compare FILE]\n  \
+         gpa trace-check <trace.jsonl...>\n  \
+         gpa trace-profile <trace.jsonl...>"
     );
 }
 
@@ -426,53 +449,226 @@ fn batch_run(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// `gpa perf`: the benchmark harness over the bundled kernel corpus.
+///
+/// Writes the `gpa-bench/1` document to `-o` (default `BENCH_gpa.json`)
+/// and the markdown tables to stdout. `--baseline <file>` turns the run
+/// into a gate: exit `2` on a hard compression regression, `3` when only
+/// latency drifted beyond `--tolerance-pct` (default 25). `--compare
+/// <file>` skips the run and gates an existing document instead.
+fn perf(args: &[String]) -> Result<ExitCode, String> {
+    let mut config = gpa_metrics::PerfConfig::default();
+    let mut output = "BENCH_gpa.json".to_owned();
+    let mut baseline_path = None;
+    let mut compare_path = None;
+    let mut tolerance_pct: u64 = 25;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "-o" => {
+                output = iter
+                    .next()
+                    .ok_or_else(|| "-o requires a path".to_owned())?
+                    .clone();
+            }
+            "--methods" => {
+                let list = iter
+                    .next()
+                    .ok_or_else(|| "--methods requires a list".to_owned())?;
+                config.methods = list
+                    .split(',')
+                    .map(|m| Method::parse(m).ok_or_else(|| format!("unknown method `{m}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--kernels" => {
+                let list = iter
+                    .next()
+                    .ok_or_else(|| "--kernels requires a list".to_owned())?;
+                config.kernels = list.split(',').map(str::to_owned).collect();
+            }
+            "--jobs" => config.jobs = take_jobs(&mut iter)?,
+            "--no-sched" => config.schedule = false,
+            "--validate" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "--validate requires a value".to_owned())?;
+                config.validate = match v.as_str() {
+                    "off" => ValidateLevel::Off,
+                    "final" => ValidateLevel::Final,
+                    "every-round" => ValidateLevel::EveryRound,
+                    other => return Err(format!("unknown validate level `{other}`")),
+                };
+            }
+            "--profile" => config.profile = true,
+            "--baseline" => {
+                let p = iter
+                    .next()
+                    .ok_or_else(|| "--baseline requires a path".to_owned())?;
+                baseline_path = Some(p.clone());
+            }
+            "--tolerance-pct" => {
+                tolerance_pct = iter
+                    .next()
+                    .ok_or_else(|| "--tolerance-pct requires a number".to_owned())?
+                    .parse()
+                    .map_err(|_| "--tolerance-pct requires a number".to_owned())?;
+            }
+            "--compare" => {
+                let p = iter
+                    .next()
+                    .ok_or_else(|| "--compare requires a path".to_owned())?;
+                compare_path = Some(p.clone());
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let load_doc = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let current = match &compare_path {
+        // Gate an existing document; no benchmark run.
+        Some(path) => load_doc(path)?,
+        None => {
+            let report = gpa_metrics::run_perf(&config)?;
+            let doc = report.to_json(true);
+            std::fs::write(&output, doc.to_string()).map_err(|e| format!("{output}: {e}"))?;
+            print!("{}", report.markdown());
+            if let Some(profile) = &report.profile {
+                println!("\n## Span profile\n");
+                print!("{}", profile.render());
+            }
+            eprintln!("wrote {output}");
+            doc
+        }
+    };
+    let Some(baseline_path) = baseline_path else {
+        if compare_path.is_some() {
+            return Err("--compare requires --baseline".to_owned());
+        }
+        return Ok(ExitCode::SUCCESS);
+    };
+    let baseline = load_doc(&baseline_path)?;
+    let cmp = gpa_metrics::compare(&current, &baseline, tolerance_pct)?;
+    eprint!("{}", cmp.render());
+    if cmp.is_regression() {
+        eprintln!("perf: compression regression vs {baseline_path}");
+        Ok(ExitCode::from(2))
+    } else if cmp.has_soft() {
+        eprintln!("perf: latency drift beyond {tolerance_pct}% vs {baseline_path}");
+        Ok(ExitCode::from(3))
+    } else {
+        eprintln!("perf: no regression vs {baseline_path}");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// `gpa trace-profile`: aggregate the span events of one or more
+/// `gpa-trace/1` streams into a single flamegraph-style text tree.
+fn trace_profile(args: &[String]) -> Result<ExitCode, String> {
+    if args.is_empty() {
+        return Err("missing trace file(s)".to_owned());
+    }
+    let paths: Vec<std::path::PathBuf> = args.iter().map(Into::into).collect();
+    let tree = gpa_metrics::profile::spans_from_files(&paths)?;
+    if tree.is_empty() {
+        eprintln!("trace-profile: no span events in {} file(s)", paths.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+    print!("{}", tree.render());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One failure class of `gpa trace-check`, each with its own exit code
+/// so scripts can tell an unreadable file from a malformed one from a
+/// broken invariant.
+enum TraceIssue {
+    /// The file could not be read (exit 2).
+    Io(String),
+    /// The stream violates the `gpa-trace/1` schema (exit 3).
+    Schema(String),
+    /// The trailing counters disagree with the event lines (exit 4).
+    Invariant(String),
+}
+
+impl TraceIssue {
+    fn exit_code(&self) -> u8 {
+        match self {
+            TraceIssue::Io(_) => 2,
+            TraceIssue::Schema(_) => 3,
+            TraceIssue::Invariant(_) => 4,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            TraceIssue::Io(m) | TraceIssue::Schema(m) | TraceIssue::Invariant(m) => m,
+        }
+    }
+}
+
 /// `gpa trace-check`: structural validation of `gpa-trace/1` streams.
 ///
 /// For each file: every line must parse as JSON, the first line must be
 /// the schema header, the last the counter summary; every event name's
 /// line count must equal its recorded counter; and the miner's visit
 /// identity (`visited == expanded + subtree_skipped + stopped_max_nodes`)
-/// must hold.
+/// must hold. Diagnostics name the first offending line; the exit code
+/// is the most severe class seen across all files (see the module docs).
 fn trace_check(args: &[String]) -> Result<ExitCode, String> {
     if args.is_empty() {
         return Err("missing trace file(s)".to_owned());
     }
+    let mut worst = 0u8;
     for path in args {
-        check_one_trace(path)?;
+        if let Err(issue) = check_one_trace(path) {
+            eprintln!("gpa: {}", issue.message());
+            worst = worst.max(issue.exit_code());
+        }
     }
-    Ok(ExitCode::SUCCESS)
+    Ok(ExitCode::from(worst))
 }
 
-fn check_one_trace(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn check_one_trace(path: &str) -> Result<(), TraceIssue> {
+    let text = std::fs::read_to_string(path).map_err(|e| TraceIssue::Io(format!("{path}: {e}")))?;
     let mut lines = Vec::new();
     for (number, line) in text.lines().enumerate() {
-        let doc = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", number + 1))?;
-        lines.push(doc);
+        let doc = Json::parse(line)
+            .map_err(|e| TraceIssue::Schema(format!("{path}:{}: {e}", number + 1)))?;
+        lines.push((number + 1, doc));
     }
-    let Some((header, rest)) = lines.split_first() else {
-        return Err(format!("{path}: empty trace"));
+    let Some(((_, header), rest)) = lines.split_first() else {
+        return Err(TraceIssue::Schema(format!("{path}: empty trace")));
     };
     if header.get("schema").and_then(Json::as_str) != Some(TRACE_SCHEMA) {
-        return Err(format!("{path}:1: missing or unknown schema header"));
+        return Err(TraceIssue::Schema(format!(
+            "{path}:1: missing or unknown schema header"
+        )));
     }
-    let Some((summary, events)) = rest.split_last() else {
-        return Err(format!("{path}: missing counter-summary line"));
+    let Some(((summary_line, summary), events)) = rest.split_last() else {
+        return Err(TraceIssue::Schema(format!(
+            "{path}: missing counter-summary line"
+        )));
     };
     if summary.get("ev").and_then(Json::as_str) != Some("counters") {
-        return Err(format!("{path}: last line is not the counter summary"));
+        return Err(TraceIssue::Schema(format!(
+            "{path}:{summary_line}: last line is not the counter summary"
+        )));
     }
-    let counters = summary
-        .get("counters")
-        .ok_or_else(|| format!("{path}: summary has no counters object"))?;
+    let counters = summary.get("counters").ok_or_else(|| {
+        TraceIssue::Schema(format!(
+            "{path}:{summary_line}: summary has no counters object"
+        ))
+    })?;
     let mut observed: std::collections::BTreeMap<&str, i64> = std::collections::BTreeMap::new();
-    for doc in events {
-        let name = doc
-            .get("ev")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("{path}: event line without \"ev\""))?;
+    for (number, doc) in events {
+        let name = doc.get("ev").and_then(Json::as_str).ok_or_else(|| {
+            TraceIssue::Schema(format!("{path}:{number}: event line without \"ev\""))
+        })?;
         if doc.get("at_ns").and_then(Json::as_int).is_none() {
-            return Err(format!("{path}: event `{name}` without \"at_ns\""));
+            return Err(TraceIssue::Schema(format!(
+                "{path}:{number}: event `{name}` without \"at_ns\""
+            )));
         }
         *observed.entry(name).or_insert(0) += 1;
     }
@@ -480,10 +676,10 @@ fn check_one_trace(path: &str) -> Result<(), String> {
     for (name, lines_seen) in &observed {
         let recorded = counter(name);
         if recorded != *lines_seen {
-            return Err(format!(
-                "{path}: counter `{name}` records {recorded}, \
+            return Err(TraceIssue::Invariant(format!(
+                "{path}:{summary_line}: counter `{name}` records {recorded}, \
                  but {lines_seen} event line(s) are present"
-            ));
+            )));
         }
     }
     let visited = counter("mine.patterns_visited");
@@ -491,14 +687,18 @@ fn check_one_trace(path: &str) -> Result<(), String> {
         + counter("mine.subtree_skipped")
         + counter("mine.stopped_max_nodes");
     if visited != accounted {
-        return Err(format!(
-            "{path}: mine.patterns_visited is {visited}, \
+        return Err(TraceIssue::Invariant(format!(
+            "{path}:{summary_line}: mine.patterns_visited is {visited}, \
              but expanded + subtree_skipped + stopped_max_nodes is {accounted}"
-        ));
+        )));
     }
     let counter_total = match counters {
         Json::Obj(pairs) => pairs.len(),
-        _ => return Err(format!("{path}: counters is not an object")),
+        _ => {
+            return Err(TraceIssue::Schema(format!(
+                "{path}:{summary_line}: counters is not an object"
+            )))
+        }
     };
     println!(
         "{path}: ok ({} event line(s), {counter_total} counter(s))",

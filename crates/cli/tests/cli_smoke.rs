@@ -418,6 +418,344 @@ fn lint_rejects_unreadable_container() {
 }
 
 #[test]
+fn build_bench_alias_matches_bench() {
+    let via_alias = tmp("alias_a.img");
+    let via_legacy = tmp("alias_b.img");
+    for (cmd, img) in [("build-bench", &via_alias), ("bench", &via_legacy)] {
+        let out = gpa()
+            .args([cmd, "crc", "-o", img.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{cmd}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        std::fs::read(&via_alias).unwrap(),
+        std::fs::read(&via_legacy).unwrap(),
+        "both spellings must build the same image"
+    );
+    for p in [via_alias, via_legacy] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn stats_json_round_trips_with_stable_key_order() {
+    let img = tmp("stats_rt.img");
+    let out = gpa()
+        .args(["build-bench", "crc", "-o", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stats = gpa()
+        .args(["stats", img.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(stats.status.success());
+    let text = String::from_utf8_lossy(&stats.stdout);
+    let doc = gpa::json::Json::parse(&text).expect("valid JSON");
+    // parse ∘ to_string is the identity, so the document survives any
+    // number of round trips byte-for-byte.
+    let reserialized = doc.to_string();
+    assert_eq!(
+        gpa::json::Json::parse(&reserialized).unwrap().to_string(),
+        reserialized
+    );
+    // Insertion-ordered objects: the key order is part of the contract.
+    let keys_in_order = [
+        "functions",
+        "instructions",
+        "regions",
+        "literal_pool_words",
+        "high_degree_nodes",
+        "in_degree_hist",
+        "out_degree_hist",
+    ];
+    let mut last = 0;
+    for key in keys_in_order {
+        let pos = reserialized
+            .find(&format!("\"{key}\":"))
+            .unwrap_or_else(|| panic!("missing key `{key}`"));
+        assert!(pos > last || last == 0, "key `{key}` out of order");
+        last = pos;
+    }
+    // Both histograms carry the five degree buckets (0, 1, 2, 3, ≥4) in
+    // degree order.
+    for key in ["in_degree_hist", "out_degree_hist"] {
+        let hist = doc.get(key).and_then(gpa::json::Json::as_arr).unwrap();
+        assert_eq!(hist.len(), 5, "{key} must have 5 buckets");
+    }
+    let _ = std::fs::remove_file(img);
+}
+
+/// Strips everything from the `"measured"` section on: the deterministic
+/// prefix of a `gpa-bench/1` document.
+fn deterministic_prefix(text: &str) -> &str {
+    text.split(",\"measured\":").next().unwrap()
+}
+
+#[test]
+fn perf_writes_bench_document_deterministically() {
+    let out_a = tmp("perf_a.json");
+    let out_b = tmp("perf_b.json");
+    let run = |jobs: &str, path: &std::path::Path| {
+        let out = gpa()
+            .args([
+                "perf",
+                "--kernels",
+                "crc",
+                "--methods",
+                "sfx",
+                "--jobs",
+                jobs,
+                "--validate",
+                "off",
+                "-o",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let markdown = run("1", &out_a);
+    run("4", &out_b);
+    assert!(markdown.contains("| crc |"), "{markdown}");
+    assert!(markdown.contains("## Latency (measured)"), "{markdown}");
+    let a = std::fs::read_to_string(&out_a).unwrap();
+    let b = std::fs::read_to_string(&out_b).unwrap();
+    let doc = gpa::json::Json::parse(&a).expect("valid bench JSON");
+    assert_eq!(
+        doc.get("schema").and_then(gpa::json::Json::as_str),
+        Some("gpa-bench/1")
+    );
+    assert!(doc.get("measured").is_some());
+    // The deterministic section must not depend on --jobs.
+    assert_eq!(deterministic_prefix(&a), deterministic_prefix(&b));
+    for p in [out_a, out_b] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn perf_baseline_gate_flags_injected_regression() {
+    let current = tmp("perf_cur.json");
+    let out = gpa()
+        .args([
+            "perf",
+            "--kernels",
+            "crc",
+            "--methods",
+            "sfx",
+            "--validate",
+            "off",
+            "-o",
+            current.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Against itself: clean gate, exit 0.
+    let out = gpa()
+        .args([
+            "perf",
+            "--compare",
+            current.to_str().unwrap(),
+            "--baseline",
+            current.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    // Inflate every saved_words in a copy: the baseline now claims more
+    // savings than the current run — a hard compression regression.
+    let text = std::fs::read_to_string(&current).unwrap();
+    let mut doc = gpa::json::Json::parse(&text).unwrap();
+    fn inflate(doc: &mut gpa::json::Json) {
+        match doc {
+            gpa::json::Json::Obj(pairs) => {
+                for (key, value) in pairs.iter_mut() {
+                    if key == "saved_words" {
+                        if let gpa::json::Json::Int(v) = value {
+                            *v += 5;
+                        }
+                    } else {
+                        inflate(value);
+                    }
+                }
+            }
+            gpa::json::Json::Arr(items) => items.iter_mut().for_each(inflate),
+            _ => {}
+        }
+    }
+    inflate(&mut doc);
+    let baseline = tmp("perf_base.json");
+    std::fs::write(&baseline, doc.to_string()).unwrap();
+    let out = gpa()
+        .args([
+            "perf",
+            "--compare",
+            current.to_str().unwrap(),
+            "--baseline",
+            baseline.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "hard regression must exit 2: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("saved_words regressed"));
+    for p in [current, baseline] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn trace_check_distinguishes_failure_classes() {
+    // I/O error: exit 2.
+    let out = gpa()
+        .args(["trace-check", "/definitely/not/here.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Schema violation: exit 3, diagnostic names the line.
+    let bad = tmp("bad_schema.jsonl");
+    std::fs::write(
+        &bad,
+        "{\"schema\":\"gpa-trace/1\",\"ev\":\"trace_begin\"}\nnot json\n",
+    )
+    .unwrap();
+    let out = gpa()
+        .args(["trace-check", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains(":2:"),
+        "diagnostic must name line 2: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Counter-invariant mismatch: exit 4. A real stream with one counter
+    // total tampered still parses and keeps its header/summary shape.
+    let img = tmp("tc_codes.img");
+    let opt = tmp("tc_codes_opt.img");
+    let trace = tmp("tc_codes.jsonl");
+    let out = gpa()
+        .args(["build-bench", "crc", "-o", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = gpa()
+        .args([
+            "optimize",
+            img.to_str().unwrap(),
+            "-o",
+            opt.to_str().unwrap(),
+            "--validate",
+            "off",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let tampered_path = tmp("tc_codes_tampered.jsonl");
+    std::fs::write(
+        &tampered_path,
+        text.replacen(
+            "\"mine.patterns_visited\":",
+            "\"mine.patterns_visited\":9",
+            1,
+        ),
+    )
+    .unwrap();
+    let out = gpa()
+        .args(["trace-check", tampered_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for p in [bad, img, opt, trace, tampered_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn trace_profile_renders_span_hierarchy() {
+    let img = tmp("tp.img");
+    let opt = tmp("tp_opt.img");
+    let trace = tmp("tp.jsonl");
+    let out = gpa()
+        .args(["build-bench", "crc", "-o", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = gpa()
+        .args([
+            "optimize",
+            img.to_str().unwrap(),
+            "-o",
+            opt.to_str().unwrap(),
+            "--validate",
+            "off",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = gpa()
+        .args(["trace-profile", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("optimize"), "{text}");
+    assert!(text.contains("round"), "{text}");
+    assert!(text.contains("detect"), "{text}");
+    // The tree indents children under their parent: "round" sits two
+    // spaces deeper than "optimize" in the span column.
+    let span_col = |name: &str| {
+        text.lines()
+            .find(|l| l.trim_end().ends_with(name))
+            .unwrap_or_else(|| panic!("no `{name}` row"))
+            .find(name)
+            .unwrap()
+    };
+    assert_eq!(span_col("optimize") + 2, span_col("round"), "{text}");
+    for p in [img, opt, trace] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn unknown_command_fails_cleanly() {
     let out = gpa().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

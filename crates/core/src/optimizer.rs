@@ -306,6 +306,11 @@ impl Optimizer {
     /// per-round validation, which counts as validation); and the final
     /// program validation.
     ///
+    /// When the configured tracer is enabled the run additionally emits
+    /// hierarchical spans (`optimize` → `round` → `detect` / `apply`,
+    /// plus a final `validate`) that `gpa trace-profile` and
+    /// `gpa perf --profile` aggregate into a self/total time tree.
+    ///
     /// # Errors
     ///
     /// See [`Optimizer::run_with`].
@@ -316,16 +321,24 @@ impl Optimizer {
         timings: &mut StageTimings,
         cache: Option<&DfgCache>,
     ) -> Result<Report, OptimizerError> {
+        let _run_span = gpa_trace::span(config.tracer.as_ref(), "optimize");
         let initial_words = self.program.instruction_count();
         let mut rounds = Vec::new();
         for round in 0..config.max_rounds {
-            let Some(candidate) = self.detect_instrumented(method, config, timings, cache) else {
+            let _round_span = gpa_trace::span(config.tracer.as_ref(), "round");
+            let candidate = {
+                let _detect_span = gpa_trace::span(config.tracer.as_ref(), "detect");
+                self.detect_instrumented(method, config, timings, cache)
+            };
+            let Some(candidate) = candidate else {
                 break;
             };
+            let apply_span = gpa_trace::span(config.tracer.as_ref(), "apply");
             let apply_start = Instant::now();
             let round_validated = config.validate == ValidateLevel::EveryRound;
             let name = self.apply_candidate(&candidate, config.validate)?;
             let apply_ns = apply_start.elapsed().as_nanos() as u64;
+            drop(apply_span);
             // Per-round validation dominates the apply path when on;
             // attribute the whole round-validated apply to validation
             // rather than splitting hairs inside apply_candidate.
@@ -359,6 +372,7 @@ impl Optimizer {
             });
         }
         if config.validate != ValidateLevel::Off {
+            let _validate_span = gpa_trace::span(config.tracer.as_ref(), "validate");
             let validate_start = Instant::now();
             let diags = validate::validate_program(&self.program);
             timings.validation_ns += validate_start.elapsed().as_nanos() as u64;

@@ -14,6 +14,18 @@
 
 use crate::json::Json;
 
+/// Stable stage names, in pipeline order; [`StageTimings::stages`]
+/// yields values in the same order, and the metrics schema keys its
+/// per-stage histograms by these names.
+pub const STAGE_NAMES: [&str; 6] = [
+    "decode",
+    "dfg_build",
+    "mining",
+    "mis",
+    "extraction",
+    "validation",
+];
+
 /// Accumulated per-stage wall time, in nanoseconds.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct StageTimings {
@@ -41,6 +53,20 @@ impl StageTimings {
         self.mis_ns += other.mis_ns;
         self.extraction_ns += other.extraction_ns;
         self.validation_ns += other.validation_ns;
+    }
+
+    /// The accumulator as `(stage name, nanoseconds)` pairs, in
+    /// [`STAGE_NAMES`] order — the iteration surface the metrics
+    /// harness feeds its per-stage histograms from.
+    pub fn stages(&self) -> [(&'static str, u64); 6] {
+        [
+            (STAGE_NAMES[0], self.decode_ns),
+            (STAGE_NAMES[1], self.dfg_build_ns),
+            (STAGE_NAMES[2], self.mining_ns),
+            (STAGE_NAMES[3], self.mis_ns),
+            (STAGE_NAMES[4], self.extraction_ns),
+            (STAGE_NAMES[5], self.validation_ns),
+        ]
     }
 
     /// Sum over all stages.
@@ -111,6 +137,21 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total_ns(), 42);
         assert_eq!(a.mining_ns, 6);
+    }
+
+    #[test]
+    fn stages_follow_declaration_order() {
+        let t = StageTimings {
+            decode_ns: 1,
+            dfg_build_ns: 2,
+            mining_ns: 3,
+            mis_ns: 4,
+            extraction_ns: 5,
+            validation_ns: 6,
+        };
+        let stages = t.stages();
+        assert_eq!(stages.map(|(name, _)| name), STAGE_NAMES);
+        assert_eq!(stages.map(|(_, ns)| ns), [1, 2, 3, 4, 5, 6]);
     }
 
     #[test]

@@ -103,6 +103,27 @@ mod tests {
     }
 
     #[test]
+    fn hist_bucket_ordering_is_stable() {
+        // Buckets are indexed by degree 0, 1, 2, 3, ≥4 — the array order
+        // IS the degree order, which the `gpa stats --json` arrays
+        // inherit. A fan-out of five lands in the saturating last bucket.
+        let s = degree_stats(&[dfg_of(
+            "mov r1, #1\n\
+             add r2, r1, #1\n\
+             add r3, r1, #2\n\
+             add r4, r1, #3\n\
+             add r5, r1, #4\n\
+             add r6, r1, #5",
+        )]);
+        assert_eq!(s.out_hist, [5, 0, 0, 0, 1]);
+        assert_eq!(s.in_hist, [1, 5, 0, 0, 0]);
+        // The buckets partition the node set: each histogram sums to the
+        // total regardless of the degree distribution.
+        assert_eq!(s.in_hist.iter().sum::<usize>(), s.total());
+        assert_eq!(s.out_hist.iter().sum::<usize>(), s.total());
+    }
+
+    #[test]
     fn accumulates_over_multiple_graphs() {
         let a = dfg_of("mov r1, #1");
         let b = dfg_of("mov r2, #2\nadd r2, r2, #1");

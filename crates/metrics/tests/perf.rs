@@ -1,0 +1,149 @@
+//! End-to-end checks of the `gpa perf` harness: the acceptance criteria
+//! from the issue (deterministic section byte-identical across runs and
+//! `--jobs` settings; an injected compression regression trips the gate).
+
+use gpa::json::Json;
+use gpa::{Method, ValidateLevel};
+use gpa_metrics::{compare, run_perf, PerfConfig};
+
+/// A small two-kernel, two-method configuration that keeps the test fast.
+fn small_config(jobs: usize) -> PerfConfig {
+    PerfConfig {
+        methods: vec![Method::Sfx, Method::DgSpan],
+        kernels: vec!["crc".into(), "sha".into()],
+        jobs,
+        validate: ValidateLevel::Off,
+        ..PerfConfig::default()
+    }
+}
+
+#[test]
+fn deterministic_section_is_byte_identical_across_jobs_and_runs() {
+    let serial = run_perf(&small_config(1)).unwrap();
+    let parallel = run_perf(&small_config(4)).unwrap();
+    let repeat = run_perf(&small_config(1)).unwrap();
+    let expected = serial.to_json(false).to_string();
+    assert_eq!(expected, parallel.to_json(false).to_string());
+    assert_eq!(expected, repeat.to_json(false).to_string());
+    // The measured section is extra — the deterministic prefix of the
+    // full document is the same string.
+    let full = serial.to_json(true).to_string();
+    assert!(full.contains("\"measured\":"));
+    assert!(!expected.contains("\"measured\":"));
+}
+
+#[test]
+fn bench_document_round_trips_and_has_paper_shape() {
+    let report = run_perf(&small_config(2)).unwrap();
+    let doc = report.to_json(true);
+    // Round-trips through the hand-rolled parser (parse ∘ to_string = id).
+    assert_eq!(Json::parse(&doc.to_string()).unwrap(), doc);
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(gpa_metrics::BENCH_SCHEMA)
+    );
+    let kernels = doc.get("kernels").and_then(Json::as_arr).unwrap();
+    assert_eq!(kernels.len(), 2);
+    for kernel in kernels {
+        let results = kernel.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 2);
+        // The first method is its own baseline for the per-method delta.
+        assert_eq!(
+            results[0].get("delta_saved_words").and_then(Json::as_int),
+            Some(0)
+        );
+        for r in results {
+            assert!(r.get("savings_bp").and_then(Json::as_int).is_some());
+        }
+    }
+    // Latency: one histogram per stage per method, with count == kernels.
+    let latency = doc
+        .get("measured")
+        .and_then(|m| m.get("latency"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert_eq!(latency.len(), 2);
+    for method in latency {
+        let stages = method.get("stages").and_then(Json::as_arr).unwrap();
+        assert_eq!(stages.len(), gpa::stage::STAGE_NAMES.len());
+        for stage in stages {
+            assert_eq!(stage.get("count").and_then(Json::as_int), Some(2));
+            let p50 = stage.get("p50_ns").and_then(Json::as_int).unwrap();
+            let p99 = stage.get("p99_ns").and_then(Json::as_int).unwrap();
+            assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        }
+    }
+    // The markdown view carries the same story.
+    let md = report.markdown();
+    assert!(md.contains("| crc |"), "{md}");
+    assert!(md.contains("**total**"), "{md}");
+    assert!(md.contains("| sfx | mining |"), "{md}");
+}
+
+/// Adds `delta` to every `saved_words` field, anywhere in the document.
+fn inflate_saved_words(doc: &mut Json, delta: i64) {
+    match doc {
+        Json::Obj(pairs) => {
+            for (key, value) in pairs.iter_mut() {
+                if key == "saved_words" {
+                    if let Json::Int(v) = value {
+                        *v += delta;
+                    }
+                } else {
+                    inflate_saved_words(value, delta);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for item in items.iter_mut() {
+                inflate_saved_words(item, delta);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn injected_compression_regression_trips_the_gate() {
+    let config = PerfConfig {
+        methods: vec![Method::Sfx],
+        kernels: vec!["crc".into()],
+        jobs: 1,
+        validate: ValidateLevel::Off,
+        ..PerfConfig::default()
+    };
+    let current = run_perf(&config).unwrap().to_json(true);
+    // Against itself: clean.
+    let cmp = compare(&current, &current, 10).unwrap();
+    assert!(!cmp.is_regression(), "{:?}", cmp.hard);
+    // Against a baseline that claims more savings: hard regression.
+    let mut inflated = current.clone();
+    inflate_saved_words(&mut inflated, 5);
+    let cmp = compare(&current, &inflated, 10).unwrap();
+    assert!(cmp.is_regression());
+    assert!(
+        cmp.hard[0].contains("saved_words regressed"),
+        "{:?}",
+        cmp.hard
+    );
+}
+
+#[test]
+fn profile_mode_collects_a_span_tree() {
+    let config = PerfConfig {
+        methods: vec![Method::Sfx],
+        kernels: vec!["crc".into()],
+        jobs: 1,
+        validate: ValidateLevel::Off,
+        profile: true,
+        ..PerfConfig::default()
+    };
+    let report = run_perf(&config).unwrap();
+    let tree = report.profile.expect("profile requested");
+    let sfx = tree.roots.get("sfx").expect("method root");
+    let optimize = sfx.children.get("optimize").expect("optimize span");
+    assert_eq!(optimize.count, 1, "one image, one optimize span");
+    assert!(optimize.children.contains_key("round"));
+    let rendered = tree.render();
+    assert!(rendered.contains("optimize"), "{rendered}");
+}

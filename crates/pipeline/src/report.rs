@@ -53,6 +53,14 @@ impl CorpusReport {
         self.images.iter().filter(|e| e.outcome.is_err()).count()
     }
 
+    /// The successful entries with their reports, in input order — the
+    /// iteration surface the metrics harness (`gpa perf`) consumes.
+    pub fn successful(&self) -> impl Iterator<Item = (&ImageEntry, &Report)> {
+        self.images
+            .iter()
+            .filter_map(|e| e.outcome.as_ref().ok().map(|r| (e, r)))
+    }
+
     /// Corpus-wide words saved, over the successful inputs.
     pub fn total_saved_words(&self) -> i64 {
         self.images

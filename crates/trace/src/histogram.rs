@@ -1,0 +1,249 @@
+//! Log-bucketed (HDR-style) latency histograms.
+//!
+//! The perf harness wants latency *distributions*, not just totals: a
+//! p99 mining time says more about tail behaviour than a corpus-wide
+//! sum. [`LogHistogram`] records nanosecond samples into buckets whose
+//! width grows geometrically — every power of two is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, bounding the relative
+//! quantization error at `1 / SUB_BUCKETS` (6.25%) while covering the
+//! full `u64` range in a few hundred buckets.
+//!
+//! Everything is integer arithmetic on explicit bucket indices, so two
+//! histograms fed the same samples are identical field-for-field on any
+//! platform, and percentile readouts are deterministic functions of the
+//! recorded multiset.
+
+use std::collections::BTreeMap;
+
+/// Linear sub-buckets per power-of-two octave (16 → ≤ 6.25% relative
+/// quantization error).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+const SUB_BUCKET_BITS: u32 = 4;
+
+/// A log-bucketed histogram of `u64` nanosecond samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Bucket index of a sample: identity below [`SUB_BUCKETS`], then
+/// (octave, sub-bucket) with the top `SUB_BUCKET_BITS + 1` significant
+/// bits — contiguous, monotone in the sample value.
+fn index_of(value: u64) -> u32 {
+    if value < SUB_BUCKETS {
+        value as u32
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let sub = (value >> (msb - SUB_BUCKET_BITS)) as u32;
+        (msb - SUB_BUCKET_BITS) * SUB_BUCKETS as u32 + sub
+    }
+}
+
+/// Lowest sample value that maps to bucket `index` (inverse of
+/// [`index_of`] on bucket boundaries; saturating above `u64::MAX` for
+/// the one-past-the-top bucket).
+fn bucket_low(index: u32) -> u64 {
+    let sub = SUB_BUCKETS as u32;
+    if index < sub {
+        u64::from(index)
+    } else {
+        let octave = index / sub - 1;
+        u64::try_from(u128::from(index % sub + sub) << octave).unwrap_or(u64::MAX)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value_ns: u64) {
+        self.record_n(value_ns, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value_ns: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.buckets.entry(index_of(value_ns)).or_insert(0) += n;
+        if self.count == 0 || value_ns < self.min_ns {
+            self.min_ns = value_ns;
+        }
+        self.max_ns = self.max_ns.max(value_ns);
+        self.count += n;
+        self.sum_ns = self.sum_ns.saturating_add(value_ns.saturating_mul(n));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The value at or below which `pct` percent of samples fall,
+    /// reported as the lower bound of the containing bucket (so the
+    /// readout never over-states a latency). 0 for an empty histogram;
+    /// `pct` is clamped to 100.
+    pub fn percentile(&self, pct: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let pct = u64::from(pct.min(100));
+        // ceil(count * pct / 100), at least the first sample.
+        let rank = (self.count.saturating_mul(pct)).div_ceil(100);
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0;
+        for (&index, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_low(index);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Adds every sample of `other` into this histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (&index, &n) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += n;
+        }
+        if self.count == 0 || other.min_ns < self.min_ns {
+            self.min_ns = other.min_ns;
+        }
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+
+    /// Occupied buckets as `(lower_bound_ns, count)` pairs, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&i, &n)| (bucket_low(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_monotone_and_bucket_low_is_consistent() {
+        let mut prev = 0;
+        for v in (0..4096u64).chain([u64::MAX / 3, u64::MAX - 1, u64::MAX]) {
+            let i = index_of(v);
+            assert!(i >= prev, "index regressed at {v}");
+            prev = i;
+            assert!(bucket_low(i) <= v, "low({i}) > {v}");
+            // The next bucket starts strictly above v (the topmost
+            // bucket's successor saturates to u64::MAX).
+            if v < u64::MAX - 1 {
+                assert!(bucket_low(i + 1) > v, "low({}) <= {v}", i + 1);
+            }
+        }
+        // Exact below SUB_BUCKETS.
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_low(index_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        for v in [100u64, 1_000, 65_537, 1_000_000_000, 123_456_789_012] {
+            let low = bucket_low(index_of(v));
+            assert!(low <= v);
+            // Relative error bounded by 1/SUB_BUCKETS.
+            assert!((v - low).saturating_mul(SUB_BUCKETS) <= v, "{v} -> {low}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_deterministic() {
+        let mut h = LogHistogram::new();
+        for v in [5u64, 80, 80, 300, 1_000, 40_000, 40_000, 2_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min_ns(), 5);
+        assert_eq!(h.max_ns(), 2_000_000);
+        let (p50, p90, p99) = (h.percentile(50), h.percentile(90), h.percentile(99));
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max_ns());
+        assert!((80..=300).contains(&p50), "p50 = {p50}");
+        // Identical inputs → identical histogram.
+        let mut h2 = LogHistogram::new();
+        for v in [5u64, 80, 80, 300, 1_000, 40_000, 40_000, 2_000_000] {
+            h2.record(v);
+        }
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording() {
+        let (xs, ys) = ([1u64, 7, 900, 70_000], [0u64, 7, 1 << 40]);
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for &v in &xs {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.min_ns(), 0);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = LogHistogram::new();
+        a.record_n(333, 5);
+        let mut b = LogHistogram::new();
+        for _ in 0..5 {
+            b.record(333);
+        }
+        assert_eq!(a, b);
+        a.record_n(1, 0); // no-op
+        assert_eq!(a, b);
+    }
+}

@@ -47,6 +47,12 @@ use std::path::Path;
 use std::sync::Mutex;
 use std::time::Instant;
 
+pub mod histogram;
+pub mod span;
+
+pub use histogram::LogHistogram;
+pub use span::{span, SpanBuilder, SpanGuard, SpanNode, SpanTree, SPAN_ENTER, SPAN_EXIT};
+
 /// Version tag of the trace event-stream schema.
 pub const TRACE_SCHEMA: &str = "gpa-trace/1";
 
@@ -212,6 +218,9 @@ impl Tracer for CounterTracer {
 struct JsonlInner {
     out: Box<dyn Write + Send>,
     counters: BTreeMap<&'static str, u64>,
+    /// `at_ns` of the last event line written; event timestamps are
+    /// sampled *under the stream lock*, so this never decreases.
+    last_at_ns: u64,
     finished: bool,
 }
 
@@ -250,6 +259,7 @@ impl JsonlTracer {
             inner: Mutex::new(JsonlInner {
                 out,
                 counters: BTreeMap::new(),
+                last_at_ns: 0,
                 finished: false,
             }),
         };
@@ -272,12 +282,23 @@ impl Tracer for JsonlTracer {
     }
 
     fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
-        let at_ns = self.start.elapsed().as_nanos() as u64;
+        let mut inner = self.inner.lock().expect("jsonl tracer poisoned");
+        // Sample the clock while holding the stream lock: timestamps are
+        // then assigned in write order, so `at_ns` is monotone across
+        // the whole stream even when several threads trace at once.
+        let at_ns = (self.start.elapsed().as_nanos() as u64).min(i64::MAX as u64);
+        debug_assert!(
+            at_ns >= inner.last_at_ns,
+            "at_ns regressed: {at_ns} < {}",
+            inner.last_at_ns
+        );
+        let at_ns = at_ns.max(inner.last_at_ns);
+        inner.last_at_ns = at_ns;
         let mut line = String::new();
         line.push_str("{\"ev\":");
         write_json_str(&mut line, name);
         line.push_str(",\"at_ns\":");
-        line.push_str(&at_ns.min(i64::MAX as u64).to_string());
+        line.push_str(&at_ns.to_string());
         for (key, value) in fields {
             line.push(',');
             write_json_str(&mut line, key);
@@ -289,7 +310,6 @@ impl Tracer for JsonlTracer {
             }
         }
         line.push_str("}\n");
-        let mut inner = self.inner.lock().expect("jsonl tracer poisoned");
         *inner.counters.entry(name).or_insert(0) += 1;
         let _ = inner.out.write_all(line.as_bytes());
     }
@@ -439,6 +459,79 @@ mod tests {
         let c = t.counters();
         assert_eq!(c.get("hot"), 9);
         assert_eq!(c.get("cache.corrupt_entry"), 1);
+    }
+
+    /// Pulls every `"at_ns":<n>` value out of a rendered stream, in line
+    /// order.
+    fn at_ns_values(text: &str) -> Vec<u64> {
+        text.lines()
+            .filter_map(|line| {
+                let (_, rest) = line.split_once("\"at_ns\":")?;
+                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                digits.parse().ok()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn at_ns_is_monotone_within_one_stream() {
+        let buf = SharedBuf::default();
+        let t = JsonlTracer::to_writer(Box::new(buf.clone()));
+        for _ in 0..200 {
+            t.event("tick", &[]);
+        }
+        t.finish();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let stamps = at_ns_values(&text);
+        assert_eq!(stamps.len(), 200);
+        for pair in stamps.windows(2) {
+            assert!(
+                pair[0] <= pair[1],
+                "at_ns regressed: {} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_multi_thread_events_stay_monotone_and_counted() {
+        let buf = SharedBuf::default();
+        let t = Arc::new(JsonlTracer::to_writer(Box::new(buf.clone())));
+        // Four "sections" interleaving events of distinct names plus a
+        // shared one, racing on the same stream.
+        std::thread::scope(|scope| {
+            for section in 0..4usize {
+                let t = Arc::clone(&t);
+                scope.spawn(move || {
+                    let name = ["sec.a", "sec.b", "sec.c", "sec.d"][section];
+                    for _ in 0..50 {
+                        t.event(name, &[]);
+                        t.event("shared", &[]);
+                    }
+                });
+            }
+        });
+        t.finish();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let stamps = at_ns_values(&text);
+        assert_eq!(stamps.len(), 400);
+        for pair in stamps.windows(2) {
+            assert!(pair[0] <= pair[1], "at_ns regressed across threads");
+        }
+        // The trailing counters line agrees with the event-line counts.
+        let lines: Vec<&str> = text.lines().collect();
+        let summary = lines.last().unwrap();
+        assert!(summary.contains("\"ev\":\"counters\""));
+        for name in ["sec.a", "sec.b", "sec.c", "sec.d"] {
+            let event_lines = lines
+                .iter()
+                .filter(|l| l.contains(&format!("\"ev\":\"{name}\"")))
+                .count();
+            assert_eq!(event_lines, 50);
+            assert!(summary.contains(&format!("\"{name}\":50")), "{summary}");
+        }
+        assert!(summary.contains("\"shared\":200"), "{summary}");
     }
 
     #[test]

@@ -17,8 +17,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 GPA=target/release/gpa
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
-"$GPA" bench crc -o "$WORK/crc.img" >/dev/null
-"$GPA" bench sha -o "$WORK/sha.img" >/dev/null
+"$GPA" build-bench crc -o "$WORK/crc.img" >/dev/null
+"$GPA" build-bench sha -o "$WORK/sha.img" >/dev/null
 "$GPA" batch "$WORK/crc.img" "$WORK/sha.img" --jobs 2 \
     --cache-dir "$WORK/cache" --report "$WORK/cold.json" 2>"$WORK/cold.log"
 "$GPA" batch "$WORK/crc.img" "$WORK/sha.img" --jobs 2 \
@@ -82,5 +82,32 @@ if [ "$cold_det" != "$traced_det" ]; then
     exit 1
 fi
 echo "verify: trace smoke OK"
+
+# Perf gate: run the benchmark harness over the full kernel corpus and
+# refresh BENCH_gpa.json at the repo root. When a committed baseline
+# exists, gate the fresh run against it first: a compression regression
+# (exit 2) fails verification, latency drift beyond the tolerance
+# (exit 3) only warns — stage timings are noisy across machines, the
+# deterministic compression metrics are not.
+if [ -f BENCH_gpa.json ]; then
+    cp BENCH_gpa.json "$WORK/bench_baseline.json"
+fi
+"$GPA" perf --jobs 2 -o BENCH_gpa.json > "$WORK/perf.md" 2>"$WORK/perf.log"
+if [ -f "$WORK/bench_baseline.json" ]; then
+    perf_status=0
+    "$GPA" perf --compare BENCH_gpa.json \
+        --baseline "$WORK/bench_baseline.json" --tolerance-pct 50 \
+        2>"$WORK/perf_gate.log" || perf_status=$?
+    case $perf_status in
+        0) echo "verify: perf gate OK (no regression vs committed baseline)" ;;
+        3) echo "verify: perf latency drifted beyond tolerance (soft)" >&2
+           cat "$WORK/perf_gate.log" >&2 ;;
+        *) echo "verify: perf compression regression vs committed baseline" >&2
+           cat "$WORK/perf_gate.log" >&2
+           exit 1 ;;
+    esac
+else
+    echo "verify: no committed baseline, wrote a fresh BENCH_gpa.json"
+fi
 
 echo "verify: all gates green"
