@@ -611,8 +611,9 @@ impl TraceIssue {
 ///
 /// For each file: every line must parse as JSON, the first line must be
 /// the schema header, the last the counter summary; every event name's
-/// line count must equal its recorded counter; and the miner's visit
-/// identity (`visited == expanded + subtree_skipped + stopped_max_nodes`)
+/// line count must equal its recorded counter; and the miner's counter
+/// identities (`visited == expanded + subtree_skipped + stopped_max_nodes`
+/// and `canon_checks == canon_cache_hit + canon_cache_miss`)
 /// must hold. Diagnostics name the first offending line; the exit code
 /// is the most severe class seen across all files (see the module docs).
 fn trace_check(args: &[String]) -> Result<ExitCode, String> {
@@ -690,6 +691,14 @@ fn check_one_trace(path: &str) -> Result<(), TraceIssue> {
         return Err(TraceIssue::Invariant(format!(
             "{path}:{summary_line}: mine.patterns_visited is {visited}, \
              but expanded + subtree_skipped + stopped_max_nodes is {accounted}"
+        )));
+    }
+    let canon_checks = counter("mine.canon_checks");
+    let canon_accounted = counter("mine.canon_cache_hit") + counter("mine.canon_cache_miss");
+    if canon_checks != canon_accounted {
+        return Err(TraceIssue::Invariant(format!(
+            "{path}:{summary_line}: mine.canon_checks is {canon_checks}, \
+             but canon_cache_hit + canon_cache_miss is {canon_accounted}"
         )));
     }
     let counter_total = match counters {

@@ -216,7 +216,7 @@ fn candidate_from_frequent(
         if !trace_equivalent(&body, &seq) {
             continue;
         }
-        let in_set = |n: usize| nodes.binary_search(&(n as u32)).is_ok();
+        let in_set = |n: usize| emb.node_set().contains(n as u32);
         let ok = match kind {
             ExtractionKind::Procedure { .. } => {
                 if !lr_free[info.function] {
@@ -229,9 +229,13 @@ fn candidate_from_frequent(
                     // FROM the fragment) itself reaches INTO the fragment.
                     let words = dfg.node_count().div_ceil(64).max(1);
                     let mut frag_mask = vec![0u64; words];
-                    for &u in &nodes {
-                        frag_mask[u as usize / 64] |= 1 << (u % 64);
-                    }
+                    // The embedding's bitset IS the fragment mask: copy
+                    // its words instead of re-setting bits one by one
+                    // (node ids are < dfg.node_count(), so the set never
+                    // has significant words beyond `words`).
+                    let set_words = emb.node_set().as_words();
+                    let n = set_words.len().min(words);
+                    frag_mask[..n].copy_from_slice(&set_words[..n]);
                     let mut from_frag = vec![0u64; words];
                     for &u in &nodes {
                         for (w, &r) in reach.row(u as usize).iter().enumerate() {
@@ -560,6 +564,7 @@ pub(crate) fn best_candidate_instrumented(
         ..Config::default()
     };
     let mine_start = Instant::now();
+    let mine_span = gpa_trace::span(&*config.tracer, "mine");
     let seeds: Vec<_> = seed_buckets(&graphs).into_iter().collect();
     let workers = config.threads.max(1).min(seeds.len().max(1));
     let run_worker = |worker: usize, stride: usize| -> WorkerBest {
@@ -599,6 +604,7 @@ pub(crate) fn best_candidate_instrumented(
                 .collect()
         })
     };
+    drop(mine_span);
     let mut mis_total = 0u64;
     let mut merged: Option<(Candidate, usize)> = None;
     let mut table: Vec<CandidateSummary> = Vec::new();

@@ -7,8 +7,20 @@
 //! [`is_min`](Pattern::is_min) tests minimality by re-running the
 //! extension engine against the pattern itself and checking that the
 //! stored code never exceeds the smallest realizable tuple.
+//!
+//! That re-run is a full second mining pass over the pattern's own graph
+//! and dominates canonical-form pruning cost, so the miner goes through
+//! [`is_min_cached`](Pattern::is_min_cached): a per-thread direct-mapped
+//! cache keyed by the FNV-1a/128 content hash of the code. Minimality is
+//! a pure function of the code, so a cache can never change what is
+//! mined — each `mine_seed` worker owns its thread's cache, keeping
+//! seed-partitioned parallel runs deterministic.
 
+use std::cell::RefCell;
 use std::cmp::Ordering;
+
+use gpa_dfg::hash::Fnv128;
+use gpa_trace::Tracer;
 
 use crate::embed::{extensions, seed_buckets, Embedding};
 use crate::graph::{GEdge, InputGraph};
@@ -248,6 +260,70 @@ impl Pattern {
         }
         true
     }
+
+    /// FNV-1a/128 content hash of the DFS code. Two patterns share a hash
+    /// iff they share their tuple list (node labels are determined by the
+    /// tuples), up to the usual negligible 128-bit collision odds — the
+    /// same trade the pipeline's content-addressed caches already make.
+    pub fn content_hash(&self) -> u128 {
+        let mut h = Fnv128::new();
+        h.write(b"gpa-dfs-code/1");
+        h.write_u64(self.tuples.len() as u64);
+        for t in &self.tuples {
+            h.write_u64((u64::from(t.from) << 32) | u64::from(t.to));
+            h.write_u64((u64::from(t.from_label) << 32) | u64::from(t.to_label));
+            h.write_u64((u64::from(t.outgoing) << 8) | u64::from(t.edge_label));
+        }
+        h.finish()
+    }
+
+    /// [`is_min`](Pattern::is_min) through the calling thread's
+    /// canonicality cache, with `mine.canon_*` telemetry.
+    ///
+    /// One lattice walk visits each candidate code at most once, so hits
+    /// come from *across* walks: repeated optimizer rounds and identical
+    /// blocks re-check the same codes over and over.
+    pub fn is_min_cached(&self, tracer: &dyn Tracer) -> bool {
+        tracer.count("mine.canon_checks", 1);
+        let key = self.content_hash();
+        if let Some(cached) = canon_cache_probe(key) {
+            tracer.count("mine.canon_cache_hit", 1);
+            return cached;
+        }
+        tracer.count("mine.canon_cache_miss", 1);
+        let result = self.is_min();
+        canon_cache_store(key, result);
+        result
+    }
+}
+
+/// Slot count of the per-thread canonicality cache (direct-mapped; a
+/// slot conflict evicts, never corrupts — the full key is compared).
+const CANON_CACHE_SLOTS: usize = 1 << 14;
+
+thread_local! {
+    static CANON_CACHE: RefCell<Vec<Option<(u128, bool)>>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+fn canon_cache_probe(key: u128) -> Option<bool> {
+    CANON_CACHE.with(|cache| {
+        let cache = cache.borrow();
+        match cache.get((key as usize) & (CANON_CACHE_SLOTS - 1)) {
+            Some(&Some((k, v))) if k == key => Some(v),
+            _ => None,
+        }
+    })
+}
+
+fn canon_cache_store(key: u128, value: bool) {
+    CANON_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.is_empty() {
+            cache.resize(CANON_CACHE_SLOTS, None);
+        }
+        cache[(key as usize) & (CANON_CACHE_SLOTS - 1)] = Some((key, value));
+    });
 }
 
 #[cfg(test)]
@@ -394,5 +470,47 @@ mod tests {
             edge_label: 1,
         });
         assert!(!outgoing_first.is_min());
+    }
+
+    #[test]
+    fn content_hash_separates_codes() {
+        let a = Pattern::root(t(0, 1, 0, 1, true));
+        let b = Pattern::root(t(0, 1, 0, 1, false));
+        let c = a.extend(t(1, 2, 1, 2, true));
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash());
+        assert_eq!(
+            a.content_hash(),
+            Pattern::root(t(0, 1, 0, 1, true)).content_hash()
+        );
+    }
+
+    #[test]
+    fn cached_canonicality_agrees_and_counts_hits() {
+        use gpa_trace::CounterTracer;
+        let tracer = CounterTracer::new();
+        let good = Pattern::root(t(0, 1, 0, 1, true));
+        let bad = Pattern::root(DfsTuple {
+            from: 0,
+            to: 1,
+            from_label: 1,
+            to_label: 0,
+            outgoing: false,
+            edge_label: 1,
+        });
+        for _ in 0..3 {
+            assert_eq!(good.is_min_cached(&tracer), good.is_min());
+            assert_eq!(bad.is_min_cached(&tracer), bad.is_min());
+        }
+        let c = tracer.counters();
+        assert_eq!(c.get("mine.canon_checks"), 6);
+        // Both codes may have been probed before this test on the same
+        // thread (caches are thread-local and tests share threads), so
+        // only the identity is exact; hits are at least the re-checks.
+        assert_eq!(
+            c.get("mine.canon_checks"),
+            c.get("mine.canon_cache_hit") + c.get("mine.canon_cache_miss")
+        );
+        assert!(c.get("mine.canon_cache_hit") >= 4);
     }
 }

@@ -5,33 +5,64 @@
 //! style of MoFa/Gaston): extensions are enumerated by scanning the
 //! embeddings, which is what makes Edgar's occurrence counting possible.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 
 use crate::dfs_code::{DfsTuple, Pattern};
 use crate::graph::InputGraph;
+use crate::nodeset::NodeSet;
 
 /// One occurrence of a pattern in an input graph: `map[dfs_index]` is the
 /// graph node playing that pattern role.
+///
+/// Alongside the role-ordered `map`, every embedding carries its node set
+/// as a [`NodeSet`] bitset, kept in sync by construction: membership
+/// tests are a bit probe, overlap tests a word-wise `AND`, and the
+/// node-set views ([`sorted_nodes`](Embedding::sorted_nodes),
+/// [`node_set`](Embedding::node_set)) cost no sort.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Embedding {
     /// Index of the graph within the database.
     pub graph: u32,
     /// DFS index → graph node.
     pub map: Vec<u32>,
+    nodes: NodeSet,
 }
 
 impl Embedding {
-    /// Whether the graph node is already used by this embedding.
-    pub fn contains(&self, node: u32) -> bool {
-        self.map.contains(&node)
+    /// Creates an embedding from its graph index and role map.
+    pub fn new(graph: u32, map: Vec<u32>) -> Embedding {
+        let nodes = map.iter().copied().collect();
+        Embedding { graph, map, nodes }
     }
 
-    /// The node set as a sorted vector (for overlap detection and
-    /// node-set deduplication).
+    /// Whether the graph node is already used by this embedding.
+    pub fn contains(&self, node: u32) -> bool {
+        self.nodes.contains(node)
+    }
+
+    /// The embedding's node set as a bitset.
+    pub fn node_set(&self) -> &NodeSet {
+        &self.nodes
+    }
+
+    /// The node set as a sorted vector (embeddings never repeat a node,
+    /// so the set view is lossless).
     pub fn sorted_nodes(&self) -> Vec<u32> {
-        let mut v = self.map.clone();
-        v.sort_unstable();
-        v
+        self.nodes.to_sorted_vec()
+    }
+
+    /// The embedding extended by one more graph node in the next role.
+    fn extended(&self, node: u32) -> Embedding {
+        let mut map = Vec::with_capacity(self.map.len() + 1);
+        map.extend_from_slice(&self.map);
+        map.push(node);
+        let mut nodes = self.nodes.clone();
+        nodes.insert(node);
+        Embedding {
+            graph: self.graph,
+            map,
+            nodes,
+        }
     }
 }
 
@@ -54,10 +85,7 @@ pub fn seed_buckets(graphs: &[InputGraph]) -> BTreeMap<DfsTuple, Vec<Embedding>>
                     edge_label: e.label,
                 })
                 .or_default()
-                .push(Embedding {
-                    graph: gi as u32,
-                    map: vec![e.from, e.to],
-                });
+                .push(Embedding::new(gi as u32, vec![e.from, e.to]));
             buckets
                 .entry(DfsTuple {
                     from: 0,
@@ -68,13 +96,59 @@ pub fn seed_buckets(graphs: &[InputGraph]) -> BTreeMap<DfsTuple, Vec<Embedding>>
                     edge_label: e.label,
                 })
                 .or_default()
-                .push(Embedding {
-                    graph: gi as u32,
-                    map: vec![e.to, e.from],
-                });
+                .push(Embedding::new(gi as u32, vec![e.to, e.from]));
         }
     }
     buckets
+}
+
+/// Extension buckets with inline deduplication.
+///
+/// Identical (graph, map) pairs arise when two embeddings extend to the
+/// same one; keep each once. Dedup is keyed on (tuple, graph, *node set*)
+/// — a 16-byte inline bitset — with an exact map comparison only among
+/// the (rare) entries sharing a set, so the probe never clones a map.
+/// The extended embedding itself is materialized only on accept, which
+/// removes the per-candidate `emb.clone()` + `map.clone()` churn the
+/// old `push_bucket` paid even for rejected duplicates.
+#[derive(Default)]
+struct Buckets {
+    by_tuple: BTreeMap<DfsTuple, Vec<Embedding>>,
+    /// (tuple, graph, extended node set) → indices into
+    /// `by_tuple[tuple]` holding embeddings with that set.
+    seen: HashMap<(DfsTuple, u32, NodeSet), Vec<u32>>,
+}
+
+impl Buckets {
+    /// Records the extension of `emb` under `tuple`; `added` is the newly
+    /// covered graph node (`None` for backward edges, which add no node).
+    fn push(&mut self, tuple: DfsTuple, emb: &Embedding, added: Option<u32>) {
+        let mut nodes = emb.node_set().clone();
+        if let Some(n) = added {
+            nodes.insert(n);
+        }
+        let bucket = self.by_tuple.entry(tuple).or_default();
+        let slots = self.seen.entry((tuple, emb.graph, nodes)).or_default();
+        let duplicate = slots.iter().any(|&i| {
+            let have = &bucket[i as usize].map;
+            match added {
+                None => have == &emb.map,
+                Some(n) => {
+                    have.len() == emb.map.len() + 1
+                        && have[..emb.map.len()] == emb.map[..]
+                        && have[emb.map.len()] == n
+                }
+            }
+        });
+        if duplicate {
+            return;
+        }
+        slots.push(bucket.len() as u32);
+        bucket.push(match added {
+            None => emb.clone(),
+            Some(n) => emb.extended(n),
+        });
+    }
 }
 
 /// Enumerates every rightmost-path extension of `pattern` over its
@@ -89,8 +163,7 @@ pub fn extensions(
     graphs: &[InputGraph],
     embeddings: &[Embedding],
 ) -> BTreeMap<DfsTuple, Vec<Embedding>> {
-    let mut buckets: BTreeMap<DfsTuple, Vec<Embedding>> = BTreeMap::new();
-    let mut seen: HashSet<(DfsTuple, Embedding)> = HashSet::new();
+    let mut buckets = Buckets::default();
     let rightmost = pattern.rightmost();
     let rm_path = pattern.rightmost_path();
     let next_index = pattern.node_count() as u16;
@@ -107,9 +180,7 @@ pub fn extensions(
             for &ei in &g.out_edges[rm_node as usize] {
                 let e = g.edges[ei as usize];
                 if e.to == v_node {
-                    push_bucket(
-                        &mut buckets,
-                        &mut seen,
+                    buckets.push(
                         DfsTuple {
                             from: rightmost,
                             to: v,
@@ -118,16 +189,15 @@ pub fn extensions(
                             outgoing: true,
                             edge_label: e.label,
                         },
-                        emb.clone(),
+                        emb,
+                        None,
                     );
                 }
             }
             for &ei in &g.in_edges[rm_node as usize] {
                 let e = g.edges[ei as usize];
                 if e.from == v_node {
-                    push_bucket(
-                        &mut buckets,
-                        &mut seen,
+                    buckets.push(
                         DfsTuple {
                             from: rightmost,
                             to: v,
@@ -136,7 +206,8 @@ pub fn extensions(
                             outgoing: false,
                             edge_label: e.label,
                         },
-                        emb.clone(),
+                        emb,
+                        None,
                     );
                 }
             }
@@ -149,11 +220,7 @@ pub fn extensions(
                 if emb.contains(e.to) {
                     continue;
                 }
-                let mut map = emb.map.clone();
-                map.push(e.to);
-                push_bucket(
-                    &mut buckets,
-                    &mut seen,
+                buckets.push(
                     DfsTuple {
                         from: u,
                         to: next_index,
@@ -162,10 +229,8 @@ pub fn extensions(
                         outgoing: true,
                         edge_label: e.label,
                     },
-                    Embedding {
-                        graph: emb.graph,
-                        map,
-                    },
+                    emb,
+                    Some(e.to),
                 );
             }
             for &ei in &g.in_edges[u_node as usize] {
@@ -173,11 +238,7 @@ pub fn extensions(
                 if emb.contains(e.from) {
                     continue;
                 }
-                let mut map = emb.map.clone();
-                map.push(e.from);
-                push_bucket(
-                    &mut buckets,
-                    &mut seen,
+                buckets.push(
                     DfsTuple {
                         from: u,
                         to: next_index,
@@ -186,36 +247,20 @@ pub fn extensions(
                         outgoing: false,
                         edge_label: e.label,
                     },
-                    Embedding {
-                        graph: emb.graph,
-                        map,
-                    },
+                    emb,
+                    Some(e.from),
                 );
             }
         }
     }
-    buckets
-}
-
-fn push_bucket(
-    buckets: &mut BTreeMap<DfsTuple, Vec<Embedding>>,
-    seen: &mut HashSet<(DfsTuple, Embedding)>,
-    tuple: DfsTuple,
-    emb: Embedding,
-) {
-    // Identical (graph, map) pairs arise when two embeddings extend to the
-    // same one; keep each once. The hash set replaces a linear scan of the
-    // bucket, which turned dense buckets (N² embeddings in a star graph)
-    // into O(N⁴) work.
-    if seen.insert((tuple, emb.clone())) {
-        buckets.entry(tuple).or_default().push(emb);
-    }
+    buckets.by_tuple
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graph::GEdge;
+    use std::collections::HashSet;
 
     /// A: 0 →(1) 1 →(1) 2 with labels [7, 8, 7].
     fn path_graph() -> InputGraph {
@@ -248,6 +293,20 @@ mod tests {
     }
 
     #[test]
+    fn node_set_tracks_map() {
+        let e = Embedding::new(0, vec![5, 2, 9]);
+        assert!(e.contains(2) && e.contains(5) && e.contains(9));
+        assert!(!e.contains(3));
+        assert_eq!(e.sorted_nodes(), vec![2, 5, 9]);
+        assert_eq!(e.node_set().len(), 3);
+        let grown = e.extended(4);
+        assert_eq!(grown.map, vec![5, 2, 9, 4]);
+        assert_eq!(grown.sorted_nodes(), vec![2, 4, 5, 9]);
+        // The parent is untouched.
+        assert!(!e.contains(4));
+    }
+
+    #[test]
     fn forward_extension_grows_embeddings() {
         let g = path_graph();
         let graphs = std::slice::from_ref(&g);
@@ -267,6 +326,7 @@ mod tests {
         assert_eq!(fwd.to_label, 7);
         let new_embs = &exts[fwd];
         assert_eq!(new_embs[0].map, vec![0, 1, 2]);
+        assert_eq!(new_embs[0].sorted_nodes(), vec![0, 1, 2]);
     }
 
     #[test]
@@ -316,8 +376,8 @@ mod tests {
     }
 
     /// Dense buckets (a star graph puts every seed embedding in one
-    /// bucket) must stay deduplicated after the hash-set rewrite of
-    /// `push_bucket` — same invariant the old linear scan enforced.
+    /// bucket) must stay deduplicated after the set-keyed rewrite of the
+    /// bucket dedup — same invariant the old linear scan enforced.
     #[test]
     fn dense_bucket_extensions_stay_unique() {
         let n_leaves = 24u32;

@@ -8,6 +8,8 @@
 
 use std::fmt::Write;
 
+use gpa_trace::NoopTracer;
+
 use crate::dfs_code::Pattern;
 use crate::embed::{extensions, seed_buckets, Embedding};
 use crate::graph::{InputGraph, LabelInterner};
@@ -62,7 +64,7 @@ pub fn render_lattice(
     let _ = writeln!(out, "*  (empty pattern)");
     for (tuple, embeddings) in seed_buckets(graphs) {
         let pattern = Pattern::root(tuple);
-        if !pattern.is_min() {
+        if !pattern.is_min_cached(&NoopTracer) {
             continue;
         }
         render_node(
@@ -112,7 +114,7 @@ fn render_node(
     let mut shown = 0usize;
     for (tuple, child_embeddings) in extensions(pattern, graphs, embeddings) {
         let child = pattern.extend(tuple);
-        if !child.is_min() {
+        if !child.is_min_cached(&NoopTracer) {
             continue;
         }
         if shown >= options.max_children {

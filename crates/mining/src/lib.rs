@@ -9,6 +9,8 @@
 //! * [`graph`] — the compact input-graph representation mined over
 //!   (built from [`gpa_dfg::Dfg`]s);
 //! * [`embed`] — embedding lists and rightmost-path extension;
+//! * [`nodeset`] — the compact bitset node-set representation the hot
+//!   paths (membership probes, collision detection, dedup keys) run on;
 //! * [`mis`] — the maximum-independent-set solver used to count
 //!   non-overlapping embeddings (§3.4; exact branch-and-bound with a
 //!   greedy-colouring bound in the style of Kumlander's algorithm, with a
@@ -55,3 +57,4 @@ pub mod graph;
 pub mod lattice;
 pub mod miner;
 pub mod mis;
+pub mod nodeset;

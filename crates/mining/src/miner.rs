@@ -11,6 +11,7 @@ use crate::graph::InputGraph;
 use crate::mis::{
     collision_graph, disjoint_count_traced, has_k_disjoint, max_independent_set_traced,
 };
+use crate::nodeset::NodeSet;
 
 /// How a fragment's support is counted.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -81,10 +82,10 @@ pub struct Frequent {
 /// Deduplicates embeddings by (graph, node-set), keeping the first map
 /// seen for each set.
 fn dedup_by_node_set(embeddings: &[Embedding]) -> Vec<Embedding> {
-    let mut seen: HashSet<(u32, Vec<u32>)> = HashSet::new();
+    let mut seen: HashSet<(u32, NodeSet)> = HashSet::new();
     let mut out = Vec::new();
     for e in embeddings {
-        if seen.insert((e.graph, e.sorted_nodes())) {
+        if seen.insert((e.graph, e.node_set().clone())) {
             out.push(e.clone());
         }
     }
@@ -172,10 +173,13 @@ pub fn support_at_least_traced(
     }
 }
 
-fn node_sets_by_graph(embeddings: &[Embedding]) -> std::collections::BTreeMap<u32, Vec<Vec<u32>>> {
-    let mut by_graph: std::collections::BTreeMap<u32, Vec<Vec<u32>>> = Default::default();
+fn node_sets_by_graph(embeddings: &[Embedding]) -> std::collections::BTreeMap<u32, Vec<NodeSet>> {
+    let mut by_graph: std::collections::BTreeMap<u32, Vec<NodeSet>> = Default::default();
     for e in embeddings {
-        by_graph.entry(e.graph).or_default().push(e.sorted_nodes());
+        by_graph
+            .entry(e.graph)
+            .or_default()
+            .push(e.node_set().clone());
     }
     by_graph
 }
@@ -201,9 +205,9 @@ pub fn non_overlapping_count_traced(
         by_graph.entry(e.graph).or_default().push(i);
     }
     for indices in by_graph.values() {
-        let sets: Vec<Vec<u32>> = indices
+        let sets: Vec<NodeSet> = indices
             .iter()
-            .map(|&i| embeddings[i].sorted_nodes())
+            .map(|&i| embeddings[i].node_set().clone())
             .collect();
         let adj = collision_graph(&sets);
         for local in max_independent_set_traced(&adj, tracer) {
@@ -323,7 +327,7 @@ pub fn mine_seed(
 ) -> bool {
     let tracer = &*config.tracer;
     let pattern = Pattern::root(tuple);
-    if !pattern.is_min() {
+    if !pattern.is_min_cached(tracer) {
         tracer.count("mine.prune_non_canonical", 1);
         return true;
     }
@@ -470,7 +474,7 @@ fn grow(
     for (tuple, mut child_embeddings) in extensions(&pattern, graphs, embeddings) {
         tracer.count("mine.extensions_generated", 1);
         let child = pattern.extend(tuple);
-        if !child.is_min() {
+        if !child.is_min_cached(tracer) {
             tracer.count("mine.prune_non_canonical", 1);
             continue;
         }
@@ -752,6 +756,36 @@ mod tests {
             assert!(best >= 3, "reported fragment lacks 3 disjoint embeddings");
             assert_eq!(f.support, best, "support disagrees with brute force");
         }
+    }
+
+    #[test]
+    fn support_beyond_the_old_64_set_width_is_counted_exactly() {
+        // Seventy disjoint ldr→sub occurrences in one block: the support
+        // gate sees 70 node sets per graph (past the pre-bitset 64-set
+        // exact width), and the block's ~140 DFG nodes push node ids past
+        // the inline NodeSet capacity of 128 — a real mining run over
+        // spilled bitsets.
+        let listing = "ldr r3, [r1]!\nsub r2, r2, r3\n".repeat(70);
+        let graphs = graphs_of(&[&listing]);
+        let found = mine(
+            &graphs,
+            &Config {
+                min_support: 3,
+                support: Support::Embeddings,
+                max_nodes: 4,
+                ..Config::default()
+            },
+        );
+        // Several 2-node fragments are frequent (ldr→sub, plus the
+        // 69-occurrence cross-pair dependences); ldr→sub is the one with
+        // all 70 disjoint occurrences.
+        let best = found
+            .iter()
+            .filter(|f| f.pattern.node_count() == 2)
+            .map(|f| f.support)
+            .max()
+            .expect("the ldr→sub fragment must be frequent");
+        assert_eq!(best, 70, "all 70 disjoint occurrences count");
     }
 
     #[test]

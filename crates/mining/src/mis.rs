@@ -7,38 +7,124 @@
 //! share an instruction; the number of outlinable occurrences is the size
 //! of a maximum independent set.
 //!
-//! The solver is exact on components of up to 64 nodes: a
+//! Everything here is word-parallel: node sets arrive as [`NodeSet`]
+//! bitsets (collision = `AND` + early exit), the graph is stored as
+//! bitset adjacency rows ([`CollisionGraph`]), and the exact solver is a
 //! branch-and-bound in the spirit of Kumlander's vertex-colouring
-//! max-clique algorithm (we bound with a greedy clique-cover of the
-//! candidate set, the complement view of his colouring bound) and falls
-//! back to a greedy minimum-degree heuristic on larger components (which
-//! do not occur in the benchmark corpus).
-
-use std::collections::HashMap;
+//! max-clique algorithm over `u128` candidate sets (we bound with a
+//! greedy clique-cover of the candidate set, the complement view of his
+//! colouring bound). Components of up to 128 vertices are solved exactly
+//! — twice the pre-bitset width — with a greedy minimum-degree fallback
+//! beyond (such components do not occur in the benchmark corpus).
 
 use gpa_trace::{NoopTracer, Tracer, Value};
 
+use crate::nodeset::NodeSet;
+
+/// A collision graph as bitset adjacency: one row of `words` 64-bit words
+/// per vertex, bit `j` of row `i` set iff embeddings `i` and `j` collide.
+#[derive(Clone, Debug)]
+pub struct CollisionGraph {
+    n: usize,
+    words: usize,
+    rows: Vec<u64>,
+}
+
+impl CollisionGraph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> CollisionGraph {
+        let words = n.div_ceil(64).max(1);
+        CollisionGraph {
+            n,
+            words,
+            rows: vec![0; n * words],
+        }
+    }
+
+    /// Builds from classical adjacency lists (test and doc convenience).
+    pub fn from_adj_lists(adj: &[Vec<usize>]) -> CollisionGraph {
+        let mut g = CollisionGraph::new(adj.len());
+        for (i, neighbors) in adj.iter().enumerate() {
+            for &j in neighbors {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the undirected edge {a, b}.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        self.rows[a * self.words + b / 64] |= 1 << (b % 64);
+        self.rows[b * self.words + a / 64] |= 1 << (a % 64);
+    }
+
+    /// The adjacency row of `v`.
+    pub fn row(&self, v: usize) -> &[u64] {
+        &self.rows[v * self.words..(v + 1) * self.words]
+    }
+
+    /// Whether the edge {a, b} is present.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.row(a)[b / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// Degree of `v` (popcount of its row).
+    pub fn degree(&self, v: usize) -> usize {
+        self.row(v).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The neighbours of `v` in ascending order.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        iter_bits(self.row(v))
+    }
+}
+
+/// Ascending set-bit indices of a word slice.
+fn iter_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        std::iter::successors(if w == 0 { None } else { Some(w) }, |&rest| {
+            let rest = rest & (rest - 1);
+            if rest == 0 {
+                None
+            } else {
+                Some(rest)
+            }
+        })
+        .map(move |rest| wi * 64 + rest.trailing_zeros() as usize)
+    })
+}
+
 /// Builds the collision graph of a set of embeddings, given each
-/// embedding's sorted node set. Returns adjacency lists.
+/// embedding's node set.
 ///
-/// Two embeddings collide when their node sets intersect. Embeddings from
-/// different input graphs never collide; callers typically partition by
-/// graph first.
-pub fn collision_graph(node_sets: &[Vec<u32>]) -> Vec<Vec<usize>> {
+/// Two embeddings collide when their node sets intersect — a word-wise
+/// `AND` with early exit per pair. Embeddings from different input graphs
+/// never collide; callers typically partition by graph first.
+pub fn collision_graph(node_sets: &[NodeSet]) -> CollisionGraph {
     let n = node_sets.len();
-    let mut adj = vec![Vec::new(); n];
+    let mut g = CollisionGraph::new(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            if sorted_intersects(&node_sets[i], &node_sets[j]) {
-                adj[i].push(j);
-                adj[j].push(i);
+            if node_sets[i].intersects(&node_sets[j]) {
+                g.add_edge(i, j);
             }
         }
     }
-    adj
+    g
 }
 
-/// Whether two sorted slices share an element.
+/// Whether two sorted slices share an element (the scalar reference
+/// [`NodeSet::intersects`] is checked against in tests).
 pub fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -56,32 +142,37 @@ pub fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
 /// as `mis.budget_exhausted` events.
 const EXACT_BUDGET: u64 = 200_000;
 
+/// Largest component solved exactly by the branch-and-bound (two words of
+/// candidate-set bits).
+const EXACT_COMPONENT_VERTICES: usize = 128;
+
 /// Largest node-set count for which the frequency gate answers exactly
 /// (via [`max_independent_set`] on the collision graph); beyond it the
 /// gate is genuinely greedy and traced as `mis.support_greedy`.
-const EXACT_SUPPORT_SETS: usize = 64;
+const EXACT_SUPPORT_SETS: usize = 128;
 
-/// Computes a maximum independent set of the graph given by adjacency
-/// lists, returning the chosen vertex indices (exact for components of at
-/// most 64 vertices within a branch-and-bound budget, greedy beyond).
+/// Computes a maximum independent set of the collision graph, returning
+/// the chosen vertex indices (exact for components of at most 128
+/// vertices within a branch-and-bound budget, greedy beyond).
 ///
 /// # Examples
 ///
 /// ```
+/// use gpa_mining::mis::CollisionGraph;
 /// // A path a–b–c: the MIS is {a, c}.
-/// let adj = vec![vec![1], vec![0, 2], vec![1]];
+/// let adj = CollisionGraph::from_adj_lists(&[vec![1], vec![0, 2], vec![1]]);
 /// let mis = gpa_mining::mis::max_independent_set(&adj);
 /// assert_eq!(mis.len(), 2);
 /// assert!(mis.contains(&0) && mis.contains(&2));
 /// ```
-pub fn max_independent_set(adj: &[Vec<usize>]) -> Vec<usize> {
+pub fn max_independent_set(adj: &CollisionGraph) -> Vec<usize> {
     max_independent_set_traced(adj, &NoopTracer)
 }
 
 /// [`max_independent_set`] with per-component telemetry: component
 /// sizes, exact-vs-greedy path taken, branch-and-bound steps, budget
 /// exhaustions and greedy-seed-kept events.
-pub fn max_independent_set_traced(adj: &[Vec<usize>], tracer: &dyn Tracer) -> Vec<usize> {
+pub fn max_independent_set_traced(adj: &CollisionGraph, tracer: &dyn Tracer) -> Vec<usize> {
     let n = adj.len();
     let mut chosen = Vec::new();
     let mut seen = vec![false; n];
@@ -95,7 +186,7 @@ pub fn max_independent_set_traced(adj: &[Vec<usize>], tracer: &dyn Tracer) -> Ve
         seen[start] = true;
         while let Some(v) = stack.pop() {
             component.push(v);
-            for &w in &adj[v] {
+            for w in adj.neighbors(v) {
                 if !seen[w] {
                     seen[w] = true;
                     stack.push(w);
@@ -103,7 +194,7 @@ pub fn max_independent_set_traced(adj: &[Vec<usize>], tracer: &dyn Tracer) -> Ve
             }
         }
         tracer.count("mis.components", 1);
-        if component.len() <= 64 {
+        if component.len() <= EXACT_COMPONENT_VERTICES {
             tracer.count("mis.component_exact", 1);
             chosen.extend(exact_mis_component(&component, adj, tracer));
         } else {
@@ -133,12 +224,12 @@ pub fn max_independent_set_traced(adj: &[Vec<usize>], tracer: &dyn Tracer) -> Ve
 /// the true maximum, and a pattern wrongly reported infrequent has its
 /// whole lattice subtree pruned (the antimonotone gate must never
 /// under-approximate).
-pub fn has_k_disjoint(node_sets: &[Vec<u32>], k: usize) -> bool {
+pub fn has_k_disjoint(node_sets: &[NodeSet], k: usize) -> bool {
     has_k_disjoint_traced(node_sets, k, &NoopTracer)
 }
 
 /// [`has_k_disjoint`] with telemetry on which gate path answered.
-pub fn has_k_disjoint_traced(node_sets: &[Vec<u32>], k: usize, tracer: &dyn Tracer) -> bool {
+pub fn has_k_disjoint_traced(node_sets: &[NodeSet], k: usize, tracer: &dyn Tracer) -> bool {
     if k == 0 {
         return true;
     }
@@ -149,7 +240,7 @@ pub fn has_k_disjoint_traced(node_sets: &[Vec<u32>], k: usize, tracer: &dyn Trac
         tracer.count("mis.support_exact_pairs", 1);
         for i in 0..node_sets.len() {
             for j in (i + 1)..node_sets.len() {
-                if !sorted_intersects(&node_sets[i], &node_sets[j]) {
+                if !node_sets[i].intersects(&node_sets[j]) {
                     return true;
                 }
             }
@@ -179,7 +270,7 @@ pub fn has_k_disjoint_traced(node_sets: &[Vec<u32>], k: usize, tracer: &dyn Trac
 /// Best-effort maximum number of pairwise-disjoint node sets: exact for
 /// up to [`EXACT_SUPPORT_SETS`] sets (within the branch-and-bound
 /// budget), the greedy lower bound beyond (traced).
-pub fn disjoint_count_traced(node_sets: &[Vec<u32>], tracer: &dyn Tracer) -> usize {
+pub fn disjoint_count_traced(node_sets: &[NodeSet], tracer: &dyn Tracer) -> usize {
     let greedy = greedy_disjoint_count(node_sets);
     if node_sets.len() <= greedy.max(1) {
         // 0 or 1 sets, or greedy already took everything: exact.
@@ -202,45 +293,52 @@ pub fn disjoint_count_traced(node_sets: &[Vec<u32>], tracer: &dyn Tracer) -> usi
 
 /// Greedy lower bound on the number of pairwise-disjoint node sets
 /// (shortest sets first — short embeddings block fewer others).
-pub fn greedy_disjoint_count(node_sets: &[Vec<u32>]) -> usize {
+pub fn greedy_disjoint_count(node_sets: &[NodeSet]) -> usize {
     let mut order: Vec<usize> = (0..node_sets.len()).collect();
     order.sort_by_key(|&i| node_sets[i].len());
-    let mut chosen: Vec<&Vec<u32>> = Vec::new();
+    let mut chosen: Vec<&NodeSet> = Vec::new();
     for i in order {
-        if chosen.iter().all(|c| !sorted_intersects(c, &node_sets[i])) {
+        if chosen.iter().all(|c| !c.intersects(&node_sets[i])) {
             chosen.push(&node_sets[i]);
         }
     }
     chosen.len()
 }
 
-/// Exact branch-and-bound MIS on one component (≤ 64 vertices) using
-/// bitset candidate sets and a greedy clique-cover bound.
-fn exact_mis_component(component: &[usize], adj: &[Vec<usize>], tracer: &dyn Tracer) -> Vec<usize> {
+/// Exact branch-and-bound MIS on one component (≤ 128 vertices) using
+/// `u128` candidate sets and a greedy clique-cover bound.
+fn exact_mis_component(
+    component: &[usize],
+    adj: &CollisionGraph,
+    tracer: &dyn Tracer,
+) -> Vec<usize> {
     let n = component.len();
-    let index: HashMap<usize, usize> = component.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-    // Local adjacency bitmasks.
-    let mut nbr = vec![0u64; n];
+    // Global vertex index → local bit position.
+    let mut local = vec![u32::MAX; adj.len()];
     for (i, &v) in component.iter().enumerate() {
-        for &w in &adj[v] {
-            if let Some(&j) = index.get(&w) {
-                nbr[i] |= 1 << j;
-            }
+        local[v] = i as u32;
+    }
+    // Local adjacency bitmasks.
+    let mut nbr = vec![0u128; n];
+    for (i, &v) in component.iter().enumerate() {
+        for w in adj.neighbors(v) {
+            debug_assert!(local[w] != u32::MAX, "component adjacency is closed");
+            nbr[i] |= 1 << local[w];
         }
     }
-    let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
-    let mut best_set = 0u64;
+    let full: u128 = if n == 128 { !0 } else { (1u128 << n) - 1 };
+    let mut best_set = 0u128;
     let mut best;
 
     // Greedy clique cover of the candidate set: the number of cliques
     // needed is an upper bound on the independent set inside it.
-    let clique_cover_bound = |mut p: u64, nbr: &[u64]| -> u32 {
+    let clique_cover_bound = |mut p: u128, nbr: &[u128]| -> u32 {
         let mut cliques = 0u32;
         while p != 0 {
             cliques += 1;
             // Grow one clique greedily.
             let mut candidates = p;
-            let mut clique = 0u64;
+            let mut clique = 0u128;
             while candidates != 0 {
                 let v = candidates.trailing_zeros() as usize;
                 clique |= 1 << v;
@@ -253,13 +351,13 @@ fn exact_mis_component(component: &[usize], adj: &[Vec<usize>], tracer: &dyn Tra
 
     #[allow(clippy::too_many_arguments)]
     fn recurse(
-        p: u64,
-        current: u64,
+        p: u128,
+        current: u128,
         size: u32,
-        nbr: &[u64],
+        nbr: &[u128],
         best: &mut u32,
-        best_set: &mut u64,
-        bound: &dyn Fn(u64, &[u64]) -> u32,
+        best_set: &mut u128,
+        bound: &dyn Fn(u128, &[u128]) -> u32,
         budget: &mut u64,
     ) {
         if *budget == 0 {
@@ -321,8 +419,7 @@ fn exact_mis_component(component: &[usize], adj: &[Vec<usize>], tracer: &dyn Tra
         greedy_size = greedy.len() as u32;
         best = greedy_size;
         for v in greedy {
-            let i = index[&v];
-            best_set |= 1 << i;
+            best_set |= 1 << local[v];
         }
     }
     let mut budget = EXACT_BUDGET;
@@ -363,20 +460,26 @@ fn exact_mis_component(component: &[usize], adj: &[Vec<usize>], tracer: &dyn Tra
         .collect()
 }
 
-/// Greedy minimum-degree independent set (fallback for huge components).
-fn greedy_mis_component(component: &[usize], adj: &[Vec<usize>]) -> Vec<usize> {
-    let mut alive: std::collections::HashSet<usize> = component.iter().copied().collect();
+/// Greedy minimum-degree independent set (fallback for huge components,
+/// and the seed of the exact search). Removing a chosen vertex's
+/// neighbourhood is one word-wise `AND NOT` over the alive mask.
+fn greedy_mis_component(component: &[usize], adj: &CollisionGraph) -> Vec<usize> {
+    let words = adj.len().div_ceil(64).max(1);
+    let mut alive = vec![0u64; words];
+    for &v in component {
+        alive[v / 64] |= 1 << (v % 64);
+    }
     let mut result = Vec::new();
     let mut order: Vec<usize> = component.to_vec();
-    order.sort_by_key(|&v| adj[v].len());
+    order.sort_by_key(|&v| adj.degree(v));
     for v in order {
-        if !alive.contains(&v) {
+        if alive[v / 64] & (1 << (v % 64)) == 0 {
             continue;
         }
         result.push(v);
-        alive.remove(&v);
-        for &w in &adj[v] {
-            alive.remove(&w);
+        alive[v / 64] &= !(1 << (v % 64));
+        for (wi, w) in adj.row(v).iter().enumerate() {
+            alive[wi] &= !w;
         }
     }
     result
@@ -386,23 +489,27 @@ fn greedy_mis_component(component: &[usize], adj: &[Vec<usize>]) -> Vec<usize> {
 mod tests {
     use super::*;
 
-    fn adj_from_edges(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
-        let mut adj = vec![Vec::new(); n];
+    fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> CollisionGraph {
+        let mut adj = CollisionGraph::new(n);
         for &(a, b) in edges {
-            adj[a].push(b);
-            adj[b].push(a);
+            adj.add_edge(a, b);
         }
         adj
     }
 
+    /// Node set from a slice.
+    fn ns(ids: &[u32]) -> NodeSet {
+        NodeSet::from(ids)
+    }
+
     /// Brute-force MIS size for cross-checking.
-    fn brute_force_mis(adj: &[Vec<usize>]) -> usize {
+    fn brute_force_mis(adj: &CollisionGraph) -> usize {
         let n = adj.len();
         assert!(n <= 20);
         let mut best = 0;
         for mask in 0u32..(1 << n) {
             let ok = (0..n)
-                .all(|v| mask & (1 << v) == 0 || adj[v].iter().all(|&w| mask & (1 << w) == 0));
+                .all(|v| mask & (1 << v) == 0 || adj.neighbors(v).all(|w| mask & (1 << w) == 0));
             if ok {
                 best = best.max(mask.count_ones() as usize);
             }
@@ -410,26 +517,39 @@ mod tests {
         best
     }
 
-    fn is_independent(set: &[usize], adj: &[Vec<usize>]) -> bool {
-        set.iter().all(|&v| adj[v].iter().all(|w| !set.contains(w)))
+    fn is_independent(set: &[usize], adj: &CollisionGraph) -> bool {
+        set.iter()
+            .all(|&v| adj.neighbors(v).all(|w| !set.contains(&w)))
     }
 
     #[test]
     fn empty_and_singleton() {
-        assert!(max_independent_set(&[]).is_empty());
-        assert_eq!(max_independent_set(&[vec![]]), vec![0]);
+        assert!(max_independent_set(&CollisionGraph::new(0)).is_empty());
+        assert_eq!(max_independent_set(&CollisionGraph::new(1)), vec![0]);
+    }
+
+    #[test]
+    fn adjacency_rows_and_degrees() {
+        let adj = graph_from_edges(70, &[(0, 1), (0, 69), (68, 69)]);
+        assert!(adj.has_edge(0, 1) && adj.has_edge(1, 0));
+        assert!(adj.has_edge(69, 0) && !adj.has_edge(2, 3));
+        assert_eq!(adj.degree(0), 2);
+        assert_eq!(adj.neighbors(0).collect::<Vec<_>>(), vec![1, 69]);
+        assert_eq!(adj.neighbors(69).collect::<Vec<_>>(), vec![0, 68]);
+        let from_lists = CollisionGraph::from_adj_lists(&[vec![1], vec![0], vec![]]);
+        assert!(from_lists.has_edge(0, 1) && !from_lists.has_edge(1, 2));
     }
 
     #[test]
     fn small_known_graphs() {
         // Triangle: MIS = 1.
-        let tri = adj_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let tri = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
         assert_eq!(max_independent_set(&tri).len(), 1);
         // 5-cycle: MIS = 2.
-        let c5 = adj_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let c5 = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
         assert_eq!(max_independent_set(&c5).len(), 2);
         // Star: MIS = leaves.
-        let star = adj_from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let star = graph_from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
         assert_eq!(max_independent_set(&star).len(), 5);
     }
 
@@ -453,7 +573,7 @@ mod tests {
                         }
                     }
                 }
-                let adj = adj_from_edges(n, &edges);
+                let adj = graph_from_edges(n, &edges);
                 let mis = max_independent_set(&adj);
                 assert!(is_independent(&mis, &adj));
                 assert_eq!(mis.len(), brute_force_mis(&adj), "n={n}, edges={edges:?}");
@@ -463,10 +583,10 @@ mod tests {
 
     #[test]
     fn collision_graph_from_node_sets() {
-        let sets = vec![vec![0, 1, 2], vec![2, 3], vec![4, 5], vec![5, 6]];
+        let sets = vec![ns(&[0, 1, 2]), ns(&[2, 3]), ns(&[4, 5]), ns(&[5, 6])];
         let adj = collision_graph(&sets);
-        assert_eq!(adj[0], vec![1]);
-        assert_eq!(adj[2], vec![3]);
+        assert_eq!(adj.neighbors(0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(adj.neighbors(2).collect::<Vec<_>>(), vec![3]);
         let mis = max_independent_set(&adj);
         assert_eq!(mis.len(), 2);
     }
@@ -476,21 +596,30 @@ mod tests {
         assert!(sorted_intersects(&[1, 3, 5], &[5, 7]));
         assert!(!sorted_intersects(&[1, 3, 5], &[2, 4, 6]));
         assert!(!sorted_intersects(&[], &[1]));
+        // The bitset kernel agrees with the scalar reference.
+        assert!(ns(&[1, 3, 5]).intersects(&ns(&[5, 7])));
+        assert!(!ns(&[1, 3, 5]).intersects(&ns(&[2, 4, 6])));
+    }
+
+    /// The adversarial 5-set gadget: greedy (input order on equal-length
+    /// sets) picks the two "centre" sets and blocks the three-set
+    /// optimum.
+    fn gadget(base: u32) -> Vec<NodeSet> {
+        vec![
+            ns(&[base + 2, base + 3]), // greedy picks this first …
+            ns(&[base + 4, base + 5]), // … and this, blocking the rest.
+            ns(&[base + 1, base + 2]),
+            ns(&[base + 3, base + 4]),
+            ns(&[base + 5, base + 6]),
+        ]
     }
 
     /// Regression for the `min_support > 2` antimonotone-gate violation:
-    /// the greedy count (taken in input order for equal-length sets)
-    /// picks the two "center" sets and blocks the three-set optimum, so
-    /// the pre-fix gate wrongly reported `k = 3` unreachable.
+    /// the pre-fix gate wrongly reported `k = 3` unreachable on the
+    /// gadget.
     #[test]
     fn k_disjoint_beyond_two_is_exact_on_small_inputs() {
-        let sets = vec![
-            vec![2, 3], // greedy picks this first …
-            vec![4, 5], // … and this, blocking the rest.
-            vec![1, 2],
-            vec![3, 4],
-            vec![5, 6],
-        ];
+        let sets = gadget(0);
         assert!(
             greedy_disjoint_count(&sets) < 3,
             "the adversarial input must defeat the greedy heuristic"
@@ -499,6 +628,34 @@ mod tests {
         assert!(has_k_disjoint(&sets, 3));
         assert!(!has_k_disjoint(&sets, 4));
         assert_eq!(disjoint_count_traced(&sets, &NoopTracer), 3);
+    }
+
+    /// The exact gate straddles the old 64-set boundary: 95 gadget sets
+    /// (19 disjoint universes × 5) have a known optimum of 57 that greedy
+    /// undershoots. With the pre-widening `EXACT_SUPPORT_SETS = 64` the
+    /// gate answered the greedy "no" here; the 128-set gate answers
+    /// exactly.
+    #[test]
+    fn k_disjoint_straddles_the_old_64_set_boundary() {
+        use gpa_trace::CounterTracer;
+        let sets: Vec<NodeSet> = (0..19).flat_map(|rep| gadget(rep * 10)).collect();
+        assert_eq!(sets.len(), 95);
+        assert!(
+            greedy_disjoint_count(&sets) < 57,
+            "greedy must undershoot so the exact path is what answers"
+        );
+        let tracer = CounterTracer::new();
+        assert!(has_k_disjoint_traced(&sets, 57, &tracer));
+        assert_eq!(tracer.counters().get("mis.support_exact"), 1);
+        assert_eq!(tracer.counters().get("mis.support_greedy"), 0);
+        assert!(!has_k_disjoint(&sets, 58));
+        assert_eq!(disjoint_count_traced(&sets, &NoopTracer), 57);
+        // Past 128 sets the gate is genuinely greedy again (and traced).
+        let big: Vec<NodeSet> = (0..26).flat_map(|rep| gadget(rep * 10)).collect();
+        assert_eq!(big.len(), 130);
+        let tracer = CounterTracer::new();
+        assert!(!has_k_disjoint_traced(&big, 3 * 26, &tracer));
+        assert_eq!(tracer.counters().get("mis.support_greedy"), 1);
     }
 
     #[test]
@@ -512,7 +669,7 @@ mod tests {
         };
         for _ in 0..50 {
             let n = 3 + (rand() % 10) as usize;
-            let sets: Vec<Vec<u32>> = (0..n)
+            let raw: Vec<Vec<u32>> = (0..n)
                 .map(|_| {
                     let mut s: Vec<u32> =
                         (0..2 + rand() % 3).map(|_| (rand() % 12) as u32).collect();
@@ -521,38 +678,64 @@ mod tests {
                     s
                 })
                 .collect();
-            // Brute-force maximum disjoint count over all subsets.
+            let sets: Vec<NodeSet> = raw.iter().map(|s| ns(s)).collect();
+            // Brute-force maximum disjoint count over all subsets, via
+            // the scalar reference intersection.
             let mut best = 0usize;
             for mask in 0u32..(1 << n) {
                 let idx: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
                 let ok = idx.iter().enumerate().all(|(a, &i)| {
                     idx[a + 1..]
                         .iter()
-                        .all(|&j| !sorted_intersects(&sets[i], &sets[j]))
+                        .all(|&j| !sorted_intersects(&raw[i], &raw[j]))
                 });
                 if ok {
                     best = best.max(idx.len());
                 }
             }
-            assert_eq!(disjoint_count_traced(&sets, &NoopTracer), best, "{sets:?}");
+            assert_eq!(disjoint_count_traced(&sets, &NoopTracer), best, "{raw:?}");
             for k in 0..=n + 1 {
-                assert_eq!(has_k_disjoint(&sets, k), best >= k, "k={k} {sets:?}");
+                assert_eq!(has_k_disjoint(&sets, k), best >= k, "k={k} {raw:?}");
             }
         }
+    }
+
+    /// A 70-leaf star was the old greedy-fallback witness; with the
+    /// widened solver it is exact. The fallback now needs > 128 vertices.
+    #[test]
+    fn components_between_64_and_128_are_exact() {
+        use gpa_trace::CounterTracer;
+        let mut edges = Vec::new();
+        for leaf in 1..71 {
+            edges.push((0usize, leaf));
+        }
+        let adj = graph_from_edges(71, &edges);
+        let tracer = CounterTracer::new();
+        let mis = max_independent_set_traced(&adj, &tracer);
+        assert_eq!(mis.len(), 70);
+        let c = tracer.counters();
+        assert_eq!(c.get("mis.component_exact"), 1);
+        assert_eq!(c.get("mis.greedy_fallback"), 0);
+        // An 80-vertex path: MIS is exactly 40, found by the u128 search.
+        let path_edges: Vec<(usize, usize)> = (0..79).map(|i| (i, i + 1)).collect();
+        let path = graph_from_edges(80, &path_edges);
+        let tracer = CounterTracer::new();
+        assert_eq!(max_independent_set_traced(&path, &tracer).len(), 40);
+        assert_eq!(tracer.counters().get("mis.component_exact"), 1);
     }
 
     #[test]
     fn oversized_component_traces_greedy_fallback() {
         use gpa_trace::CounterTracer;
-        // A star with 70 leaves is one 71-node component: greedy path.
+        // A star with 130 leaves is one 131-node component: greedy path.
         let mut edges = Vec::new();
-        for leaf in 1..71 {
+        for leaf in 1..131 {
             edges.push((0usize, leaf));
         }
-        let adj = adj_from_edges(71, &edges);
+        let adj = graph_from_edges(131, &edges);
         let tracer = CounterTracer::new();
         let mis = max_independent_set_traced(&adj, &tracer);
-        assert_eq!(mis.len(), 70);
+        assert_eq!(mis.len(), 130);
         let c = tracer.counters();
         assert_eq!(c.get("mis.greedy_fallback"), 1);
         assert_eq!(c.get("mis.components"), 1);
@@ -562,7 +745,7 @@ mod tests {
     #[test]
     fn exact_component_counts_bb_steps() {
         use gpa_trace::CounterTracer;
-        let c5 = adj_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let c5 = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
         let tracer = CounterTracer::new();
         assert_eq!(max_independent_set_traced(&c5, &tracer).len(), 2);
         let c = tracer.counters();

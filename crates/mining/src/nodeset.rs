@@ -1,0 +1,328 @@
+//! Compact bitsets over graph-node ids — the hot-path representation of
+//! an embedding's node set.
+//!
+//! Basic blocks are small: essentially every embedding mined from real
+//! code fits its node ids below [`INLINE_CAPACITY`]. [`NodeSet`] therefore
+//! stores two inline `u64` words (no heap allocation, 16 bytes, trivially
+//! copyable) and spills to a boxed word slice only when a node id ≥ 128
+//! is inserted. Membership is a bit probe, overlap detection a word-wise
+//! `AND` with early exit — the operations the collision-graph and
+//! MIS inner loops of `crate::mis` are built from.
+//!
+//! Equality and hashing are representation-independent: a spilled set
+//! whose high words are all zero equals the inline set with the same low
+//! bits.
+
+use std::hash::{Hash, Hasher};
+
+/// Number of inline words.
+const INLINE_WORDS: usize = 2;
+
+/// Largest node-id count covered without heap allocation: ids `0..128`.
+pub const INLINE_CAPACITY: u32 = (INLINE_WORDS as u32) * 64;
+
+#[derive(Clone, Debug)]
+enum Repr {
+    /// Bits for ids `0..128`.
+    Inline([u64; INLINE_WORDS]),
+    /// Bits for ids `0..64·len` — only reached via ids ≥ 128.
+    Spilled(Box<[u64]>),
+}
+
+/// A set of `u32` node ids as a bitset: inline up to ids < 128, spilled
+/// beyond.
+///
+/// # Examples
+///
+/// ```
+/// use gpa_mining::nodeset::NodeSet;
+///
+/// let a: NodeSet = [1u32, 5, 130].into_iter().collect();
+/// let b: NodeSet = [5u32, 9].into_iter().collect();
+/// assert!(a.contains(130));
+/// assert!(a.intersects(&b));
+/// assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5, 130]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NodeSet {
+    repr: Repr,
+}
+
+impl Default for Repr {
+    fn default() -> Repr {
+        Repr::Inline([0; INLINE_WORDS])
+    }
+}
+
+impl NodeSet {
+    /// The empty set.
+    pub fn new() -> NodeSet {
+        NodeSet::default()
+    }
+
+    fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(w) => w,
+            Repr::Spilled(w) => w,
+        }
+    }
+
+    /// The backing words, least-significant first (id `i` lives in word
+    /// `i / 64`, bit `i % 64`). Exposed so callers building other masks
+    /// (e.g. the convexity check's fragment mask) can copy words instead
+    /// of re-setting bits one by one.
+    pub fn as_words(&self) -> &[u64] {
+        self.words()
+    }
+
+    /// Inserts an id; returns whether it was newly added.
+    pub fn insert(&mut self, id: u32) -> bool {
+        let word = (id / 64) as usize;
+        let bit = 1u64 << (id % 64);
+        let words: &mut [u64] = match &mut self.repr {
+            Repr::Inline(w) if word < INLINE_WORDS => w,
+            Repr::Inline(w) => {
+                // First id beyond the inline range: spill, with a little
+                // headroom so runs of growing ids do not reallocate per
+                // insert.
+                let mut spilled = vec![0u64; (word + 1).next_power_of_two()];
+                spilled[..INLINE_WORDS].copy_from_slice(w);
+                self.repr = Repr::Spilled(spilled.into_boxed_slice());
+                match &mut self.repr {
+                    Repr::Spilled(w) => w,
+                    Repr::Inline(_) => unreachable!(),
+                }
+            }
+            Repr::Spilled(w) if word < w.len() => w,
+            Repr::Spilled(w) => {
+                let mut grown = vec![0u64; (word + 1).next_power_of_two()];
+                grown[..w.len()].copy_from_slice(w);
+                self.repr = Repr::Spilled(grown.into_boxed_slice());
+                match &mut self.repr {
+                    Repr::Spilled(w) => w,
+                    Repr::Inline(_) => unreachable!(),
+                }
+            }
+        };
+        let fresh = words[word] & bit == 0;
+        words[word] |= bit;
+        fresh
+    }
+
+    /// Whether the id is in the set — a single bit probe.
+    pub fn contains(&self, id: u32) -> bool {
+        let word = (id / 64) as usize;
+        let words = self.words();
+        word < words.len() && words[word] & (1 << (id % 64)) != 0
+    }
+
+    /// Whether the two sets share an element: word-wise `AND` with early
+    /// exit, the kernel of collision-graph construction.
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        let (a, b) = (self.words(), other.words());
+        let n = a.len().min(b.len());
+        (0..n).any(|i| a[i] & b[i] != 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        let theirs = other.words();
+        // Ensure capacity for the highest significant word of `other`.
+        if let Some(top) = (0..theirs.len()).rev().find(|&i| theirs[i] != 0) {
+            if top >= self.words().len() {
+                self.insert((top as u32) * 64);
+                // The bit at top*64 may not belong to the union; clear it
+                // unless `other` (or we) actually carry it.
+                if theirs[top] & 1 == 0 {
+                    match &mut self.repr {
+                        Repr::Spilled(w) => w[top] &= !1,
+                        Repr::Inline(_) => unreachable!("top >= inline len forced a spill"),
+                    }
+                }
+            }
+        }
+        match &mut self.repr {
+            Repr::Inline(w) => {
+                for (i, word) in theirs.iter().enumerate().take(INLINE_WORDS) {
+                    w[i] |= word;
+                }
+            }
+            Repr::Spilled(w) => {
+                for (i, word) in theirs.iter().enumerate() {
+                    w[i] |= word;
+                }
+            }
+        }
+    }
+
+    /// Number of elements (popcount).
+    pub fn len(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words().iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words().iter().enumerate().flat_map(|(wi, &w)| {
+            std::iter::successors(if w == 0 { None } else { Some(w) }, |&rest| {
+                let rest = rest & (rest - 1);
+                if rest == 0 {
+                    None
+                } else {
+                    Some(rest)
+                }
+            })
+            .map(move |rest| (wi as u32) * 64 + rest.trailing_zeros())
+        })
+    }
+
+    /// The elements as a sorted vector.
+    pub fn to_sorted_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Index of the word past the last nonzero one — the significant
+    /// prefix equality and hashing are defined over.
+    fn significant_len(&self) -> usize {
+        let words = self.words();
+        words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map(|i| i + 1)
+            .unwrap_or(0)
+    }
+}
+
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &NodeSet) -> bool {
+        let n = self.significant_len();
+        n == other.significant_len() && self.words()[..n] == other.words()[..n]
+    }
+}
+
+impl Eq for NodeSet {}
+
+impl Hash for NodeSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let n = self.significant_len();
+        state.write_usize(n);
+        for &w in &self.words()[..n] {
+            state.write_u64(w);
+        }
+    }
+}
+
+impl FromIterator<u32> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> NodeSet {
+        let mut set = NodeSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl From<&[u32]> for NodeSet {
+    fn from(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(set: &NodeSet) -> u64 {
+        let mut h = DefaultHasher::new();
+        set.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn insert_contains_and_iter_order() {
+        let mut s = NodeSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(7));
+        assert!(s.insert(0));
+        assert!(s.insert(127));
+        assert!(!s.insert(7));
+        assert!(s.contains(0) && s.contains(7) && s.contains(127));
+        assert!(!s.contains(1) && !s.contains(128) && !s.contains(4000));
+        assert_eq!(s.to_sorted_vec(), vec![0, 7, 127]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn spill_preserves_low_bits_and_equality() {
+        let mut s: NodeSet = [3u32, 64].into_iter().collect();
+        assert!(matches!(s.repr, Repr::Inline(_)));
+        s.insert(128);
+        assert!(matches!(s.repr, Repr::Spilled(_)));
+        assert!(s.contains(3) && s.contains(64) && s.contains(128));
+        assert_eq!(s.to_sorted_vec(), vec![3, 64, 128]);
+        // Growing far beyond the first spill still works.
+        s.insert(1000);
+        assert!(s.contains(1000) && s.contains(3));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn equality_and_hash_are_repr_independent() {
+        let inline: NodeSet = [1u32, 90].into_iter().collect();
+        let mut spilled: NodeSet = [1u32, 90].into_iter().collect();
+        spilled.insert(300);
+        // Not equal while the high bit is set…
+        assert_ne!(inline, spilled);
+        // …but a spilled set with only low bits equals the inline one.
+        let low_only = match &spilled.repr {
+            Repr::Spilled(w) => {
+                let mut words = w.to_vec();
+                for word in words.iter_mut().skip(INLINE_WORDS) {
+                    *word = 0;
+                }
+                NodeSet {
+                    repr: Repr::Spilled(words.into_boxed_slice()),
+                }
+            }
+            Repr::Inline(_) => unreachable!(),
+        };
+        assert_eq!(inline, low_only);
+        assert_eq!(hash_of(&inline), hash_of(&low_only));
+    }
+
+    #[test]
+    fn intersects_matches_element_overlap() {
+        let a: NodeSet = [1u32, 65, 129].into_iter().collect();
+        let b: NodeSet = [2u32, 66, 129].into_iter().collect();
+        let c: NodeSet = [2u32, 66, 130].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+        assert!(!NodeSet::new().intersects(&a));
+    }
+
+    #[test]
+    fn union_with_covers_mixed_reprs() {
+        let mut a: NodeSet = [1u32, 64].into_iter().collect();
+        let b: NodeSet = [2u32, 200].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.to_sorted_vec(), vec![1, 2, 64, 200]);
+        let mut c: NodeSet = [200u32].into_iter().collect();
+        let d: NodeSet = [3u32].into_iter().collect();
+        c.union_with(&d);
+        assert_eq!(c.to_sorted_vec(), vec![3, 200]);
+        // Union with a spilled-but-low-bits-only set never grows repr.
+        let mut e: NodeSet = [5u32].into_iter().collect();
+        let mut low = NodeSet::new();
+        low.insert(300);
+        let _ = low; // spilled scratch, unused
+        e.union_with(&NodeSet::from(&[6u32][..]));
+        assert_eq!(e.to_sorted_vec(), vec![5, 6]);
+    }
+}

@@ -170,7 +170,9 @@ proptest! {
     ) {
         let node_sets: Vec<Vec<u32>> =
             sets.iter().map(|s| s.iter().copied().collect()).collect();
-        let adj = gpa_mining::mis::collision_graph(&node_sets);
+        let bitsets: Vec<gpa_mining::nodeset::NodeSet> =
+            node_sets.iter().map(|s| s.as_slice().into()).collect();
+        let adj = gpa_mining::mis::collision_graph(&bitsets);
         let mis = gpa_mining::mis::max_independent_set(&adj);
         // Brute force.
         let n = node_sets.len();

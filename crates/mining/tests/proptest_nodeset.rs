@@ -1,0 +1,130 @@
+//! Property tests for [`gpa_mining::nodeset::NodeSet`]: equivalence with
+//! a `BTreeSet<u32>` reference model across insert/contains/intersects/
+//! union/iter, with id distributions biased to straddle the inline↔spill
+//! boundary at 128.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use gpa_mining::nodeset::{NodeSet, INLINE_CAPACITY};
+
+/// Ids concentrated around the spill boundary: most below 128, some just
+/// above it, a few far out (forcing repeated spill growth).
+fn arb_id() -> impl Strategy<Value = u32> {
+    // (The vendored prop_oneof has no weighted arms; repeating an arm
+    // biases the distribution the same way.)
+    prop_oneof![
+        0u32..INLINE_CAPACITY,
+        0u32..INLINE_CAPACITY,
+        0u32..INLINE_CAPACITY,
+        INLINE_CAPACITY - 4..INLINE_CAPACITY + 4,
+        INLINE_CAPACITY..4 * INLINE_CAPACITY,
+        0u32..2048,
+    ]
+}
+
+fn arb_ids() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(arb_id(), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn insert_contains_len_match_model(ids in arb_ids(), probes in arb_ids()) {
+        let mut set = NodeSet::new();
+        let mut model = BTreeSet::new();
+        for id in ids {
+            // `insert` reports "newly added" exactly like the model.
+            prop_assert_eq!(set.insert(id), model.insert(id));
+        }
+        prop_assert_eq!(set.len(), model.len());
+        prop_assert_eq!(set.is_empty(), model.is_empty());
+        for id in probes {
+            prop_assert_eq!(set.contains(id), model.contains(&id));
+        }
+    }
+
+    #[test]
+    fn iter_round_trips_in_sorted_order(ids in arb_ids()) {
+        let set: NodeSet = ids.iter().copied().collect();
+        let model: BTreeSet<u32> = ids.iter().copied().collect();
+        let via_iter: Vec<u32> = set.iter().collect();
+        let via_model: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(&via_iter, &via_model);
+        prop_assert_eq!(set.to_sorted_vec(), via_model);
+        // Round trip: rebuilding from the iteration gives an equal set.
+        let rebuilt: NodeSet = set.iter().collect();
+        prop_assert_eq!(rebuilt, set);
+    }
+
+    #[test]
+    fn intersects_matches_model(a in arb_ids(), b in arb_ids()) {
+        let sa: NodeSet = a.iter().copied().collect();
+        let sb: NodeSet = b.iter().copied().collect();
+        let ma: BTreeSet<u32> = a.iter().copied().collect();
+        let mb: BTreeSet<u32> = b.iter().copied().collect();
+        let expect = ma.intersection(&mb).next().is_some();
+        prop_assert_eq!(sa.intersects(&sb), expect);
+        prop_assert_eq!(sb.intersects(&sa), expect);
+    }
+
+    #[test]
+    fn union_with_matches_model(a in arb_ids(), b in arb_ids()) {
+        let mut sa: NodeSet = a.iter().copied().collect();
+        let sb: NodeSet = b.iter().copied().collect();
+        let model: BTreeSet<u32> = a.iter().chain(b.iter()).copied().collect();
+        sa.union_with(&sb);
+        let expect: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(sa.to_sorted_vec(), expect);
+        prop_assert_eq!(sa.len(), model.len());
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_representation(ids in arb_ids()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Same elements inserted in different orders (and via different
+        // spill histories) are equal and hash identically.
+        let forward: NodeSet = ids.iter().copied().collect();
+        let reverse: NodeSet = ids.iter().rev().copied().collect();
+        // A forced-spill copy: insert a far id first, then the ids, then
+        // rebuild without it by re-collecting the iterator.
+        let mut spilled = NodeSet::new();
+        spilled.insert(4096);
+        for &id in &ids {
+            spilled.insert(id);
+        }
+        prop_assert_eq!(&forward, &reverse);
+        let hash = |s: &NodeSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        prop_assert_eq!(hash(&forward), hash(&reverse));
+        if !ids.contains(&4096) {
+            prop_assert_ne!(&forward, &spilled);
+        }
+    }
+
+    #[test]
+    fn boundary_at_inline_capacity(low in 0u32..64, extra in arb_ids()) {
+        // 127 stays inline-representable, 128 forces the spill; behaviour
+        // across the boundary must be seamless.
+        let mut set = NodeSet::new();
+        let mut model = BTreeSet::new();
+        for id in [low, INLINE_CAPACITY - 1, INLINE_CAPACITY, INLINE_CAPACITY + 1] {
+            set.insert(id);
+            model.insert(id);
+        }
+        for id in extra {
+            set.insert(id);
+            model.insert(id);
+        }
+        let expect: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(set.to_sorted_vec(), expect);
+        prop_assert!(set.contains(INLINE_CAPACITY - 1));
+        prop_assert!(set.contains(INLINE_CAPACITY));
+    }
+}

@@ -11,6 +11,12 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Criterion smoke: the bitset hot-path benches (collision graph + exact
+# MIS, mining with the canonicality cache) run once in --test mode, so
+# the kernels stay exercised without a full measurement run.
+cargo bench -q -p gpa-bench --bench mis -- --test
+cargo bench -q -p gpa-bench --bench mining -- --test
+
 # Batch-pipeline smoke: two images, cold run then warm run against the
 # same cache dir. The warm run must answer from the cache, and the
 # deterministic report sections must agree byte-for-byte.
