@@ -55,19 +55,25 @@ impl Effects {
 /// or writes (registers, flags, or — conservatively — memory; two reads
 /// of memory never conflict).
 pub fn conflicts(a: &Effects, b: &Effects) -> bool {
-    // Register RAW / WAR / WAW.
-    if a.defs.intersects(b.uses) || a.uses.intersects(b.defs) || a.defs.intersects(b.defs) {
-        return true;
-    }
-    // Flag dependencies.
-    if (a.writes_flags && (b.reads_flags || b.writes_flags)) || (a.reads_flags && b.writes_flags) {
-        return true;
-    }
-    // Memory: loads may be reordered with loads, nothing else.
-    if (a.writes_mem && (b.reads_mem || b.writes_mem)) || (a.reads_mem && b.writes_mem) {
-        return true;
-    }
-    false
+    reg_or_flag_conflict(a, b) || mem_conflict(a, b)
+}
+
+/// The register and flag half of [`conflicts`]: RAW / WAR / WAW on
+/// registers, plus flag write/read ordering. This half can never be
+/// relaxed by memory disambiguation.
+pub fn reg_or_flag_conflict(a: &Effects, b: &Effects) -> bool {
+    a.defs.intersects(b.uses)
+        || a.uses.intersects(b.defs)
+        || a.defs.intersects(b.defs)
+        || (a.writes_flags && (b.reads_flags || b.writes_flags))
+        || (a.reads_flags && b.writes_flags)
+}
+
+/// The memory half of [`conflicts`]: loads may be reordered with loads,
+/// nothing else. An alias analysis that proves the two accesses disjoint
+/// may exempt a pair from this half (see `gpa::validate`'s V107).
+pub fn mem_conflict(a: &Effects, b: &Effects) -> bool {
+    (a.writes_mem && (b.reads_mem || b.writes_mem)) || (a.reads_mem && b.writes_mem)
 }
 
 impl Instruction {

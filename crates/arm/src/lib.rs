@@ -36,6 +36,7 @@ pub mod cond;
 pub mod defuse;
 pub mod encode;
 pub mod insn;
+pub mod memfx;
 pub mod parse;
 pub mod reg;
 
@@ -43,4 +44,5 @@ pub use cond::Cond;
 pub use defuse::Effects;
 pub use encode::{decode, encode_rotated_imm, DecodeError, EncodeError};
 pub use insn::{AddressMode, BlockMode, DpOp, Instruction, MemOffset, MemOp, Operand2, ShiftKind};
+pub use memfx::{MemAccess, MemDisp, MemFx};
 pub use reg::Reg;

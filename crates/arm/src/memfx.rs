@@ -1,0 +1,249 @@
+//! Addressing-shape extraction: the syntactic form of an instruction's
+//! memory accesses.
+//!
+//! [`MemFx`] refines the boolean `reads_mem`/`writes_mem` bits of
+//! [`crate::defuse::Effects`] into *shapes*: which base register each
+//! access goes through, at which displacement, and how many bytes it
+//! touches. The shapes are purely syntactic — no value knowledge — so an
+//! abstract interpreter (e.g. `gpa_verify::absint`) can resolve them
+//! against per-point register values and prove accesses disjoint.
+
+use crate::insn::{AddressMode, BlockMode, Instruction, MemOffset, MemOp};
+use crate::reg::Reg;
+
+/// A displacement relative to a base register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemDisp {
+    /// A known byte displacement.
+    Imm(i64),
+    /// A register displacement; `true` means the register is subtracted.
+    Reg(Reg, bool),
+}
+
+/// One memory access of an instruction: `width` bytes at
+/// `base + disp`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemAccess {
+    /// Base register the address is formed from.
+    pub base: Reg,
+    /// Displacement added to the base.
+    pub disp: MemDisp,
+    /// Access width in bytes (1 for byte transfers, 4 for words,
+    /// `4 * n` for an `n`-register block transfer).
+    pub width: i64,
+    /// Whether the access writes memory.
+    pub store: bool,
+}
+
+/// The complete addressing shape of one instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MemFx {
+    /// Every memory access the instruction may perform. `None` when the
+    /// instruction touches memory in a shape that cannot be described by
+    /// base + displacement (today only `swi`, whose service routine may
+    /// access arbitrary memory); `Some(vec![])` when it touches no
+    /// memory at all.
+    pub accesses: Option<Vec<MemAccess>>,
+    /// Base-register writeback performed by the instruction, as
+    /// `(register, delta)`.
+    pub writeback: Option<(Reg, MemDisp)>,
+}
+
+impl MemFx {
+    fn none() -> MemFx {
+        MemFx {
+            accesses: Some(Vec::new()),
+            writeback: None,
+        }
+    }
+}
+
+impl Instruction {
+    /// Extracts the addressing shape of this instruction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gpa_arm::{Instruction, Reg};
+    /// use gpa_arm::memfx::MemDisp;
+    ///
+    /// let st: Instruction = "str r0, [sp, #8]".parse()?;
+    /// let fx = st.mem_fx();
+    /// let accesses = fx.accesses.unwrap();
+    /// assert_eq!(accesses.len(), 1);
+    /// assert_eq!(accesses[0].base, Reg::SP);
+    /// assert_eq!(accesses[0].disp, MemDisp::Imm(8));
+    /// assert_eq!(accesses[0].width, 4);
+    /// assert!(accesses[0].store);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn mem_fx(&self) -> MemFx {
+        match *self {
+            Instruction::Mem {
+                op,
+                byte,
+                rn,
+                offset,
+                mode,
+                ..
+            } => {
+                let disp = match (mode, offset) {
+                    // Post-indexed addressing uses the unmodified base.
+                    (AddressMode::PostIndexed, _) => MemDisp::Imm(0),
+                    (_, MemOffset::Imm(d)) => MemDisp::Imm(i64::from(d)),
+                    (_, MemOffset::Reg(rm, sub)) => MemDisp::Reg(rm, sub),
+                };
+                let writeback = if mode.writes_back() {
+                    Some((
+                        rn,
+                        match offset {
+                            MemOffset::Imm(d) => MemDisp::Imm(i64::from(d)),
+                            MemOffset::Reg(rm, sub) => MemDisp::Reg(rm, sub),
+                        },
+                    ))
+                } else {
+                    None
+                };
+                MemFx {
+                    accesses: Some(vec![MemAccess {
+                        base: rn,
+                        disp,
+                        width: if byte { 1 } else { 4 },
+                        store: op == MemOp::Str,
+                    }]),
+                    writeback,
+                }
+            }
+            Instruction::Block {
+                op,
+                rn,
+                writeback,
+                mode,
+                regs,
+                ..
+            } => {
+                let n = i64::from(regs.len());
+                // The transferred words form one contiguous range whose
+                // placement relative to the base depends on the mode:
+                // ia [rn, rn+4n), ib [rn+4, rn+4n+4),
+                // da [rn-4n+4, rn+4), db [rn-4n, rn).
+                let lo = match mode {
+                    BlockMode::Ia => 0,
+                    BlockMode::Ib => 4,
+                    BlockMode::Da => 4 - 4 * n,
+                    BlockMode::Db => -4 * n,
+                };
+                let delta = match mode {
+                    BlockMode::Ia | BlockMode::Ib => 4 * n,
+                    BlockMode::Da | BlockMode::Db => -4 * n,
+                };
+                MemFx {
+                    accesses: Some(vec![MemAccess {
+                        base: rn,
+                        disp: MemDisp::Imm(lo),
+                        width: 4 * n,
+                        store: op == MemOp::Str,
+                    }]),
+                    writeback: writeback.then_some((rn, MemDisp::Imm(delta))),
+                }
+            }
+            // The system-call gate may access arbitrary memory.
+            Instruction::Swi { .. } => MemFx {
+                accesses: None,
+                writeback: None,
+            },
+            _ => MemFx::none(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::reg::RegSet;
+
+    fn insn(text: &str) -> Instruction {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn word_and_byte_transfers() {
+        let fx = insn("ldr r3, [sp, #4]").mem_fx();
+        let acc = fx.accesses.unwrap();
+        assert_eq!(acc[0].base, Reg::SP);
+        assert_eq!(acc[0].disp, MemDisp::Imm(4));
+        assert_eq!(acc[0].width, 4);
+        assert!(!acc[0].store);
+        assert!(fx.writeback.is_none());
+
+        let fx = insn("strb r0, [r1, #-3]").mem_fx();
+        let acc = fx.accesses.unwrap();
+        assert_eq!(acc[0].disp, MemDisp::Imm(-3));
+        assert_eq!(acc[0].width, 1);
+        assert!(acc[0].store);
+    }
+
+    #[test]
+    fn indexed_modes_split_address_and_writeback() {
+        // Pre-indexed: access at rn + d, rn updated by d.
+        let fx = insn("str r0, [sp, #-4]!").mem_fx();
+        let acc = fx.accesses.unwrap();
+        assert_eq!(acc[0].disp, MemDisp::Imm(-4));
+        assert_eq!(fx.writeback, Some((Reg::SP, MemDisp::Imm(-4))));
+
+        // Post-indexed: access at rn, rn updated by d.
+        let fx = insn("ldr r3, [r1], #4").mem_fx();
+        let acc = fx.accesses.unwrap();
+        assert_eq!(acc[0].disp, MemDisp::Imm(0));
+        assert_eq!(fx.writeback, Some((Reg::r(1), MemDisp::Imm(4))));
+    }
+
+    #[test]
+    fn register_offsets_stay_symbolic() {
+        let fx = insn("ldr r0, [r1, r2]").mem_fx();
+        let acc = fx.accesses.unwrap();
+        assert_eq!(acc[0].disp, MemDisp::Reg(Reg::r(2), false));
+    }
+
+    #[test]
+    fn block_modes_cover_the_transferred_range() {
+        let push = Instruction::Block {
+            cond: Cond::Al,
+            op: MemOp::Str,
+            rn: Reg::SP,
+            writeback: true,
+            mode: BlockMode::Db,
+            regs: RegSet::of(&[Reg::r(4), Reg::LR]),
+        };
+        let fx = push.mem_fx();
+        let acc = fx.accesses.unwrap();
+        assert_eq!(acc[0].disp, MemDisp::Imm(-8));
+        assert_eq!(acc[0].width, 8);
+        assert!(acc[0].store);
+        assert_eq!(fx.writeback, Some((Reg::SP, MemDisp::Imm(-8))));
+
+        let pop = Instruction::Block {
+            cond: Cond::Al,
+            op: MemOp::Ldr,
+            rn: Reg::SP,
+            writeback: true,
+            mode: BlockMode::Ia,
+            regs: RegSet::of(&[Reg::r(4), Reg::PC]),
+        };
+        let fx = pop.mem_fx();
+        let acc = fx.accesses.unwrap();
+        assert_eq!(acc[0].disp, MemDisp::Imm(0));
+        assert_eq!(acc[0].width, 8);
+        assert!(!acc[0].store);
+        assert_eq!(fx.writeback, Some((Reg::SP, MemDisp::Imm(8))));
+    }
+
+    #[test]
+    fn swi_is_unresolvable_and_alu_is_memory_free() {
+        assert_eq!(insn("swi #1").mem_fx().accesses, None);
+        let fx = insn("add r0, r1, r2").mem_fx();
+        assert_eq!(fx.accesses, Some(Vec::new()));
+        assert!(fx.writeback.is_none());
+    }
+}

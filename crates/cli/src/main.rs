@@ -7,10 +7,11 @@
 //! gpa run <image> [--input <file>]                    execute in the emulator
 //! gpa dis <image>                                     lifted assembly listing
 //! gpa stats <image> [--json]                          DFG degree statistics
-//! gpa lint <image>                                    static binary lints
-//! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] [--validate off|final|every-round] [--jobs N] [--trace out.jsonl]
+//! gpa lint <image> [--json]                           static binary lints
+//! gpa absint <image>                                  abstract-interpretation dump
+//! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] [--validate off|final|every-round] [--alias off|stack] [--jobs N] [--trace out.jsonl]
 //! gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--trace-dir D] [--method sfx|dgspan|edgar] [--validate] [--report out.json]
-//! gpa perf [-o bench.json] [--methods a,b] [--kernels a,b] [--jobs N] [--no-sched] [--validate L] [--profile] [--baseline FILE] [--tolerance-pct N] [--compare FILE]
+//! gpa perf [-o bench.json] [--methods a,b] [--kernels a,b] [--jobs N] [--no-sched] [--validate L] [--alias off|stack] [--profile] [--baseline FILE] [--tolerance-pct N] [--compare FILE]
 //! gpa trace-check <trace.jsonl...>                    validate trace streams
 //! gpa trace-profile <trace.jsonl...>                  aggregate span profile
 //! ```
@@ -33,7 +34,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use gpa::json::Json;
-use gpa::{Method, Optimizer, RunConfig, StageTimings, ValidateLevel};
+use gpa::{AliasLevel, Method, Optimizer, RunConfig, StageTimings, ValidateLevel};
 use gpa_emu::Machine;
 use gpa_image::Image;
 use gpa_pipeline::{expand_inputs, run_batch, BatchConfig};
@@ -64,6 +65,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "dis" => disassemble(rest),
         "stats" => stats(rest),
         "lint" => lint(rest),
+        "absint" => absint_dump(rest),
         "optimize" => optimize(rest),
         "batch" => batch_run(rest),
         "perf" => perf(rest),
@@ -85,14 +87,16 @@ fn print_usage() {
          gpa run <image> [--input <file>]\n  \
          gpa dis <image>\n  \
          gpa stats <image> [--json]\n  \
-         gpa lint <image>\n  \
+         gpa lint <image> [--json]\n  \
+         gpa absint <image>\n  \
          gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] \
-         [--validate off|final|every-round] [--jobs N] [--trace out.jsonl]\n  \
+         [--validate off|final|every-round] [--alias off|stack] [--jobs N] \
+         [--trace out.jsonl]\n  \
          gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--trace-dir D] \
          [--method sfx|dgspan|edgar] [--validate] [--report out.json]\n  \
          gpa perf [-o bench.json] [--methods a,b] [--kernels a,b] [--jobs N] \
-         [--no-sched] [--validate off|final|every-round] [--profile] \
-         [--baseline FILE] [--tolerance-pct N] [--compare FILE]\n  \
+         [--no-sched] [--validate off|final|every-round] [--alias off|stack] \
+         [--profile] [--baseline FILE] [--tolerance-pct N] [--compare FILE]\n  \
          gpa trace-check <trace.jsonl...>\n  \
          gpa trace-profile <trace.jsonl...>"
     );
@@ -242,21 +246,61 @@ fn stats(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `gpa lint <image>`: run the static binary lints; exit non-zero when
-/// any error-severity finding (or an undecodable image) is reported.
+/// Schema tag of the `gpa lint --json` document.
+const LINT_SCHEMA: &str = "gpa-lint/1";
+
+/// `gpa lint <image> [--json]`: run the static binary lints; exit
+/// non-zero when any error-severity finding (or an undecodable image) is
+/// reported. With `--json`, a machine-readable `gpa-lint/1` document
+/// goes to stdout instead of the human-readable lines on stderr.
 fn lint(args: &[String]) -> Result<ExitCode, String> {
+    let json = args.iter().any(|a| a == "--json");
     let path = args
-        .first()
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .ok_or_else(|| "missing image path".to_owned())?;
     let image = load_image(path)?;
     let diags = gpa_verify::lint_image(&image);
-    for d in &diags {
-        eprintln!("{path}: {d}");
-    }
     let errors = diags
         .iter()
         .filter(|d| d.severity == gpa_verify::Severity::Error)
         .count();
+    if json {
+        let findings: Vec<Json> = diags
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("code", Json::from(d.code.as_str())),
+                    ("severity", Json::from(d.severity.to_string())),
+                    (
+                        "function",
+                        d.location
+                            .function
+                            .as_deref()
+                            .map_or(Json::Null, Json::from),
+                    ),
+                    ("item", d.location.item.map_or(Json::Null, Json::from)),
+                    ("message", Json::from(d.message.as_str())),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("schema", Json::from(LINT_SCHEMA)),
+            ("image", Json::from(path.as_str())),
+            ("errors", Json::from(errors)),
+            ("warnings", Json::from(diags.len() - errors)),
+            ("findings", Json::Arr(findings)),
+        ]);
+        println!("{doc}");
+        return Ok(if errors > 0 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
+    for d in &diags {
+        eprintln!("{path}: {d}");
+    }
     if errors > 0 {
         eprintln!(
             "{path}: {errors} error(s), {} warning(s)",
@@ -267,6 +311,65 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
         println!("{path}: clean ({} warning(s))", diags.len());
         Ok(ExitCode::SUCCESS)
     }
+}
+
+/// `gpa absint <image>`: dump the value-set abstract interpretation —
+/// per function, the interprocedural sp-balance verdict, and per item
+/// the abstract `sp` plus every memory footprint the interpreter
+/// resolved to a based byte range (entry-sp-relative, absolute, or
+/// relative to a symbolic pointer).
+fn absint_dump(args: &[String]) -> Result<ExitCode, String> {
+    let path = args
+        .first()
+        .ok_or_else(|| "missing image path".to_owned())?;
+    let image = load_image(path)?;
+    let program = gpa_cfg::decode_image(&image).map_err(|e| e.to_string())?;
+    let graph = gpa_verify::CallGraph::build(&program);
+    let env = gpa_verify::AbsEnv::build(&program, &graph);
+    let mut points = 0u64;
+    for f in &program.functions {
+        let analysis = gpa_verify::AbsInt::analyze(f, Some(&env));
+        points += analysis.points;
+        let verdict = if env.sp_balanced(&f.name) {
+            "sp-balanced"
+        } else {
+            "sp-unbalanced"
+        };
+        println!("{} ({verdict}):", f.name);
+        for (i, item) in f.items.iter().enumerate() {
+            let text = item.to_string();
+            let Some(state) = analysis.before.get(i).and_then(Option::as_ref) else {
+                println!("  {i:4}  {text:<32}; unreachable");
+                continue;
+            };
+            let mut note = format!("sp={}", state.get(gpa_arm::Reg::SP));
+            match gpa_verify::absint::resolved_accesses(state, item, Some(&env)) {
+                Some(accesses) => {
+                    for a in &accesses {
+                        let rw = if a.store { "store" } else { "load" };
+                        match a.base {
+                            gpa_verify::AccessBase::Sp => {
+                                note.push_str(&format!(" {rw} sp[{}..{})", a.lo, a.hi));
+                            }
+                            gpa_verify::AccessBase::Abs => {
+                                note.push_str(&format!(" {rw} abs[{:#x}..{:#x})", a.lo, a.hi));
+                            }
+                            gpa_verify::AccessBase::Sym(sym) => {
+                                note.push_str(&format!(" {rw} sym{sym:#x}[{}..{})", a.lo, a.hi));
+                            }
+                        }
+                    }
+                }
+                None => note.push_str(" mem=?"),
+            }
+            println!("  {i:4}  {text:<32}; {note}");
+        }
+    }
+    println!(
+        "{points} reachable point(s) across {} function(s)",
+        program.functions.len()
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn optimize(args: &[String]) -> Result<ExitCode, String> {
@@ -299,6 +402,13 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
                     "every-round" => ValidateLevel::EveryRound,
                     other => return Err(format!("unknown validate level `{other}`")),
                 };
+            }
+            "--alias" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "--alias requires a value".to_owned())?;
+                config.alias =
+                    AliasLevel::parse(v).ok_or_else(|| format!("unknown alias level `{v}`"))?;
             }
             "--jobs" => config.mining_threads = take_jobs(&mut iter)?,
             "--trace" => {
@@ -499,6 +609,13 @@ fn perf(args: &[String]) -> Result<ExitCode, String> {
                     other => return Err(format!("unknown validate level `{other}`")),
                 };
             }
+            "--alias" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "--alias requires a value".to_owned())?;
+                config.alias =
+                    AliasLevel::parse(v).ok_or_else(|| format!("unknown alias level `{v}`"))?;
+            }
             "--profile" => config.profile = true,
             "--baseline" => {
                 let p = iter
@@ -611,9 +728,10 @@ impl TraceIssue {
 ///
 /// For each file: every line must parse as JSON, the first line must be
 /// the schema header, the last the counter summary; every event name's
-/// line count must equal its recorded counter; and the miner's counter
-/// identities (`visited == expanded + subtree_skipped + stopped_max_nodes`
-/// and `canon_checks == canon_cache_hit + canon_cache_miss`)
+/// line count must equal its recorded counter; and the counter
+/// identities (`visited == expanded + subtree_skipped + stopped_max_nodes`,
+/// `canon_checks == canon_cache_hit + canon_cache_miss`, and
+/// `absint.mem_pairs_examined == mem_pairs_disjoint + mem_pairs_kept`)
 /// must hold. Diagnostics name the first offending line; the exit code
 /// is the most severe class seen across all files (see the module docs).
 fn trace_check(args: &[String]) -> Result<ExitCode, String> {
@@ -699,6 +817,14 @@ fn check_one_trace(path: &str) -> Result<(), TraceIssue> {
         return Err(TraceIssue::Invariant(format!(
             "{path}:{summary_line}: mine.canon_checks is {canon_checks}, \
              but canon_cache_hit + canon_cache_miss is {canon_accounted}"
+        )));
+    }
+    let mem_examined = counter("absint.mem_pairs_examined");
+    let mem_accounted = counter("absint.mem_pairs_disjoint") + counter("absint.mem_pairs_kept");
+    if mem_examined != mem_accounted {
+        return Err(TraceIssue::Invariant(format!(
+            "{path}:{summary_line}: absint.mem_pairs_examined is {mem_examined}, \
+             but mem_pairs_disjoint + mem_pairs_kept is {mem_accounted}"
         )));
     }
     let counter_total = match counters {

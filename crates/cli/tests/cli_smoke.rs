@@ -406,6 +406,64 @@ fn lint_accepts_clean_image_and_rejects_corruption() {
 }
 
 #[test]
+fn lint_json_round_trips() {
+    let img = tmp("lint_json.img");
+    let out = gpa()
+        .args(["bench", "crc", "-o", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let lint = gpa()
+        .args(["lint", img.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        lint.status.success(),
+        "clean image must exit zero: {}",
+        String::from_utf8_lossy(&lint.stderr)
+    );
+    let doc = gpa::json::Json::parse(&String::from_utf8_lossy(&lint.stdout)).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(gpa::json::Json::as_str),
+        Some("gpa-lint/1")
+    );
+    assert_eq!(
+        doc.get("errors").and_then(gpa::json::Json::as_int),
+        Some(0),
+        "clean image must report zero errors"
+    );
+    let warnings = doc
+        .get("warnings")
+        .and_then(gpa::json::Json::as_int)
+        .unwrap();
+    let findings = match doc.get("findings") {
+        Some(gpa::json::Json::Arr(a)) => a,
+        other => panic!("findings must be an array, got {other:?}"),
+    };
+    assert_eq!(
+        findings.len() as i64,
+        warnings,
+        "errors + warnings == findings"
+    );
+    for f in findings {
+        let code = f.get("code").and_then(gpa::json::Json::as_str).unwrap();
+        assert!(code.starts_with('V'), "diagnostic code {code:?}");
+        assert!(f
+            .get("severity")
+            .and_then(gpa::json::Json::as_str)
+            .is_some());
+        assert!(f.get("message").and_then(gpa::json::Json::as_str).is_some());
+    }
+
+    let _ = std::fs::remove_file(&img);
+}
+
+#[test]
 fn lint_rejects_unreadable_container() {
     let bad = tmp("not_an_image.img");
     std::fs::write(&bad, b"not a GPA image at all").unwrap();

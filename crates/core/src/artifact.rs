@@ -39,13 +39,36 @@ use crate::validate::ValidateLevel;
 pub(crate) struct BlockArtifact {
     pub(crate) dfg: Dfg,
     pub(crate) reach: Reach,
+    /// MEM edges the alias oracle dropped while building `dfg`, as
+    /// region-local `(earlier, later)` node pairs. Empty for
+    /// conservative builds.
+    pub(crate) relaxed: Vec<(usize, usize)>,
+    /// Pair counts behind `relaxed` (for the `absint.*` trace counters).
+    pub(crate) relax_stats: gpa_dfg::RelaxStats,
 }
 
 impl BlockArtifact {
     pub(crate) fn build(items: &[Item], mode: LabelMode) -> BlockArtifact {
-        let dfg = gpa_dfg::build_dfg_from_items("", 0, items, mode);
-        let reach = Reach::new(&dfg);
-        BlockArtifact { dfg, reach }
+        Self::build_with(items, mode, None)
+    }
+
+    /// [`BlockArtifact::build`] with an optional alias oracle refining
+    /// the DFG's MEM edges. Oracle-built artifacts depend on the whole
+    /// function's abstract state, not just the block's items, so they
+    /// must never go through the content-addressed [`DfgCache`].
+    pub(crate) fn build_with(
+        items: &[Item],
+        mode: LabelMode,
+        oracle: Option<&gpa_dfg::AliasOracle>,
+    ) -> BlockArtifact {
+        let relaxed_dfg = gpa_dfg::build_dfg_from_items_with("", 0, items, mode, oracle);
+        let reach = Reach::new(&relaxed_dfg.dfg);
+        BlockArtifact {
+            dfg: relaxed_dfg.dfg,
+            reach,
+            relaxed: relaxed_dfg.relaxed,
+            relax_stats: relaxed_dfg.stats,
+        }
     }
 }
 
@@ -108,9 +131,10 @@ impl DfgCache {
 /// reads it), while everything decode consumes — code words, section
 /// bases, entry point, and the full symbol table — is hashed. Of the
 /// [`RunConfig`], the knobs that shape the search (`max_rounds`,
-/// `max_fragment_nodes`) and the validation level (a failed validation
-/// yields an error, not a report) are included; `mining_threads` is not,
-/// because partitioned detection merges to the single-threaded result.
+/// `max_fragment_nodes`, `alias`) and the validation level (a failed
+/// validation yields an error, not a report) are included;
+/// `mining_threads` is not, because partitioned detection merges to the
+/// single-threaded result.
 pub fn image_cache_key(image: &Image, method: Method, config: &RunConfig) -> u128 {
     let mut h = Fnv128::new();
     h.write(b"gpa-image-key/1");
@@ -127,6 +151,13 @@ pub fn image_cache_key(image: &Image, method: Method, config: &RunConfig) -> u12
         ValidateLevel::Final => 1,
         ValidateLevel::EveryRound => 2,
     }]);
+    // `Off` hashes to the pre-alias key on purpose: disabled alias
+    // analysis is bit-for-bit the historical pipeline, so existing
+    // cached reports (and committed goldens) stay addressable.
+    match config.alias {
+        crate::optimizer::AliasLevel::Off => {}
+        crate::optimizer::AliasLevel::Stack => h.write(b"alias/stack"),
+    }
     h.write_u64(u64::from(image.code_base()));
     h.write_u64(u64::from(image.data_base()));
     h.write_u64(u64::from(image.entry()));
@@ -203,6 +234,9 @@ mod tests {
         let mut threaded = config.clone();
         threaded.mining_threads = 8;
         assert_eq!(base, image_cache_key(&image, Method::Edgar, &threaded));
+        let mut aliased = config.clone();
+        aliased.alias = crate::optimizer::AliasLevel::Stack;
+        assert_ne!(base, image_cache_key(&image, Method::Edgar, &aliased));
         // A different program produces a different key.
         let other = compile("int main() { return 1; }", &Options::default()).unwrap();
         assert_ne!(base, image_cache_key(&other, Method::Edgar, &config));

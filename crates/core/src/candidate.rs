@@ -30,6 +30,24 @@ pub struct Occurrence {
     pub item_indices: Vec<usize>,
 }
 
+/// One MEM dependence the alias analysis dropped while building the DFG
+/// a candidate was detected on. Item indices are absolute within the
+/// function, `earlier < later`.
+///
+/// A candidate carrying these is only valid if each claim can be
+/// re-derived: the per-round validator re-runs the abstract interpreter
+/// from scratch and rejects the rewrite (V107) on any pair it cannot
+/// prove disjoint itself.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct RelaxedPair {
+    /// Index of the function in `Program::functions`.
+    pub function: usize,
+    /// Item index of the earlier access.
+    pub earlier: usize,
+    /// Item index of the later access.
+    pub later: usize,
+}
+
 /// A scored extraction candidate.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Candidate {
@@ -41,6 +59,9 @@ pub struct Candidate {
     pub kind: ExtractionKind,
     /// Net words saved (always > 0 for reported candidates).
     pub saved: i64,
+    /// MEM edges relaxed in the occurrence regions' DFGs (empty unless
+    /// detection ran with stack alias analysis).
+    pub relaxed: Vec<RelaxedPair>,
 }
 
 impl Candidate {

@@ -58,6 +58,21 @@ pub fn contract_region(
     occurrence_sets: &[Vec<usize>],
     frag_name: &str,
 ) -> Option<Vec<Item>> {
+    contract_region_with(region_items, occurrence_sets, frag_name, &HashSet::new())
+}
+
+/// [`contract_region`] with a set of region-local `(earlier, later)` item
+/// pairs whose *memory* conflicts are exempt from the dependence relation
+/// — pairs an alias analysis proved touch disjoint stack slots. Register
+/// and flag conflicts are never exempt. Every exemption the rewrite
+/// relies on must reach the validator as a [`Candidate::relaxed`] claim
+/// so V107 can re-derive it.
+pub fn contract_region_with(
+    region_items: &[Item],
+    occurrence_sets: &[Vec<usize>],
+    frag_name: &str,
+    exempt: &HashSet<(usize, usize)>,
+) -> Option<Vec<Item>> {
     let in_fragment: HashSet<usize> = occurrence_sets.iter().flatten().copied().collect();
     debug_assert_eq!(
         in_fragment.len(),
@@ -86,7 +101,10 @@ pub fn contract_region(
             let mut backward = false;
             for &u in units[a].members() {
                 for &v in units[b].members() {
-                    if gpa_arm::defuse::conflicts(&effects[u], &effects[v]) {
+                    let relaxed = exempt.contains(&(u.min(v), u.max(v)));
+                    let conflict = gpa_arm::defuse::reg_or_flag_conflict(&effects[u], &effects[v])
+                        || (!relaxed && gpa_arm::defuse::mem_conflict(&effects[u], &effects[v]));
+                    if conflict {
                         if u < v {
                             forward = true;
                         } else {
@@ -208,13 +226,21 @@ pub fn apply(
             )));
         }
         let region_items: Vec<Item> = f.items[region_start..region_end].to_vec();
+        // The candidate's alias claims, projected onto this region as
+        // region-local exempt pairs (the validator re-derives every one).
+        let exempt: HashSet<(usize, usize)> = candidate
+            .relaxed
+            .iter()
+            .filter(|c| c.function == func && c.earlier >= region_start && c.later < region_end)
+            .map(|c| (c.earlier - region_start, c.later - region_start))
+            .collect();
         let new_items = match candidate.kind {
             ExtractionKind::Procedure { .. } => {
                 let sets: Vec<Vec<usize>> = occs
                     .iter()
                     .map(|o| o.item_indices.iter().map(|&i| i - region_start).collect())
                     .collect();
-                contract_region(&region_items, &sets, frag_name).ok_or_else(|| {
+                contract_region_with(&region_items, &sets, frag_name, &exempt).ok_or_else(|| {
                     ExtractError(format!(
                         "cyclic contraction in `{}` at {region_start}",
                         f.name
@@ -324,6 +350,7 @@ mod tests {
             occurrences: vec![],
             kind: ExtractionKind::Procedure { lr_save: false },
             saved: 1,
+            relaxed: Vec::new(),
         };
         let f = fragment_function(&plain, "frag0");
         assert_eq!(f.items.len(), 3);
@@ -334,6 +361,7 @@ mod tests {
             occurrences: vec![],
             kind: ExtractionKind::Procedure { lr_save: true },
             saved: 1,
+            relaxed: Vec::new(),
         };
         let f = fragment_function(&saved, "frag1");
         assert_eq!(f.items.len(), 4);
@@ -348,6 +376,7 @@ mod tests {
             occurrences: vec![],
             kind: ExtractionKind::CrossJump,
             saved: 1,
+            relaxed: Vec::new(),
         };
         let f = fragment_function(&cj, "frag2");
         assert_eq!(f.items.len(), 2);

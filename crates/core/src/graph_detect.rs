@@ -1,11 +1,11 @@
 //! Graph-based fragment detection: DgSpan and Edgar candidates.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
 use gpa_cfg::{Item, Program};
-use gpa_dfg::{Dfg, LabelMode};
+use gpa_dfg::{AliasOracle, Dfg, LabelMode};
 use gpa_mining::embed::seed_buckets;
 use gpa_mining::graph::InputGraph;
 use gpa_mining::miner::{
@@ -14,9 +14,10 @@ use gpa_mining::miner::{
 use gpa_trace::{NoopTracer, Tracer, Value};
 
 use crate::artifact::{BlockArtifact, DfgCache};
-use crate::candidate::{classify_body, Candidate, ExtractionKind, Occurrence};
+use crate::candidate::{classify_body, Candidate, ExtractionKind, Occurrence, RelaxedPair};
 use crate::cost::saved_words;
-use crate::extract::contract_region;
+use crate::extract::contract_region_with;
+use crate::optimizer::AliasLevel;
 use crate::stage::StageTimings;
 use crate::trace::trace_equivalent;
 
@@ -43,6 +44,18 @@ pub struct GraphConfig {
     /// candidate wins, so the tracer — like `threads` — is excluded
     /// from [`crate::artifact::image_cache_key`].
     pub tracer: Arc<dyn Tracer>,
+    /// Memory disambiguation for the region DFGs. Under
+    /// [`AliasLevel::Stack`] the abstract interpreter builds a second,
+    /// *relaxed* DFG per region with the MEM edges between provably
+    /// disjoint stack accesses dropped. Mining still counts on the
+    /// conservative DFG (dropped edges are context-dependent, so they
+    /// would break cross-region isomorphism and fragment connectivity);
+    /// the relaxed graph only widens what is *extractable* — convexity,
+    /// cross-jump exit-closedness, and the contraction probe — so the
+    /// candidate universe under `Stack` is a superset of `Off`'s. Every
+    /// winning candidate carries the dropped pairs as claims for the
+    /// validator.
+    pub alias: AliasLevel,
 }
 
 impl Default for GraphConfig {
@@ -54,6 +67,7 @@ impl Default for GraphConfig {
             max_patterns: 60_000,
             threads: 1,
             tracer: Arc::new(NoopTracer),
+            alias: AliasLevel::default(),
         }
     }
 }
@@ -79,6 +93,76 @@ pub(crate) fn region_infos(program: &Program) -> Vec<RegionInfo> {
         }
     }
     infos
+}
+
+/// Runs the value-set abstract interpreter over the whole program and
+/// projects its verdicts onto the detection regions: one [`AliasOracle`]
+/// per region, whose slot `u` holds the based byte intervals item `u`
+/// touches (entry-sp-relative, absolute, or symbolic-pointer-relative) —
+/// or `None` when the interpreter could not resolve every access of that
+/// item to a based interval.
+///
+/// Symbolic bases whose defining item lies inside the region carry the
+/// def's region-relative index so [`AliasOracle::disjoint`] can refuse
+/// pairs that straddle a redefinition of the base pointer.
+///
+/// Emits the `absint.points` counter (reachable program points analyzed).
+pub(crate) fn region_oracles(
+    program: &Program,
+    infos: &[RegionInfo],
+    tracer: &dyn Tracer,
+) -> Vec<AliasOracle> {
+    use gpa_dfg::{AliasBase, AliasInterval};
+    use gpa_verify::AccessBase;
+
+    let graph = gpa_verify::CallGraph::build(program);
+    let env = gpa_verify::AbsEnv::build(program, &graph);
+    let mut points = 0u64;
+    let per_fn: Vec<gpa_verify::AbsInt> = program
+        .functions
+        .iter()
+        .map(|f| {
+            let analysis = gpa_verify::AbsInt::analyze(f, Some(&env));
+            points += analysis.points;
+            analysis
+        })
+        .collect();
+    tracer.count("absint.points", points);
+    infos
+        .iter()
+        .map(|info| {
+            let before = &per_fn[info.function].before;
+            let slots = (0..info.len)
+                .map(|u| {
+                    let state = before.get(info.start + u)?.as_ref()?;
+                    let accesses =
+                        gpa_verify::absint::resolved_accesses(state, &info.items[u], Some(&env))?;
+                    Some(
+                        accesses
+                            .iter()
+                            .map(|a| AliasInterval {
+                                base: match a.base {
+                                    AccessBase::Sp => AliasBase::Sp,
+                                    AccessBase::Abs => AliasBase::Abs,
+                                    AccessBase::Sym(sym) => AliasBase::Sym {
+                                        sym,
+                                        def: gpa_verify::absint::sym_def_index(sym)
+                                            .filter(|&d| {
+                                                d >= info.start && d < info.start + info.len
+                                            })
+                                            .map(|d| d - info.start),
+                                    },
+                                },
+                                lo: a.lo,
+                                hi: a.hi,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            AliasOracle { slots }
+        })
+        .collect()
 }
 
 /// Computes, per function, whether `lr` is free to clobber (a `bl` may be
@@ -173,6 +257,7 @@ fn candidate_from_frequent(
     freq: &Frequent,
     infos: &[RegionInfo],
     artifacts: &[Arc<BlockArtifact>],
+    relaxed: Option<&[Arc<BlockArtifact>]>,
     lr_free: &[bool],
     mis_ns: &mut u64,
     tracer: &dyn Tracer,
@@ -203,11 +288,19 @@ fn candidate_from_frequent(
     let kind = classify_body(&body)?;
 
     // Validate each embedding site (bounded; see the constant above).
+    // Extractability — convexity and exit-closedness — is checked on the
+    // alias-relaxed graph when one exists: fewer edges means weakly less
+    // reachability, so everything extractable conservatively stays
+    // extractable and provably-disjoint stack traffic stops blocking.
     let mut valid: Vec<&gpa_mining::embed::Embedding> = Vec::new();
     for emb in freq.embeddings.iter().take(MAX_VALIDATED_EMBEDDINGS) {
         let info = &infos[emb.graph as usize];
-        let dfg = &artifacts[emb.graph as usize].dfg;
-        let reach = &artifacts[emb.graph as usize].reach;
+        let check: &BlockArtifact = match relaxed {
+            Some(r) => &r[emb.graph as usize],
+            None => &artifacts[emb.graph as usize],
+        };
+        let dfg = &check.dfg;
+        let reach = &check.reach;
         let nodes = emb.sorted_nodes();
         let seq: Vec<Item> = nodes
             .iter()
@@ -267,6 +360,10 @@ fn candidate_from_frequent(
         };
         if ok {
             valid.push(emb);
+        } else {
+            // Convexity / exit-closedness rejections: the headroom a
+            // finer alias analysis could reclaim.
+            tracer.count("detect.embedding_unextractable", 1);
         }
     }
     if valid.len() < 2 {
@@ -293,13 +390,23 @@ fn candidate_from_frequent(
     let mut kept: Vec<&gpa_mining::embed::Embedding> = Vec::new();
     if matches!(kind, ExtractionKind::Procedure { .. }) {
         let mut by_region: BTreeMap<u32, Vec<Vec<usize>>> = BTreeMap::new();
+        let mut exempts: BTreeMap<u32, HashSet<(usize, usize)>> = BTreeMap::new();
         for e in selected {
             let info = &infos[e.graph as usize];
             let set: Vec<usize> = e.sorted_nodes().iter().map(|&n| n as usize).collect();
             let sets = by_region.entry(e.graph).or_default();
             sets.push(set);
-            if contract_region(&info.items, sets, "__probe").is_none() {
+            // The probe ignores memory conflicts the oracle relaxed —
+            // the same exemptions `extract::apply` will use, and which
+            // the validator re-derives from the candidate's claims.
+            let exempt = exempts.entry(e.graph).or_insert_with(|| {
+                relaxed
+                    .map(|r| r[e.graph as usize].relaxed.iter().copied().collect())
+                    .unwrap_or_default()
+            });
+            if contract_region_with(&info.items, sets, "__probe", exempt).is_none() {
                 sets.pop();
+                tracer.count("detect.probe_dropped", 1);
             } else {
                 kept.push(e);
             }
@@ -316,7 +423,7 @@ fn candidate_from_frequent(
     if saved <= 0 {
         return None;
     }
-    let occurrences = kept
+    let occurrences: Vec<Occurrence> = kept
         .iter()
         .map(|e| {
             let info = &infos[e.graph as usize];
@@ -332,11 +439,28 @@ fn candidate_from_frequent(
             }
         })
         .collect();
+    // Every MEM edge the alias oracle dropped in a region that hosts a
+    // kept occurrence becomes an explicit claim for the validator to
+    // re-derive (regions can host several occurrences; dedup).
+    let mut claims: std::collections::BTreeSet<RelaxedPair> = std::collections::BTreeSet::new();
+    if let Some(r) = relaxed {
+        for e in &kept {
+            let info = &infos[e.graph as usize];
+            for &(u, v) in &r[e.graph as usize].relaxed {
+                claims.insert(RelaxedPair {
+                    function: info.function,
+                    earlier: info.start + u,
+                    later: info.start + v,
+                });
+            }
+        }
+    }
     Some(Candidate {
         body,
         occurrences,
         kind,
         saved,
+        relaxed: claims.into_iter().collect(),
     })
 }
 
@@ -357,6 +481,7 @@ fn better(c: &Candidate, b: &Candidate) -> bool {
 struct SearchCtx<'a> {
     infos: &'a [RegionInfo],
     artifacts: &'a [Arc<BlockArtifact>],
+    relaxed: Option<&'a [Arc<BlockArtifact>]>,
     lr_free: &'a [bool],
     region_live: &'a [bool],
     graphs: &'a [InputGraph],
@@ -470,6 +595,7 @@ impl SearchCtx<'_> {
                 f,
                 self.infos,
                 self.artifacts,
+                self.relaxed,
                 self.lr_free,
                 &mut best.mis_ns,
                 self.tracer,
@@ -519,6 +645,11 @@ pub(crate) fn best_candidate_instrumented(
 ) -> Option<Candidate> {
     let infos = region_infos(program);
     let build_start = Instant::now();
+    // Mining always counts on the conservative DFGs: alias verdicts are
+    // context-dependent, so relaxed edges would break cross-region
+    // isomorphism and fragment connectivity (shrinking the candidate
+    // universe instead of growing it). Conservative artifacts are also
+    // what the content-addressed cache may serve.
     let artifacts: Vec<Arc<BlockArtifact>> = infos
         .iter()
         .map(|info| match cache {
@@ -526,6 +657,40 @@ pub(crate) fn best_candidate_instrumented(
             None => Arc::new(BlockArtifact::build(&info.items, config.label_mode)),
         })
         .collect();
+    // Under `Stack`, a second per-region artifact built against the alias
+    // oracle overlays the conservative one wherever *extractability* is
+    // decided (convexity, exit-closedness, contraction). Oracle-refined
+    // DFGs depend on whole-function abstract states, not just the block's
+    // items, so the overlay bypasses the content-addressed cache.
+    let relaxed_artifacts: Option<Vec<Arc<BlockArtifact>>> = match config.alias {
+        AliasLevel::Off => None,
+        AliasLevel::Stack => {
+            let oracles = region_oracles(program, &infos, &*config.tracer);
+            let overlay: Vec<Arc<BlockArtifact>> = infos
+                .iter()
+                .zip(&oracles)
+                .map(|(info, oracle)| {
+                    Arc::new(BlockArtifact::build_with(
+                        &info.items,
+                        config.label_mode,
+                        Some(oracle),
+                    ))
+                })
+                .collect();
+            let mut examined = 0u64;
+            let mut disjoint = 0u64;
+            for a in &overlay {
+                examined += a.relax_stats.mem_pairs_examined;
+                disjoint += a.relax_stats.mem_pairs_disjoint;
+            }
+            config.tracer.count("absint.mem_pairs_examined", examined);
+            config.tracer.count("absint.mem_pairs_disjoint", disjoint);
+            config
+                .tracer
+                .count("absint.mem_pairs_kept", examined - disjoint);
+            Some(overlay)
+        }
+    };
     let lr_free = lr_free_functions(program);
     let (graphs, _interner) = InputGraph::from_dfg_refs(artifacts.iter().map(|a| &a.dfg));
     timings.dfg_build_ns += build_start.elapsed().as_nanos() as u64;
@@ -549,6 +714,7 @@ pub(crate) fn best_candidate_instrumented(
     let ctx = SearchCtx {
         infos: &infos,
         artifacts: &artifacts,
+        relaxed: relaxed_artifacts.as_deref(),
         lr_free: &lr_free,
         region_live: &region_live,
         graphs: &graphs,

@@ -62,8 +62,8 @@ pub mod trace;
 pub mod validate;
 
 pub use artifact::{image_cache_key, DfgCache};
-pub use candidate::{Candidate, ExtractionKind, Occurrence};
-pub use optimizer::{Method, Optimizer, OptimizerError, RunConfig};
+pub use candidate::{Candidate, ExtractionKind, Occurrence, RelaxedPair};
+pub use optimizer::{AliasLevel, Method, Optimizer, OptimizerError, RunConfig};
 pub use report::{Report, Round, REPORT_SCHEMA};
 pub use stage::StageTimings;
 pub use validate::ValidateLevel;

@@ -62,6 +62,45 @@ impl fmt::Display for Method {
     }
 }
 
+/// How far memory disambiguation may refine the dependence graphs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AliasLevel {
+    /// Every pair of memory accesses may alias (today's conservative
+    /// MEM-barrier graphs, bit-for-bit).
+    #[default]
+    Off,
+    /// The `gpa_verify::absint` value-set interpreter proves stack
+    /// accesses at distinct frame offsets disjoint; their MEM edges are
+    /// dropped, and every drop is re-certified by the validator (V107).
+    Stack,
+}
+
+impl AliasLevel {
+    /// The stable lowercase name used on the command line and in cache
+    /// keys; [`AliasLevel::parse`] is its inverse.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AliasLevel::Off => "off",
+            AliasLevel::Stack => "stack",
+        }
+    }
+
+    /// Parses an [`AliasLevel::as_str`] name (case-sensitive).
+    pub fn parse(s: &str) -> Option<AliasLevel> {
+        match s {
+            "off" => Some(AliasLevel::Off),
+            "stack" => Some(AliasLevel::Stack),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AliasLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Errors surfaced by the optimizer.
 #[derive(Debug)]
 pub enum OptimizerError {
@@ -115,6 +154,10 @@ pub struct RunConfig {
     /// tracer — like `mining_threads` — is excluded from
     /// [`crate::artifact::image_cache_key`].
     pub tracer: Arc<dyn Tracer>,
+    /// Memory-disambiguation level for the graph miners' DFGs. Changes
+    /// the graphs (and therefore the output), so it participates in
+    /// [`crate::artifact::image_cache_key`].
+    pub alias: AliasLevel,
 }
 
 impl Default for RunConfig {
@@ -125,6 +168,7 @@ impl Default for RunConfig {
             validate: ValidateLevel::default(),
             mining_threads: 1,
             tracer: Arc::new(NoopTracer),
+            alias: AliasLevel::default(),
         }
     }
 }
@@ -216,6 +260,7 @@ impl Optimizer {
                     max_nodes: config.max_fragment_nodes,
                     threads: config.mining_threads,
                     tracer: config.tracer.clone(),
+                    alias: config.alias,
                     ..GraphConfig::default()
                 },
                 timings,
@@ -228,6 +273,7 @@ impl Optimizer {
                     max_nodes: config.max_fragment_nodes,
                     threads: config.mining_threads,
                     tracer: config.tracer.clone(),
+                    alias: config.alias,
                     ..GraphConfig::default()
                 },
                 timings,
@@ -253,12 +299,29 @@ impl Optimizer {
         candidate: &Candidate,
         level: ValidateLevel,
     ) -> Result<String, OptimizerError> {
+        self.apply_candidate_with(candidate, level, AliasLevel::Off)
+    }
+
+    /// [`Optimizer::apply_candidate`] for a candidate detected under
+    /// `alias`: per-round validation additionally re-derives every
+    /// relaxed-MEM-edge claim the candidate carries (V107).
+    ///
+    /// # Errors
+    ///
+    /// See [`Optimizer::apply_candidate`].
+    pub fn apply_candidate_with(
+        &mut self,
+        candidate: &Candidate,
+        level: ValidateLevel,
+        alias: AliasLevel,
+    ) -> Result<String, OptimizerError> {
         let name = format!("{}{}", gpa_cfg::FRAGMENT_PREFIX, self.fragment_counter);
         self.fragment_counter += 1;
         let before = (level == ValidateLevel::EveryRound).then(|| self.program.clone());
         extract::apply(&mut self.program, candidate, &name).map_err(OptimizerError::Extract)?;
         if let Some(before) = before {
-            let diags = validate::validate_extraction(&before, &self.program, candidate, &name);
+            let diags =
+                validate::validate_extraction_with(&before, &self.program, candidate, &name, alias);
             if has_errors(&diags) {
                 return Err(OptimizerError::Validate(diags));
             }
@@ -336,7 +399,7 @@ impl Optimizer {
             let apply_span = gpa_trace::span(config.tracer.as_ref(), "apply");
             let apply_start = Instant::now();
             let round_validated = config.validate == ValidateLevel::EveryRound;
-            let name = self.apply_candidate(&candidate, config.validate)?;
+            let name = self.apply_candidate_with(&candidate, config.validate, config.alias)?;
             let apply_ns = apply_start.elapsed().as_nanos() as u64;
             drop(apply_span);
             // Per-round validation dominates the apply path when on;
@@ -562,6 +625,73 @@ mod tests {
                 + c.get("mine.subtree_skipped")
                 + c.get("mine.stopped_max_nodes")
         );
+    }
+
+    /// Duplicated functions with real stack traffic: locals are spilled
+    /// and reloaded around calls, so conservative MEM edges chain the
+    /// spill slots and stack alias analysis has something to relax.
+    const STACKY: &str = "
+        int h(int x) { return x * 3 + 1; }
+        int a(int x, int y) { int u = h(x); int v = h(y); return u * v + u - v; }
+        int b(int x, int y) { int u = h(x); int v = h(y); return u * v + u - v + 1; }
+        int c(int x, int y) { int u = h(x); int v = h(y); return u * v + u - v + 2; }
+        int main() { putint(a(1, 2) + b(3, 4) + c(5, 6)); return 0; }";
+
+    #[test]
+    fn stack_alias_run_preserves_semantics_and_certifies_claims() {
+        use gpa_trace::CounterTracer;
+        for src in [DUPLICATED, STACKY] {
+            let image = compile(src, &Options::default()).unwrap();
+            let before = Machine::new(&image).run(100_000_000).unwrap();
+            let tracer = Arc::new(CounterTracer::new());
+            let config = RunConfig {
+                alias: AliasLevel::Stack,
+                validate: ValidateLevel::EveryRound,
+                tracer: tracer.clone(),
+                ..RunConfig::default()
+            };
+            let mut opt = Optimizer::from_image(&image).unwrap();
+            let report = opt.run_with(Method::Edgar, &config).unwrap();
+            assert!(report.saved_words() > 0);
+            let optimized = opt.encode().unwrap();
+            let after = Machine::new(&optimized).run(100_000_000).unwrap();
+            assert_eq!(before.exit_code, after.exit_code);
+            assert_eq!(before.output, after.output);
+            let c = tracer.counters();
+            assert!(c.get("absint.points") > 0);
+            assert_eq!(
+                c.get("absint.mem_pairs_examined"),
+                c.get("absint.mem_pairs_disjoint") + c.get("absint.mem_pairs_kept")
+            );
+        }
+    }
+
+    #[test]
+    fn stack_alias_never_saves_less_than_conservative() {
+        for src in [DUPLICATED, STACKY] {
+            let image = compile(src, &Options::default()).unwrap();
+            let saved = |alias: AliasLevel| {
+                let config = RunConfig {
+                    alias,
+                    validate: ValidateLevel::EveryRound,
+                    ..RunConfig::default()
+                };
+                let mut opt = Optimizer::from_image(&image).unwrap();
+                opt.run_with(Method::Edgar, &config).unwrap().saved_words()
+            };
+            let off = saved(AliasLevel::Off);
+            let stack = saved(AliasLevel::Stack);
+            assert!(stack >= off, "stack {stack} < off {off}");
+        }
+    }
+
+    #[test]
+    fn alias_level_names_round_trip() {
+        for level in [AliasLevel::Off, AliasLevel::Stack] {
+            assert_eq!(AliasLevel::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(AliasLevel::parse("both"), None);
+        assert_eq!(AliasLevel::default(), AliasLevel::Off);
     }
 
     #[test]

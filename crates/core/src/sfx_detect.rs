@@ -64,6 +64,7 @@ fn candidate_from_repeat(
                 .collect(),
             kind,
             saved,
+            relaxed: Vec::new(),
         };
         if best
             .as_ref()

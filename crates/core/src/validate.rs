@@ -18,7 +18,14 @@
 //!   encode round trip byte-identically;
 //! * **V105** — the new fragment function has exactly the shape the
 //!   [`ExtractionKind`] promises (wrap, body, return) and the number of
-//!   rewritten sites equals the number of occurrences.
+//!   rewritten sites equals the number of occurrences;
+//! * **V107** — every MEM dependence the detection-side alias analysis
+//!   dropped ([`Candidate::relaxed`]) is re-derived here by running the
+//!   [`gpa_verify::absint`] interpreter from scratch on the pre-rewrite
+//!   program; a claim this validator cannot prove disjoint itself — or
+//!   any claim at all under [`AliasLevel::Off`] — rejects the rewrite.
+//!   Only re-derived pairs are exempted from the memory component of the
+//!   dependence checks above.
 //!
 //! The validator shares no code with the extractor: dependences are
 //! re-derived from [`Item::effects`], liveness comes from
@@ -26,17 +33,25 @@
 //! reconstructed from the [`Candidate`] alone. A bug in either side
 //! surfaces as a disagreement.
 
-use gpa_arm::defuse::conflicts;
+use std::collections::{HashMap, HashSet};
+
+use gpa_arm::defuse::{mem_conflict, reg_or_flag_conflict, Effects};
 use gpa_arm::reg::RegSet;
 use gpa_arm::Reg;
 use gpa_cfg::{decode_image, encode_program, Item, Program};
 use gpa_verify::{
-    lint_program, CallGraph, Code, Diagnostic, FnCfg, FnSummary, LiveState, Liveness, Location,
-    SummaryTransfer,
+    absint, lint_program, AbsEnv, AbsInt, CallGraph, Code, Diagnostic, FnCfg, FnSummary, LiveState,
+    Liveness, Location, SummaryTransfer,
 };
 
 use crate::candidate::{Candidate, ExtractionKind};
 use crate::cost;
+use crate::optimizer::AliasLevel;
+
+/// Claims the validator re-derived, as `(function, earlier, later)`
+/// absolute item-index triples; only these pairs are exempt from the
+/// memory component of the dependence checks.
+type VerifiedClaims = HashSet<(usize, usize, usize)>;
 
 /// When the optimizer re-validates its own rewrites.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -75,12 +90,115 @@ pub fn validate_extraction(
     candidate: &Candidate,
     frag_name: &str,
 ) -> Vec<Diagnostic> {
+    validate_extraction_with(before, after, candidate, frag_name, AliasLevel::Off)
+}
+
+/// [`validate_extraction`] for a candidate detected under `alias`: the
+/// candidate's relaxed-MEM claims are re-derived first (V107), and only
+/// claims that check out are honored by the dependence checks.
+pub fn validate_extraction_with(
+    before: &Program,
+    after: &Program,
+    candidate: &Candidate,
+    frag_name: &str,
+    alias: AliasLevel,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     check_savings(before, after, candidate, &mut diags);
-    check_occurrences(before, candidate, &mut diags);
+    let verified = check_alias_claims(before, candidate, alias, &mut diags);
+    check_occurrences(before, candidate, &verified, &mut diags);
     check_fragment_shape(after, candidate, frag_name, &mut diags);
     check_live_clobbers(after, candidate, frag_name, &mut diags);
     diags
+}
+
+/// V107: re-derives every relaxed-MEM claim with a fresh run of the
+/// abstract interpreter over the *pre-rewrite* program. Returns the
+/// claims that held; each failure (and any claim at all when alias
+/// analysis is off) is reported as an error.
+fn check_alias_claims(
+    before: &Program,
+    candidate: &Candidate,
+    alias: AliasLevel,
+    diags: &mut Vec<Diagnostic>,
+) -> VerifiedClaims {
+    let mut verified = VerifiedClaims::new();
+    if candidate.relaxed.is_empty() {
+        return verified;
+    }
+    if alias == AliasLevel::Off {
+        diags.push(Diagnostic::error(
+            Code::AliasUnsound,
+            Location::program(),
+            format!(
+                "candidate carries {} relaxed-MEM claim(s) but alias analysis is off",
+                candidate.relaxed.len()
+            ),
+        ));
+        return verified;
+    }
+    let graph = CallGraph::build(before);
+    let env = AbsEnv::build(before, &graph);
+    let mut analyses: HashMap<usize, AbsInt> = HashMap::new();
+    for claim in &candidate.relaxed {
+        let Some(f) = before.functions.get(claim.function) else {
+            diags.push(Diagnostic::error(
+                Code::AliasUnsound,
+                Location::program(),
+                format!(
+                    "relaxed-MEM claim references function #{} which does not exist",
+                    claim.function
+                ),
+            ));
+            continue;
+        };
+        if claim.earlier >= claim.later || claim.later >= f.items.len() {
+            diags.push(Diagnostic::error(
+                Code::AliasUnsound,
+                Location::function(&f.name),
+                format!(
+                    "relaxed-MEM claim ({}, {}) is unordered or out of range",
+                    claim.earlier, claim.later
+                ),
+            ));
+            continue;
+        }
+        let analysis = analyses
+            .entry(claim.function)
+            .or_insert_with(|| AbsInt::analyze(f, Some(&env)));
+        let footprint = |idx: usize| {
+            let state = analysis.before.get(idx)?.as_ref()?;
+            absint::resolved_accesses(state, &f.items[idx], Some(&env))
+        };
+        let (Some(a), Some(b)) = (footprint(claim.earlier), footprint(claim.later)) else {
+            diags.push(Diagnostic::error(
+                Code::AliasUnsound,
+                Location::item(&f.name, claim.later),
+                format!(
+                    "relaxed-MEM claim ({}, {}): the validator cannot resolve both \
+                     accesses to based byte intervals",
+                    claim.earlier, claim.later
+                ),
+            ));
+            continue;
+        };
+        if a.iter().all(|x| {
+            b.iter()
+                .all(|y| x.provably_disjoint(y, claim.earlier, claim.later))
+        }) {
+            verified.insert((claim.function, claim.earlier, claim.later));
+        } else {
+            diags.push(Diagnostic::error(
+                Code::AliasUnsound,
+                Location::item(&f.name, claim.later),
+                format!(
+                    "relaxed-MEM claim ({}, {}): the accesses are not provably disjoint",
+                    claim.earlier, claim.later
+                ),
+            ));
+        }
+    }
+    verified
 }
 
 /// Validates a whole program: the structural lints plus the
@@ -132,9 +250,19 @@ fn check_savings(
 }
 
 /// V102: per occurrence, the body must be a dependence-preserving
-/// linearization of the occurrence's items, and the occurrence must be
-/// convex within its region.
-fn check_occurrences(before: &Program, candidate: &Candidate, diags: &mut Vec<Diagnostic>) {
+/// linearization of the occurrence's items, the occurrence must be
+/// convex within its region, and a cross-jump occurrence must be
+/// exit-closed (the rewrite moves every later external item *before*
+/// the fragment, so no dependence may point from a member to one).
+///
+/// Memory dependences between pairs in `verified` are exempt — those
+/// are exactly the claims V107 re-derived.
+fn check_occurrences(
+    before: &Program,
+    candidate: &Candidate,
+    verified: &VerifiedClaims,
+    diags: &mut Vec<Diagnostic>,
+) {
     for (o, occ) in candidate.occurrences.iter().enumerate() {
         let Some(f) = before.functions.get(occ.function) else {
             diags.push(Diagnostic::error(
@@ -179,9 +307,33 @@ fn check_occurrences(before: &Program, candidate: &Candidate, diags: &mut Vec<Di
             ));
             continue;
         }
-        check_linearization(region, &members, candidate, &f.name, o, diags);
-        check_convexity(region, &members, &f.name, o, diags);
+        // Project the verified claims onto this region: region-local
+        // `(earlier, later)` pairs whose MEM dependence may be ignored.
+        let exempt: HashSet<(usize, usize)> = verified
+            .iter()
+            .filter(|&&(func, _, later)| func == occ.function && later < region_end)
+            .filter(|&&(_, earlier, _)| earlier >= occ.region_start)
+            .map(|&(_, earlier, later)| (earlier - occ.region_start, later - occ.region_start))
+            .collect();
+        check_linearization(region, &members, &exempt, candidate, &f.name, o, diags);
+        check_convexity(region, &members, &exempt, &f.name, o, diags);
+        if candidate.kind == ExtractionKind::CrossJump {
+            check_exit_closed(region, &members, &exempt, &f.name, o, diags);
+        }
     }
+}
+
+/// The dependence predicate the occurrence checks share: `u < v` are
+/// region positions; the pair depends unless its only conflict is the
+/// memory one and `(u, v)` is an exempted (V107-verified) pair.
+fn refined_conflict(
+    effects: &[Effects],
+    exempt: &HashSet<(usize, usize)>,
+    u: usize,
+    v: usize,
+) -> bool {
+    reg_or_flag_conflict(&effects[u], &effects[v])
+        || (mem_conflict(&effects[u], &effects[v]) && !exempt.contains(&(u, v)))
 }
 
 /// Matches body items to occurrence items and checks the body order
@@ -194,6 +346,7 @@ fn check_occurrences(before: &Program, candidate: &Candidate, diags: &mut Vec<Di
 fn check_linearization(
     region: &[Item],
     members: &[usize],
+    exempt: &HashSet<(usize, usize)>,
     candidate: &Candidate,
     fname: &str,
     o: usize,
@@ -220,7 +373,7 @@ fn check_linearization(
             let (u, v) = (matched[b], matched[b2]);
             // The body emits u before v; if the two depend on each other
             // the original order must agree.
-            if u > v && conflicts(&effects[u], &effects[v]) {
+            if u > v && refined_conflict(&effects, exempt, v, u) {
                 diags.push(Diagnostic::error(
                     Code::BadLinearization,
                     Location::item(fname, u),
@@ -240,6 +393,7 @@ fn check_linearization(
 fn check_convexity(
     region: &[Item],
     members: &[usize],
+    exempt: &HashSet<(usize, usize)>,
     fname: &str,
     o: usize,
     diags: &mut Vec<Diagnostic>,
@@ -252,7 +406,7 @@ fn check_convexity(
     let mut reach = vec![vec![0u64; words]; n];
     for u in (0..n).rev() {
         for v in (u + 1)..n {
-            if conflicts(&effects[u], &effects[v]) {
+            if refined_conflict(&effects, exempt, u, v) {
                 reach[u][v / 64] |= 1 << (v % 64);
                 let (head, tail) = reach.split_at_mut(v);
                 for (w, bits) in tail[0].iter().enumerate() {
@@ -286,6 +440,44 @@ fn check_convexity(
                 ),
             ));
             return;
+        }
+    }
+}
+
+/// Checks a cross-jump occurrence is exit-closed: the rewrite keeps the
+/// region's external items in place and replaces the members with a
+/// trailing tail-call, so every external item *after* a member ends up
+/// executing *before* it. No dependence may point from a member to a
+/// later external item.
+fn check_exit_closed(
+    region: &[Item],
+    members: &[usize],
+    exempt: &HashSet<(usize, usize)>,
+    fname: &str,
+    o: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let is_member = {
+        let mut set = vec![false; region.len()];
+        for &m in members {
+            set[m] = true;
+        }
+        set
+    };
+    let effects: Vec<_> = region.iter().map(Item::effects).collect();
+    for &u in members {
+        for (w, &member) in is_member.iter().enumerate().skip(u + 1) {
+            if !member && refined_conflict(&effects, exempt, u, w) {
+                diags.push(Diagnostic::error(
+                    Code::BadLinearization,
+                    Location::item(fname, w),
+                    format!(
+                        "occurrence {o} is not exit-closed: fragment item at region \
+                         position {u} has a dependence into later external position {w}"
+                    ),
+                ));
+                return;
+            }
         }
     }
 }
@@ -593,6 +785,7 @@ mod tests {
                 },
             ],
             kind,
+            relaxed: Vec::new(),
         };
         (p, candidate)
     }
@@ -651,9 +844,10 @@ mod tests {
             }],
             kind: ExtractionKind::Procedure { lr_save: false },
             saved: 1,
+            relaxed: Vec::new(),
         };
         let mut diags = Vec::new();
-        check_occurrences(&p, &c, &mut diags);
+        check_occurrences(&p, &c, &VerifiedClaims::new(), &mut diags);
         assert!(diags.iter().any(|d| d.code == Code::BadLinearization));
     }
 
@@ -702,6 +896,7 @@ mod tests {
                 },
             ],
             kind,
+            relaxed: Vec::new(),
         };
         let after = applied(&p, &c);
         let diags = validate_extraction(&p, &after, &c, "__gpa_frag0");
@@ -744,10 +939,155 @@ mod tests {
                 },
             ],
             kind: ExtractionKind::CrossJump,
+            relaxed: Vec::new(),
         };
         let after = applied(&p, &c);
         let diags = validate_extraction(&p, &after, &c, "__gpa_frag0");
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// A function with two provably disjoint stack stores (entry-sp
+    /// ranges [-8, -4) and [-4, 0)) and a load overlapping the first.
+    fn stack_slots_fn() -> Program {
+        program(vec![func(
+            "f",
+            &[
+                "sub sp, sp, #8",
+                "str r0, [sp]",
+                "str r1, [sp, #4]",
+                "ldr r2, [sp]",
+                "add sp, sp, #8",
+                "bx lr",
+            ],
+        )])
+    }
+
+    fn claim(function: usize, earlier: usize, later: usize) -> crate::candidate::RelaxedPair {
+        crate::candidate::RelaxedPair {
+            function,
+            earlier,
+            later,
+        }
+    }
+
+    fn claim_only_candidate(relaxed: Vec<crate::candidate::RelaxedPair>) -> Candidate {
+        Candidate {
+            body: Vec::new(),
+            occurrences: Vec::new(),
+            kind: ExtractionKind::Procedure { lr_save: false },
+            saved: 0,
+            relaxed,
+        }
+    }
+
+    #[test]
+    fn disjoint_stack_claim_is_re_derived() {
+        let p = stack_slots_fn();
+        let c = claim_only_candidate(vec![claim(0, 1, 2)]);
+        let mut diags = Vec::new();
+        let verified = check_alias_claims(&p, &c, AliasLevel::Stack, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(verified.contains(&(0, 1, 2)));
+    }
+
+    #[test]
+    fn overlapping_claim_rejected() {
+        let p = stack_slots_fn();
+        // Items 1 and 3 both touch [-8, -4): the claim is a lie.
+        let c = claim_only_candidate(vec![claim(0, 1, 3)]);
+        let mut diags = Vec::new();
+        let verified = check_alias_claims(&p, &c, AliasLevel::Stack, &mut diags);
+        assert!(verified.is_empty());
+        assert!(diags.iter().any(|d| d.code == Code::AliasUnsound));
+    }
+
+    #[test]
+    fn unresolvable_and_out_of_range_claims_rejected() {
+        let p = stack_slots_fn();
+        // Item 0 is not a memory access the interpreter can bound against
+        // item 5 (`bx lr`), and (9, 3) is unordered.
+        let c = claim_only_candidate(vec![claim(0, 9, 3), claim(7, 1, 2)]);
+        let mut diags = Vec::new();
+        let verified = check_alias_claims(&p, &c, AliasLevel::Stack, &mut diags);
+        assert!(verified.is_empty());
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == Code::AliasUnsound)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn any_claim_rejected_when_alias_off() {
+        let p = stack_slots_fn();
+        let c = claim_only_candidate(vec![claim(0, 1, 2)]);
+        let mut diags = Vec::new();
+        let verified = check_alias_claims(&p, &c, AliasLevel::Off, &mut diags);
+        assert!(verified.is_empty());
+        assert!(diags.iter().any(|d| d.code == Code::AliasUnsound));
+    }
+
+    #[test]
+    fn verified_claim_permits_relaxed_linearization() {
+        let p = stack_slots_fn();
+        // Body emits the two stores swapped relative to region order:
+        // only legal because their footprints are disjoint.
+        let c = Candidate {
+            body: vec![insn("str r1, [sp, #4]"), insn("str r0, [sp]")],
+            occurrences: vec![Occurrence {
+                function: 0,
+                region_start: 0,
+                region_len: 6,
+                item_indices: vec![1, 2],
+            }],
+            kind: ExtractionKind::Procedure { lr_save: false },
+            saved: 0,
+            relaxed: vec![claim(0, 1, 2)],
+        };
+        let mut conservative = Vec::new();
+        check_occurrences(&p, &c, &VerifiedClaims::new(), &mut conservative);
+        assert!(conservative
+            .iter()
+            .any(|d| d.code == Code::BadLinearization));
+        let mut diags = Vec::new();
+        let verified = check_alias_claims(&p, &c, AliasLevel::Stack, &mut diags);
+        check_occurrences(&p, &c, &verified, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cross_jump_exit_escape_caught() {
+        // Member 1 stores through r1; external item 2 loads the same
+        // address *after* it. The cross-jump rewrite would move the load
+        // before the store — the validator must reject this even though
+        // the occurrence is convex under the classic Fig. 9 test.
+        let f = func(
+            "f",
+            &["mov r0, #1", "str r0, [r1]", "ldr r2, [r1]", "pop {r4, pc}"],
+        );
+        let p = program(vec![f]);
+        let c = Candidate {
+            body: vec![insn("str r0, [r1]"), insn("pop {r4, pc}")],
+            occurrences: vec![Occurrence {
+                function: 0,
+                region_start: 0,
+                region_len: 4,
+                item_indices: vec![1, 3],
+            }],
+            kind: ExtractionKind::CrossJump,
+            saved: 1,
+            relaxed: Vec::new(),
+        };
+        let mut diags = Vec::new();
+        check_occurrences(&p, &c, &VerifiedClaims::new(), &mut diags);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::BadLinearization && d.message.contains("not exit-closed")),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -92,6 +92,118 @@ impl DepMask {
     pub fn is_empty(self) -> bool {
         self.0 == 0
     }
+
+    /// The mask with the bits of `other` removed.
+    pub fn without(self, other: DepMask) -> DepMask {
+        DepMask(self.0 & !other.0)
+    }
+}
+
+/// The address space an [`AliasInterval`] lives in.
+///
+/// Intervals only compare within one base: offsets from the entry stack
+/// pointer (`Sp`), absolute addresses (`Abs`), or offsets from an opaque
+/// symbolic pointer (`Sym`). Two different symbols — or a symbol against
+/// `Sp`/`Abs` — may refer to the same bytes, so cross-base pairs are
+/// never provably disjoint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AliasBase {
+    /// Byte offsets from the function-entry stack pointer.
+    Sp,
+    /// Absolute addresses.
+    Abs,
+    /// Offsets from the opaque value named by `sym`. When the value is
+    /// produced *inside* the region, `def` holds the producing node's
+    /// region-relative index: a pair that straddles that node compares
+    /// pointers from different instants (the def may re-execute between
+    /// the two accesses) and must not be relaxed.
+    Sym {
+        /// External analysis' symbol id (opaque to this crate).
+        sym: u32,
+        /// Region-relative defining node, when the def is in-region.
+        def: Option<usize>,
+    },
+}
+
+/// One proved footprint interval: the half-open byte range `[lo, hi)`
+/// within `base`'s address space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AliasInterval {
+    /// Address space the range is relative to.
+    pub base: AliasBase,
+    /// Inclusive lower byte offset.
+    pub lo: i64,
+    /// Exclusive upper byte offset.
+    pub hi: i64,
+}
+
+/// Per-node memory footprints of one region, proved by an external
+/// analysis (the `gpa-verify` abstract interpreter) and consumed by
+/// [`build_dfg_from_items_with`] to drop provably spurious MEM edges.
+///
+/// The oracle is plain data so this crate stays analysis-agnostic: slot
+/// `k` describes region node `k`. `Some(intervals)` asserts that *every*
+/// memory access the node can perform lies inside the listed
+/// [`AliasInterval`]s. `None` means the node is unresolved — it may
+/// touch anything.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AliasOracle {
+    /// Per region node, the proved footprint (`None` = unresolved).
+    pub slots: Vec<Option<Vec<AliasInterval>>>,
+}
+
+impl AliasOracle {
+    /// Whether region nodes `i < j` provably touch disjoint bytes. Only
+    /// two *resolved* nodes can be disjoint (a resolved access and an
+    /// unresolved one may still collide). Within one base the ranges
+    /// must not overlap; symbolic bases must be the *same* symbol whose
+    /// defining node does not lie strictly between `i` and `j`. Of the
+    /// cross-base pairs only `Sp`/`Abs` is disjoint — the stack never
+    /// descends into the static image absent stack overflow, which the
+    /// rewrite assumes away — while a symbol may alias anything.
+    pub fn disjoint(&self, i: usize, j: usize) -> bool {
+        let (Some(Some(a)), Some(Some(b))) = (self.slots.get(i), self.slots.get(j)) else {
+            return false;
+        };
+        a.iter().all(|x| {
+            b.iter().all(|y| match (x.base, y.base) {
+                (AliasBase::Sp, AliasBase::Abs) | (AliasBase::Abs, AliasBase::Sp) => true,
+                (AliasBase::Sp, AliasBase::Sp) | (AliasBase::Abs, AliasBase::Abs) => {
+                    x.hi <= y.lo || y.hi <= x.lo
+                }
+                (AliasBase::Sym { sym: sa, def }, AliasBase::Sym { sym: sb, .. }) => {
+                    sa == sb
+                        && def.is_none_or(|d| !(i < d && d < j))
+                        && (x.hi <= y.lo || y.hi <= x.lo)
+                }
+                _ => false,
+            })
+        })
+    }
+}
+
+/// How many MEM-carrying pairs an oracle-assisted build examined and how
+/// many it proved disjoint (`relaxed`). `examined - disjoint` pairs kept
+/// their MEM edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RelaxStats {
+    /// Item pairs whose conservative dependence included MEM.
+    pub mem_pairs_examined: u64,
+    /// Of those, pairs the oracle proved disjoint (MEM bit dropped).
+    pub mem_pairs_disjoint: u64,
+}
+
+/// An oracle-assisted DFG build: the graph plus the audit trail the
+/// translation validator needs to re-certify every dropped MEM bit.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RelaxedDfg {
+    /// The (possibly relaxed) dependence graph.
+    pub dfg: Dfg,
+    /// Node pairs `(earlier, later)` whose MEM bit was dropped on the
+    /// oracle's word — each is a claim to be independently re-derived.
+    pub relaxed: Vec<(usize, usize)>,
+    /// Examination counters for tracing.
+    pub stats: RelaxStats,
 }
 
 /// Computes the dependence kinds between an earlier and a later item.
@@ -221,7 +333,7 @@ impl Dfg {
         use std::fmt::Write;
         let mut out = String::from("digraph dfg {\n  rankdir=TB;\n");
         for (i, l) in self.labels.iter().enumerate() {
-            let _ = writeln!(out, "  n{i} [label=\"{l}\"];");
+            let _ = writeln!(out, "  n{i} [label=\"{}\"];", dot_escape(l));
         }
         for e in &self.edges {
             let _ = writeln!(out, "  n{} -> n{};", e.from, e.to);
@@ -229,6 +341,19 @@ impl Dfg {
         out.push_str("}\n");
         out
     }
+}
+
+/// Escapes a node label for a double-quoted dot string: `\` and `"` are
+/// the only characters dot treats specially there.
+fn dot_escape(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c == '\\' || c == '"' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
 }
 
 /// Builds the DFG of a region (see [`build_dfg_from_items`]).
@@ -248,6 +373,27 @@ pub fn build_dfg_from_items(
     items: &[Item],
     mode: LabelMode,
 ) -> Dfg {
+    build_dfg_from_items_with(function, region_start, items, mode, None).dfg
+}
+
+/// Builds the dependence DAG with an optional [`AliasOracle`].
+///
+/// When a pair of items conservatively carries a MEM dependence and the
+/// oracle proves their footprints disjoint, the MEM bit is dropped (and
+/// the whole pair, if nothing else connects it); every drop is recorded
+/// in [`RelaxedDfg::relaxed`]. With `None` the result is bit-for-bit the
+/// conservative graph of [`build_dfg_from_items`].
+///
+/// # Panics
+///
+/// Panics if `items` contains a label (labels never occur inside regions).
+pub fn build_dfg_from_items_with(
+    function: &str,
+    region_start: usize,
+    items: &[Item],
+    mode: LabelMode,
+    oracle: Option<&AliasOracle>,
+) -> RelaxedDfg {
     assert!(
         items.iter().all(|i| !matches!(i, Item::Label(_))),
         "regions never contain labels"
@@ -260,11 +406,24 @@ pub fn build_dfg_from_items(
             LabelMode::Canonical => canon::canonical_label(i),
         })
         .collect();
-    // Direct conflicts.
+    // Direct conflicts, MEM bits relaxed where the oracle proves the
+    // footprints disjoint.
+    let mut relaxed: Vec<(usize, usize)> = Vec::new();
+    let mut stats = RelaxStats::default();
     let mut direct: Vec<(usize, usize, DepMask)> = Vec::new();
     for j in 1..n {
         for i in 0..j {
-            let mask = dep_between(&items[i], &items[j]);
+            let mut mask = dep_between(&items[i], &items[j]);
+            if mask.contains(DepMask::MEM) {
+                if let Some(oracle) = oracle {
+                    stats.mem_pairs_examined += 1;
+                    if oracle.disjoint(i, j) {
+                        stats.mem_pairs_disjoint += 1;
+                        relaxed.push((i, j));
+                        mask = mask.without(DepMask::MEM);
+                    }
+                }
+            }
             if !mask.is_empty() {
                 direct.push((i, j, mask));
             }
@@ -310,14 +469,18 @@ pub fn build_dfg_from_items(
         succs[e.from].push(idx);
         preds[e.to].push(idx);
     }
-    Dfg {
-        function: function.to_owned(),
-        region_start,
-        labels,
-        items: items.to_vec(),
-        edges,
-        preds,
-        succs,
+    RelaxedDfg {
+        dfg: Dfg {
+            function: function.to_owned(),
+            region_start,
+            labels,
+            items: items.to_vec(),
+            edges,
+            preds,
+            succs,
+        },
+        relaxed,
+        stats,
     }
 }
 
@@ -432,6 +595,94 @@ mod tests {
         let dot = dfg_of("ldr r3, [r1]\nadd r2, r2, r3").to_dot();
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("n0 -> n1"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_and_backslashes_in_labels() {
+        let mut dfg = dfg_of("mov r0, #1");
+        dfg.labels[0] = r#"say "hi" \ bye"#.into();
+        let dot = dfg.to_dot();
+        assert!(dot.contains(r#"[label="say \"hi\" \\ bye"]"#), "{dot}");
+    }
+
+    fn items_of(asm: &str) -> Vec<Item> {
+        parse_listing(asm)
+            .unwrap()
+            .into_iter()
+            .map(Item::Insn)
+            .collect()
+    }
+
+    fn sp(lo: i64, hi: i64) -> AliasInterval {
+        AliasInterval {
+            base: AliasBase::Sp,
+            lo,
+            hi,
+        }
+    }
+
+    #[test]
+    fn oracle_relaxes_disjoint_stack_accesses() {
+        // str [sp] / ldr [sp, #4]: conservatively MEM-ordered, provably
+        // disjoint slots.
+        let items = items_of("str r0, [sp]\nldr r1, [sp, #4]");
+        let oracle = AliasOracle {
+            slots: vec![Some(vec![sp(0, 4)]), Some(vec![sp(4, 8)])],
+        };
+        let r = build_dfg_from_items_with("t", 0, &items, LabelMode::Exact, Some(&oracle));
+        assert_eq!(r.dfg.edge_count(), 0);
+        assert_eq!(r.relaxed, vec![(0, 1)]);
+        assert_eq!(r.stats.mem_pairs_examined, 1);
+        assert_eq!(r.stats.mem_pairs_disjoint, 1);
+    }
+
+    #[test]
+    fn oracle_keeps_overlapping_and_unresolved_pairs() {
+        let items = items_of("str r0, [sp]\nldr r1, [sp]\nstr r2, [r6]");
+        // Node 1 overlaps node 0; node 2 is unresolved.
+        let oracle = AliasOracle {
+            slots: vec![Some(vec![sp(0, 4)]), Some(vec![sp(0, 4)]), None],
+        };
+        let r = build_dfg_from_items_with("t", 0, &items, LabelMode::Exact, Some(&oracle));
+        assert!(r.relaxed.is_empty());
+        // Pairs (0,1), (0,2), (1,2) all carry MEM conservatively.
+        assert_eq!(r.stats.mem_pairs_examined, 3);
+        assert_eq!(r.stats.mem_pairs_disjoint, 0);
+        assert!(r
+            .dfg
+            .edges()
+            .iter()
+            .any(|e| e.from == 0 && e.to == 1 && e.kinds.contains(DepMask::MEM)));
+    }
+
+    #[test]
+    fn relaxing_mem_keeps_other_dependence_kinds() {
+        // The register RAW on r0 must survive even when the MEM bit goes.
+        let items = items_of("str r0, [sp]\nldr r0, [sp, #4]");
+        let oracle = AliasOracle {
+            slots: vec![Some(vec![sp(0, 4)]), Some(vec![sp(4, 8)])],
+        };
+        let r = build_dfg_from_items_with("t", 0, &items, LabelMode::Exact, Some(&oracle));
+        assert_eq!(r.relaxed, vec![(0, 1)]);
+        let e = r
+            .dfg
+            .edges()
+            .iter()
+            .find(|e| e.from == 0 && e.to == 1)
+            .unwrap();
+        assert!(e.kinds.contains(DepMask::ANTI));
+        assert!(!e.kinds.contains(DepMask::MEM));
+    }
+
+    #[test]
+    fn no_oracle_matches_the_conservative_builder_exactly() {
+        let asm = "str r0, [sp]\nldr r1, [sp, #4]\nadd r1, r1, r0\nstr r1, [sp]";
+        let items = items_of(asm);
+        let plain = build_dfg_from_items("t", 0, &items, LabelMode::Exact);
+        let with = build_dfg_from_items_with("t", 0, &items, LabelMode::Exact, None);
+        assert_eq!(plain, with.dfg);
+        assert!(with.relaxed.is_empty());
+        assert_eq!(with.stats, RelaxStats::default());
     }
 
     #[test]

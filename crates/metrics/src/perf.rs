@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use gpa::json::Json;
 use gpa::stage::STAGE_NAMES;
-use gpa::{Method, Report, RunConfig, ValidateLevel};
+use gpa::{AliasLevel, Method, Report, RunConfig, ValidateLevel};
 use gpa_minicc::Options;
 use gpa_pipeline::{run_batch, BatchConfig, BatchInput};
 use gpa_trace::{LogHistogram, SpanNode, SpanTree};
@@ -29,6 +29,8 @@ pub struct PerfConfig {
     pub schedule: bool,
     /// Validation level for the optimization runs.
     pub validate: ValidateLevel,
+    /// Alias-analysis level for the optimization runs.
+    pub alias: AliasLevel,
     /// Collect a hierarchical span profile alongside the metrics.
     pub profile: bool,
 }
@@ -44,6 +46,7 @@ impl Default for PerfConfig {
             jobs: 0,
             schedule: true,
             validate: ValidateLevel::Final,
+            alias: AliasLevel::default(),
             profile: false,
         }
     }
@@ -142,6 +145,7 @@ pub fn run_perf(config: &PerfConfig) -> Result<PerfReport, String> {
             method,
             run: RunConfig {
                 validate: config.validate,
+                alias: config.alias,
                 ..RunConfig::default()
             },
             cache_dir: None,

@@ -49,6 +49,23 @@ pub enum Code {
     UndefinedCallTarget,
     /// V009: two functions share one name.
     DuplicateFunction,
+    /// V010: a return is reached with the stack pointer displaced from
+    /// its function-entry value (the frame is not fully deallocated, or
+    /// is over-popped).
+    StackImbalance,
+    /// V011: a load reads a stack slot of the function's own frame that
+    /// no store in the function ever writes.
+    ReadUnwrittenSlot,
+    /// V012: a word-sized access lands at a stack offset that is not
+    /// 4-byte aligned relative to the function-entry `sp`.
+    MisalignedSlot,
+    /// V013: a store writes a stack slot of the function's own frame
+    /// that no load ever reads — dead once the frame is deallocated at
+    /// return.
+    DeadStackStore,
+    /// V014: a stack address (an `sp`-relative value held in a general
+    /// register) is itself stored to memory — the frame address escapes.
+    SpEscape,
     /// V101: the reported savings disagree with the cost model or the
     /// actual instruction-count delta.
     SavingsMismatch,
@@ -66,6 +83,10 @@ pub enum Code {
     BadFragmentShape,
     /// V106: the image cannot be lifted at all.
     Undecodable,
+    /// V107: a MEM dependence edge was relaxed on the strength of an
+    /// alias-analysis claim that the validator's independent re-run of
+    /// the abstract interpreter cannot re-derive.
+    AliasUnsound,
 }
 
 impl Code {
@@ -81,12 +102,18 @@ impl Code {
             Code::LrDiscipline => "V007",
             Code::UndefinedCallTarget => "V008",
             Code::DuplicateFunction => "V009",
+            Code::StackImbalance => "V010",
+            Code::ReadUnwrittenSlot => "V011",
+            Code::MisalignedSlot => "V012",
+            Code::DeadStackStore => "V013",
+            Code::SpEscape => "V014",
             Code::SavingsMismatch => "V101",
             Code::BadLinearization => "V102",
             Code::LiveClobber => "V103",
             Code::RoundTrip => "V104",
             Code::BadFragmentShape => "V105",
             Code::Undecodable => "V106",
+            Code::AliasUnsound => "V107",
         }
     }
 }

@@ -28,11 +28,13 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod callgraph;
 pub mod dataflow;
 pub mod diag;
 pub mod lint;
 
+pub use absint::{AbsAccess, AbsEnv, AbsInt, AbsValue, AccessBase, RegState};
 pub use callgraph::{CallGraph, FnSummary, SummaryTransfer};
 pub use dataflow::{
     EffectsTransfer, FnCfg, GenKill, ItemTransfer, LiveState, Liveness, ReachingDefs,

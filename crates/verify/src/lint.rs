@@ -11,6 +11,8 @@ use gpa_arm::{decode as decode_word, Instruction, Reg};
 use gpa_cfg::{decode_image, FunctionCode, Item, LabelId, Literal, Program, FRAGMENT_PREFIX};
 use gpa_image::{Image, SymbolKind};
 
+use crate::absint::{self, AbsAccess, AbsEnv, AbsInt, AbsValue, AccessBase};
+use crate::callgraph::CallGraph;
 use crate::dataflow::FnCfg;
 use crate::diag::{Code, Diagnostic, Location};
 
@@ -25,12 +27,15 @@ pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     lint_duplicate_functions(program, &mut diags);
     let names: HashSet<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
+    let graph = CallGraph::build(program);
+    let env = AbsEnv::build(program, &graph);
     for f in &program.functions {
         lint_labels(f, &mut diags);
         lint_reachability(f, &mut diags);
         lint_fall_through(f, &mut diags);
         lint_literal_range(f, &mut diags);
         lint_call_targets(f, &names, &mut diags);
+        lint_stack_discipline(f, &env, &mut diags);
         if f.name.starts_with(FRAGMENT_PREFIX) {
             lint_lr_discipline(f, &mut diags);
         }
@@ -249,6 +254,163 @@ fn lint_lr_discipline(f: &FunctionCode, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// V010–V014: the stack-discipline lints, driven by the value-set
+/// abstract interpreter ([`crate::absint`]).
+///
+/// All five are warnings — they flag suspicious but not provably wrong
+/// code, and the whole-frame claims (V011/V013) are only made when every
+/// reachable memory access of the function resolves to a known stack
+/// slot. Extracted fragments are exempt from the frame-shaped checks
+/// (V010/V011/V013): they operate inside their caller's frame, and
+/// merged epilogues legitimately return with `sp` displaced.
+fn lint_stack_discipline(f: &FunctionCode, env: &AbsEnv, diags: &mut Vec<Diagnostic>) {
+    let a = AbsInt::analyze(f, Some(env));
+    let is_fragment = f.name.starts_with(FRAGMENT_PREFIX);
+
+    // Per item, the resolved memory accesses (None = unresolvable).
+    let resolved: Vec<Option<Vec<AbsAccess>>> = f
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            a.before[i]
+                .as_ref()
+                .and_then(|state| absint::resolved_accesses(state, item, Some(env)))
+        })
+        .collect();
+
+    // V010 — every (unconditional) return must restore sp to its entry
+    // value. Tail calls are not checked: a cross-jumped epilogue
+    // finishes the unwind in the shared fragment.
+    if !is_fragment {
+        for (i, item) in f.items.iter().enumerate() {
+            let Item::Insn(insn) = item else { continue };
+            if !item.is_return() || !insn.cond().is_always() {
+                continue;
+            }
+            let Some(before) = a.before[i] else { continue };
+            let mut after = before;
+            absint::transfer(&mut after, item, i, Some(env));
+            if let AbsValue::SpRel(d) = after.get(Reg::SP) {
+                if d != 0 {
+                    diags.push(Diagnostic::warning(
+                        Code::StackImbalance,
+                        Location::item(&f.name, i),
+                        format!("returns with sp displaced {d:+} bytes from its entry value"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // V012 — word-sized accesses must land 4-byte aligned relative to
+    // the (8-byte-aligned) entry sp.
+    for (i, accesses) in resolved.iter().enumerate() {
+        let Some(accesses) = accesses else { continue };
+        for acc in accesses {
+            if acc.base == AccessBase::Sp && acc.hi - acc.lo >= 4 && acc.lo.rem_euclid(4) != 0 {
+                diags.push(Diagnostic::warning(
+                    Code::MisalignedSlot,
+                    Location::item(&f.name, i),
+                    format!("word access at sp{:+} is not 4-byte aligned", acc.lo),
+                ));
+            }
+        }
+    }
+
+    // V014 — a stored value that is itself a stack address: the frame
+    // escapes into memory.
+    for (i, item) in f.items.iter().enumerate() {
+        let Some(state) = a.before[i] else { continue };
+        let Item::Insn(insn) = item else { continue };
+        let stored: Vec<Reg> = match *insn {
+            Instruction::Mem {
+                op: gpa_arm::MemOp::Str,
+                rd,
+                ..
+            } => vec![rd],
+            Instruction::Block {
+                op: gpa_arm::MemOp::Str,
+                regs,
+                ..
+            } => regs.iter().collect(),
+            _ => continue,
+        };
+        for r in stored {
+            if let AbsValue::SpRel(d) = state.get(r) {
+                diags.push(Diagnostic::warning(
+                    Code::SpEscape,
+                    Location::item(&f.name, i),
+                    format!("stores {r}, which holds the stack address sp{d:+}"),
+                ));
+            }
+        }
+    }
+
+    // V011/V013 — whole-frame claims, made only when every reachable
+    // memory access resolves to a *stack* slot (a single unknown,
+    // symbolic, or absolute pointer could alias any slot) and the
+    // function never tail-calls away: a tail call — e.g. into a merged
+    // epilogue fragment — continues executing in this frame, so its
+    // reads and writes are invisible here.
+    let tail_calls = f
+        .items
+        .iter()
+        .enumerate()
+        .any(|(i, item)| a.before[i].is_some() && matches!(item, Item::TailCall { .. }));
+    let all_resolved = (0..f.items.len()).all(|i| {
+        a.before[i].is_none()
+            || resolved[i]
+                .as_ref()
+                .is_some_and(|accs| accs.iter().all(|acc| acc.base == AccessBase::Sp))
+    });
+    if is_fragment || tail_calls || !all_resolved {
+        return;
+    }
+    let flat = |store: bool| -> Vec<AbsAccess> {
+        resolved
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|acc| acc.store == store)
+            .copied()
+            .collect()
+    };
+    let stores = flat(true);
+    let loads = flat(false);
+    for (i, accesses) in resolved.iter().enumerate() {
+        let Some(accesses) = accesses else { continue };
+        for acc in accesses {
+            // Only slots strictly below the entry sp belong to this
+            // function's own frame; higher offsets are the caller's.
+            if acc.hi > 0 {
+                continue;
+            }
+            if !acc.store && stores.iter().all(|s| s.disjoint(acc)) {
+                diags.push(Diagnostic::warning(
+                    Code::ReadUnwrittenSlot,
+                    Location::item(&f.name, i),
+                    format!(
+                        "reads stack bytes sp{:+}..sp{:+}, which no store in the function writes",
+                        acc.lo, acc.hi
+                    ),
+                ));
+            }
+            if acc.store && loads.iter().all(|l| l.disjoint(acc)) {
+                diags.push(Diagnostic::warning(
+                    Code::DeadStackStore,
+                    Location::item(&f.name, i),
+                    format!(
+                        "stores stack bytes sp{:+}..sp{:+}, which are never read before the \
+                         frame is deallocated",
+                        acc.lo, acc.hi
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// Image-level symbol sanity: function extents must be aligned, inside
 /// the code section, and non-overlapping; the entry point must be a
 /// function.
@@ -371,6 +533,7 @@ fn lint_raw_branches(image: &Image, diags: &mut Vec<Diagnostic>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diag::has_errors;
     use gpa_arm::Cond;
 
     fn insn(text: &str) -> Item {
@@ -555,6 +718,123 @@ mod tests {
             func("helper", vec![insn("bx lr")], 0),
         ]);
         assert!(lint_program(&p).is_empty(), "{:?}", lint_program(&p));
+    }
+
+    #[test]
+    fn stack_imbalance_fires_and_balanced_frames_are_clean() {
+        let p = program(vec![func(
+            "f",
+            vec![insn("sub sp, sp, #8"), insn("bx lr")],
+            0,
+        )]);
+        let diags = lint_program(&p);
+        assert!(codes(&diags).contains(&Code::StackImbalance));
+        assert!(!has_errors(&diags), "V010 must be a warning: {diags:?}");
+
+        let p = program(vec![func(
+            "g",
+            vec![
+                insn("push {r4, lr}"),
+                insn("sub sp, sp, #16"),
+                insn("str r0, [sp]"),
+                insn("ldr r4, [sp]"),
+                insn("add sp, sp, #16"),
+                insn("pop {r4, pc}"),
+            ],
+            0,
+        )]);
+        assert!(lint_program(&p).is_empty(), "{:?}", lint_program(&p));
+    }
+
+    #[test]
+    fn read_of_unwritten_slot_fires() {
+        let p = program(vec![func(
+            "f",
+            vec![
+                insn("sub sp, sp, #8"),
+                insn("ldr r0, [sp]"),
+                insn("add sp, sp, #8"),
+                insn("bx lr"),
+            ],
+            0,
+        )]);
+        assert!(codes(&lint_program(&p)).contains(&Code::ReadUnwrittenSlot));
+    }
+
+    #[test]
+    fn dead_store_before_return_fires() {
+        let p = program(vec![func(
+            "f",
+            vec![
+                insn("sub sp, sp, #8"),
+                insn("str r0, [sp, #4]"),
+                insn("add sp, sp, #8"),
+                insn("bx lr"),
+            ],
+            0,
+        )]);
+        assert!(codes(&lint_program(&p)).contains(&Code::DeadStackStore));
+    }
+
+    #[test]
+    fn misaligned_word_access_fires() {
+        let p = program(vec![func(
+            "f",
+            vec![
+                insn("sub sp, sp, #8"),
+                insn("str r0, [sp, #2]"),
+                insn("ldr r1, [sp, #2]"),
+                insn("add sp, sp, #8"),
+                insn("bx lr"),
+            ],
+            0,
+        )]);
+        assert!(codes(&lint_program(&p)).contains(&Code::MisalignedSlot));
+        // Byte accesses have no alignment requirement.
+        let p = program(vec![func(
+            "g",
+            vec![
+                insn("sub sp, sp, #8"),
+                insn("strb r0, [sp, #2]"),
+                insn("ldrb r1, [sp, #2]"),
+                insn("add sp, sp, #8"),
+                insn("bx lr"),
+            ],
+            0,
+        )]);
+        assert!(lint_program(&p).is_empty(), "{:?}", lint_program(&p));
+    }
+
+    #[test]
+    fn sp_escape_fires() {
+        let p = program(vec![func(
+            "f",
+            vec![insn("mov r4, sp"), insn("str r4, [r5]"), insn("bx lr")],
+            0,
+        )]);
+        assert!(codes(&lint_program(&p)).contains(&Code::SpEscape));
+    }
+
+    #[test]
+    fn unknown_pointer_suppresses_frame_claims() {
+        // The store through r5 could write any slot, so the later read
+        // of an apparently-unwritten slot must not be reported.
+        let p = program(vec![func(
+            "f",
+            vec![
+                insn("sub sp, sp, #8"),
+                insn("str r0, [r5]"),
+                insn("ldr r0, [sp]"),
+                insn("add sp, sp, #8"),
+                insn("bx lr"),
+            ],
+            0,
+        )]);
+        let diags = lint_program(&p);
+        assert!(
+            !codes(&diags).contains(&Code::ReadUnwrittenSlot),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -89,16 +89,36 @@ if [ "$cold_det" != "$traced_det" ]; then
 fi
 echo "verify: trace smoke OK"
 
-# Perf gate: run the benchmark harness over the full kernel corpus and
-# refresh BENCH_gpa.json at the repo root. When a committed baseline
-# exists, gate the fresh run against it first: a compression regression
-# (exit 2) fails verification, latency drift beyond the tolerance
+# Lint gate: every bundled kernel must pass the V010–V014 stack lints
+# with zero errors (warnings are allowed — `lint` exits non-zero only
+# on error-severity findings or an undecodable image).
+for k in bitcnts crc dijkstra patricia qsort rijndael search sha; do
+    "$GPA" build-bench "$k" -o "$WORK/lint_$k.img" >/dev/null
+    if ! "$GPA" lint "$WORK/lint_$k.img" >/dev/null 2>"$WORK/lint_$k.log"; then
+        echo "verify: lint errors on $k:" >&2
+        cat "$WORK/lint_$k.log" >&2
+        exit 1
+    fi
+done
+echo "verify: lint gate OK (8 kernels clean)"
+
+# The MEM-edge relaxation property tests: every relaxed pair must be
+# re-derivable by the validator and every relaxed-DFG linearization
+# must execute identically to program order on the emulator.
+cargo test -q -p gpa --test proptest_absint_relax
+
+# Perf gate: run the benchmark harness over the full kernel corpus —
+# with the alias-driven MEM-edge relaxation on, so its wins are part of
+# the tracked numbers — and refresh BENCH_gpa.json at the repo root.
+# When a committed baseline exists, gate the fresh run against it first:
+# a compression regression (exit 2) fails verification — saved words
+# must never decrease — while latency drift beyond the tolerance
 # (exit 3) only warns — stage timings are noisy across machines, the
 # deterministic compression metrics are not.
 if [ -f BENCH_gpa.json ]; then
     cp BENCH_gpa.json "$WORK/bench_baseline.json"
 fi
-"$GPA" perf --jobs 2 -o BENCH_gpa.json > "$WORK/perf.md" 2>"$WORK/perf.log"
+"$GPA" perf --jobs 2 --alias stack -o BENCH_gpa.json > "$WORK/perf.md" 2>"$WORK/perf.log"
 if [ -f "$WORK/bench_baseline.json" ]; then
     perf_status=0
     "$GPA" perf --compare BENCH_gpa.json \
