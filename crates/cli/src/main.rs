@@ -9,8 +9,10 @@
 //! gpa stats <image> [--json]                          DFG degree statistics
 //! gpa lint <image> [--json]                           static binary lints
 //! gpa absint <image>                                  abstract-interpretation dump
-//! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] [--validate off|final|every-round] [--alias off|stack] [--jobs N] [--trace out.jsonl]
-//! gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--trace-dir D] [--method sfx|dgspan|edgar] [--validate] [--report out.json]
+//! gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] [--validate off|final|every-round] [--alias off|stack] [--jobs N] [--trace out.jsonl] [--report-json out.json]
+//! gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--cache-entries N] [--cache-bytes N] [--trace-dir D] [--method sfx|dgspan|edgar] [--validate] [--report out.json]
+//! gpa serve --listen <addr> [--workers N] [--queue-depth N] [--method M] [--cache-dir D] [--cache-entries N] [--cache-bytes N] [--trace out.jsonl]
+//! gpa submit <image> --addr <addr> [--knobs JSON] [--report-only]
 //! gpa perf [-o bench.json] [--methods a,b] [--kernels a,b] [--jobs N] [--no-sched] [--validate L] [--alias off|stack] [--profile] [--baseline FILE] [--tolerance-pct N] [--compare FILE]
 //! gpa trace-check <trace.jsonl...>                    validate trace streams
 //! gpa trace-profile <trace.jsonl...>                  aggregate span profile
@@ -28,7 +30,13 @@
 //!   drift beyond `--tolerance-pct`.
 //! * `gpa trace-check`: `2` — I/O error; `3` — schema violation (bad
 //!   JSON, missing header/summary, malformed event line); `4` — a
-//!   counter-invariant mismatch.
+//!   counter-invariant mismatch; `5` — the serve counter identity
+//!   (`serve.accepted == serve.completed + serve.shed +
+//!   serve.deadline_exceeded + serve.in_flight_at_drain`) is broken.
+//!
+//! `gpa batch` exits `130` when interrupted (SIGINT/SIGTERM): in-flight
+//! images finish, the partial report carries `"interrupted": true`.
+//! `gpa submit` exits `0` only for an `ok` response.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -37,7 +45,7 @@ use gpa::json::Json;
 use gpa::{AliasLevel, Method, Optimizer, RunConfig, StageTimings, ValidateLevel};
 use gpa_emu::Machine;
 use gpa_image::Image;
-use gpa_pipeline::{expand_inputs, run_batch, BatchConfig};
+use gpa_pipeline::{expand_inputs, run_batch, BatchConfig, CacheBudget, ShutdownFlag};
 use gpa_trace::{JsonlTracer, TRACE_SCHEMA};
 
 fn main() -> ExitCode {
@@ -68,6 +76,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "absint" => absint_dump(rest),
         "optimize" => optimize(rest),
         "batch" => batch_run(rest),
+        "serve" => serve(rest),
+        "submit" => submit(rest),
         "perf" => perf(rest),
         "trace-check" => trace_check(rest),
         "trace-profile" => trace_profile(rest),
@@ -91,9 +101,14 @@ fn print_usage() {
          gpa absint <image>\n  \
          gpa optimize <image> -o <out.img> [--method sfx|dgspan|edgar] \
          [--validate off|final|every-round] [--alias off|stack] [--jobs N] \
-         [--trace out.jsonl]\n  \
-         gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--trace-dir D] \
+         [--trace out.jsonl] [--report-json out.json]\n  \
+         gpa batch <dir|files...> [--jobs N] [--cache-dir D] [--cache-entries N] \
+         [--cache-bytes N] [--trace-dir D] \
          [--method sfx|dgspan|edgar] [--validate] [--report out.json]\n  \
+         gpa serve --listen <addr> [--workers N] [--queue-depth N] \
+         [--method sfx|dgspan|edgar] [--validate off|final|every-round] \
+         [--cache-dir D] [--cache-entries N] [--cache-bytes N] [--trace out.jsonl]\n  \
+         gpa submit <image> --addr <addr> [--knobs JSON] [--report-only]\n  \
          gpa perf [-o bench.json] [--methods a,b] [--kernels a,b] [--jobs N] \
          [--no-sched] [--validate off|final|every-round] [--alias off|stack] \
          [--profile] [--baseline FILE] [--tolerance-pct N] [--compare FILE]\n  \
@@ -378,6 +393,7 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
     let mut method = Method::Edgar;
     let mut input = None;
     let mut trace_path = None;
+    let mut report_json_path = None;
     let mut iter = rest.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -417,6 +433,12 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
                     .ok_or_else(|| "--trace requires a path".to_owned())?;
                 trace_path = Some(p.clone());
             }
+            "--report-json" => {
+                let p = iter
+                    .next()
+                    .ok_or_else(|| "--report-json requires a path".to_owned())?;
+                report_json_path = Some(p.clone());
+            }
             other if !other.starts_with("--") => input = Some(other.to_owned()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -440,6 +462,13 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
         .map_err(|e| e.to_string())?;
     timings.trace(config.tracer.as_ref());
     config.tracer.finish();
+    if let Some(path) = &report_json_path {
+        // The exact bytes `gpa serve` embeds as the response's
+        // `"report"` member (newline-terminated, exactly as `gpa submit
+        // --report-only` prints it) — scripts byte-compare the two.
+        std::fs::write(path, format!("{}\n", report.to_json()))
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
     let optimized = optimizer.encode().map_err(|e| e.to_string())?;
     save_image(&optimized, &output)?;
     println!(
@@ -471,9 +500,16 @@ fn take_jobs<'a>(iter: &mut impl Iterator<Item = &'a String>) -> Result<usize, S
 ///
 /// The deterministic corpus report goes to stdout (or `--report <file>`);
 /// a human-readable summary with cache and timing metrics goes to stderr.
-/// Exits non-zero when any input failed.
+/// Exits non-zero when any input failed; `130` when interrupted by
+/// SIGINT/SIGTERM (in-flight images finish, the partial report carries
+/// `"interrupted": true`, and stale cache temp files are swept).
 fn batch_run(args: &[String]) -> Result<ExitCode, String> {
-    let mut config = BatchConfig::default();
+    let mut config = BatchConfig {
+        shutdown: ShutdownFlag::install_signal_handler(),
+        ..BatchConfig::default()
+    };
+    let mut cache_entries = None;
+    let mut cache_bytes = None;
     let mut operands = Vec::new();
     let mut report_path = None;
     let mut iter = args.iter();
@@ -486,6 +522,8 @@ fn batch_run(args: &[String]) -> Result<ExitCode, String> {
                     .ok_or_else(|| "--cache-dir requires a path".to_owned())?;
                 config.cache_dir = Some(dir.into());
             }
+            "--cache-entries" => cache_entries = Some(take_count(&mut iter, "--cache-entries")?),
+            "--cache-bytes" => cache_bytes = Some(take_count(&mut iter, "--cache-bytes")? as u64),
             "--trace-dir" => {
                 let dir = iter
                     .next()
@@ -511,6 +549,12 @@ fn batch_run(args: &[String]) -> Result<ExitCode, String> {
     }
     if operands.is_empty() {
         return Err("missing inputs (files or directories)".to_owned());
+    }
+    if cache_entries.is_some() || cache_bytes.is_some() {
+        config.cache_budget = CacheBudget::bounded(
+            cache_entries.unwrap_or(usize::MAX),
+            cache_bytes.unwrap_or(u64::MAX),
+        );
     }
     let inputs = expand_inputs(&operands)?;
     if inputs.is_empty() {
@@ -552,10 +596,208 @@ fn batch_run(args: &[String]) -> Result<ExitCode, String> {
             eprintln!("error: {}: {message}", entry.name);
         }
     }
-    if corpus.error_count() > 0 {
+    if corpus.interrupted {
+        eprintln!("batch: interrupted — partial report written");
+        Ok(ExitCode::from(130))
+    } else if corpus.error_count() > 0 {
         Ok(ExitCode::FAILURE)
     } else {
         Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Parses a numeric flag value.
+fn take_count<'a>(
+    iter: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<usize, String> {
+    iter.next()
+        .ok_or_else(|| format!("{flag} requires a number"))?
+        .parse()
+        .map_err(|_| format!("{flag} requires a number"))
+}
+
+/// `gpa serve`: the resident optimization daemon.
+///
+/// Binds `--listen` (use port `0` for an ephemeral port — the chosen
+/// address is printed as `gpa-serve listening on <addr>`), installs the
+/// SIGINT/SIGTERM handler, and serves until a signal or a Shutdown
+/// frame drains it. The end-of-life summary (counters, cache hit rates,
+/// queue/run latency percentiles) goes to stderr.
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    use gpa_serve::{ServeConfig, Server};
+
+    let mut config = ServeConfig {
+        shutdown: ShutdownFlag::install_signal_handler(),
+        ..ServeConfig::default()
+    };
+    let mut listen = None;
+    let mut cache_entries = None;
+    let mut cache_bytes = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--listen" => {
+                let addr = iter
+                    .next()
+                    .ok_or_else(|| "--listen requires an address".to_owned())?;
+                listen = Some(addr.clone());
+            }
+            "--workers" => config.workers = take_count(&mut iter, "--workers")?,
+            "--queue-depth" => {
+                config.queue_depth = take_count(&mut iter, "--queue-depth")?;
+                if config.queue_depth == 0 {
+                    return Err("--queue-depth must be at least 1".to_owned());
+                }
+            }
+            "--method" => {
+                let m = iter
+                    .next()
+                    .ok_or_else(|| "--method requires a value".to_owned())?;
+                config.method = Method::parse(m).ok_or_else(|| format!("unknown method `{m}`"))?;
+            }
+            "--validate" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "--validate requires a value".to_owned())?;
+                config.run.validate = match v.as_str() {
+                    "off" => ValidateLevel::Off,
+                    "final" => ValidateLevel::Final,
+                    "every-round" => ValidateLevel::EveryRound,
+                    other => return Err(format!("unknown validate level `{other}`")),
+                };
+            }
+            "--cache-dir" => {
+                let dir = iter
+                    .next()
+                    .ok_or_else(|| "--cache-dir requires a path".to_owned())?;
+                config.cache_dir = Some(dir.into());
+            }
+            "--cache-entries" => cache_entries = Some(take_count(&mut iter, "--cache-entries")?),
+            "--cache-bytes" => cache_bytes = Some(take_count(&mut iter, "--cache-bytes")? as u64),
+            "--trace" => {
+                let p = iter
+                    .next()
+                    .ok_or_else(|| "--trace requires a path".to_owned())?;
+                config.trace_file = Some(p.into());
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let listen = listen.ok_or_else(|| "missing --listen <addr>".to_owned())?;
+    // The serve default stays bounded; flags tighten or widen one axis.
+    if let Some(entries) = cache_entries {
+        config.cache_budget.max_entries = entries;
+    }
+    if let Some(bytes) = cache_bytes {
+        config.cache_budget.max_bytes = bytes;
+    }
+    let shutdown = config.shutdown.clone();
+    let server = Server::start(listen.as_str(), config).map_err(|e| format!("{listen}: {e}"))?;
+    println!("gpa-serve listening on {}", server.local_addr());
+    // Scripts parse that line to learn the ephemeral port; make sure it
+    // is visible before the first request arrives.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    while !shutdown.is_raised() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("gpa-serve: draining");
+    let summary = server.join();
+    let c = |name: &str| summary.counters.get(name);
+    eprintln!(
+        "serve: {} accepted = {} completed + {} shed + {} deadline-exceeded + {} in-flight-at-drain",
+        c("serve.accepted"),
+        c("serve.completed"),
+        c("serve.shed"),
+        c("serve.deadline_exceeded"),
+        c("serve.in_flight_at_drain")
+    );
+    eprintln!(
+        "cache: reports {}/{} hit ({} evicted), dfgs {}/{} hit ({} evicted)",
+        summary.report_cache.0,
+        summary.report_cache.0 + summary.report_cache.1,
+        summary.report_cache.2,
+        summary.dfg_cache.0,
+        summary.dfg_cache.0 + summary.dfg_cache.1,
+        summary.dfg_cache.2
+    );
+    eprintln!(
+        "latency (us): queue p50 {} p90 {} p99 {} | run p50 {} p90 {} p99 {}",
+        summary.queue_hist.percentile(50) / 1_000,
+        summary.queue_hist.percentile(90) / 1_000,
+        summary.queue_hist.percentile(99) / 1_000,
+        summary.run_hist.percentile(50) / 1_000,
+        summary.run_hist.percentile(90) / 1_000,
+        summary.run_hist.percentile(99) / 1_000
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `gpa submit`: one-shot client for a running `gpa serve` daemon.
+///
+/// Sends the image with `--knobs` (a JSON object, default `{}`) and
+/// prints the `gpa-serve/1` response document. With `--report-only` the
+/// embedded `"report"` object is printed instead — byte-identical to
+/// `gpa optimize --report-json` for the same image and knobs. Exits `0`
+/// only for an `ok` response.
+fn submit(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = None;
+    let mut knobs = "{}".to_owned();
+    let mut report_only = false;
+    let mut input = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--addr" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--addr requires an address".to_owned())?;
+                addr = Some(value.clone());
+            }
+            "--knobs" => {
+                knobs = iter
+                    .next()
+                    .ok_or_else(|| "--knobs requires a JSON object".to_owned())?
+                    .clone();
+            }
+            "--report-only" => report_only = true,
+            other if !other.starts_with("--") => input = Some(other.to_owned()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let addr = addr.ok_or_else(|| "missing --addr <addr>".to_owned())?;
+    let input = input.ok_or_else(|| "missing image path".to_owned())?;
+    let image = std::fs::read(&input).map_err(|e| format!("{input}: {e}"))?;
+    let mut stream =
+        std::net::TcpStream::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    let doc = gpa_serve::submit(&mut stream, &knobs, &image)
+        .map_err(|e| format!("{addr}: {}", e.code()))?;
+    let status = Json::parse(&doc)
+        .ok()
+        .and_then(|d| d.get("status").and_then(Json::as_str).map(str::to_owned))
+        .ok_or_else(|| format!("{addr}: malformed response"))?;
+    if report_only {
+        // Exact-byte extraction: the deterministic section is
+        // `{"schema":…,"status":"ok","report":<REPORT>`; re-serializing
+        // through a JSON parser could not promise byte identity.
+        let section = doc.split(",\"metrics\":").next().unwrap_or(&doc);
+        let prefix = "{\"schema\":\"gpa-serve/1\",\"status\":\"ok\",\"report\":";
+        match section.strip_prefix(prefix) {
+            Some(report) if status == "ok" => println!("{report}"),
+            _ => {
+                eprintln!("gpa: submit: status {status}, no report");
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+    } else {
+        println!("{doc}");
+    }
+    if status == "ok" {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("gpa: submit: status {status}");
+        Ok(ExitCode::FAILURE)
     }
 }
 
@@ -706,6 +948,8 @@ enum TraceIssue {
     Schema(String),
     /// The trailing counters disagree with the event lines (exit 4).
     Invariant(String),
+    /// The serve request-accounting identity is broken (exit 5).
+    ServeInvariant(String),
 }
 
 impl TraceIssue {
@@ -714,12 +958,16 @@ impl TraceIssue {
             TraceIssue::Io(_) => 2,
             TraceIssue::Schema(_) => 3,
             TraceIssue::Invariant(_) => 4,
+            TraceIssue::ServeInvariant(_) => 5,
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            TraceIssue::Io(m) | TraceIssue::Schema(m) | TraceIssue::Invariant(m) => m,
+            TraceIssue::Io(m)
+            | TraceIssue::Schema(m)
+            | TraceIssue::Invariant(m)
+            | TraceIssue::ServeInvariant(m) => m,
         }
     }
 }
@@ -732,7 +980,10 @@ impl TraceIssue {
 /// identities (`visited == expanded + subtree_skipped + stopped_max_nodes`,
 /// `canon_checks == canon_cache_hit + canon_cache_miss`, and
 /// `absint.mem_pairs_examined == mem_pairs_disjoint + mem_pairs_kept`)
-/// must hold. Diagnostics name the first offending line; the exit code
+/// must hold. Traces written by `gpa serve` must additionally balance
+/// the request-accounting identity `serve.accepted == serve.completed +
+/// serve.shed + serve.deadline_exceeded + serve.in_flight_at_drain`
+/// (exit `5`). Diagnostics name the first offending line; the exit code
 /// is the most severe class seen across all files (see the module docs).
 fn trace_check(args: &[String]) -> Result<ExitCode, String> {
     if args.is_empty() {
@@ -825,6 +1076,20 @@ fn check_one_trace(path: &str) -> Result<(), TraceIssue> {
         return Err(TraceIssue::Invariant(format!(
             "{path}:{summary_line}: absint.mem_pairs_examined is {mem_examined}, \
              but mem_pairs_disjoint + mem_pairs_kept is {mem_accounted}"
+        )));
+    }
+    // The serve request-accounting identity. Non-serve traces have no
+    // `serve.*` counters at all, so both sides are zero there.
+    let serve_accepted = counter("serve.accepted");
+    let serve_accounted = counter("serve.completed")
+        + counter("serve.shed")
+        + counter("serve.deadline_exceeded")
+        + counter("serve.in_flight_at_drain");
+    if serve_accepted != serve_accounted {
+        return Err(TraceIssue::ServeInvariant(format!(
+            "{path}:{summary_line}: serve.accepted is {serve_accepted}, \
+             but completed + shed + deadline_exceeded + in_flight_at_drain \
+             is {serve_accounted}"
         )));
     }
     let counter_total = match counters {

@@ -788,6 +788,65 @@ fn trace_check_distinguishes_failure_classes() {
     }
 }
 
+/// The serve request-accounting identity gets its own exit code (5) so
+/// deploy scripts can tell "the daemon lost requests" from an ordinary
+/// counter mismatch.
+#[test]
+fn trace_check_flags_broken_serve_identity_with_exit_5() {
+    let header = "{\"schema\":\"gpa-trace/1\",\"ev\":\"trace_begin\"}\n";
+    // Balanced: 5 accepted = 3 completed + 1 shed + 1 deadline-exceeded.
+    let balanced = tmp("serve_balanced.jsonl");
+    std::fs::write(
+        &balanced,
+        format!(
+            "{header}{{\"ev\":\"counters\",\"counters\":{{\
+             \"serve.accepted\":5,\"serve.completed\":3,\"serve.shed\":1,\
+             \"serve.deadline_exceeded\":1,\"serve.in_flight_at_drain\":0}}}}\n"
+        ),
+    )
+    .unwrap();
+    let out = gpa()
+        .args(["trace-check", balanced.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // One request unaccounted for: exit 5, diagnostic names the summary
+    // line and the identity.
+    let broken = tmp("serve_broken.jsonl");
+    std::fs::write(
+        &broken,
+        format!(
+            "{header}{{\"ev\":\"counters\",\"counters\":{{\
+             \"serve.accepted\":5,\"serve.completed\":3,\"serve.shed\":1,\
+             \"serve.deadline_exceeded\":0,\"serve.in_flight_at_drain\":0}}}}\n"
+        ),
+    )
+    .unwrap();
+    let out = gpa()
+        .args(["trace-check", broken.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(":2:") && stderr.contains("serve.accepted is 5"),
+        "diagnostic must name the summary line and the identity: {stderr}"
+    );
+    for p in [balanced, broken] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 #[test]
 fn trace_profile_renders_span_hierarchy() {
     let img = tmp("tp.img");

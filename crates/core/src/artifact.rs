@@ -18,7 +18,7 @@
 //!   threads; graph construction is deterministic, so a hit returns
 //!   exactly what a rebuild would.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -72,21 +72,71 @@ impl BlockArtifact {
     }
 }
 
+/// The keyed side of a [`DfgCache`]: the artifact map plus the
+/// recency index that makes bounded caches LRU.
+#[derive(Default)]
+struct DfgInner {
+    /// key → (artifact, recency tick of the last touch).
+    map: HashMap<u128, (Arc<BlockArtifact>, u64)>,
+    /// tick → key, ascending: the front is the least recently used.
+    recency: BTreeMap<u64, u128>,
+    /// Monotone touch counter.
+    tick: u64,
+}
+
+impl DfgInner {
+    /// Marks `key` as most recently used (must be present).
+    fn touch(&mut self, key: u128) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, old)) = self.map.get_mut(&key) {
+            self.recency.remove(old);
+            *old = tick;
+            self.recency.insert(tick, key);
+        }
+    }
+}
+
 /// A thread-safe, content-addressed cache of per-block [`Dfg`]s and
 /// reachability closures, keyed by [`gpa_dfg::block_content_hash`].
 ///
-/// Hit/miss counters feed the pipeline's metrics report.
-#[derive(Default)]
+/// [`DfgCache::new`] is unbounded (one batch run's working set);
+/// [`DfgCache::bounded`] caps the entry count with least-recently-used
+/// eviction, which is what a long-lived `gpa serve` process needs to
+/// keep its resident size finite under arbitrary traffic.
+///
+/// Hit/miss/eviction counters feed the pipeline's metrics report.
 pub struct DfgCache {
-    map: Mutex<HashMap<u128, Arc<BlockArtifact>>>,
+    inner: Mutex<DfgInner>,
+    max_entries: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl Default for DfgCache {
+    fn default() -> DfgCache {
+        DfgCache::bounded(usize::MAX)
+    }
 }
 
 impl DfgCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> DfgCache {
         DfgCache::default()
+    }
+
+    /// An empty cache holding at most `max_entries` artifacts, evicting
+    /// the least recently used beyond that (`max_entries` is clamped to
+    /// at least 1 so the entry being inserted always fits).
+    pub fn bounded(max_entries: usize) -> DfgCache {
+        DfgCache {
+            inner: Mutex::new(DfgInner::default()),
+            max_entries: max_entries.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
     }
 
     /// Number of lookups answered from the cache.
@@ -99,27 +149,59 @@ impl DfgCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of artifacts evicted to stay under the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Number of artifacts currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("dfg cache poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Returns the artifact for a block, building and publishing it on
     /// first sight.
     pub(crate) fn get_or_build(&self, items: &[Item], mode: LabelMode) -> Arc<BlockArtifact> {
         let key = block_content_hash(items, mode);
-        if let Some(found) = self.map.lock().expect("dfg cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(found);
+        {
+            let mut inner = self.inner.lock().expect("dfg cache poisoned");
+            if let Some((found, _)) = inner.map.get(&key) {
+                let found = Arc::clone(found);
+                inner.touch(key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return found;
+            }
         }
         // Build outside the lock: duplicate work on a race is cheaper
         // than serializing every construction behind one mutex.
         let built = Arc::new(BlockArtifact::build(items, mode));
-        let mut map = self.map.lock().expect("dfg cache poisoned");
-        let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
-        let entry = Arc::clone(entry);
-        drop(map);
-        if Arc::ptr_eq(&entry, &built) {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        } else {
+        let mut inner = self.inner.lock().expect("dfg cache poisoned");
+        if let Some((rival, _)) = inner.map.get(&key) {
+            // A racing builder published first; adopt its artifact.
+            let rival = Arc::clone(rival);
+            inner.touch(key);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            return rival;
         }
-        entry
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, (Arc::clone(&built), tick));
+        inner.recency.insert(tick, key);
+        while inner.map.len() > self.max_entries {
+            let Some((&oldest, &victim)) = inner.recency.iter().next() else {
+                break;
+            };
+            inner.recency.remove(&oldest);
+            inner.map.remove(&victim);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        built
     }
 }
 
@@ -157,6 +239,16 @@ pub fn image_cache_key(image: &Image, method: Method, config: &RunConfig) -> u12
     match config.alias {
         crate::optimizer::AliasLevel::Off => {}
         crate::optimizer::AliasLevel::Stack => h.write(b"alias/stack"),
+    }
+    // Same backwards-compatibility shape for the per-round pattern
+    // budget: the default hashes to the historical key, a request-tuned
+    // budget (a `gpa serve` knob) gets its own key space because an
+    // exhausted budget changes which candidates a round can see. The
+    // `deadline` knob is deliberately *not* hashed — it is wall-clock
+    // dependent, and deadline-stopped runs are never cached.
+    if config.max_patterns != crate::optimizer::DEFAULT_MAX_PATTERNS {
+        h.write(b"max_patterns");
+        h.write_u64(config.max_patterns as u64);
     }
     h.write_u64(u64::from(image.code_base()));
     h.write_u64(u64::from(image.data_base()));
@@ -240,5 +332,71 @@ mod tests {
         // A different program produces a different key.
         let other = compile("int main() { return 1; }", &Options::default()).unwrap();
         assert_ne!(base, image_cache_key(&other, Method::Edgar, &config));
+    }
+
+    #[test]
+    fn image_key_tracks_pattern_budget_but_not_deadline() {
+        let image = compile("int main() { return 0; }", &Options::default()).unwrap();
+        let config = RunConfig::default();
+        let base = image_cache_key(&image, Method::Edgar, &config);
+        // A tuned per-round budget addresses a different result…
+        let mut budgeted = config.clone();
+        budgeted.max_patterns = 100;
+        assert_ne!(base, image_cache_key(&image, Method::Edgar, &budgeted));
+        // …while the wall-clock deadline never participates: a
+        // deadline-stopped run is simply not cached.
+        let mut deadlined = config.clone();
+        deadlined.deadline = Some(std::time::Instant::now());
+        assert_eq!(base, image_cache_key(&image, Method::Edgar, &deadlined));
+    }
+
+    #[test]
+    fn bounded_dfg_cache_evicts_least_recently_used() {
+        let cache = DfgCache::bounded(2);
+        let a = items("mov r0, #1");
+        let b = items("mov r0, #2");
+        let c = items("mov r0, #3");
+        let _ = cache.get_or_build(&a, LabelMode::Exact);
+        let _ = cache.get_or_build(&b, LabelMode::Exact);
+        // Touch `a` so `b` becomes the LRU victim when `c` arrives.
+        let _ = cache.get_or_build(&a, LabelMode::Exact);
+        let _ = cache.get_or_build(&c, LabelMode::Exact);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evicted(), 1);
+        // `a` survived (hit), `b` was evicted (miss rebuilds it).
+        let hits_before = cache.hits();
+        let _ = cache.get_or_build(&a, LabelMode::Exact);
+        assert_eq!(cache.hits(), hits_before + 1);
+        let misses_before = cache.misses();
+        let _ = cache.get_or_build(&b, LabelMode::Exact);
+        assert_eq!(cache.misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn deadline_in_the_past_yields_a_wellformed_empty_report() {
+        use crate::{Method, Optimizer};
+        let image = compile_benchmark();
+        let mut opt = Optimizer::from_image(&image).unwrap();
+        let config = RunConfig {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            validate: crate::ValidateLevel::Off,
+            ..RunConfig::default()
+        };
+        let report = opt.run_with(Method::Edgar, &config).unwrap();
+        assert_eq!(
+            report.rounds.len(),
+            0,
+            "no round may start past the deadline"
+        );
+        assert_eq!(report.initial_words, report.final_words);
+    }
+
+    fn compile_benchmark() -> gpa_image::Image {
+        compile(
+            "int f(int x) { return x * 3 + 1; }\n\
+             int main() { putint(f(5) + f(9)); return 0; }",
+            &Options::default(),
+        )
+        .unwrap()
     }
 }

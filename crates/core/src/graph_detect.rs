@@ -64,7 +64,7 @@ impl Default for GraphConfig {
             support: Support::Embeddings,
             label_mode: LabelMode::Exact,
             max_nodes: 16,
-            max_patterns: 60_000,
+            max_patterns: crate::optimizer::DEFAULT_MAX_PATTERNS,
             threads: 1,
             tracer: Arc::new(NoopTracer),
             alias: AliasLevel::default(),

@@ -63,7 +63,9 @@ pub mod validate;
 
 pub use artifact::{image_cache_key, DfgCache};
 pub use candidate::{Candidate, ExtractionKind, Occurrence, RelaxedPair};
-pub use optimizer::{AliasLevel, Method, Optimizer, OptimizerError, RunConfig};
+pub use optimizer::{
+    AliasLevel, Method, Optimizer, OptimizerError, RunConfig, DEFAULT_MAX_PATTERNS,
+};
 pub use report::{Report, Round, REPORT_SCHEMA};
 pub use stage::StageTimings;
 pub use validate::ValidateLevel;

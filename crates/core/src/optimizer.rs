@@ -158,7 +158,28 @@ pub struct RunConfig {
     /// the graphs (and therefore the output), so it participates in
     /// [`crate::artifact::image_cache_key`].
     pub alias: AliasLevel,
+    /// Pattern-visit budget per mining round (maps onto
+    /// [`GraphConfig::max_patterns`]). Bounds the worst case of a single
+    /// round, which is what lets a serving deadline be honoured: each
+    /// round does at most this much lattice work before the `deadline`
+    /// check between rounds can fire. Changes the output when a round
+    /// would exhaust it, so a non-default value participates in
+    /// [`crate::artifact::image_cache_key`].
+    pub max_patterns: usize,
+    /// Cooperative deadline: when set, the extraction loop stops before
+    /// starting a round past this instant and returns the (well-formed,
+    /// partial) report of the rounds that did complete. Wall-clock
+    /// dependent, so it is excluded from
+    /// [`crate::artifact::image_cache_key`] — callers must not cache a
+    /// report whose run overran its deadline (the serve pipeline checks
+    /// this before every cache store).
+    pub deadline: Option<Instant>,
 }
+
+/// Default per-round pattern-visit budget (the historical
+/// [`GraphConfig::default`] value; keys hash `max_patterns` only when it
+/// differs from this, so existing cache keys and goldens are unchanged).
+pub const DEFAULT_MAX_PATTERNS: usize = 60_000;
 
 impl Default for RunConfig {
     fn default() -> RunConfig {
@@ -169,6 +190,8 @@ impl Default for RunConfig {
             mining_threads: 1,
             tracer: Arc::new(NoopTracer),
             alias: AliasLevel::default(),
+            max_patterns: DEFAULT_MAX_PATTERNS,
+            deadline: None,
         }
     }
 }
@@ -258,6 +281,7 @@ impl Optimizer {
                 &GraphConfig {
                     support: Support::Graphs,
                     max_nodes: config.max_fragment_nodes,
+                    max_patterns: config.max_patterns,
                     threads: config.mining_threads,
                     tracer: config.tracer.clone(),
                     alias: config.alias,
@@ -271,6 +295,7 @@ impl Optimizer {
                 &GraphConfig {
                     support: Support::Embeddings,
                     max_nodes: config.max_fragment_nodes,
+                    max_patterns: config.max_patterns,
                     threads: config.mining_threads,
                     tracer: config.tracer.clone(),
                     alias: config.alias,
@@ -388,6 +413,14 @@ impl Optimizer {
         let initial_words = self.program.instruction_count();
         let mut rounds = Vec::new();
         for round in 0..config.max_rounds {
+            // The deadline is honoured at round granularity: every round
+            // is itself bounded by `max_patterns`, so an expired deadline
+            // is noticed within one bounded round, never after an
+            // unbounded search.
+            if config.deadline.is_some_and(|d| Instant::now() >= d) {
+                config.tracer.count("run.deadline_stopped", 1);
+                break;
+            }
             let _round_span = gpa_trace::span(config.tracer.as_ref(), "round");
             let candidate = {
                 let _detect_span = gpa_trace::span(config.tracer.as_ref(), "detect");

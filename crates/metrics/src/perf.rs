@@ -150,6 +150,7 @@ pub fn run_perf(config: &PerfConfig) -> Result<PerfReport, String> {
             },
             cache_dir: None,
             trace_dir: trace_dir.clone(),
+            ..BatchConfig::default()
         };
         let inputs: Vec<BatchInput> = images
             .iter()

@@ -10,7 +10,9 @@ use gpa_image::Image;
 use gpa_trace::{CounterTracer, JsonlTracer, NoopTracer, Tracer};
 
 use crate::cache::ReportCache;
+use crate::lru::CacheBudget;
 use crate::report::{CorpusReport, ImageEntry};
+use crate::shutdown::ShutdownFlag;
 
 /// Tuning for one batch run.
 #[derive(Clone, Debug)]
@@ -29,6 +31,13 @@ pub struct BatchConfig {
     /// (`NNNN-<name>.jsonl`, one per input slot); `None` disables
     /// tracing.
     pub trace_dir: Option<PathBuf>,
+    /// Cooperative stop token, polled between images: once raised,
+    /// in-flight images finish, unstarted ones become `"interrupted"`
+    /// errors, and the corpus report carries `"interrupted": true`.
+    pub shutdown: ShutdownFlag,
+    /// Bound on the in-memory report-cache layer (unbounded by default,
+    /// matching historical batch behaviour).
+    pub cache_budget: CacheBudget,
 }
 
 impl Default for BatchConfig {
@@ -39,6 +48,8 @@ impl Default for BatchConfig {
             run: RunConfig::default(),
             cache_dir: None,
             trace_dir: None,
+            shutdown: ShutdownFlag::new(),
+            cache_budget: CacheBudget::unbounded(),
         }
     }
 }
@@ -122,6 +133,13 @@ fn effective_jobs(requested: usize, work_items: usize) -> usize {
 /// Per-image failures (unreadable file, undecodable image, failed
 /// validation) become [`ImageEntry::outcome`] errors; the run continues.
 ///
+/// When the [`BatchConfig::shutdown`] flag is raised (Ctrl-C, SIGTERM,
+/// or programmatically), workers stop claiming new inputs: in-flight
+/// images finish normally, every unstarted input becomes an
+/// `"interrupted"` error entry, the partial report is marked
+/// [`CorpusReport::interrupted`], and stale cache tmp files are swept so
+/// the interrupted run leaves the cache directory clean.
+///
 /// # Errors
 ///
 /// Only a failure to create the `cache_dir` or `trace_dir` aborts the
@@ -129,10 +147,9 @@ fn effective_jobs(requested: usize, work_items: usize) -> usize {
 pub fn run_batch(inputs: &[BatchInput], config: &BatchConfig) -> Result<CorpusReport, String> {
     let start = Instant::now();
     let report_cache = match &config.cache_dir {
-        Some(dir) => {
-            ReportCache::with_dir(dir).map_err(|e| format!("cache dir {}: {e}", dir.display()))?
-        }
-        None => ReportCache::in_memory(),
+        Some(dir) => ReportCache::with_dir_budget(dir, config.cache_budget)
+            .map_err(|e| format!("cache dir {}: {e}", dir.display()))?,
+        None => ReportCache::with_budget(config.cache_budget),
     };
     if let Some(dir) = &config.trace_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("trace dir {}: {e}", dir.display()))?;
@@ -142,6 +159,9 @@ pub fn run_batch(inputs: &[BatchInput], config: &BatchConfig) -> Result<CorpusRe
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<ImageEntry>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
     let worker = || loop {
+        if config.shutdown.is_raised() {
+            return;
+        }
         let index = next.fetch_add(1, Ordering::Relaxed);
         let Some(input) = inputs.get(index) else {
             return;
@@ -158,21 +178,39 @@ pub fn run_batch(inputs: &[BatchInput], config: &BatchConfig) -> Result<CorpusRe
             }
         });
     }
+    let interrupted = config.shutdown.is_raised();
     let images = slots
         .into_iter()
-        .map(|slot| {
+        .zip(inputs)
+        .map(|(slot, input)| {
             slot.into_inner()
                 .expect("result slot poisoned")
-                .expect("worker pool drained every index")
+                .unwrap_or_else(|| {
+                    // Unclaimed slot: the shutdown flag stopped the pool
+                    // before any worker reached this input.
+                    ImageEntry {
+                        name: input.name(),
+                        key: None,
+                        outcome: Err("interrupted".into()),
+                        cached: false,
+                        timings: StageTimings::default(),
+                        counters: gpa_trace::Counters::default(),
+                    }
+                })
         })
         .collect();
+    if interrupted {
+        report_cache.sweep_tmp();
+    }
     Ok(CorpusReport {
         method: config.method,
         images,
+        interrupted,
         jobs,
         wall_ns: start.elapsed().as_nanos() as u64,
         report_cache_hits: report_cache.hits(),
         report_cache_misses: report_cache.misses(),
+        report_cache_evicted: report_cache.evicted(),
         dfg_cache_hits: dfg_cache.hits(),
         dfg_cache_misses: dfg_cache.misses(),
     })

@@ -1,14 +1,14 @@
 //! The report-level artifact cache.
 
-use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use gpa::json::Json;
 use gpa::Report;
 use gpa_trace::{NoopTracer, Tracer, Value};
+
+use crate::lru::{CacheBudget, ShardedLru};
 
 /// A content-addressed cache of optimization results, keyed by
 /// [`gpa::image_cache_key`].
@@ -22,45 +22,60 @@ use gpa_trace::{NoopTracer, Tracer, Value};
 /// files are written to a temporary name and atomically renamed into
 /// place, and an unreadable or unparsable file (e.g. a stale schema after
 /// an upgrade) counts as a miss rather than an error.
+///
+/// The in-memory layer is bounded by a [`CacheBudget`]: the default
+/// constructors keep the historical unbounded behaviour (a batch run
+/// over a finite corpus), while a resident `gpa serve` process passes
+/// explicit entry/byte limits and sheds least-recently-used reports
+/// (counted by [`ReportCache::evicted`] and the `cache.evicted` trace
+/// counter). Eviction never touches the disk layer.
 pub struct ReportCache {
     dir: Option<PathBuf>,
-    map: Mutex<HashMap<u128, Report>>,
+    map: ShardedLru<Report>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl ReportCache {
-    /// A purely in-memory cache (one batch run's lifetime).
+    /// A purely in-memory cache (one batch run's lifetime), unbounded.
     pub fn in_memory() -> ReportCache {
+        ReportCache::with_budget(CacheBudget::unbounded())
+    }
+
+    /// A purely in-memory cache bounded by `budget`.
+    pub fn with_budget(budget: CacheBudget) -> ReportCache {
         ReportCache {
             dir: None,
-            map: Mutex::new(HashMap::new()),
+            map: ShardedLru::new(budget),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// A cache backed by `dir`, created if missing. Stale temporary
-    /// files (`*.tmp.*` left behind by a crashed or killed writer) are
-    /// swept on open; a live writer is never affected because every tmp
-    /// name embeds the writing process's id and a per-process sequence
-    /// number, and publication is a single atomic rename.
+    /// A cache backed by `dir`, created if missing, with an unbounded
+    /// memory layer. Stale temporary files (`*.tmp.*` left behind by a
+    /// crashed or killed writer) are swept on open; a live writer is
+    /// never affected because every tmp name embeds the writing
+    /// process's id and a per-process sequence number, and publication
+    /// is a single atomic rename.
     ///
     /// # Errors
     ///
     /// Propagates the `create_dir_all` failure.
     pub fn with_dir(dir: &Path) -> io::Result<ReportCache> {
+        ReportCache::with_dir_budget(dir, CacheBudget::unbounded())
+    }
+
+    /// [`ReportCache::with_dir`] with a bounded memory layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn with_dir_budget(dir: &Path, budget: CacheBudget) -> io::Result<ReportCache> {
         std::fs::create_dir_all(dir)?;
-        if let Ok(entries) = std::fs::read_dir(dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                if name.to_string_lossy().contains(".tmp.") {
-                    let _ = std::fs::remove_file(entry.path());
-                }
-            }
-        }
-        let mut cache = ReportCache::in_memory();
+        let mut cache = ReportCache::with_budget(budget);
         cache.dir = Some(dir.to_path_buf());
+        cache.sweep_tmp();
         Ok(cache)
     }
 
@@ -72,6 +87,28 @@ impl ReportCache {
     /// Lookups that found nothing (the optimizer had to run).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Memory-layer entries evicted (or rejected at admission) so far.
+    pub fn evicted(&self) -> u64 {
+        self.map.evicted()
+    }
+
+    /// Removes stale `*.tmp.*` files from the disk layer, if any. Safe
+    /// against live writers (tmp names are single-writer and published
+    /// by atomic rename); a no-op for purely in-memory caches. Called on
+    /// open, and again by interrupted batch runs so a Ctrl-C never
+    /// strands half-written entries for the next run to sweep.
+    pub fn sweep_tmp(&self) {
+        let Some(dir) = &self.dir else { return };
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if name.to_string_lossy().contains(".tmp.") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
     }
 
     fn entry_path(&self, key: u128) -> Option<PathBuf> {
@@ -91,17 +128,17 @@ impl ReportCache {
     /// `cache.corrupt_entry` event when an on-disk entry had to be
     /// degraded to a miss.
     pub fn get_traced(&self, key: u128, tracer: &dyn Tracer) -> Option<Report> {
-        if let Some(found) = self.map.lock().expect("report cache poisoned").get(&key) {
+        if let Some(found) = self.map.get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             tracer.count("cache.hit_memory", 1);
-            return Some(found.clone());
+            return Some(found);
         }
         match self.read_disk(key) {
-            DiskRead::Hit(report) => {
-                self.map
-                    .lock()
-                    .expect("report cache poisoned")
-                    .insert(key, report.clone());
+            DiskRead::Hit(report, cost) => {
+                let evicted = self.map.insert(key, report.clone(), cost);
+                if evicted > 0 {
+                    tracer.count("cache.evicted", evicted);
+                }
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 tracer.count("cache.hit_disk", 1);
                 return Some(report);
@@ -139,7 +176,7 @@ impl ReportCache {
             return DiskRead::Corrupt("invalid_json");
         };
         match Report::from_json(&doc) {
-            Ok(report) => DiskRead::Hit(report),
+            Ok(report) => DiskRead::Hit(report, text.len() as u64),
             Err(_) => DiskRead::Corrupt("schema_mismatch"),
         }
     }
@@ -149,13 +186,18 @@ impl ReportCache {
         self.put_traced(key, report, &NoopTracer);
     }
 
-    /// [`ReportCache::put`] with a `cache.write_failed` counter for
-    /// best-effort disk stores that did not land.
+    /// [`ReportCache::put`] with `cache.write_failed` (best-effort disk
+    /// stores that did not land) and `cache.evicted` (memory-layer
+    /// entries shed to admit this one) counters.
     pub fn put_traced(&self, key: u128, report: &Report, tracer: &dyn Tracer) {
-        self.map
-            .lock()
-            .expect("report cache poisoned")
-            .insert(key, report.clone());
+        // The serialized document is both the disk payload and the
+        // memory-layer cost estimate (a report's heap footprint tracks
+        // its JSON size closely enough for budgeting).
+        let payload = report.to_json().to_string();
+        let evicted = self.map.insert(key, report.clone(), payload.len() as u64);
+        if evicted > 0 {
+            tracer.count("cache.evicted", evicted);
+        }
         if let Some(path) = self.entry_path(key) {
             // Atomic publish: never expose a half-written file to a
             // concurrent reader. Failures only cost future cache hits.
@@ -167,7 +209,6 @@ impl ReportCache {
             // sequence number makes every tmp path single-writer.
             let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
             let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), seq));
-            let payload = report.to_json().to_string();
             let landed =
                 std::fs::write(&tmp, payload).is_ok() && std::fs::rename(&tmp, &path).is_ok();
             if !landed {
@@ -181,9 +222,10 @@ impl ReportCache {
 /// Per-process tmp-name disambiguator for [`ReportCache::put_traced`].
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// Outcome of one disk-layer lookup.
+/// Outcome of one disk-layer lookup (hits carry the entry's on-disk
+/// size, reused as the memory-layer cost when the hit is promoted).
 enum DiskRead {
-    Hit(Report),
+    Hit(Report, u64),
     Miss,
     Corrupt(&'static str),
 }
@@ -192,6 +234,7 @@ enum DiskRead {
 mod tests {
     use super::*;
     use gpa::{ExtractionKind, Round};
+    use std::sync::Mutex;
 
     fn sample() -> Report {
         Report {
@@ -214,6 +257,22 @@ mod tests {
         cache.put(7, &sample());
         assert_eq!(cache.get(7), Some(sample()));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.evicted(), 0, "the default budget never evicts");
+    }
+
+    #[test]
+    fn bounded_memory_layer_evicts_and_traces() {
+        use gpa_trace::CounterTracer;
+        // One entry per shard; same-shard keys force an eviction.
+        let cache = ReportCache::with_budget(CacheBudget::bounded(crate::lru::SHARDS, u64::MAX));
+        let shard_stride = crate::lru::SHARDS as u128;
+        let tracer = CounterTracer::new();
+        cache.put_traced(shard_stride, &sample(), &tracer);
+        cache.put_traced(2 * shard_stride, &sample_sized(2), &tracer);
+        assert_eq!(cache.evicted(), 1);
+        assert_eq!(tracer.counters().get("cache.evicted"), 1);
+        assert!(cache.get(shard_stride).is_none(), "LRU entry was shed");
+        assert_eq!(cache.get(2 * shard_stride), Some(sample_sized(2)));
     }
 
     fn sample_sized(rounds: usize) -> Report {

@@ -49,8 +49,12 @@
 
 mod batch;
 mod cache;
+mod lru;
 mod report;
+mod shutdown;
 
 pub use batch::{expand_inputs, run_batch, BatchConfig, BatchInput};
 pub use cache::ReportCache;
+pub use lru::{CacheBudget, ShardedLru};
 pub use report::{CorpusReport, ImageEntry, CORPUS_SCHEMA};
+pub use shutdown::ShutdownFlag;

@@ -1,0 +1,262 @@
+//! A sharded, cost-aware LRU map — the admission/eviction layer behind
+//! the in-memory [`crate::ReportCache`].
+//!
+//! The batch pipeline's caches were historically unbounded: fine for a
+//! one-shot run over a finite corpus, fatal for a resident `gpa serve`
+//! process fed arbitrary traffic. [`ShardedLru`] bounds both the entry
+//! count and the total estimated byte cost. Keys are spread over
+//! [`SHARDS`] independently locked shards (the budget is divided
+//! per-shard), so concurrent workers rarely contend, and each shard
+//! evicts its own least-recently-used entries via a tick-ordered index.
+//!
+//! Admission control: an entry whose cost alone exceeds a shard's byte
+//! budget is *rejected* rather than admitted-then-thrashed; rejections
+//! count as evictions so the `cache.evicted` telemetry reflects every
+//! entry the bound kept out of memory.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards (power of two; keys are
+/// distributed by their low bits).
+pub const SHARDS: usize = 8;
+
+/// Capacity bounds for an in-memory cache layer.
+///
+/// The default is unbounded, which keeps historical batch behaviour
+/// bit-for-bit; `gpa serve` always passes explicit bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Maximum resident entries across all shards.
+    pub max_entries: usize,
+    /// Maximum total estimated cost (bytes) across all shards.
+    pub max_bytes: u64,
+}
+
+impl CacheBudget {
+    /// No bound at all (the historical in-memory cache).
+    pub fn unbounded() -> CacheBudget {
+        CacheBudget {
+            max_entries: usize::MAX,
+            max_bytes: u64::MAX,
+        }
+    }
+
+    /// A bound on entries and bytes (either may be `usize::MAX` /
+    /// `u64::MAX` for "unlimited on that axis").
+    pub fn bounded(max_entries: usize, max_bytes: u64) -> CacheBudget {
+        CacheBudget {
+            max_entries,
+            max_bytes,
+        }
+    }
+
+    /// Whether this budget can never evict.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_entries == usize::MAX && self.max_bytes == u64::MAX
+    }
+}
+
+impl Default for CacheBudget {
+    fn default() -> CacheBudget {
+        CacheBudget::unbounded()
+    }
+}
+
+struct Shard<V> {
+    /// key → (value, cost, recency tick of the last touch).
+    map: HashMap<u128, (V, u64, u64)>,
+    /// tick → key, ascending; the front is the LRU victim.
+    recency: BTreeMap<u64, u128>,
+    /// Total cost of the resident entries.
+    bytes: u64,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Shard<V> {
+        Shard {
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            bytes: 0,
+        }
+    }
+}
+
+impl<V> Shard<V> {
+    fn evict_lru(&mut self) -> bool {
+        let Some((&tick, &victim)) = self.recency.iter().next() else {
+            return false;
+        };
+        self.recency.remove(&tick);
+        if let Some((_, cost, _)) = self.map.remove(&victim) {
+            self.bytes -= cost;
+        }
+        true
+    }
+}
+
+/// A sharded LRU map from `u128` content keys to cloneable values.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    /// Per-shard bounds ([`CacheBudget`] divided by [`SHARDS`]).
+    shard_entries: usize,
+    shard_bytes: u64,
+    tick: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// An empty map under `budget`.
+    pub fn new(budget: CacheBudget) -> ShardedLru<V> {
+        // Ceil-divide so SHARDS × shard budget ≥ the requested budget;
+        // a bounded budget always admits at least one entry per shard.
+        let shard_entries = if budget.max_entries == usize::MAX {
+            usize::MAX
+        } else {
+            (budget.max_entries.div_ceil(SHARDS)).max(1)
+        };
+        let shard_bytes = if budget.max_bytes == u64::MAX {
+            u64::MAX
+        } else {
+            (budget.max_bytes.div_ceil(SHARDS as u64)).max(1)
+        };
+        ShardedLru {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_entries,
+            shard_bytes,
+            tick: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard<V>> {
+        &self.shards[(key as usize) & (SHARDS - 1)]
+    }
+
+    /// Fetches a clone of the value under `key`, marking it most
+    /// recently used.
+    pub fn get(&self, key: u128) -> Option<V> {
+        let mut shard = self.shard(key).lock().expect("lru shard poisoned");
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let (value, _, old) = shard.map.get_mut(&key)?;
+        let value = value.clone();
+        let old_tick = *old;
+        *old = tick;
+        shard.recency.remove(&old_tick);
+        shard.recency.insert(tick, key);
+        Some(value)
+    }
+
+    /// Stores `value` under `key` with the given cost estimate, evicting
+    /// least-recently-used entries as needed. Returns the number of
+    /// entries evicted (including a rejected oversize `value` itself).
+    pub fn insert(&self, key: u128, value: V, cost: u64) -> u64 {
+        if cost > self.shard_bytes {
+            // Admission control: an entry that could never fit would only
+            // flush the whole shard on its way to being evicted itself.
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            return 1;
+        }
+        let mut shard = self.shard(key).lock().expect("lru shard poisoned");
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some((old_value, old_cost, old_tick)) = shard.map.remove(&key) {
+            let _ = old_value;
+            shard.bytes -= old_cost;
+            shard.recency.remove(&old_tick);
+        }
+        shard.map.insert(key, (value, cost, tick));
+        shard.bytes += cost;
+        shard.recency.insert(tick, key);
+        let mut evictions = 0;
+        while shard.map.len() > self.shard_entries || shard.bytes > self.shard_bytes {
+            if !shard.evict_lru() {
+                break;
+            }
+            evictions += 1;
+        }
+        self.evicted.fetch_add(evictions, Ordering::Relaxed);
+        evictions
+    }
+
+    /// Total entries evicted (or rejected at admission) so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("lru shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Keys confined to one shard, so eviction order is observable.
+    fn k(i: u128) -> u128 {
+        i * SHARDS as u128
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let lru: ShardedLru<String> = ShardedLru::new(CacheBudget::unbounded());
+        for i in 0..1000u128 {
+            lru.insert(i, format!("v{i}"), 1 << 20);
+        }
+        assert_eq!(lru.len(), 1000);
+        assert_eq!(lru.evicted(), 0);
+        assert_eq!(lru.get(999), Some("v999".to_owned()));
+    }
+
+    #[test]
+    fn entry_bound_evicts_lru_not_recently_touched() {
+        // One shard's worth of budget: SHARDS * 2 entries total.
+        let lru: ShardedLru<u32> = ShardedLru::new(CacheBudget::bounded(2 * SHARDS, u64::MAX));
+        lru.insert(k(1), 1, 1);
+        lru.insert(k(2), 2, 1);
+        assert_eq!(lru.get(k(1)), Some(1)); // touch 1 → 2 is now LRU
+        lru.insert(k(3), 3, 1);
+        assert_eq!(lru.evicted(), 1);
+        assert_eq!(lru.get(k(2)), None, "the LRU entry was evicted");
+        assert_eq!(lru.get(k(1)), Some(1));
+        assert_eq!(lru.get(k(3)), Some(3));
+    }
+
+    #[test]
+    fn byte_bound_and_oversize_rejection() {
+        let lru: ShardedLru<u32> =
+            ShardedLru::new(CacheBudget::bounded(usize::MAX, 100 * SHARDS as u64));
+        lru.insert(k(1), 1, 60);
+        lru.insert(k(2), 2, 60); // 120 > 100 → evict k(1)
+        assert_eq!(lru.get(k(1)), None);
+        assert_eq!(lru.get(k(2)), Some(2));
+        assert_eq!(lru.evicted(), 1);
+        // An entry that can never fit is rejected outright…
+        assert_eq!(lru.insert(k(3), 3, 101), 1);
+        assert_eq!(lru.get(k(3)), None);
+        // …without disturbing what is resident.
+        assert_eq!(lru.get(k(2)), Some(2));
+    }
+
+    #[test]
+    fn replacing_a_key_accounts_cost_once() {
+        let lru: ShardedLru<u32> =
+            ShardedLru::new(CacheBudget::bounded(usize::MAX, 100 * SHARDS as u64));
+        lru.insert(k(1), 1, 90);
+        lru.insert(k(1), 2, 40);
+        lru.insert(k(2), 3, 60); // 40 + 60 fits exactly
+        assert_eq!(lru.evicted(), 0);
+        assert_eq!(lru.get(k(1)), Some(2));
+        assert_eq!(lru.get(k(2)), Some(3));
+    }
+}

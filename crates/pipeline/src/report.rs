@@ -33,6 +33,10 @@ pub struct CorpusReport {
     pub method: Method,
     /// Per-input results, in input order.
     pub images: Vec<ImageEntry>,
+    /// Whether the run was cut short by a shutdown request; unprocessed
+    /// inputs carry `"interrupted"` error outcomes and the document
+    /// gains an `"interrupted": true` marker.
+    pub interrupted: bool,
     /// Worker threads the pool actually used.
     pub jobs: usize,
     /// End-to-end wall time of the batch run.
@@ -41,6 +45,10 @@ pub struct CorpusReport {
     pub report_cache_hits: u64,
     /// [`crate::ReportCache`] lookups that ran the optimizer.
     pub report_cache_misses: u64,
+    /// [`crate::ReportCache`] memory-layer entries evicted under a
+    /// bounded [`crate::CacheBudget`] (always 0 for the default
+    /// unbounded budget).
+    pub report_cache_evicted: u64,
     /// Shared [`gpa::DfgCache`] hits across all workers.
     pub dfg_cache_hits: u64,
     /// Shared [`gpa::DfgCache`] misses across all workers.
@@ -132,6 +140,12 @@ impl CorpusReport {
             ),
             ("errors".to_owned(), Json::from(self.error_count())),
         ];
+        if self.interrupted {
+            // Deliberately part of the deterministic section: a partial
+            // report must never pass for a complete one, whatever the
+            // worker count or cache temperature was.
+            doc.push(("interrupted".to_owned(), Json::from(true)));
+        }
         if include_metrics {
             let per_image: Vec<Json> = self
                 .images
@@ -158,6 +172,7 @@ impl CorpusReport {
                         Json::obj([
                             ("hits", Json::from(self.report_cache_hits)),
                             ("misses", Json::from(self.report_cache_misses)),
+                            ("evicted", Json::from(self.report_cache_evicted)),
                         ]),
                     ),
                     (
@@ -224,10 +239,12 @@ mod tests {
                     counters: Counters::default(),
                 },
             ],
+            interrupted: false,
             jobs: 4,
             wall_ns: 123,
             report_cache_hits: 1,
             report_cache_misses: 1,
+            report_cache_evicted: 0,
             dfg_cache_hits: 0,
             dfg_cache_misses: 0,
         }
@@ -266,5 +283,20 @@ mod tests {
         );
         // The document round-trips through the parser.
         assert_eq!(Json::parse(&full.to_string()).unwrap(), full);
+    }
+
+    #[test]
+    fn interrupted_marker_only_appears_on_partial_runs() {
+        let complete = corpus();
+        assert!(complete.to_json(false).get("interrupted").is_none());
+        let mut partial = corpus();
+        partial.interrupted = true;
+        assert_eq!(
+            partial
+                .to_json(false)
+                .get("interrupted")
+                .and_then(Json::as_bool),
+            Some(true)
+        );
     }
 }

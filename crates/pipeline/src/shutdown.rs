@@ -1,0 +1,107 @@
+//! Cooperative shutdown plumbing shared by `gpa batch` and `gpa serve`.
+//!
+//! A [`ShutdownFlag`] is a cheap, cloneable "should we stop?" token.
+//! Workers poll it between units of work (images in batch, requests in
+//! serve) so an interrupt finishes in-flight work instead of killing it
+//! mid-rewrite. The flag can be raised programmatically (tests, the
+//! serve Shutdown frame) or wired to SIGINT/SIGTERM via
+//! [`ShutdownFlag::install_signal_handler`].
+//!
+//! The signal path is hand-rolled on `signal(2)` FFI — the workspace
+//! takes no external dependencies — and the handler only stores to a
+//! `static` atomic, which is async-signal-safe. Because a process has
+//! one set of signal dispositions, the signal-backed state is a global
+//! that every signal-installed flag observes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Raised by the signal handler; observed by every signal-backed flag.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use std::sync::atomic::Ordering;
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        super::SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install(signum: i32) {
+        unsafe {
+            signal(signum, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// A cloneable stop token polled cooperatively by pipeline workers.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownFlag {
+    local: Arc<AtomicBool>,
+    /// Whether this flag also observes the process-wide signal state.
+    signal_backed: bool,
+}
+
+impl ShutdownFlag {
+    /// A fresh flag, not raised, not signal-backed.
+    pub fn new() -> ShutdownFlag {
+        ShutdownFlag::default()
+    }
+
+    /// Wires SIGINT and SIGTERM to this flag (and returns it). On
+    /// non-Unix targets this is a no-op beyond creating the flag.
+    pub fn install_signal_handler() -> ShutdownFlag {
+        #[cfg(unix)]
+        {
+            sys::install(sys::SIGINT);
+            sys::install(sys::SIGTERM);
+        }
+        ShutdownFlag {
+            local: Arc::new(AtomicBool::new(false)),
+            signal_backed: true,
+        }
+    }
+
+    /// Raises the flag programmatically.
+    pub fn raise(&self) {
+        self.local.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a stop has been requested (locally or by a signal).
+    pub fn is_raised(&self) -> bool {
+        self.local.load(Ordering::SeqCst)
+            || (self.signal_backed && SIGNALLED.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_low_and_latches_on_raise() {
+        let flag = ShutdownFlag::new();
+        assert!(!flag.is_raised());
+        let clone = flag.clone();
+        clone.raise();
+        assert!(flag.is_raised(), "clones share the underlying state");
+        assert!(clone.is_raised());
+    }
+
+    #[test]
+    fn non_signal_flags_ignore_the_global_state() {
+        // Deliberately poke the global: plain flags must not observe it.
+        SIGNALLED.store(true, Ordering::SeqCst);
+        let flag = ShutdownFlag::new();
+        assert!(!flag.is_raised());
+        SIGNALLED.store(false, Ordering::SeqCst);
+    }
+}

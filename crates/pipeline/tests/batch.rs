@@ -174,3 +174,113 @@ fn mining_threads_do_not_change_results() {
         corpus_of(4).to_json(false).to_string()
     );
 }
+
+/// A shutdown flag raised before the pool starts: every input is an
+/// `"interrupted"` error entry, the document carries the
+/// `"interrupted": true` marker, and the exit is a partial — not
+/// poisoned — report.
+#[test]
+fn pre_raised_shutdown_interrupts_every_input() {
+    use gpa_pipeline::ShutdownFlag;
+    let inputs = kernel_inputs(&["crc", "sha"]);
+    let config = BatchConfig {
+        shutdown: ShutdownFlag::new(),
+        ..fast_config()
+    };
+    config.shutdown.raise();
+    let corpus = run_batch(&inputs, &config).unwrap();
+    assert!(corpus.interrupted);
+    assert_eq!(corpus.images.len(), inputs.len());
+    for entry in &corpus.images {
+        assert_eq!(
+            entry.outcome.as_ref().err().map(String::as_str),
+            Some("interrupted")
+        );
+    }
+    let doc = corpus.to_json(false).to_string();
+    assert!(
+        doc.contains("\"interrupted\":true"),
+        "partial report must carry the marker: {doc}"
+    );
+    // An un-raised flag run of the same inputs has no marker at all.
+    let clean = run_batch(&inputs, &fast_config()).unwrap();
+    assert!(!clean.interrupted);
+    assert!(!clean.to_json(false).to_string().contains("interrupted"));
+}
+
+/// A flag raised while the pool is already running: in-flight images
+/// finish normally, so every entry is either a real result or a clean
+/// `"interrupted"` error — never a torn one — and the report is marked.
+#[test]
+fn mid_run_shutdown_finishes_in_flight_images() {
+    use gpa_pipeline::ShutdownFlag;
+    let inputs = kernel_inputs(&gpa_minicc::programs::BENCHMARKS);
+    let config = BatchConfig {
+        jobs: 1,
+        shutdown: ShutdownFlag::new(),
+        ..fast_config()
+    };
+    let flag = config.shutdown.clone();
+    let raiser = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        flag.raise();
+    });
+    let corpus = run_batch(&inputs, &config).unwrap();
+    raiser.join().unwrap();
+    assert!(corpus.interrupted);
+    for entry in &corpus.images {
+        match &entry.outcome {
+            Ok(report) => assert!(report.initial_words > 0, "{}", entry.name),
+            Err(message) => assert_eq!(message, "interrupted", "{}", entry.name),
+        }
+    }
+    assert!(corpus
+        .to_json(false)
+        .to_string()
+        .contains("\"interrupted\":true"));
+}
+
+/// A bounded in-memory cache that is large enough never to evict keeps
+/// the warm pass byte-identical to the cold one; a pathologically tiny
+/// budget evicts (and says so in the metrics) but still never changes
+/// any report.
+#[test]
+fn bounded_cache_budget_preserves_results() {
+    use gpa_pipeline::CacheBudget;
+    let inputs = kernel_inputs(&["dijkstra", "qsort", "crc"]);
+    let unbounded = run_batch(&inputs, &fast_config()).unwrap();
+    assert_eq!(unbounded.report_cache_evicted, 0);
+
+    let roomy = BatchConfig {
+        cache_budget: CacheBudget::bounded(1024, 64 << 20),
+        ..fast_config()
+    };
+    let cold = run_batch(&inputs, &roomy).unwrap();
+    assert_eq!(
+        unbounded.to_json(false).to_string(),
+        cold.to_json(false).to_string(),
+        "a roomy bound must not change the deterministic section"
+    );
+    assert_eq!(cold.report_cache_evicted, 0);
+
+    // One entry per shard at most, and almost no byte budget: the
+    // memory layer thrashes, the reports do not.
+    let tiny = BatchConfig {
+        cache_budget: CacheBudget::bounded(1, 64),
+        ..fast_config()
+    };
+    let thrashed = run_batch(&inputs, &tiny).unwrap();
+    assert_eq!(
+        unbounded.to_json(false).to_string(),
+        thrashed.to_json(false).to_string(),
+        "eviction must never change the deterministic section"
+    );
+    assert!(thrashed.report_cache_evicted > 0);
+    let metrics = thrashed.to_json(true);
+    let evicted = metrics
+        .get("metrics")
+        .and_then(|m| m.get("report_cache"))
+        .and_then(|c| c.get("evicted"))
+        .and_then(gpa::json::Json::as_int);
+    assert_eq!(evicted, Some(thrashed.report_cache_evicted as i64));
+}

@@ -1,0 +1,736 @@
+//! The resident optimization server: accept loop, bounded queue,
+//! worker pool, graceful drain.
+//!
+//! Life of a request: a connection thread reads one frame, decodes the
+//! knobs, and counts it `serve.accepted`. It then tries to enqueue a
+//! job on the *bounded* queue — if the queue is full (or the server is
+//! draining) the request is shed immediately with an `overloaded`
+//! (`draining`) response and counted `serve.shed`; the client never
+//! waits behind work the server cannot absorb. Otherwise a worker pops
+//! the job, answers from the shared warm [`ReportCache`] or runs the
+//! optimizer with the shared [`DfgCache`], and replies through a
+//! channel; the connection thread writes the response frame. Requests
+//! whose deadline expired in the queue, or whose run was cut short by
+//! the in-run deadline check, are counted `serve.deadline_exceeded`
+//! and answered with a well-formed (possibly partial) document —
+//! deadline-cut reports are never admitted to the cache.
+//!
+//! Drain (SIGTERM, Ctrl-C, or a Shutdown frame) stops the accept loop
+//! and the queue's intake; workers finish everything already queued, so
+//! `serve.in_flight_at_drain` — jobs abandoned un-answered — is zero in
+//! a graceful drain and the trace-check identity
+//! `serve.accepted == serve.completed + serve.shed +
+//! serve.deadline_exceeded + serve.in_flight_at_drain` holds over the
+//! server's `gpa-trace/1` trace.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gpa::json::Json;
+use gpa::{
+    image_cache_key, DfgCache, Method, Optimizer, Report, RunConfig, StageTimings, ValidateLevel,
+};
+use gpa_image::Image;
+use gpa_pipeline::{CacheBudget, ReportCache, ShutdownFlag};
+use gpa_trace::histogram::LogHistogram;
+use gpa_trace::{CounterTracer, Counters, JsonlTracer, Tracer};
+
+use crate::proto::{decode_request, read_frame, write_frame, FrameError, FrameKind, SERVE_SCHEMA};
+
+/// Tuning for one server instance.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Worker threads; `0` means [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Bounded queue capacity; a request arriving when `queue_depth`
+    /// jobs are already waiting is shed with an `overloaded` response.
+    pub queue_depth: usize,
+    /// Default detection method (overridable per request).
+    pub method: Method,
+    /// Base optimizer tuning; per-request knobs override copies of it.
+    pub run: RunConfig,
+    /// Directory for the persistent report-cache layer; `None` keeps
+    /// the warm cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Bound on the in-memory report-cache layer. Unlike batch, the
+    /// default here is bounded — a resident process must not grow
+    /// without limit.
+    pub cache_budget: CacheBudget,
+    /// Bound on the shared per-block [`DfgCache`] (entries).
+    pub dfg_entries: usize,
+    /// `gpa-trace/1` JSONL trace of the server's lifetime; `None`
+    /// disables tracing.
+    pub trace_file: Option<PathBuf>,
+    /// Drain trigger shared with the host (signals, Shutdown frames).
+    pub shutdown: ShutdownFlag,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 32,
+            method: Method::Edgar,
+            run: RunConfig::default(),
+            cache_dir: None,
+            cache_budget: CacheBudget::bounded(4096, 256 << 20),
+            dfg_entries: 1 << 16,
+            trace_file: None,
+            shutdown: ShutdownFlag::new(),
+        }
+    }
+}
+
+/// Per-request knob overrides, decoded from the request's JSON object.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct RequestKnobs {
+    method: Option<Method>,
+    validate: Option<ValidateLevel>,
+    deadline_ms: Option<u64>,
+    max_rounds: Option<usize>,
+    max_patterns: Option<usize>,
+}
+
+impl RequestKnobs {
+    /// Strict parse: unknown keys and ill-typed values are errors, so a
+    /// client typo degrades loudly instead of silently running with
+    /// defaults.
+    fn parse(text: &str) -> Result<RequestKnobs, String> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Ok(RequestKnobs::default());
+        }
+        let doc = Json::parse(text).map_err(|e| format!("knobs: {e}"))?;
+        let Json::Obj(pairs) = &doc else {
+            return Err("knobs: expected a JSON object".into());
+        };
+        let mut knobs = RequestKnobs::default();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "method" => {
+                    knobs.method = Some(match value.as_str() {
+                        Some("sfx") => Method::Sfx,
+                        Some("dgspan") => Method::DgSpan,
+                        Some("edgar") => Method::Edgar,
+                        _ => return Err(format!("knobs: bad method {value}")),
+                    });
+                }
+                "validate" => {
+                    knobs.validate = Some(match value.as_str() {
+                        Some("off") => ValidateLevel::Off,
+                        Some("final") => ValidateLevel::Final,
+                        Some("every-round") => ValidateLevel::EveryRound,
+                        _ => return Err(format!("knobs: bad validate {value}")),
+                    });
+                }
+                "deadline_ms" => {
+                    let Some(ms) = value.as_int().filter(|&v| v >= 0) else {
+                        return Err(format!("knobs: bad deadline_ms {value}"));
+                    };
+                    knobs.deadline_ms = Some(ms as u64);
+                }
+                "max_rounds" => {
+                    let Some(n) = value.as_int().filter(|&v| v > 0) else {
+                        return Err(format!("knobs: bad max_rounds {value}"));
+                    };
+                    knobs.max_rounds = Some(n as usize);
+                }
+                "max_patterns" => {
+                    let Some(n) = value.as_int().filter(|&v| v > 0) else {
+                        return Err(format!("knobs: bad max_patterns {value}"));
+                    };
+                    knobs.max_patterns = Some(n as usize);
+                }
+                other => return Err(format!("knobs: unknown knob {other:?}")),
+            }
+        }
+        Ok(knobs)
+    }
+}
+
+/// Per-request measurements appended as the response's trailing
+/// `"metrics"` object (everything before it is deterministic).
+struct ResponseMetrics {
+    cached: bool,
+    degraded: bool,
+    queue_ns: u64,
+    run_ns: u64,
+}
+
+/// Builds the `gpa-serve/1` response document. Layout contract: the
+/// `"metrics"` member is last, so stripping `,"metrics":.*` leaves the
+/// deterministic section — the same convention the corpus report uses.
+fn response_json(
+    status: &str,
+    report: Option<&Report>,
+    error: Option<&str>,
+    metrics: &ResponseMetrics,
+) -> String {
+    let mut doc = format!("{{\"schema\":\"{SERVE_SCHEMA}\",\"status\":\"{status}\"");
+    if let Some(report) = report {
+        doc.push_str(",\"report\":");
+        doc.push_str(&report.to_json().to_string());
+    }
+    if let Some(error) = error {
+        doc.push_str(",\"error\":");
+        doc.push_str(&Json::from(error).to_string());
+    }
+    doc.push_str(&format!(
+        ",\"metrics\":{{\"cached\":{},\"degraded\":{},\"queue_ns\":{},\"run_ns\":{}}}}}",
+        metrics.cached, metrics.degraded, metrics.queue_ns, metrics.run_ns
+    ));
+    doc
+}
+
+/// One queued request.
+struct Job {
+    knobs: RequestKnobs,
+    image: Vec<u8>,
+    enqueued_at: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<String>,
+}
+
+/// Queue intake outcomes.
+enum Push {
+    Ok,
+    Full,
+    Draining,
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared {
+    config: ServeConfig,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    tracer: Arc<dyn Tracer>,
+    report_cache: ReportCache,
+    dfg_cache: DfgCache,
+    queue_hist: Mutex<LogHistogram>,
+    run_hist: Mutex<LogHistogram>,
+    /// Optimizer trace counters summed over every non-cached run (kept
+    /// out of the server trace: its event-count identities only hold
+    /// for counters whose events are in the same stream).
+    job_counters: Mutex<Counters>,
+}
+
+impl Shared {
+    fn try_push(&self, job: Job) -> Push {
+        if self.config.shutdown.is_raised() {
+            return Push::Draining;
+        }
+        let mut queue = self.queue.lock().expect("serve queue poisoned");
+        if queue.len() >= self.config.queue_depth {
+            return Push::Full;
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.available.notify_one();
+        Push::Ok
+    }
+
+    /// Pops the next job, blocking until one arrives or the server is
+    /// draining *and* the queue is empty (graceful drain finishes all
+    /// queued work).
+    fn pop(&self) -> Option<Job> {
+        let mut queue = self.queue.lock().expect("serve queue poisoned");
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.config.shutdown.is_raised() {
+                return None;
+            }
+            // Bounded wait: drain can be raised by a signal handler,
+            // which cannot notify the condvar.
+            let (guard, _) = self
+                .available
+                .wait_timeout(queue, Duration::from_millis(50))
+                .expect("serve queue poisoned");
+            queue = guard;
+        }
+    }
+}
+
+/// End-of-life accounting returned by [`Server::join`].
+pub struct ServeSummary {
+    /// Final trace counters (the `serve.*` family).
+    pub counters: Counters,
+    /// Optimizer counters summed over every non-cached run.
+    pub job_counters: Counters,
+    /// Queue-wait latency distribution.
+    pub queue_hist: LogHistogram,
+    /// Optimize/cache-lookup latency distribution.
+    pub run_hist: LogHistogram,
+    /// Warm report-cache statistics: (hits, misses, evicted).
+    pub report_cache: (u64, u64, u64),
+    /// Shared DFG-cache statistics: (hits, misses, evicted).
+    pub dfg_cache: (u64, u64, u64),
+}
+
+/// A running server; dropping it without [`Server::join`] detaches the
+/// threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `listen` (e.g. `127.0.0.1:0`) and starts the accept loop
+    /// and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Bind/configuration failures, and cache/trace file creation
+    /// failures.
+    pub fn start(listen: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let tracer: Arc<dyn Tracer> = match &config.trace_file {
+            Some(path) => Arc::new(JsonlTracer::to_file(path)?),
+            None => Arc::new(CounterTracer::new()),
+        };
+        let report_cache = match &config.cache_dir {
+            Some(dir) => ReportCache::with_dir_budget(dir, config.cache_budget)?,
+            None => ReportCache::with_budget(config.cache_budget),
+        };
+        let dfg_cache = DfgCache::bounded(config.dfg_entries);
+        let worker_count = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            tracer,
+            report_cache,
+            dfg_cache,
+            queue_hist: Mutex::new(LogHistogram::default()),
+            run_hist: Mutex::new(LogHistogram::default()),
+            job_counters: Mutex::new(Counters::default()),
+        });
+        let workers = (0..worker_count)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            accept,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the chosen port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests a graceful drain: stop accepting, finish queued work.
+    pub fn drain(&self) {
+        self.shared.config.shutdown.raise();
+        self.shared.available.notify_all();
+    }
+
+    /// Whether a drain has been requested (signal, Shutdown frame, or
+    /// [`Server::drain`]).
+    pub fn draining(&self) -> bool {
+        self.shared.config.shutdown.is_raised()
+    }
+
+    /// Waits for the accept loop, connections and workers to finish,
+    /// then closes the trace and returns the final accounting. Call
+    /// [`Server::drain`] first (or deliver a signal / Shutdown frame);
+    /// `join` alone never initiates a stop.
+    pub fn join(self) -> ServeSummary {
+        let _ = self.accept.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        let shared = &self.shared;
+        // Workers drained everything they could; whatever is still
+        // queued was abandoned un-answered. Counted even when zero so
+        // the trace-check identity always has all four terms.
+        let abandoned = shared.queue.lock().expect("serve queue poisoned").len() as u64;
+        shared.tracer.count("serve.in_flight_at_drain", abandoned);
+        shared.tracer.count("serve.completed", 0);
+        shared.tracer.count("serve.shed", 0);
+        shared.tracer.count("serve.deadline_exceeded", 0);
+        shared.tracer.count("serve.accepted", 0);
+        shared.tracer.finish();
+        ServeSummary {
+            counters: shared.tracer.counters(),
+            job_counters: shared
+                .job_counters
+                .lock()
+                .expect("job counters poisoned")
+                .clone(),
+            queue_hist: shared
+                .queue_hist
+                .lock()
+                .expect("histogram poisoned")
+                .clone(),
+            run_hist: shared.run_hist.lock().expect("histogram poisoned").clone(),
+            report_cache: (
+                shared.report_cache.hits(),
+                shared.report_cache.misses(),
+                shared.report_cache.evicted(),
+            ),
+            dfg_cache: (
+                shared.dfg_cache.hits(),
+                shared.dfg_cache.misses(),
+                shared.dfg_cache.evicted(),
+            ),
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.config.shutdown.is_raised() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                connections.push(std::thread::spawn(move || {
+                    connection_loop(stream, &shared);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+        // Reap finished connection threads so a long-lived server does
+        // not accumulate handles.
+        connections.retain(|handle| !handle.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one connection in request/response lockstep.
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    // Short poll timeout so the thread notices a drain promptly even
+    // while idle; raised for the actual frame read below.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    let mut stream = stream;
+    loop {
+        if shared.config.shutdown.is_raised() {
+            // Lockstep: at the top of the loop no response is owed.
+            return;
+        }
+        // Wait for data without consuming it, so a poll timeout can
+        // never strand a half-read frame.
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let frame = read_frame(&mut stream);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        match frame {
+            Ok((FrameKind::Request, payload)) => {
+                if !handle_request(&mut stream, shared, &payload) {
+                    return;
+                }
+            }
+            Ok((FrameKind::Shutdown, _)) => {
+                shared.tracer.count("serve.shutdown_frames", 1);
+                // Raise before acking: a client that saw the ack must be
+                // able to observe the server as draining.
+                shared.config.shutdown.raise();
+                shared.available.notify_all();
+                let metrics = ResponseMetrics {
+                    cached: false,
+                    degraded: false,
+                    queue_ns: 0,
+                    run_ns: 0,
+                };
+                let doc = response_json("draining", None, None, &metrics);
+                let _ = write_frame(&mut stream, FrameKind::Response, doc.as_bytes());
+                return;
+            }
+            Ok((FrameKind::Response, _)) => {
+                // A client must never send Response frames.
+                shared.tracer.count("serve.protocol_errors", 1);
+                return;
+            }
+            Err(FrameError::Eof) => return,
+            Err(_) => {
+                shared.tracer.count("serve.protocol_errors", 1);
+                return;
+            }
+        }
+    }
+}
+
+/// Handles one decoded Request frame; returns whether the connection
+/// should stay open.
+fn handle_request(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
+    let no_work = ResponseMetrics {
+        cached: false,
+        degraded: false,
+        queue_ns: 0,
+        run_ns: 0,
+    };
+    let request = match decode_request(payload) {
+        Ok(request) => request,
+        Err(_) => {
+            shared.tracer.count("serve.protocol_errors", 1);
+            return false;
+        }
+    };
+    shared.tracer.count("serve.accepted", 1);
+    let knobs = match RequestKnobs::parse(&request.knobs) {
+        Ok(knobs) => knobs,
+        Err(message) => {
+            // A malformed knob is a completed (rejected) request, not a
+            // protocol error: the frame itself was well-formed.
+            shared.tracer.count("serve.completed", 1);
+            let doc = response_json("error", None, Some(&message), &no_work);
+            return write_frame(stream, FrameKind::Response, doc.as_bytes()).is_ok();
+        }
+    };
+    let deadline = knobs
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let (reply, inbox) = mpsc::channel();
+    let job = Job {
+        knobs,
+        image: request.image,
+        enqueued_at: Instant::now(),
+        deadline,
+        reply,
+    };
+    let doc = match shared.try_push(job) {
+        Push::Ok => match inbox.recv() {
+            Ok(doc) => doc,
+            // The worker dropped the job without replying (never in a
+            // graceful drain; this is the crash-path fallback).
+            Err(_) => response_json("error", None, Some("request abandoned"), &no_work),
+        },
+        Push::Full => {
+            shared.tracer.count("serve.shed", 1);
+            response_json("overloaded", None, None, &no_work)
+        }
+        Push::Draining => {
+            shared.tracer.count("serve.shed", 1);
+            response_json("draining", None, None, &no_work)
+        }
+    };
+    write_frame(stream, FrameKind::Response, doc.as_bytes()).is_ok()
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.pop() {
+        let queue_ns = job.enqueued_at.elapsed().as_nanos() as u64;
+        shared
+            .queue_hist
+            .lock()
+            .expect("histogram poisoned")
+            .record(queue_ns);
+        let run_started = Instant::now();
+        let (status, report, error, cached, degraded) = execute(shared, &job);
+        let run_ns = run_started.elapsed().as_nanos() as u64;
+        shared
+            .run_hist
+            .lock()
+            .expect("histogram poisoned")
+            .record(run_ns);
+        shared.tracer.count(
+            if status == "deadline_exceeded" {
+                "serve.deadline_exceeded"
+            } else {
+                "serve.completed"
+            },
+            1,
+        );
+        let metrics = ResponseMetrics {
+            cached,
+            degraded,
+            queue_ns,
+            run_ns,
+        };
+        let doc = response_json(status, report.as_ref(), error.as_deref(), &metrics);
+        // A vanished client cannot invalidate the accounting above.
+        let _ = job.reply.send(doc);
+    }
+}
+
+/// Runs one job to a (status, report, error, cached, degraded) tuple.
+fn execute(
+    shared: &Arc<Shared>,
+    job: &Job,
+) -> (&'static str, Option<Report>, Option<String>, bool, bool) {
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        // Expired while queued: answer without burning worker time.
+        return ("deadline_exceeded", None, None, false, false);
+    }
+    let image = match Image::from_bytes(&job.image) {
+        Ok(image) => image,
+        Err(e) => return ("error", None, Some(e.to_string()), false, false),
+    };
+    let method = job.knobs.method.unwrap_or(shared.config.method);
+    let job_tracer = Arc::new(CounterTracer::new());
+    let base = &shared.config.run;
+    let run = RunConfig {
+        validate: job.knobs.validate.unwrap_or(base.validate),
+        max_rounds: job.knobs.max_rounds.unwrap_or(base.max_rounds),
+        max_patterns: job.knobs.max_patterns.unwrap_or(base.max_patterns),
+        deadline: job.deadline,
+        tracer: Arc::clone(&job_tracer) as Arc<dyn Tracer>,
+        ..base.clone()
+    };
+    // The key ignores tracer and deadline, so warm lookups hit across
+    // requests regardless of per-request deadlines.
+    let key = image_cache_key(&image, method, &run);
+    if let Some(report) = shared.report_cache.get_traced(key, shared.tracer.as_ref()) {
+        return ("ok", Some(report), None, true, false);
+    }
+    let mut timings = StageTimings::default();
+    let mut optimizer = match Optimizer::from_image_timed(&image, &mut timings) {
+        Ok(optimizer) => optimizer,
+        Err(e) => return ("error", None, Some(e.to_string()), false, false),
+    };
+    let outcome = optimizer.run_instrumented(method, &run, &mut timings, Some(&shared.dfg_cache));
+    shared
+        .job_counters
+        .lock()
+        .expect("job counters poisoned")
+        .merge(&job_tracer.counters());
+    match outcome {
+        Ok(report) => {
+            let degraded = job_tracer.counters().get("run.deadline_stopped") > 0;
+            if degraded {
+                // A deadline-cut report is valid but partial; caching it
+                // would poison warm lookups for undegraded requests.
+                ("deadline_exceeded", Some(report), None, false, true)
+            } else {
+                shared
+                    .report_cache
+                    .put_traced(key, &report, shared.tracer.as_ref());
+                ("ok", Some(report), None, false, false)
+            }
+        }
+        Err(e) => ("error", None, Some(e.to_string()), false, false),
+    }
+}
+
+/// A blocking single-shot client for tests, the load generator and
+/// `gpa submit`: sends one request frame and decodes one response.
+///
+/// # Errors
+///
+/// Transport and framing failures, or a non-Response reply.
+pub fn submit(stream: &mut TcpStream, knobs: &str, image: &[u8]) -> Result<String, FrameError> {
+    let payload = crate::proto::encode_request(knobs, image);
+    write_frame(stream, FrameKind::Request, &payload).map_err(|e| FrameError::Io(e.kind()))?;
+    let (kind, body) = read_frame(stream)?;
+    if kind != FrameKind::Response {
+        return Err(FrameError::BadKind(0));
+    }
+    String::from_utf8(body).map_err(|_| FrameError::Truncated)
+}
+
+/// Sends a Shutdown frame and waits for the `draining` ack.
+///
+/// # Errors
+///
+/// Transport and framing failures.
+pub fn send_shutdown(stream: &mut TcpStream) -> Result<String, FrameError> {
+    write_frame(stream, FrameKind::Shutdown, &[]).map_err(|e| FrameError::Io(e.kind()))?;
+    let (_, body) = read_frame(stream)?;
+    String::from_utf8(body).map_err(|_| FrameError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_parse_defaults_and_overrides() {
+        assert_eq!(RequestKnobs::parse("").unwrap(), RequestKnobs::default());
+        assert_eq!(RequestKnobs::parse("{}").unwrap(), RequestKnobs::default());
+        let parsed = RequestKnobs::parse(
+            "{\"method\":\"sfx\",\"validate\":\"off\",\"deadline_ms\":250,\
+             \"max_rounds\":3,\"max_patterns\":1000}",
+        )
+        .unwrap();
+        assert_eq!(parsed.method, Some(Method::Sfx));
+        assert_eq!(parsed.validate, Some(ValidateLevel::Off));
+        assert_eq!(parsed.deadline_ms, Some(250));
+        assert_eq!(parsed.max_rounds, Some(3));
+        assert_eq!(parsed.max_patterns, Some(1000));
+    }
+
+    #[test]
+    fn knobs_parse_rejects_unknown_and_illtyped() {
+        assert!(RequestKnobs::parse("{\"metod\":\"sfx\"}").is_err());
+        assert!(RequestKnobs::parse("{\"deadline_ms\":-1}").is_err());
+        assert!(RequestKnobs::parse("{\"max_rounds\":0}").is_err());
+        assert!(RequestKnobs::parse("[1,2]").is_err());
+        assert!(RequestKnobs::parse("not json").is_err());
+    }
+
+    #[test]
+    fn response_layout_has_trailing_metrics() {
+        let metrics = ResponseMetrics {
+            cached: true,
+            degraded: false,
+            queue_ns: 7,
+            run_ns: 9,
+        };
+        let doc = response_json("ok", None, None, &metrics);
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(SERVE_SCHEMA)
+        );
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+        // The deterministic prefix is everything before `,"metrics"`.
+        let cut = doc.find(",\"metrics\"").unwrap();
+        assert_eq!(&doc[..cut], "{\"schema\":\"gpa-serve/1\",\"status\":\"ok\"");
+        assert_eq!(
+            parsed
+                .get("metrics")
+                .and_then(|m| m.get("cached"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the `gpa-serve/1` frame codec: encode/decode
+//! round trips (including maximum-length payloads), and rejection of
+//! truncated or garbage-prefixed streams with the right error codes.
+
+use proptest::prelude::*;
+
+use gpa_serve::{
+    decode_request, encode_request, read_frame, write_frame, FrameError, FrameKind, HEADER_LEN,
+    MAGIC, MAX_FRAME_LEN,
+};
+
+fn arb_kind() -> impl Strategy<Value = FrameKind> {
+    prop_oneof![
+        Just(FrameKind::Request),
+        Just(FrameKind::Response),
+        Just(FrameKind::Shutdown),
+    ]
+}
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..512)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frame_roundtrip(kind in arb_kind(), payload in arb_payload()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, kind, &payload).unwrap();
+        prop_assert_eq!(wire.len(), HEADER_LEN + payload.len());
+        let decoded = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(decoded, (kind, payload));
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_order(
+        frames in proptest::collection::vec((arb_kind(), arb_payload()), 1..8)
+    ) {
+        let mut wire = Vec::new();
+        for (kind, payload) in &frames {
+            write_frame(&mut wire, *kind, payload).unwrap();
+        }
+        let mut r = wire.as_slice();
+        for (kind, payload) in frames {
+            prop_assert_eq!(read_frame(&mut r).unwrap(), (kind, payload));
+        }
+        prop_assert_eq!(read_frame(&mut r).unwrap_err(), FrameError::Eof);
+    }
+
+    #[test]
+    fn any_truncation_is_rejected_as_truncated(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        cut_seed in any::<usize>(),
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Request, &payload).unwrap();
+        // Any strict prefix except the empty stream is a truncation
+        // (empty is the distinguished clean Eof).
+        let cut = 1 + cut_seed % (wire.len() - 1);
+        prop_assert_eq!(
+            read_frame(&mut &wire[..cut]).unwrap_err(),
+            FrameError::Truncated
+        );
+        prop_assert_eq!(read_frame(&mut &wire[..0]).unwrap_err(), FrameError::Eof);
+    }
+
+    #[test]
+    fn garbage_prefix_is_rejected_as_bad_magic(
+        prefix in proptest::collection::vec(any::<u8>(), HEADER_LEN..64)
+    ) {
+        let mut prefix = prefix;
+        if prefix[..4] == MAGIC {
+            // (The vendored proptest has no prop_assume!; steer the rare
+            // collision away from the magic instead of discarding it.)
+            prefix[0] = b'X';
+        }
+        let err = read_frame(&mut prefix.as_slice()).unwrap_err();
+        prop_assert_eq!(err.code(), "bad_magic");
+    }
+
+    #[test]
+    fn request_payload_roundtrip(
+        knobs in "[ -~]{0,64}",
+        image in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let payload = encode_request(&knobs, &image);
+        let request = decode_request(&payload).unwrap();
+        prop_assert_eq!(request.knobs, knobs);
+        prop_assert_eq!(request.image, image);
+    }
+
+    #[test]
+    fn short_request_payload_is_truncated(
+        knobs in "[ -~]{1,32}",
+        image in proptest::collection::vec(any::<u8>(), 0..32),
+        cut_seed in any::<usize>(),
+    ) {
+        let payload = encode_request(&knobs, &image);
+        // Cut inside the knobs region (the image tail is legitimately
+        // variable-length, so only the knobs prefix can be "short").
+        let cut = cut_seed % (4 + knobs.len());
+        prop_assert_eq!(
+            decode_request(&payload[..cut]).unwrap_err(),
+            FrameError::Truncated
+        );
+    }
+}
+
+/// The codec accepts a frame at exactly [`MAX_FRAME_LEN`] and rejects
+/// one byte more — kept out of proptest so the 64 MiB allocation runs
+/// once, not per case.
+#[test]
+fn max_length_boundary() {
+    let payload = vec![0xA5u8; MAX_FRAME_LEN];
+    let mut wire = Vec::with_capacity(HEADER_LEN + payload.len());
+    write_frame(&mut wire, FrameKind::Response, &payload).unwrap();
+    let (kind, decoded) = read_frame(&mut wire.as_slice()).unwrap();
+    assert_eq!(kind, FrameKind::Response);
+    assert_eq!(decoded.len(), MAX_FRAME_LEN);
+    assert!(decoded == payload);
+
+    // One byte over: the writer refuses, and a forged header is
+    // rejected before any payload allocation.
+    let over = vec![0u8; MAX_FRAME_LEN + 1];
+    assert!(write_frame(&mut Vec::new(), FrameKind::Response, &over).is_err());
+    let mut forged = wire[..HEADER_LEN].to_vec();
+    forged[6..10].copy_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_be_bytes());
+    assert_eq!(
+        read_frame(&mut forged.as_slice()).unwrap_err(),
+        FrameError::TooLong(MAX_FRAME_LEN + 1)
+    );
+}

@@ -136,4 +136,71 @@ else
     echo "verify: no committed baseline, wrote a fresh BENCH_gpa.json"
 fi
 
+# Serve smoke: a resident daemon on an ephemeral loopback port, driven
+# by the gpa-bench load generator. Gates, in order: a `gpa submit`
+# response embeds the byte-identical report of a one-shot
+# `gpa optimize --report-json`; a >=500-request mixed hot/cold soak plus
+# a burst completes with zero protocol errors, warm cache hits, and
+# shed (`overloaded`) responses under the burst; the daemon drains
+# cleanly on a Shutdown frame and exits 0; its gpa-trace/1 stream passes
+# trace-check (including the serve.accepted accounting identity, exit
+# 5 on breakage); and the deterministic section of BENCH_serve.json
+# (per-image saved words) matches the committed baseline.
+LOADGEN=target/release/gpa-bench
+"$GPA" serve --listen 127.0.0.1:0 --workers 2 --queue-depth 4 \
+    --trace "$WORK/serve.jsonl" > "$WORK/serve.out" 2>"$WORK/serve.log" &
+SERVE_PID=$!
+serve_addr=
+for _ in $(seq 1 100); do
+    serve_addr=$(sed -n 's/^gpa-serve listening on //p' "$WORK/serve.out")
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "verify: gpa serve never reported its address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+# One-shot equivalence: the served report is the optimizer's, bytewise.
+"$GPA" optimize "$WORK/crc.img" -o "$WORK/crc_serve_ref.img" --validate off \
+    --report-json "$WORK/crc_report_oneshot.json" >/dev/null
+"$GPA" submit "$WORK/crc.img" --addr "$serve_addr" \
+    --knobs '{"validate":"off"}' --report-only > "$WORK/crc_report_served.json"
+if ! cmp -s "$WORK/crc_report_oneshot.json" "$WORK/crc_report_served.json"; then
+    echo "verify: served report differs from one-shot gpa optimize" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+# Mixed hot/cold soak + shed-provoking burst, then a Shutdown frame.
+serve_baseline_args=()
+if [ -f BENCH_serve.json ]; then
+    cp BENCH_serve.json "$WORK/serve_baseline.json"
+    serve_baseline_args=(--baseline "$WORK/serve_baseline.json")
+fi
+"$LOADGEN" --addr "$serve_addr" --requests 500 --clients 4 --burst 12 \
+    --out BENCH_serve.json --shutdown \
+    ${serve_baseline_args[@]+"${serve_baseline_args[@]}"} \
+    > "$WORK/loadgen.out"
+if ! wait "$SERVE_PID"; then
+    echo "verify: gpa serve exited non-zero after drain" >&2
+    exit 1
+fi
+"$GPA" trace-check "$WORK/serve.jsonl"
+soak_cached=$(extract_metric BENCH_serve.json cached)
+soak_shed=$(extract_metric BENCH_serve.json overloaded)
+soak_proto=$(extract_metric BENCH_serve.json protocol_errors)
+if [ "${soak_proto:-1}" -ne 0 ]; then
+    echo "verify: serve soak saw protocol errors" >&2
+    exit 1
+fi
+if [ "${soak_cached:-0}" -lt 1 ]; then
+    echo "verify: serve soak never hit the warm cache" >&2
+    exit 1
+fi
+if [ "${soak_shed:-0}" -lt 1 ]; then
+    echo "verify: serve burst produced no overloaded responses" >&2
+    exit 1
+fi
+echo "verify: serve smoke OK ($(sed 's/.*"measured"://;s/}}$/}/' BENCH_serve.json))"
+
 echo "verify: all gates green"
