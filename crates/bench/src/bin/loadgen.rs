@@ -216,7 +216,7 @@ fn main() {
                         Ok(doc) => {
                             hist.lock()
                                 .expect("histogram poisoned")
-                                .record(sent.elapsed().as_nanos() as u64);
+                                .record(gpa_trace::saturating_ns(sent.elapsed()));
                             tally.record(&doc);
                         }
                         Err(_) => {

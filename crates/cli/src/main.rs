@@ -426,7 +426,14 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
                 config.alias =
                     AliasLevel::parse(v).ok_or_else(|| format!("unknown alias level `{v}`"))?;
             }
-            "--jobs" => config.mining_threads = take_jobs(&mut iter)?,
+            "--jobs" => {
+                // One knob drives both thread pools: the front-end
+                // (decode + per-block DFG build) and the mining lattice
+                // search.
+                let jobs = take_jobs(&mut iter)?;
+                config.mining_threads = jobs;
+                config.front_threads = jobs;
+            }
             "--trace" => {
                 let p = iter
                     .next()
@@ -448,6 +455,9 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
         config.mining_threads =
             std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     }
+    if config.front_threads == 0 {
+        config.front_threads = config.mining_threads;
+    }
     if let Some(path) = &trace_path {
         let tracer =
             JsonlTracer::to_file(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
@@ -455,8 +465,8 @@ fn optimize(args: &[String]) -> Result<ExitCode, String> {
     }
     let image = load_image(&input)?;
     let mut timings = StageTimings::default();
-    let mut optimizer =
-        Optimizer::from_image_timed(&image, &mut timings).map_err(|e| e.to_string())?;
+    let mut optimizer = Optimizer::from_image_configured(&image, &config, &mut timings)
+        .map_err(|e| e.to_string())?;
     let report = optimizer
         .run_instrumented(method, &config, &mut timings, None)
         .map_err(|e| e.to_string())?;

@@ -215,8 +215,9 @@ impl DfgCache {
 /// [`RunConfig`], the knobs that shape the search (`max_rounds`,
 /// `max_fragment_nodes`, `alias`) and the validation level (a failed
 /// validation yields an error, not a report) are included;
-/// `mining_threads` is not, because partitioned detection merges to the
-/// single-threaded result.
+/// `mining_threads` and `front_threads` are not, because partitioned
+/// detection merges to the single-threaded result and the parallel
+/// front-end builds the same graphs in input order.
 pub fn image_cache_key(image: &Image, method: Method, config: &RunConfig) -> u128 {
     let mut h = Fnv128::new();
     h.write(b"gpa-image-key/1");
@@ -326,6 +327,13 @@ mod tests {
         let mut threaded = config.clone();
         threaded.mining_threads = 8;
         assert_eq!(base, image_cache_key(&image, Method::Edgar, &threaded));
+        let mut fronted = config.clone();
+        fronted.front_threads = 8;
+        assert_eq!(
+            base,
+            image_cache_key(&image, Method::Edgar, &fronted),
+            "front_threads never changes the output, so it must not key the cache"
+        );
         let mut aliased = config.clone();
         aliased.alias = crate::optimizer::AliasLevel::Stack;
         assert_ne!(base, image_cache_key(&image, Method::Edgar, &aliased));

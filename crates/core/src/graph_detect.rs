@@ -39,6 +39,13 @@ pub struct GraphConfig {
     /// so the winning candidate matches the sequential search whenever
     /// the pattern budget is not exhausted.
     pub threads: usize,
+    /// Worker threads for the front-end per-block artifact build (the
+    /// region DFGs, their reachability closures, and — under
+    /// [`AliasLevel::Stack`] — the relaxed overlays). Each block builds
+    /// independently and results land in input order, so the graphs are
+    /// bit-identical at any thread count and the knob — like `threads` —
+    /// is excluded from [`crate::artifact::image_cache_key`].
+    pub front_threads: usize,
     /// Telemetry sink for detection counters, the per-round candidate
     /// table and degradation events. Tracing never changes which
     /// candidate wins, so the tracer — like `threads` — is excluded
@@ -66,6 +73,7 @@ impl Default for GraphConfig {
             max_nodes: 16,
             max_patterns: crate::optimizer::DEFAULT_MAX_PATTERNS,
             threads: 1,
+            front_threads: 1,
             tracer: Arc::new(NoopTracer),
             alias: AliasLevel::default(),
         }
@@ -380,7 +388,7 @@ fn candidate_from_frequent(
         let owned: Vec<gpa_mining::embed::Embedding> = valid.iter().map(|e| (*e).clone()).collect();
         let mis_start = Instant::now();
         let (_, chosen) = non_overlapping_count_traced(&owned, tracer);
-        *mis_ns += mis_start.elapsed().as_nanos() as u64;
+        *mis_ns += gpa_trace::saturating_ns(mis_start.elapsed());
         chosen.into_iter().map(|i| valid[i]).collect()
     };
 
@@ -621,6 +629,47 @@ impl SearchCtx<'_> {
     }
 }
 
+/// Runs `build(i)` for every `i in 0..n` over a bounded pool of up to
+/// `threads` workers and returns the results in input order (the
+/// `crates/pipeline` batch idiom: a shared claim counter plus one result
+/// slot per item). `build` must be independent per item; with one
+/// worker the pool degenerates to a plain in-place map.
+fn pooled_build<T, F>(n: usize, threads: usize, build: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return (0..n).map(build).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            return;
+        }
+        let built = build(i);
+        *slots[i].lock().expect("front slot poisoned") = Some(built);
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(worker);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("front slot poisoned")
+                .expect("every claimed index leaves a result")
+        })
+        .collect()
+}
+
 /// Finds the best extractable candidate in the program under graph-based
 /// detection, or `None` when no extraction shrinks the program.
 pub fn best_candidate(program: &Program, config: &GraphConfig) -> Option<Candidate> {
@@ -645,18 +694,19 @@ pub(crate) fn best_candidate_instrumented(
 ) -> Option<Candidate> {
     let infos = region_infos(program);
     let build_start = Instant::now();
+    let front_span = gpa_trace::span(&*config.tracer, "front");
     // Mining always counts on the conservative DFGs: alias verdicts are
     // context-dependent, so relaxed edges would break cross-region
     // isomorphism and fragment connectivity (shrinking the candidate
     // universe instead of growing it). Conservative artifacts are also
     // what the content-addressed cache may serve.
-    let artifacts: Vec<Arc<BlockArtifact>> = infos
-        .iter()
-        .map(|info| match cache {
+    let artifacts: Vec<Arc<BlockArtifact>> = pooled_build(infos.len(), config.front_threads, |i| {
+        let info = &infos[i];
+        match cache {
             Some(cache) => cache.get_or_build(&info.items, config.label_mode),
             None => Arc::new(BlockArtifact::build(&info.items, config.label_mode)),
-        })
-        .collect();
+        }
+    });
     // Under `Stack`, a second per-region artifact built against the alias
     // oracle overlays the conservative one wherever *extractability* is
     // decided (convexity, exit-closedness, contraction). Oracle-refined
@@ -666,17 +716,14 @@ pub(crate) fn best_candidate_instrumented(
         AliasLevel::Off => None,
         AliasLevel::Stack => {
             let oracles = region_oracles(program, &infos, &*config.tracer);
-            let overlay: Vec<Arc<BlockArtifact>> = infos
-                .iter()
-                .zip(&oracles)
-                .map(|(info, oracle)| {
+            let overlay: Vec<Arc<BlockArtifact>> =
+                pooled_build(infos.len(), config.front_threads, |i| {
                     Arc::new(BlockArtifact::build_with(
-                        &info.items,
+                        &infos[i].items,
                         config.label_mode,
-                        Some(oracle),
+                        Some(&oracles[i]),
                     ))
-                })
-                .collect();
+                });
             let mut examined = 0u64;
             let mut disjoint = 0u64;
             for a in &overlay {
@@ -691,9 +738,10 @@ pub(crate) fn best_candidate_instrumented(
             Some(overlay)
         }
     };
+    drop(front_span);
     let lr_free = lr_free_functions(program);
     let (graphs, _interner) = InputGraph::from_dfg_refs(artifacts.iter().map(|a| &a.dfg));
-    timings.dfg_build_ns += build_start.elapsed().as_nanos() as u64;
+    timings.dfg_build_ns += gpa_trace::saturating_ns(build_start.elapsed());
     // A region is "live" when it could ever host an extraction: its
     // function's lr is clobberable (procedures), or its return
     // participates in a connected fragment (cross-jumps).
@@ -832,7 +880,7 @@ pub(crate) fn best_candidate_instrumented(
             );
         }
     }
-    let mine_ns = mine_start.elapsed().as_nanos() as u64;
+    let mine_ns = gpa_trace::saturating_ns(mine_start.elapsed());
     timings.mining_ns += mine_ns.saturating_sub(mis_total);
     timings.mis_ns += mis_total;
     merged.map(|(c, _)| c)

@@ -149,6 +149,15 @@ pub struct RunConfig {
     /// single-threaded result, so this knob never changes the output and
     /// is excluded from [`crate::artifact::image_cache_key`].
     pub mining_threads: usize,
+    /// Worker threads for the front-end: per-function decode
+    /// ([`gpa_cfg::decode_image_with`] via
+    /// [`Optimizer::from_image_configured`]) and the per-block DFG /
+    /// artifact build inside graph detection (see
+    /// [`GraphConfig::front_threads`]). Every unit of front-end work is
+    /// independent and results merge in input order, so — like
+    /// `mining_threads` — this knob never changes the output and is
+    /// excluded from [`crate::artifact::image_cache_key`].
+    pub front_threads: usize,
     /// Telemetry sink threaded through detection, mining and MIS
     /// resolution. Tracing observes the run without changing it, so the
     /// tracer — like `mining_threads` — is excluded from
@@ -188,6 +197,7 @@ impl Default for RunConfig {
             max_fragment_nodes: 16,
             validate: ValidateLevel::default(),
             mining_threads: 1,
+            front_threads: 1,
             tracer: Arc::new(NoopTracer),
             alias: AliasLevel::default(),
             max_patterns: DEFAULT_MAX_PATTERNS,
@@ -228,7 +238,30 @@ impl Optimizer {
     ) -> Result<Optimizer, OptimizerError> {
         let start = Instant::now();
         let result = Optimizer::from_image(image);
-        timings.decode_ns += start.elapsed().as_nanos() as u64;
+        timings.decode_ns += gpa_trace::saturating_ns(start.elapsed());
+        result
+    }
+
+    /// [`Optimizer::from_image_timed`] under a [`RunConfig`]: the
+    /// per-function lift fans out over [`RunConfig::front_threads`]
+    /// workers, and the whole decode runs inside a `front` span on the
+    /// configured tracer so `gpa perf --profile` and `gpa trace-profile`
+    /// show the parallel front-end as its own node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`gpa_cfg::decode_image`] failures.
+    pub fn from_image_configured(
+        image: &Image,
+        config: &RunConfig,
+        timings: &mut StageTimings,
+    ) -> Result<Optimizer, OptimizerError> {
+        let _front_span = gpa_trace::span(config.tracer.as_ref(), "front");
+        let start = Instant::now();
+        let result = gpa_cfg::decode_image_with(image, config.front_threads)
+            .map(Optimizer::from_program)
+            .map_err(OptimizerError::Decode);
+        timings.decode_ns += gpa_trace::saturating_ns(start.elapsed());
         result
     }
 
@@ -273,7 +306,7 @@ impl Optimizer {
             Method::Sfx => {
                 let start = Instant::now();
                 let found = sfx_detect::best_candidate(&self.program);
-                timings.mining_ns += start.elapsed().as_nanos() as u64;
+                timings.mining_ns += gpa_trace::saturating_ns(start.elapsed());
                 found
             }
             Method::DgSpan => graph_detect::best_candidate_instrumented(
@@ -283,6 +316,7 @@ impl Optimizer {
                     max_nodes: config.max_fragment_nodes,
                     max_patterns: config.max_patterns,
                     threads: config.mining_threads,
+                    front_threads: config.front_threads,
                     tracer: config.tracer.clone(),
                     alias: config.alias,
                     ..GraphConfig::default()
@@ -297,6 +331,7 @@ impl Optimizer {
                     max_nodes: config.max_fragment_nodes,
                     max_patterns: config.max_patterns,
                     threads: config.mining_threads,
+                    front_threads: config.front_threads,
                     tracer: config.tracer.clone(),
                     alias: config.alias,
                     ..GraphConfig::default()
@@ -433,7 +468,7 @@ impl Optimizer {
             let apply_start = Instant::now();
             let round_validated = config.validate == ValidateLevel::EveryRound;
             let name = self.apply_candidate_with(&candidate, config.validate, config.alias)?;
-            let apply_ns = apply_start.elapsed().as_nanos() as u64;
+            let apply_ns = gpa_trace::saturating_ns(apply_start.elapsed());
             drop(apply_span);
             // Per-round validation dominates the apply path when on;
             // attribute the whole round-validated apply to validation
@@ -471,7 +506,7 @@ impl Optimizer {
             let _validate_span = gpa_trace::span(config.tracer.as_ref(), "validate");
             let validate_start = Instant::now();
             let diags = validate::validate_program(&self.program);
-            timings.validation_ns += validate_start.elapsed().as_nanos() as u64;
+            timings.validation_ns += gpa_trace::saturating_ns(validate_start.elapsed());
             if has_errors(&diags) {
                 return Err(OptimizerError::Validate(diags));
             }

@@ -153,15 +153,19 @@ pub struct AliasOracle {
 }
 
 impl AliasOracle {
-    /// Whether region nodes `i < j` provably touch disjoint bytes. Only
-    /// two *resolved* nodes can be disjoint (a resolved access and an
-    /// unresolved one may still collide). Within one base the ranges
+    /// Whether region nodes `i` and `j` provably touch disjoint bytes.
+    /// Only two *resolved* nodes can be disjoint (a resolved access and
+    /// an unresolved one may still collide). Within one base the ranges
     /// must not overlap; symbolic bases must be the *same* symbol whose
-    /// defining node does not lie strictly between `i` and `j`. Of the
+    /// defining node does not lie strictly between the two nodes. Of the
     /// cross-base pairs only `Sp`/`Abs` is disjoint — the stack never
     /// descends into the static image absent stack overflow, which the
     /// rewrite assumes away — while a symbol may alias anything.
+    ///
+    /// The pair is order-insensitive: the def-between check normalizes
+    /// `(i, j)` to program order first.
     pub fn disjoint(&self, i: usize, j: usize) -> bool {
+        let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
         let (Some(Some(a)), Some(Some(b))) = (self.slots.get(i), self.slots.get(j)) else {
             return false;
         };
@@ -173,7 +177,7 @@ impl AliasOracle {
                 }
                 (AliasBase::Sym { sym: sa, def }, AliasBase::Sym { sym: sb, .. }) => {
                     sa == sb
-                        && def.is_none_or(|d| !(i < d && d < j))
+                        && def.is_none_or(|d| !(lo < d && d < hi))
                         && (x.hi <= y.lo || y.hi <= x.lo)
                 }
                 _ => false,
@@ -242,6 +246,16 @@ pub struct Edge {
 }
 
 /// The data-flow graph of one straight-line region.
+///
+/// Stored in an arena/SoA layout: all edges live in one flat `Vec`
+/// sorted by `(from, to)`, and per-node adjacency is a pair of CSR-style
+/// offset arrays over that arena instead of one heap allocation per
+/// node. Because the edge arena is sorted, a node's successors *are* a
+/// contiguous slice of it; predecessors go through one extra flat
+/// permutation (`pred_edges`, edge indices sorted by `(to, from)`).
+/// Iteration order through [`Dfg::succs`]/[`Dfg::preds`] is identical to
+/// the historical per-node representation, so labels, hashes, and every
+/// downstream consumer see the same graph bit-for-bit.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Dfg {
     /// Owning function name.
@@ -252,11 +266,61 @@ pub struct Dfg {
     items: Vec<Item>,
     /// Transitively reduced edges, sorted by (from, to).
     edges: Vec<Edge>,
-    preds: Vec<Vec<usize>>, // indices into `edges`
-    succs: Vec<Vec<usize>>,
+    /// CSR offsets into `edges`: node `i`'s outgoing edges occupy
+    /// `edges[succ_start[i]..succ_start[i + 1]]`.
+    succ_start: Vec<u32>,
+    /// Edge indices permuted to (to, from) order.
+    pred_edges: Vec<u32>,
+    /// CSR offsets into `pred_edges`: node `i`'s incoming edges are
+    /// `pred_edges[pred_start[i]..pred_start[i + 1]]`.
+    pred_start: Vec<u32>,
 }
 
 impl Dfg {
+    /// Assembles the arena from edges already sorted by `(from, to)`.
+    fn from_sorted_parts(
+        function: String,
+        region_start: usize,
+        labels: Vec<String>,
+        items: Vec<Item>,
+        edges: Vec<Edge>,
+    ) -> Dfg {
+        let n = items.len();
+        debug_assert!(edges
+            .windows(2)
+            .all(|w| { (w[0].from, w[0].to) < (w[1].from, w[1].to) }));
+        let mut succ_start = vec![0u32; n + 1];
+        let mut pred_start = vec![0u32; n + 1];
+        for e in &edges {
+            succ_start[e.from + 1] += 1;
+            pred_start[e.to + 1] += 1;
+        }
+        for i in 0..n {
+            succ_start[i + 1] += succ_start[i];
+            pred_start[i + 1] += pred_start[i];
+        }
+        // Edge indices ascend in (from, to) order, so bucketing them by
+        // `to` in one pass leaves each bucket ascending by `from` —
+        // exactly the order the per-node `preds[to].push(idx)` loop used
+        // to produce.
+        let mut pred_edges = vec![0u32; edges.len()];
+        let mut cursor: Vec<u32> = pred_start[..n].to_vec();
+        for (idx, e) in edges.iter().enumerate() {
+            pred_edges[cursor[e.to] as usize] = idx as u32;
+            cursor[e.to] += 1;
+        }
+        Dfg {
+            function,
+            region_start,
+            labels,
+            items,
+            edges,
+            succ_start,
+            pred_edges,
+            pred_start,
+        }
+    }
+
     /// Number of nodes (instructions).
     pub fn node_count(&self) -> usize {
         self.items.len()
@@ -282,24 +346,31 @@ impl Dfg {
         &self.edges
     }
 
+    /// Node `i`'s outgoing edges as a contiguous slice of the arena.
+    fn succ_slice(&self, i: usize) -> &[Edge] {
+        &self.edges[self.succ_start[i] as usize..self.succ_start[i + 1] as usize]
+    }
+
     /// Outgoing edges of node `i`.
     pub fn succs(&self, i: usize) -> impl Iterator<Item = Edge> + '_ {
-        self.succs[i].iter().map(move |&e| self.edges[e])
+        self.succ_slice(i).iter().copied()
     }
 
     /// Incoming edges of node `i`.
     pub fn preds(&self, i: usize) -> impl Iterator<Item = Edge> + '_ {
-        self.preds[i].iter().map(move |&e| self.edges[e])
+        self.pred_edges[self.pred_start[i] as usize..self.pred_start[i + 1] as usize]
+            .iter()
+            .map(move |&e| self.edges[e as usize])
     }
 
     /// In-degree of node `i`.
     pub fn in_degree(&self, i: usize) -> usize {
-        self.preds[i].len()
+        (self.pred_start[i + 1] - self.pred_start[i]) as usize
     }
 
     /// Out-degree of node `i`.
     pub fn out_degree(&self, i: usize) -> usize {
-        self.succs[i].len()
+        (self.succ_start[i + 1] - self.succ_start[i]) as usize
     }
 
     /// Whether `later` is reachable from `earlier` through edges (i.e. the
@@ -320,8 +391,8 @@ impl Dfg {
                 continue;
             }
             seen[n] = true;
-            for e in &self.succs[n] {
-                stack.push(self.edges[*e].to);
+            for e in self.succ_slice(n) {
+                stack.push(e.to);
             }
         }
         false
@@ -463,22 +534,14 @@ pub fn build_dfg_from_items_with(
         }
     }
     edges.sort_by_key(|e| (e.from, e.to));
-    let mut preds = vec![Vec::new(); n];
-    let mut succs = vec![Vec::new(); n];
-    for (idx, e) in edges.iter().enumerate() {
-        succs[e.from].push(idx);
-        preds[e.to].push(idx);
-    }
     RelaxedDfg {
-        dfg: Dfg {
-            function: function.to_owned(),
+        dfg: Dfg::from_sorted_parts(
+            function.to_owned(),
             region_start,
             labels,
-            items: items.to_vec(),
+            items.to_vec(),
             edges,
-            preds,
-            succs,
-        },
+        ),
         relaxed,
         stats,
     }
@@ -672,6 +735,52 @@ mod tests {
             .unwrap();
         assert!(e.kinds.contains(DepMask::ANTI));
         assert!(!e.kinds.contains(DepMask::MEM));
+    }
+
+    #[test]
+    fn disjoint_is_order_insensitive_across_a_symbol_def() {
+        // Node 1 defines the symbolic pointer; nodes 0 and 2 straddle it.
+        // The def-between rule must reject the pair however the caller
+        // orders the arguments — the historical `!(i < d && d < j)` test
+        // silently passed everything when called as (j, i).
+        let sym = |def: Option<usize>| AliasInterval {
+            base: AliasBase::Sym { sym: 7, def },
+            lo: 0,
+            hi: 4,
+        };
+        let straddling = AliasOracle {
+            slots: vec![
+                Some(vec![sym(Some(1))]),
+                None,
+                Some(vec![AliasInterval {
+                    base: AliasBase::Sym {
+                        sym: 7,
+                        def: Some(1),
+                    },
+                    lo: 8,
+                    hi: 12,
+                }]),
+            ],
+        };
+        assert!(!straddling.disjoint(0, 2));
+        assert!(
+            !straddling.disjoint(2, 0),
+            "swapped pair must also be rejected"
+        );
+        // With the def outside the pair, both orders prove disjointness.
+        let outside = AliasOracle {
+            slots: vec![
+                Some(vec![sym(None)]),
+                None,
+                Some(vec![AliasInterval {
+                    base: AliasBase::Sym { sym: 7, def: None },
+                    lo: 8,
+                    hi: 12,
+                }]),
+            ],
+        };
+        assert!(outside.disjoint(0, 2));
+        assert!(outside.disjoint(2, 0));
     }
 
     #[test]

@@ -119,6 +119,30 @@ proptest! {
     }
 
     #[test]
+    fn arena_adjacency_matches_the_per_node_representation(items in arb_items()) {
+        // The CSR arena must iterate succs/preds in exactly the order the
+        // historical per-node `Vec<Vec<usize>>` layout produced: walk the
+        // (from, to)-sorted edge list and push each edge onto its
+        // endpoint lists, then compare against the public iterators.
+        let dfg = build_dfg_from_items("t", 0, &items, LabelMode::Exact);
+        let n = dfg.node_count();
+        let mut succs: Vec<Vec<gpa_dfg::Edge>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<gpa_dfg::Edge>> = vec![Vec::new(); n];
+        for e in dfg.edges() {
+            succs[e.from].push(*e);
+            preds[e.to].push(*e);
+        }
+        for i in 0..n {
+            let arena_succs: Vec<_> = dfg.succs(i).collect();
+            let arena_preds: Vec<_> = dfg.preds(i).collect();
+            prop_assert_eq!(&arena_succs, &succs[i], "succ order diverged at node {}", i);
+            prop_assert_eq!(&arena_preds, &preds[i], "pred order diverged at node {}", i);
+            prop_assert_eq!(dfg.out_degree(i), succs[i].len());
+            prop_assert_eq!(dfg.in_degree(i), preds[i].len());
+        }
+    }
+
+    #[test]
     fn canonical_labels_are_coarser(items in arb_items()) {
         use std::collections::HashSet;
         let exact = build_dfg_from_items("t", 0, &items, LabelMode::Exact);

@@ -146,6 +146,12 @@ pub fn run_perf(config: &PerfConfig) -> Result<PerfReport, String> {
             run: RunConfig {
                 validate: config.validate,
                 alias: config.alias,
+                // The front-end (decode + per-block DFG build) pool
+                // shares the --jobs knob; it never changes the output,
+                // only the dfg_build/decode latency in the measured
+                // section (0 = auto falls back to one front worker per
+                // batch worker).
+                front_threads: config.jobs,
                 ..RunConfig::default()
             },
             cache_dir: None,
@@ -207,7 +213,7 @@ pub fn run_perf(config: &PerfConfig) -> Result<PerfReport, String> {
         methods: config.methods.clone(),
         kernels,
         jobs: jobs_used,
-        wall_ns: start.elapsed().as_nanos() as u64,
+        wall_ns: gpa_trace::saturating_ns(start.elapsed()),
         latency,
         profile,
     })

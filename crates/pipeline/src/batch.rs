@@ -207,7 +207,7 @@ pub fn run_batch(inputs: &[BatchInput], config: &BatchConfig) -> Result<CorpusRe
         images,
         interrupted,
         jobs,
-        wall_ns: start.elapsed().as_nanos() as u64,
+        wall_ns: gpa_trace::saturating_ns(start.elapsed()),
         report_cache_hits: report_cache.hits(),
         report_cache_misses: report_cache.misses(),
         report_cache_evicted: report_cache.evicted(),
@@ -303,7 +303,7 @@ fn optimize_input(
     if let Some(report) = report_cache.get_traced(key, tracer.as_ref()) {
         return (Some(key), Ok(report), true);
     }
-    let mut optimizer = match Optimizer::from_image_timed(&image, timings) {
+    let mut optimizer = match Optimizer::from_image_configured(&image, &run, timings) {
         Ok(optimizer) => optimizer,
         Err(e) => return (Some(key), Err(e.to_string()), false),
     };

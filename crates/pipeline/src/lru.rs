@@ -90,7 +90,18 @@ impl<V> Shard<V> {
         };
         self.recency.remove(&tick);
         if let Some((_, cost, _)) = self.map.remove(&victim) {
-            self.bytes -= cost;
+            // `bytes` is the sum of resident costs, so a victim's cost
+            // can never exceed it — but if the map and recency index
+            // ever desync, saturate rather than underflow (panic in
+            // debug, wraparound-then-never-evict in release).
+            debug_assert!(
+                cost <= self.bytes,
+                "shard byte accounting desynced: cost {cost} > bytes {}",
+                self.bytes
+            );
+            self.bytes = self.bytes.saturating_sub(cost);
+        } else {
+            debug_assert!(false, "recency index pointed at a non-resident key");
         }
         true
     }
@@ -246,6 +257,32 @@ mod tests {
         assert_eq!(lru.get(k(3)), None);
         // …without disturbing what is resident.
         assert_eq!(lru.get(k(2)), Some(2));
+    }
+
+    #[test]
+    fn evicting_down_to_an_empty_shard_zeroes_the_accounting() {
+        // One entry per shard; every insert after the first evicts its
+        // predecessor, repeatedly draining the shard to empty without
+        // tripping the byte-accounting invariant.
+        let lru: ShardedLru<u32> =
+            ShardedLru::new(CacheBudget::bounded(SHARDS, 10 * SHARDS as u64));
+        for i in 1..=50u128 {
+            lru.insert(k(i), i as u32, 10);
+        }
+        assert_eq!(lru.evicted(), 49);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(k(50)), Some(50));
+        {
+            let mut shard = lru.shard(k(50)).lock().unwrap();
+            assert_eq!(shard.bytes, 10);
+            assert!(shard.evict_lru(), "one resident entry to evict");
+            assert_eq!(shard.bytes, 0, "empty shard accounts zero bytes");
+            assert!(shard.map.is_empty() && shard.recency.is_empty());
+            assert!(!shard.evict_lru(), "empty shard has no victim");
+            assert_eq!(shard.bytes, 0);
+        }
+        assert_eq!(lru.get(k(50)), None);
+        assert!(lru.is_empty());
     }
 
     #[test]

@@ -175,6 +175,33 @@ fn mining_threads_do_not_change_results() {
     );
 }
 
+/// The determinism matrix for the parallel front-end: the deterministic
+/// report section is byte-identical across `front_threads` ∈ {1, 2, 8}
+/// on the full 8-kernel corpus. Decode and per-block DFG builds fan out
+/// over a pool, but the arena graphs are assembled in input order, so
+/// thread count must never leak into any report.
+#[test]
+fn front_threads_determinism_matrix() {
+    let inputs = kernel_inputs(&gpa_minicc::programs::BENCHMARKS);
+    let corpus_of = |front_threads: usize| {
+        let mut config = fast_config();
+        config.jobs = 1;
+        config.run.front_threads = front_threads;
+        run_batch(&inputs, &config).unwrap()
+    };
+    let baseline = corpus_of(1);
+    assert_eq!(baseline.error_count(), 0);
+    assert!(baseline.total_saved_words() > 0);
+    let expected = baseline.to_json(false).to_string();
+    for front_threads in [2, 8] {
+        assert_eq!(
+            corpus_of(front_threads).to_json(false).to_string(),
+            expected,
+            "front_threads={front_threads} changed the deterministic section"
+        );
+    }
+}
+
 /// A shutdown flag raised before the pool starts: every input is an
 /// `"interrupted"` error entry, the document carries the
 /// `"interrupted": true` marker, and the exit is a partial — not

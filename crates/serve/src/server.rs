@@ -558,7 +558,7 @@ fn handle_request(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) 
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.pop() {
-        let queue_ns = job.enqueued_at.elapsed().as_nanos() as u64;
+        let queue_ns = gpa_trace::saturating_ns(job.enqueued_at.elapsed());
         shared
             .queue_hist
             .lock()
@@ -566,7 +566,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             .record(queue_ns);
         let run_started = Instant::now();
         let (status, report, error, cached, degraded) = execute(shared, &job);
-        let run_ns = run_started.elapsed().as_nanos() as u64;
+        let run_ns = gpa_trace::saturating_ns(run_started.elapsed());
         shared
             .run_hist
             .lock()
@@ -623,7 +623,7 @@ fn execute(
         return ("ok", Some(report), None, true, false);
     }
     let mut timings = StageTimings::default();
-    let mut optimizer = match Optimizer::from_image_timed(&image, &mut timings) {
+    let mut optimizer = match Optimizer::from_image_configured(&image, &run, &mut timings) {
         Ok(optimizer) => optimizer,
         Err(e) => return ("error", None, Some(e.to_string()), false, false),
     };

@@ -125,7 +125,14 @@ impl LogHistogram {
                 return bucket_low(index);
             }
         }
-        self.max_ns
+        // Defensive fallthrough (the scan covers every rank when bucket
+        // counts sum to `count`): stay on the documented contract and
+        // report the top occupied bucket's lower bound, never a raw
+        // sample value.
+        self.buckets
+            .keys()
+            .next_back()
+            .map_or(0, |&index| bucket_low(index))
     }
 
     /// Adds every sample of `other` into this histogram.
@@ -202,6 +209,29 @@ mod tests {
             h2.record(v);
         }
         assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn top_percentiles_stay_on_bucket_lower_bounds() {
+        // Single sample: p99 and p100 are the containing bucket's lower
+        // bound, not the raw recorded value.
+        let mut single = LogHistogram::new();
+        single.record(5_000);
+        let low = bucket_low(index_of(5_000));
+        assert!(low < 5_000, "5000 is not a bucket boundary");
+        assert_eq!(single.percentile(99), low);
+        assert_eq!(single.percentile(100), low);
+        assert!(single.percentile(100) <= single.max_ns());
+
+        // Saturated histogram: the topmost bucket's lower bound, and the
+        // same value whether the scan or the fallthrough answers.
+        let mut sat = LogHistogram::new();
+        sat.record(1);
+        sat.record(u64::MAX);
+        let top_low = bucket_low(index_of(u64::MAX));
+        assert_eq!(sat.percentile(99), top_low);
+        assert_eq!(sat.percentile(100), top_low);
+        assert!(sat.percentile(100) <= sat.max_ns());
     }
 
     #[test]

@@ -56,6 +56,18 @@ pub use span::{span, SpanBuilder, SpanGuard, SpanNode, SpanTree, SPAN_ENTER, SPA
 /// Version tag of the trace event-stream schema.
 pub const TRACE_SCHEMA: &str = "gpa-trace/1";
 
+/// A [`std::time::Duration`] as whole nanoseconds, saturating at
+/// `u64::MAX` instead of silently truncating the `u128` (`as_nanos()
+/// as u64` wraps after ~584 years of wall time — absurd for a real
+/// measurement, but a stuck clock or a deserialized timestamp should
+/// degrade to "very large", not to a small bogus stage timing).
+///
+/// Every stage-timing site in the workspace funnels through this one
+/// conversion.
+pub fn saturating_ns(elapsed: std::time::Duration) -> u64 {
+    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// A field value of a trace event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Value {
@@ -286,7 +298,7 @@ impl Tracer for JsonlTracer {
         // Sample the clock while holding the stream lock: timestamps are
         // then assigned in write order, so `at_ns` is monotone across
         // the whole stream even when several threads trace at once.
-        let at_ns = (self.start.elapsed().as_nanos() as u64).min(i64::MAX as u64);
+        let at_ns = crate::saturating_ns(self.start.elapsed()).min(i64::MAX as u64);
         debug_assert!(
             at_ns >= inner.last_at_ns,
             "at_ns regressed: {at_ns} < {}",

@@ -52,7 +52,7 @@ pub fn span<'a>(tracer: &'a dyn Tracer, name: &'static str) -> SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            let dur_ns = self.start.elapsed().as_nanos() as u64;
+            let dur_ns = crate::saturating_ns(self.start.elapsed());
             self.tracer.event(
                 SPAN_EXIT,
                 &[

@@ -89,6 +89,28 @@ if [ "$cold_det" != "$traced_det" ]; then
 fi
 echo "verify: trace smoke OK"
 
+# Front-end thread-count smoke: `--jobs` fans the decode + per-block
+# DFG builds out over the front-end pool, which must never leak into
+# the output — the report line and the optimized image are byte-for-byte
+# identical at every thread count.
+"$GPA" optimize "$WORK/crc.img" -o "$WORK/crc_j1.img" --validate off \
+    --jobs 1 > "$WORK/opt_j1_full.txt"
+head -n1 "$WORK/opt_j1_full.txt" > "$WORK/opt_j1.txt"
+for j in 2 8; do
+    "$GPA" optimize "$WORK/crc.img" -o "$WORK/crc_j$j.img" --validate off \
+        --jobs "$j" > "$WORK/opt_j${j}_full.txt"
+    head -n1 "$WORK/opt_j${j}_full.txt" > "$WORK/opt_j$j.txt"
+    if ! cmp -s "$WORK/opt_j1.txt" "$WORK/opt_j$j.txt"; then
+        echo "verify: --jobs $j changed the optimize report" >&2
+        exit 1
+    fi
+    if ! cmp -s "$WORK/crc_j1.img" "$WORK/crc_j$j.img"; then
+        echo "verify: --jobs $j changed the optimized image" >&2
+        exit 1
+    fi
+done
+echo "verify: front-end thread-count smoke OK (jobs 1/2/8 byte-identical)"
+
 # Lint gate: every bundled kernel must pass the V010–V014 stack lints
 # with zero errors (warnings are allowed — `lint` exits non-zero only
 # on error-severity findings or an undecodable image).
@@ -118,7 +140,13 @@ cargo test -q -p gpa --test proptest_absint_relax
 if [ -f BENCH_gpa.json ]; then
     cp BENCH_gpa.json "$WORK/bench_baseline.json"
 fi
-"$GPA" perf --jobs 2 --alias stack -o BENCH_gpa.json > "$WORK/perf.md" 2>"$WORK/perf.log"
+"$GPA" perf --jobs 2 --alias stack --profile -o BENCH_gpa.json > "$WORK/perf.md" 2>"$WORK/perf.log"
+# The span profile must show the parallel front-end (decode + per-block
+# DFG build) as a distinct span.
+if ! grep -Eq ' front$' "$WORK/perf.md"; then
+    echo "verify: perf --profile shows no front-end span" >&2
+    exit 1
+fi
 if [ -f "$WORK/bench_baseline.json" ]; then
     perf_status=0
     "$GPA" perf --compare BENCH_gpa.json \
